@@ -1,0 +1,82 @@
+//! Regenerate and time Figures 2–8 and the Section VIII analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use haswell_survey::{experiments, Fidelity};
+use hsw_bench::print_once;
+
+fn bench_fig2(c: &mut Criterion) {
+    print_once("Figure 2 (RAPL vs AC)", || {
+        experiments::fig2::run(Fidelity::Quick).to_string()
+    });
+    c.bench_function("fig2_rapl_accuracy", |b| {
+        b.iter(|| black_box(experiments::fig2::run(Fidelity::Quick)))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    print_once("Figure 3 (p-state transition latencies)", || {
+        experiments::fig3::run(Fidelity::Quick).to_string()
+    });
+    c.bench_function("fig3_pstate_latency", |b| {
+        b.iter(|| black_box(experiments::fig3::run(Fidelity::Quick)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    print_once("Figure 4 (opportunity timeline)", || {
+        experiments::fig4::run().to_string()
+    });
+    c.bench_function("fig4_opportunity_timeline", |b| {
+        b.iter(|| black_box(experiments::fig4::run()))
+    });
+}
+
+fn bench_fig56(c: &mut Criterion) {
+    print_once("Figures 5/6 (c-state wake latencies)", || {
+        experiments::fig56::run(Fidelity::Quick).to_string()
+    });
+    c.bench_function("fig56_cstate_latency", |b| {
+        b.iter(|| black_box(experiments::fig56::run(Fidelity::Quick)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    print_once("Figure 7 (bandwidth vs frequency)", || {
+        experiments::fig7::run().to_string()
+    });
+    c.bench_function("fig7_bw_vs_freq", |b| {
+        b.iter(|| black_box(experiments::fig7::run()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    print_once("Figure 8 (bandwidth heatmaps)", || {
+        experiments::fig8::run().to_string()
+    });
+    c.bench_function("fig8_bw_heatmap", |b| {
+        b.iter(|| black_box(experiments::fig8::run()))
+    });
+}
+
+fn bench_section8(c: &mut Criterion) {
+    print_once("Section VIII (FIRESTARTER)", || {
+        experiments::section8::run().to_string()
+    });
+    c.bench_function("section8_firestarter_ipc", |b| {
+        b.iter(|| black_box(experiments::section8::run()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_fig2, bench_fig3, bench_fig4, bench_fig56, bench_fig7,
+              bench_fig8, bench_section8
+}
+criterion_main!(figures);

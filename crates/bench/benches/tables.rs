@@ -1,0 +1,63 @@
+//! Regenerate and time Tables I–V of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use haswell_survey::{experiments, Fidelity};
+use hsw_bench::print_once;
+
+fn bench_table1(c: &mut Criterion) {
+    print_once("Table I (microarchitecture comparison)", || {
+        experiments::table1::run().to_string()
+    });
+    c.bench_function("table1_microarch", |b| {
+        b.iter(|| black_box(experiments::table1::run()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    print_once("Table II (test system, measured idle power)", || {
+        experiments::table2::run(Fidelity::Quick).to_string()
+    });
+    c.bench_function("table2_test_system", |b| {
+        b.iter(|| black_box(experiments::table2::run(Fidelity::Quick)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    print_once("Table III (uncore frequencies)", || {
+        experiments::table3::run(Fidelity::Quick).to_string()
+    });
+    c.bench_function("table3_uncore_freq", |b| {
+        b.iter(|| black_box(experiments::table3::run(Fidelity::Quick)))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    print_once("Table IV (FIRESTARTER vs frequency settings)", || {
+        experiments::table4::run(Fidelity::Quick).to_string()
+    });
+    c.bench_function("table4_firestarter_dvfs", |b| {
+        b.iter(|| black_box(experiments::table4::run(Fidelity::Quick)))
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    print_once("Table V (maximum power)", || {
+        experiments::table5::run(Fidelity::Quick).to_string()
+    });
+    c.bench_function("table5_max_power", |b| {
+        b.iter(|| black_box(experiments::table5::run(Fidelity::Quick)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_table1, bench_table2, bench_table3, bench_table4, bench_table5
+}
+criterion_main!(tables);

@@ -1,0 +1,26 @@
+//! # hsw-bench — the benchmark harness that regenerates the paper
+//!
+//! Each Criterion bench target regenerates one of the paper's tables or
+//! figures (printing the reproduced rows/series once) and then times the
+//! regeneration:
+//!
+//! * `benches/tables.rs` — Tables I–V,
+//! * `benches/figures.rs` — Figures 2–8 and the Section VIII analysis,
+//! * `benches/ablations.rs` — design-choice ablations called out in
+//!   DESIGN.md (EET on/off, UFS schedule vs. pinned uncore, PCPS vs.
+//!   chip-wide p-states, RAPL DRAM mode 0 vs. 1) and a simulator
+//!   throughput measurement.
+
+/// Print a banner followed by a reproduced artifact exactly once per
+/// process (Criterion calls the closure many times).
+pub fn print_once(tag: &'static str, render: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::sync::OnceLock;
+    static PRINTED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = PRINTED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = set.lock().unwrap();
+    if guard.insert(tag) {
+        println!("\n===== {tag} =====\n{}", render());
+    }
+}

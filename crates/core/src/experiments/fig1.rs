@@ -1,0 +1,120 @@
+//! Figure 1 — the partitioned ring-interconnect die layouts of Haswell-EP.
+//!
+//! Regenerates the figure as a structural report: for each die (8-, 12-,
+//! 18-core), the ring partitions, their IMCs/channels, the core→partition
+//! map, and the derived interconnect statistics the bandwidth/latency
+//! models consume (mean ring hops, cross-partition pairs).
+
+use hsw_hwspec::DieLayout;
+use serde::{Deserialize, Serialize};
+
+use crate::Table;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Die {
+    pub name: String,
+    pub partitions: Vec<(usize, usize)>, // (cores, memory channels)
+    pub mean_hops: Vec<f64>,
+    pub cross_partition_pairs: usize,
+    pub total_pairs: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    pub dies: Vec<Fig1Die>,
+    pub table: Table,
+}
+
+impl std::fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+fn analyze(die: DieLayout) -> Fig1Die {
+    let n = die.total_cores();
+    let mut cross = 0;
+    let mut total = 0;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            total += 1;
+            if die.crosses_partition(a, b) {
+                cross += 1;
+            }
+        }
+    }
+    Fig1Die {
+        name: die.name.to_string(),
+        partitions: die
+            .partitions
+            .iter()
+            .map(|p| (p.cores, p.memory_channels))
+            .collect(),
+        mean_hops: (0..die.partitions.len())
+            .map(|i| die.mean_ring_hops(i))
+            .collect(),
+        cross_partition_pairs: cross,
+        total_pairs: total,
+    }
+}
+
+pub fn run() -> Fig1 {
+    let dies = vec![
+        analyze(DieLayout::die8()),
+        analyze(DieLayout::die12()),
+        analyze(DieLayout::die18()),
+    ];
+    let mut t = Table::new(
+        "Figure 1: Haswell-EP die layouts with partitioned ring interconnect",
+        vec![
+            "die",
+            "partitions (cores/channels)",
+            "mean ring hops",
+            "cross-partition core pairs",
+        ],
+    );
+    for d in &dies {
+        t.row(vec![
+            d.name.clone(),
+            d.partitions
+                .iter()
+                .map(|(c, m)| format!("{c}c/{m}ch"))
+                .collect::<Vec<_>>()
+                .join(" + "),
+            d.mean_hops
+                .iter()
+                .map(|h| format!("{h:.1}"))
+                .collect::<Vec<_>>()
+                .join(" / "),
+            format!("{}/{}", d.cross_partition_pairs, d.total_pairs),
+        ]);
+    }
+    Fig1 { dies, table: t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure1_partitioning() {
+        let f = run();
+        assert_eq!(f.dies.len(), 3);
+        // 8-core die: single ring, no cross-partition traffic.
+        assert_eq!(f.dies[0].partitions, vec![(8, 4)]);
+        assert_eq!(f.dies[0].cross_partition_pairs, 0);
+        // 12-core die: 8 + 4, each with a 2-channel IMC (Fig. 1a).
+        assert_eq!(f.dies[1].partitions, vec![(8, 2), (4, 2)]);
+        assert_eq!(f.dies[1].cross_partition_pairs, 8 * 4);
+        // 18-core die: 8 + 10 (Fig. 1b).
+        assert_eq!(f.dies[2].partitions, vec![(8, 2), (10, 2)]);
+        assert_eq!(f.dies[2].cross_partition_pairs, 8 * 10);
+    }
+
+    #[test]
+    fn bigger_partition_means_longer_average_path() {
+        let f = run();
+        let d18 = &f.dies[2];
+        assert!(d18.mean_hops[1] > d18.mean_hops[0]);
+    }
+}

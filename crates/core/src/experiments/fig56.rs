@@ -1,0 +1,185 @@
+//! Figures 5 and 6 — idle (c-state) transition latencies for C3 and C6 in
+//! the local, remote-active, and remote-idle (package c-state) scenarios,
+//! compared against Sandy Bridge-EP (paper Section VI-B).
+
+use hsw_cstates::{CoreCState, WakeScenario};
+use hsw_hwspec::CpuGeneration;
+use hsw_node::{Node, NodeConfig};
+use hsw_tools::cstate_lat::{sweep_series, CStateLatencyPoint};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::Fidelity;
+
+/// One plotted series: a generation × state × scenario sweep over frequency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig56Series {
+    pub generation: String,
+    pub state: String,
+    pub scenario: String,
+    pub points: Vec<(f64, f64)>, // (GHz, µs)
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig56 {
+    pub series: Vec<Fig56Series>,
+}
+
+impl Fig56 {
+    pub fn series_for(
+        &self,
+        generation: &str,
+        state: &str,
+        scenario: &str,
+    ) -> Option<&Fig56Series> {
+        self.series.iter().find(|s| {
+            s.generation == generation && s.state == state && s.scenario == scenario
+        })
+    }
+}
+
+impl std::fmt::Display for Fig56 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figures 5/6: wake-up latencies [µs] by core frequency [GHz]")?;
+        for s in &self.series {
+            write!(
+                f,
+                "  {:<14} {:<3} {:<13}:",
+                s.generation, s.state, s.scenario
+            )?;
+            for (ghz, us) in &s.points {
+                write!(f, " {ghz:.1}:{us:.1}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+pub fn run(fidelity: Fidelity) -> Fig56 {
+    let iterations = fidelity.fig56_iterations();
+    let jobs: Vec<(CpuGeneration, CoreCState, WakeScenario)> =
+        [CpuGeneration::HaswellEp, CpuGeneration::SandyBridgeEp]
+            .into_iter()
+            .flat_map(|g| {
+                [CoreCState::C3, CoreCState::C6].into_iter().flat_map(move |st| {
+                    WakeScenario::ALL.into_iter().map(move |sc| (g, st, sc))
+                })
+            })
+            .collect();
+
+    let series: Vec<Fig56Series> = jobs
+        .par_iter()
+        .enumerate()
+        .map(|(i, (generation, state, scenario))| {
+            // All scenarios are staged on the paper's Haswell-EP node; the
+            // SNB generation parameter selects the grey reference latency
+            // model (its frequency range is mapped onto the same axis).
+            let mut node = Node::new(NodeConfig::paper_default().with_seed(61_000 + i as u64));
+            let mut rng = SmallRng::seed_from_u64(88 + i as u64);
+            let pts: Vec<CStateLatencyPoint> = sweep_series(
+                &mut node,
+                *generation,
+                *state,
+                *scenario,
+                iterations,
+                &mut rng,
+            );
+            Fig56Series {
+                generation: generation.name().to_string(),
+                state: state.name().to_string(),
+                scenario: scenario.name().to_string(),
+                points: pts.iter().map(|p| (p.freq_ghz, p.latency_us)).collect(),
+            }
+        })
+        .collect();
+    Fig56 { series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::calib::cstate as cal;
+
+    fn fig() -> &'static Fig56 {
+        static CACHE: std::sync::OnceLock<Fig56> = std::sync::OnceLock::new();
+        CACHE.get_or_init(|| run(Fidelity::Quick))
+    }
+
+    fn latency_at(s: &Fig56Series, ghz: f64) -> f64 {
+        s.points
+            .iter()
+            .min_by(|a, b| (a.0 - ghz).abs().total_cmp(&(b.0 - ghz).abs()))
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn c3_local_has_the_1_5us_step() {
+        let f = fig();
+        let s = f.series_for("Haswell-EP", "C3", "local").unwrap();
+        let low = latency_at(s, 1.3);
+        let high = latency_at(s, 2.3);
+        assert!((high - low - cal::C3_HIGHFREQ_STEP_US).abs() < 0.3, "{low} vs {high}");
+    }
+
+    #[test]
+    fn c6_remote_idle_is_the_slowest_scenario() {
+        let f = fig();
+        for ghz in [1.2, 2.0, 2.5] {
+            let local = latency_at(f.series_for("Haswell-EP", "C6", "local").unwrap(), ghz);
+            let ra = latency_at(
+                f.series_for("Haswell-EP", "C6", "remote active").unwrap(),
+                ghz,
+            );
+            let ri = latency_at(
+                f.series_for("Haswell-EP", "C6", "remote idle").unwrap(),
+                ghz,
+            );
+            assert!(local < ra && ra < ri, "{local} {ra} {ri} at {ghz}");
+        }
+    }
+
+    #[test]
+    fn package_c6_costs_8us_over_package_c3() {
+        let f = fig();
+        let c3 = latency_at(f.series_for("Haswell-EP", "C3", "remote idle").unwrap(), 2.0);
+        let c6 = latency_at(f.series_for("Haswell-EP", "C6", "remote idle").unwrap(), 2.0);
+        // The delta also contains the frequency-dependent C6 restore.
+        assert!(c6 - c3 > cal::PKG_C6_EXTRA_US, "{}", c6 - c3);
+    }
+
+    #[test]
+    fn haswell_improves_on_sandy_bridge_for_deep_states() {
+        // Conclusions: "transition latencies from deep c-states have
+        // slightly improved" (grey curves sit above).
+        let f = fig();
+        for st in ["C3", "C6"] {
+            for sc in ["local", "remote active", "remote idle"] {
+                let hsw = latency_at(f.series_for("Haswell-EP", st, sc).unwrap(), 2.0);
+                let snb = latency_at(f.series_for("Sandy Bridge-EP", st, sc).unwrap(), 2.0);
+                assert!(snb > hsw, "{st}/{sc}: SNB {snb} vs HSW {hsw}");
+            }
+        }
+    }
+
+    #[test]
+    fn everything_stays_below_the_acpi_tables() {
+        let f = fig();
+        for s in &f.series {
+            for (ghz, us) in &s.points {
+                let bound = if s.state == "C3" { cal::ACPI_C3_US } else { cal::ACPI_C6_US };
+                assert!(us < &bound, "{}/{}/{} at {ghz}: {us}", s.generation, s.state, s.scenario);
+            }
+        }
+    }
+
+    #[test]
+    fn c6_latency_falls_with_frequency() {
+        let f = fig();
+        let s = f.series_for("Haswell-EP", "C6", "local").unwrap();
+        assert!(latency_at(s, 1.2) > latency_at(s, 2.5) + 3.0);
+    }
+}

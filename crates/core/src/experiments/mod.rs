@@ -1,0 +1,37 @@
+//! One module per paper table/figure.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig1`] | Figure 1 — partitioned ring-interconnect die layouts |
+//! | [`section2c_epb`] | Section II-C — the measured EPB mapping |
+//! | [`table1`] | Table I — Sandy Bridge vs. Haswell microarchitecture |
+//! | [`table2`] | Table II — test-system details incl. measured idle power |
+//! | [`table3`] | Table III — uncore frequency vs. core frequency setting |
+//! | [`table4`] | Table IV — FIRESTARTER under reduced frequency settings |
+//! | [`table5`] | Table V — maximum power: FIRESTARTER / LINPACK / mprime |
+//! | [`fig2`] | Figure 2 — RAPL vs. AC reference power (SNB + HSW) |
+//! | [`fig3`] | Figure 3 — p-state transition-latency histograms |
+//! | [`fig4`] | Figure 4 — the 500 µs opportunity timeline |
+//! | [`fig56`] | Figures 5/6 — C3/C6 wake-up latencies |
+//! | [`fig7`] | Figure 7 — relative L3/DRAM bandwidth vs. frequency |
+//! | [`fig8`] | Figure 8 — L3/DRAM bandwidth vs. concurrency × frequency |
+//! | [`section6b_governor`] | Section VI-B — what the inflated ACPI tables cost the governor |
+//! | [`section8`] | Section VIII — FIRESTARTER structure and IPC |
+//! | [`sku_extrapolation`] | Extension — Table IV's protocol across the product line |
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig56;
+pub mod fig7;
+pub mod fig8;
+pub mod section2c_epb;
+pub mod section6b_governor;
+pub mod section8;
+pub mod sku_extrapolation;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,147 @@
+//! Table III — uncore frequencies in the single-threaded, no-memory-stall
+//! scenario (paper Section V-A).
+//!
+//! Methodology per the paper: a `while(1)` loop on one core of socket 0;
+//! the uncore frequency of *both* sockets measured via the LIKWID
+//! `UNCORE_CLOCK:UBOXFIX` counter for 10 s, for every core-frequency
+//! setting, plus the EPB=performance variants marked (*) in the paper.
+
+use hsw_exec::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_hwspec::EpbClass;
+use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_tools::PerfCtr;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+use crate::Fidelity;
+
+/// One measured column of Table III.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table3Point {
+    pub setting_mhz: Option<u32>, // None = Turbo
+    pub active_uncore_ghz: f64,
+    pub passive_uncore_ghz: f64,
+    /// The (*) variants: EPB set to performance.
+    pub active_uncore_perf_epb_ghz: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3 {
+    pub points: Vec<Table3Point>,
+    pub table: Table,
+}
+
+impl std::fmt::Display for Table3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Measure the uncore frequency of both sockets under one setting/EPB.
+fn measure(setting: FreqSetting, epb: EpbClass, measure_s: f64, seed: u64) -> (f64, f64) {
+    let mut node = Node::new(NodeConfig::paper_default().with_seed(seed).with_tick_us(100));
+    // One spinning thread on socket 0, the rest of the system idle.
+    node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
+    node.set_epb_all(epb);
+    node.set_setting_all(setting);
+    node.advance_s(0.1);
+
+    let pc0 = PerfCtr::new(&node, CpuId::new(0, 0, 0));
+    let pc1 = PerfCtr::new(&node, CpuId::new(1, 0, 0));
+    let a0 = pc0.sample(&node);
+    let b0 = pc1.sample(&node);
+    node.advance_s(measure_s);
+    let a1 = pc0.sample(&node);
+    let b1 = pc1.sample(&node);
+    (
+        pc0.derive(&a0, &a1).uncore_ghz,
+        pc1.derive(&b0, &b1).uncore_ghz,
+    )
+}
+
+pub fn run(fidelity: Fidelity) -> Table3 {
+    let sku = NodeConfig::paper_default().spec.sku;
+    let settings = sku.freq.all_settings();
+    let secs = fidelity.table3_measure_s();
+
+    let points: Vec<Table3Point> = settings
+        .par_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let (active, passive) = measure(*s, EpbClass::Balanced, secs, 100 + i as u64);
+            let (active_perf, _) = measure(*s, EpbClass::Performance, secs, 200 + i as u64);
+            Table3Point {
+                setting_mhz: match s {
+                    FreqSetting::Turbo => None,
+                    FreqSetting::Fixed(p) => Some(p.mhz()),
+                },
+                active_uncore_ghz: active,
+                passive_uncore_ghz: passive,
+                active_uncore_perf_epb_ghz: active_perf,
+            }
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Table III: uncore frequencies, single-threaded no-memory-stalls scenario (thread on processor 0)",
+        vec!["Core frequency setting", "Active uncore [GHz]", "Passive uncore [GHz]", "Active w/ EPB=perf [GHz]"],
+    );
+    for p in &points {
+        t.row(vec![
+            p.setting_mhz
+                .map(|m| format!("{:.1}", m as f64 / 1000.0))
+                .unwrap_or_else(|| "Turbo".to_string()),
+            format!("{:.2}", p.active_uncore_ghz),
+            format!("{:.2}", p.passive_uncore_ghz),
+            format!("{:.2}", p.active_uncore_perf_epb_ghz),
+        ]);
+    }
+    Table3 { points, table: t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::calib;
+
+    fn cached() -> &'static Table3 {
+        static CACHE: std::sync::OnceLock<Table3> = std::sync::OnceLock::new();
+        CACHE.get_or_init(|| run(Fidelity::Quick))
+    }
+
+    #[test]
+    fn reproduces_table3_schedule() {
+        let t3 = cached();
+        assert_eq!(t3.points.len(), 15);
+        for (i, p) in t3.points.iter().enumerate() {
+            let expect_active = calib::UFS_ACTIVE_SCHEDULE_MHZ[i] as f64 / 1000.0;
+            let expect_passive = calib::UFS_PASSIVE_SCHEDULE_MHZ[i] as f64 / 1000.0;
+            assert!(
+                (p.active_uncore_ghz - expect_active).abs() < 0.08,
+                "row {i}: active {:.2} vs paper {expect_active:.2}",
+                p.active_uncore_ghz
+            );
+            assert!(
+                (p.passive_uncore_ghz - expect_passive).abs() < 0.08,
+                "row {i}: passive {:.2} vs paper {expect_passive:.2}",
+                p.passive_uncore_ghz
+            );
+            // Paper (*): with EPB=performance the uncore is pinned at 3.0.
+            assert!(
+                (p.active_uncore_perf_epb_ghz - 3.0).abs() < 0.08,
+                "row {i}: perf-EPB uncore {:.2}",
+                p.active_uncore_perf_epb_ghz
+            );
+        }
+    }
+
+    #[test]
+    fn turbo_row_reaches_three_ghz_and_floor_is_1_2() {
+        let t3 = cached();
+        assert!((t3.points[0].active_uncore_ghz - 3.0).abs() < 0.08);
+        let last = t3.points.last().unwrap();
+        assert!((last.active_uncore_ghz - 1.2).abs() < 0.08);
+    }
+}

@@ -1,0 +1,210 @@
+//! Table IV — FIRESTARTER performance under reduced frequency settings
+//! (paper Section V-B).
+//!
+//! Methodology per the paper: FIRESTARTER with turbo and Hyper-Threading
+//! (2 threads/core) on both sockets; core/uncore cycles, instructions and
+//! RAPL sampled once per second via the LIKWID-style tool on one core per
+//! processor; 50-sample medians of core frequency, uncore frequency and
+//! instructions per second.
+
+use hsw_exec::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_tools::perfctr::{median_of, PerfCtr};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+use crate::Fidelity;
+
+/// Measured medians for one socket under one setting.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SocketMedians {
+    pub core_ghz: f64,
+    pub uncore_ghz: f64,
+    pub gips: f64,
+    pub pkg_w: f64,
+}
+
+/// One column of Table IV.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table4Point {
+    pub setting_mhz: Option<u32>, // None = Turbo
+    pub socket0: SocketMedians,
+    pub socket1: SocketMedians,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4 {
+    pub points: Vec<Table4Point>,
+    pub table: Table,
+}
+
+impl std::fmt::Display for Table4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table)
+    }
+}
+
+fn measure(setting: FreqSetting, fidelity: Fidelity, seed: u64) -> (SocketMedians, SocketMedians) {
+    let mut node = Node::new(NodeConfig::paper_default().with_seed(seed).with_tick_us(50));
+    let fs = WorkloadProfile::firestarter();
+    for s in 0..2 {
+        node.run_on_socket(s, &fs, 12, 2); // HT: 2 threads per core
+    }
+    node.set_turbo(true);
+    node.set_setting_all(setting);
+    node.advance_s(0.5);
+
+    let pcs = [
+        PerfCtr::new(&node, CpuId::new(0, 0, 0)),
+        PerfCtr::new(&node, CpuId::new(1, 0, 0)),
+    ];
+    let n = fidelity.table4_samples();
+    let dt = fidelity.table4_interval_s();
+    let mut prev = [pcs[0].sample(&node), pcs[1].sample(&node)];
+    let mut derived = [Vec::with_capacity(n), Vec::with_capacity(n)];
+    for _ in 0..n {
+        node.advance_s(dt);
+        for s in 0..2 {
+            let cur = pcs[s].sample(&node);
+            derived[s].push(pcs[s].derive(&prev[s], &cur));
+            prev[s] = cur;
+        }
+    }
+    let med = |v: &Vec<hsw_tools::Derived>| SocketMedians {
+        core_ghz: median_of(v, |d| d.core_ghz),
+        uncore_ghz: median_of(v, |d| d.uncore_ghz),
+        gips: median_of(v, |d| d.gips),
+        pkg_w: median_of(v, |d| d.pkg_w),
+    };
+    (med(&derived[0]), med(&derived[1]))
+}
+
+/// The settings swept by Table IV: Turbo, then 2.5 down to 2.1 GHz.
+pub fn table4_settings() -> Vec<FreqSetting> {
+    let mut v = vec![FreqSetting::Turbo];
+    for mhz in [2500u32, 2400, 2300, 2200, 2100] {
+        v.push(FreqSetting::from_mhz(mhz));
+    }
+    v
+}
+
+pub fn run(fidelity: Fidelity) -> Table4 {
+    let points: Vec<Table4Point> = table4_settings()
+        .par_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let (s0, s1) = measure(*s, fidelity, 4242 + i as u64);
+            Table4Point {
+                setting_mhz: match s {
+                    FreqSetting::Turbo => None,
+                    FreqSetting::Fixed(p) => Some(p.mhz()),
+                },
+                socket0: s0,
+                socket1: s1,
+            }
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Table IV: FIRESTARTER with different frequency settings (HT on, medians of LIKWID samples)",
+        vec![
+            "Core frequency setting",
+            "Core P0 [GHz]",
+            "Core P1 [GHz]",
+            "Uncore P0 [GHz]",
+            "Uncore P1 [GHz]",
+            "GIPS P0",
+            "GIPS P1",
+        ],
+    );
+    for p in &points {
+        t.row(vec![
+            p.setting_mhz
+                .map(|m| format!("{:.1}", m as f64 / 1000.0))
+                .unwrap_or_else(|| "Turbo".to_string()),
+            format!("{:.2}", p.socket0.core_ghz),
+            format!("{:.2}", p.socket1.core_ghz),
+            format!("{:.2}", p.socket0.uncore_ghz),
+            format!("{:.2}", p.socket1.uncore_ghz),
+            format!("{:.2}", p.socket0.gips),
+            format!("{:.2}", p.socket1.gips),
+        ]);
+    }
+    Table4 { points, table: t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> &'static Table4 {
+        static CACHE: std::sync::OnceLock<Table4> = std::sync::OnceLock::new();
+        CACHE.get_or_init(|| run(Fidelity::Quick))
+    }
+
+    #[test]
+    fn turbo_column_matches_paper_band() {
+        // Paper: core 2.30/2.32, uncore 2.33/2.35, GIPS 3.55/3.58.
+        let p = &t4().points[0];
+        for s in [p.socket0, p.socket1] {
+            assert!((2.2..=2.4).contains(&s.core_ghz), "core {:.3}", s.core_ghz);
+            assert!((2.25..=2.5).contains(&s.uncore_ghz), "uncore {:.3}", s.uncore_ghz);
+            assert!((3.45..=3.7).contains(&s.gips), "gips {:.3}", s.gips);
+        }
+    }
+
+    #[test]
+    fn headroom_flows_to_uncore_at_2_2_ghz() {
+        let t = t4();
+        let p22 = t.points.iter().find(|p| p.setting_mhz == Some(2200)).unwrap();
+        assert!((p22.socket0.core_ghz - 2.2).abs() < 0.06, "{:.3}", p22.socket0.core_ghz);
+        assert!(p22.socket0.uncore_ghz > 2.55, "{:.3}", p22.socket0.uncore_ghz);
+    }
+
+    #[test]
+    fn at_2_1_ghz_nothing_throttles() {
+        let t = t4();
+        let p21 = t.points.iter().find(|p| p.setting_mhz == Some(2100)).unwrap();
+        assert!((p21.socket0.core_ghz - 2.1).abs() < 0.04);
+        assert!((p21.socket0.uncore_ghz - 3.0).abs() < 0.06);
+        assert!(p21.socket0.pkg_w < 120.0, "{:.1} W", p21.socket0.pkg_w);
+    }
+
+    #[test]
+    fn gips_inversion_is_reproduced() {
+        // Lowering the setting to 2.2–2.3 GHz beats Turbo in IPS.
+        let t = t4();
+        let turbo = t.points[0].socket1.gips;
+        let best = t
+            .points
+            .iter()
+            .filter(|p| matches!(p.setting_mhz, Some(2200) | Some(2300)))
+            .map(|p| p.socket1.gips)
+            .fold(0.0, f64::max);
+        assert!(best > turbo, "reduced {best:.3} vs turbo {turbo:.3}");
+    }
+
+    #[test]
+    fn socket0_is_slower_than_socket1() {
+        // Paper Section III: socket 0 is less efficient.
+        let t = t4();
+        let p = &t.points[0];
+        assert!(p.socket0.core_ghz <= p.socket1.core_ghz + 0.01);
+        assert!(p.socket0.gips <= p.socket1.gips + 0.02);
+    }
+
+    #[test]
+    fn tdp_limit_holds_at_or_above_2_2() {
+        let t = t4();
+        for p in t.points.iter().filter(|p| p.setting_mhz != Some(2100)) {
+            assert!(
+                (p.socket0.pkg_w - 120.0).abs() < 4.0,
+                "setting {:?}: {:.1} W",
+                p.setting_mhz,
+                p.socket0.pkg_w
+            );
+        }
+    }
+}

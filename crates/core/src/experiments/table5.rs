@@ -1,0 +1,238 @@
+//! Table V — maximizing power consumption (paper Section VIII).
+//!
+//! FIRESTARTER 1.2 vs. LINPACK vs. mprime under {2500 MHz, Turbo} × EPB
+//! {power, balanced, performance}, Hyper-Threading off; the highest
+//! 1-minute average AC power and the measured core frequency over that
+//! interval.
+
+use hsw_exec::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_hwspec::EpbClass;
+use hsw_node::{Node, NodeConfig};
+use hsw_tools::{run_stress, StressResult};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+use crate::Fidelity;
+
+/// One cell (benchmark × setting × EPB) of Table V.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Cell {
+    pub benchmark: String,
+    pub turbo_setting: bool,
+    pub epb: String,
+    pub power_w: f64,
+    pub core_ghz: f64,
+    pub power_stddev_w: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5 {
+    pub cells: Vec<Table5Cell>,
+    pub power_table: Table,
+    pub freq_table: Table,
+}
+
+impl Table5 {
+    pub fn cell(&self, benchmark: &str, turbo: bool, epb: &str) -> Option<&Table5Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.turbo_setting == turbo && c.epb == epb)
+    }
+}
+
+impl std::fmt::Display for Table5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n{}", self.power_table, self.freq_table)
+    }
+}
+
+pub fn run(fidelity: Fidelity) -> Table5 {
+    let benchmarks = WorkloadProfile::table5_benchmarks();
+    let configs: Vec<(WorkloadProfile, bool, EpbClass)> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            [false, true].into_iter().flat_map(move |turbo| {
+                EpbClass::TABLE5_ORDER
+                    .into_iter()
+                    .map(move |epb| (b.clone(), turbo, epb))
+            })
+        })
+        .collect();
+
+    let cells: Vec<Table5Cell> = configs
+        .par_iter()
+        .enumerate()
+        .map(|(i, (profile, turbo_setting, epb))| {
+            let mut node = Node::new(
+                NodeConfig::paper_default()
+                    .with_seed(9000 + i as u64)
+                    .with_tick_us(100),
+            );
+            let setting = if *turbo_setting {
+                FreqSetting::Turbo
+            } else {
+                FreqSetting::from_mhz(2500)
+            };
+            let r: StressResult = run_stress(
+                &mut node,
+                profile,
+                setting,
+                *epb,
+                true,  // turbo mode active (the *setting* selects its use)
+                false, // Hyper-Threading not active (paper Table V caption)
+                fidelity.table5_run_s(),
+                fidelity.table5_window_s(),
+            );
+            Table5Cell {
+                benchmark: profile.name.to_string(),
+                turbo_setting: *turbo_setting,
+                epb: epb.short_label().to_string(),
+                power_w: r.max_window_power_w,
+                core_ghz: r.core_ghz,
+                power_stddev_w: r.power_stddev_w,
+            }
+        })
+        .collect();
+
+    let headers = vec![
+        "Benchmark",
+        "2500/power",
+        "2500/bal",
+        "2500/perf",
+        "Turbo/power",
+        "Turbo/bal",
+        "Turbo/perf",
+    ];
+    let mut power_table = Table::new(
+        "Table V: average power over the hottest window in W (HT off)",
+        headers.clone(),
+    );
+    let mut freq_table = Table::new(
+        "Table V: measured core frequency in GHz (HT off)",
+        headers,
+    );
+    for b in &benchmarks {
+        let mut prow = vec![b.name.to_string()];
+        let mut frow = vec![b.name.to_string()];
+        for turbo in [false, true] {
+            for epb in EpbClass::TABLE5_ORDER {
+                let c = cells
+                    .iter()
+                    .find(|c| {
+                        c.benchmark == b.name
+                            && c.turbo_setting == turbo
+                            && c.epb == epb.short_label()
+                    })
+                    .expect("cell");
+                prow.push(format!("{:.1}", c.power_w));
+                frow.push(format!("{:.2}", c.core_ghz));
+            }
+        }
+        power_table.row(prow);
+        freq_table.row(frow);
+    }
+    Table5 {
+        cells,
+        power_table,
+        freq_table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::calib::powercal;
+
+    fn t5() -> &'static Table5 {
+        static CACHE: std::sync::OnceLock<Table5> = std::sync::OnceLock::new();
+        CACHE.get_or_init(|| run(Fidelity::Quick))
+    }
+
+    #[test]
+    fn firestarter_power_matches_paper_level() {
+        let t = t5();
+        let c = t.cell("FIRESTARTER", false, "bal").unwrap();
+        assert!(
+            (c.power_w - powercal::TABLE5_FIRESTARTER_W).abs() < 14.0,
+            "FS 2500/bal = {:.1} W (paper {:.1})",
+            c.power_w,
+            powercal::TABLE5_FIRESTARTER_W
+        );
+    }
+
+    #[test]
+    fn linpack_draws_notably_less_and_runs_slowest() {
+        // Paper: "LINPACK causes a notably lower power consumption than the
+        // other two benchmarks. It also runs with the lowest frequency."
+        let t = t5();
+        for turbo in [false, true] {
+            let fs = t.cell("FIRESTARTER", turbo, "bal").unwrap();
+            let lp = t.cell("LINPACK", turbo, "bal").unwrap();
+            let mp = t.cell("mprime", turbo, "bal").unwrap();
+            assert!(lp.power_w < fs.power_w, "LINPACK power");
+            assert!(lp.power_w < mp.power_w, "LINPACK vs mprime power");
+            assert!(lp.core_ghz < fs.core_ghz && lp.core_ghz < mp.core_ghz);
+        }
+    }
+
+    #[test]
+    fn linpack_frequency_near_2_28() {
+        let t = t5();
+        let lp = t.cell("LINPACK", false, "bal").unwrap();
+        assert!(
+            (lp.core_ghz - powercal::TABLE5_LINPACK_GHZ).abs() < 0.1,
+            "LINPACK at {:.3} GHz (paper {:.2})",
+            lp.core_ghz,
+            powercal::TABLE5_LINPACK_GHZ
+        );
+    }
+
+    #[test]
+    fn mprime_exceeds_nominal_under_turbo() {
+        // Paper: mprime 2.60–2.62 GHz at the Turbo setting.
+        let t = t5();
+        let mp = t.cell("mprime", true, "bal").unwrap();
+        assert!(mp.core_ghz > 2.5, "mprime turbo at {:.3} GHz", mp.core_ghz);
+    }
+
+    #[test]
+    fn perf_epb_at_2500_enables_turbo_for_mprime() {
+        // Paper Table V: mprime 2500/perf runs at 2.59 GHz — above nominal,
+        // because EPB=performance keeps turbo active at the base setting.
+        let t = t5();
+        let perf = t.cell("mprime", false, "perf").unwrap();
+        let power = t.cell("mprime", false, "power").unwrap();
+        assert!(
+            perf.core_ghz > 2.5,
+            "mprime 2500/perf at {:.3} GHz",
+            perf.core_ghz
+        );
+        assert!(power.core_ghz <= 2.51);
+    }
+
+    #[test]
+    fn epb_and_turbo_have_little_power_impact() {
+        // Paper: "EPB, turbo mode, and Hyper-Threading settings have very
+        // little impact on ... the power consumption."
+        let t = t5();
+        let powers: Vec<f64> = t
+            .cells
+            .iter()
+            .filter(|c| c.benchmark == "FIRESTARTER")
+            .map(|c| c.power_w)
+            .collect();
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        let max = powers.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min < 8.0, "FS spread {min:.1}..{max:.1} W");
+    }
+
+    #[test]
+    fn firestarter_is_most_constant() {
+        let t = t5();
+        let fs = t.cell("FIRESTARTER", false, "bal").unwrap();
+        let mp = t.cell("mprime", false, "bal").unwrap();
+        assert!(fs.power_stddev_w < mp.power_stddev_w);
+    }
+}

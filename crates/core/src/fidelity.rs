@@ -1,0 +1,101 @@
+//! Experiment fidelity: how long to run the simulated measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Measurement durations for the experiment suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Short runs for tests and CI (seconds of simulated time).
+    Quick,
+    /// The paper's methodology durations (minutes of simulated time —
+    /// run under `--release`).
+    Paper,
+}
+
+impl Fidelity {
+    /// Number of 1 s LIKWID samples for Table IV (paper: 50).
+    pub fn table4_samples(self) -> usize {
+        match self {
+            Fidelity::Quick => 10,
+            Fidelity::Paper => 50,
+        }
+    }
+
+    /// Sampling interval for Table IV in seconds (paper: 1 s).
+    pub fn table4_interval_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 0.2,
+            Fidelity::Paper => 1.0,
+        }
+    }
+
+    /// Uncore-frequency measurement duration for Table III (paper: 10 s).
+    pub fn table3_measure_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 0.5,
+            Fidelity::Paper => 10.0,
+        }
+    }
+
+    /// Stress-test recording duration for Table V (paper: 1000 s runs).
+    pub fn table5_run_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 6.0,
+            Fidelity::Paper => 120.0,
+        }
+    }
+
+    /// Maximum-power extraction window for Table V (paper: 60 s).
+    pub fn table5_window_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 4.0,
+            Fidelity::Paper => 60.0,
+        }
+    }
+
+    /// Averaging window per Figure 2 measurement point (paper: 4 s).
+    pub fn fig2_avg_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 1.0,
+            Fidelity::Paper => 4.0,
+        }
+    }
+
+    /// FTaLaT samples per campaign (paper: 1000).
+    pub fn fig3_samples(self) -> usize {
+        match self {
+            Fidelity::Quick => 120,
+            Fidelity::Paper => 1000,
+        }
+    }
+
+    /// Wake-latency handshakes per point.
+    pub fn fig56_iterations(self) -> usize {
+        match self {
+            Fidelity::Quick => 20,
+            Fidelity::Paper => 200,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fidelity_matches_methodology() {
+        assert_eq!(Fidelity::Paper.table4_samples(), 50);
+        assert_eq!(Fidelity::Paper.table4_interval_s(), 1.0);
+        assert_eq!(Fidelity::Paper.table3_measure_s(), 10.0);
+        assert_eq!(Fidelity::Paper.table5_window_s(), 60.0);
+        assert_eq!(Fidelity::Paper.fig2_avg_s(), 4.0);
+        assert_eq!(Fidelity::Paper.fig3_samples(), 1000);
+    }
+
+    #[test]
+    fn quick_is_strictly_cheaper() {
+        assert!(Fidelity::Quick.table4_samples() < Fidelity::Paper.table4_samples());
+        assert!(Fidelity::Quick.table5_run_s() < Fidelity::Paper.table5_run_s());
+        assert!(Fidelity::Quick.fig3_samples() < Fidelity::Paper.fig3_samples());
+    }
+}

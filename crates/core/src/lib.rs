@@ -1,0 +1,29 @@
+//! # haswell-survey — the energy-efficiency feature survey, reproduced
+//!
+//! This is the paper's deliverable rebuilt as a library: every table and
+//! figure of *An Energy Efficiency Feature Survey of the Intel Haswell
+//! Processor* (IPDPSW 2015) has an experiment module that drives the
+//! simulated node (`hsw-node`) through the re-implemented measurement
+//! tools (`hsw-tools`) and renders the same rows/series the paper reports.
+//!
+//! ```no_run
+//! use haswell_survey::{Fidelity, experiments};
+//!
+//! // Reproduce Table III (uncore frequencies vs. core frequency setting).
+//! let t3 = experiments::table3::run(Fidelity::Quick);
+//! println!("{t3}");
+//! ```
+//!
+//! Experiments take a [`Fidelity`]: `Quick` for CI-scale runs, `Paper` for
+//! the durations the paper used (within simulation reason). Each result
+//! type implements `Display` (paper-style text table) and `serde`
+//! serialization (for EXPERIMENTS.md generation).
+
+pub mod energy;
+pub mod experiments;
+pub mod fidelity;
+pub mod report;
+pub mod stats;
+
+pub use fidelity::Fidelity;
+pub use report::{Report, Table};

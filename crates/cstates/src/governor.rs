@@ -1,0 +1,147 @@
+//! The OS idle governor and the hardware package-state resolution.
+//!
+//! The governor mimics Linux's menu governor: it picks the deepest state
+//! whose ACPI *target residency* fits the predicted idle interval — using
+//! the ACPI latency tables that the paper shows to be wrong in both
+//! directions (Section VI). The package-state resolution implements the
+//! hardware rule the paper measured: deep package states are only entered
+//! when *no core in the whole system* (both sockets) is active.
+
+use hsw_hwspec::{AcpiCState, AcpiLatencyTable};
+
+use crate::state::{CoreCState, PkgCState};
+
+/// Pick the core idle state for a predicted idle interval, menu-governor
+/// style: deepest state whose target residency fits.
+pub fn select_core_state(table: &AcpiLatencyTable, predicted_idle_us: u32) -> CoreCState {
+    if predicted_idle_us >= table.target_residency_us(AcpiCState::C6) {
+        CoreCState::C6
+    } else if predicted_idle_us >= table.target_residency_us(AcpiCState::C3) {
+        CoreCState::C3
+    } else if predicted_idle_us >= table.target_residency_us(AcpiCState::C1) {
+        CoreCState::C1
+    } else {
+        // Not worth entering any state; poll in C0.
+        CoreCState::C0
+    }
+}
+
+/// Resolve the package state of a socket from its core states and the
+/// activity of the rest of the system.
+///
+/// `any_other_socket_active` implements the paper's observation
+/// (Section V-A): "these states are not used when there is still any core
+/// active in the system—even if this core is located on the other
+/// processor."
+pub fn resolve_package_state(
+    core_states: &[CoreCState],
+    any_other_socket_active: bool,
+) -> PkgCState {
+    if core_states.contains(&CoreCState::C0) {
+        return PkgCState::PC0;
+    }
+    if any_other_socket_active {
+        // All local cores idle, but the system is not: stay in PC2.
+        return PkgCState::PC2;
+    }
+    let min_state = core_states.iter().copied().min().unwrap_or(CoreCState::C0);
+    match min_state {
+        CoreCState::C0 => PkgCState::PC0,
+        CoreCState::C1 => PkgCState::PC2,
+        CoreCState::C3 => PkgCState::PC3,
+        CoreCState::C6 => PkgCState::PC6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table() -> AcpiLatencyTable {
+        AcpiLatencyTable::haswell_ep()
+    }
+
+    #[test]
+    fn long_idle_selects_c6() {
+        assert_eq!(select_core_state(&table(), 1_000_000), CoreCState::C6);
+    }
+
+    #[test]
+    fn governor_thresholds_follow_acpi_residencies() {
+        let t = table();
+        let c6_res = t.target_residency_us(AcpiCState::C6);
+        let c3_res = t.target_residency_us(AcpiCState::C3);
+        assert_eq!(select_core_state(&t, c6_res), CoreCState::C6);
+        assert_eq!(select_core_state(&t, c6_res - 1), CoreCState::C3);
+        assert_eq!(select_core_state(&t, c3_res), CoreCState::C3);
+        assert_eq!(select_core_state(&t, c3_res - 1), CoreCState::C1);
+        assert_eq!(select_core_state(&t, 0), CoreCState::C0);
+    }
+
+    #[test]
+    fn inflated_acpi_tables_make_governor_conservative() {
+        // Because the ACPI C6 latency (133 µs) is far above the measured
+        // ~15–25 µs, the governor refuses C6 for idle intervals where it
+        // would actually pay off — the inefficiency the paper points out.
+        let t = table();
+        let measured_c6_us = 20.0;
+        let idle_us = (measured_c6_us * 3.0) as u32; // worth it in reality
+        assert_ne!(select_core_state(&t, idle_us), CoreCState::C6);
+    }
+
+    #[test]
+    fn package_state_requires_whole_system_idle() {
+        let all_c6 = vec![CoreCState::C6; 12];
+        assert_eq!(resolve_package_state(&all_c6, false), PkgCState::PC6);
+        // Any active core on the *other* socket blocks deep package states.
+        assert_eq!(resolve_package_state(&all_c6, true), PkgCState::PC2);
+    }
+
+    #[test]
+    fn any_local_active_core_keeps_pc0() {
+        let mut states = vec![CoreCState::C6; 12];
+        states[5] = CoreCState::C0;
+        assert_eq!(resolve_package_state(&states, false), PkgCState::PC0);
+        assert_eq!(resolve_package_state(&states, true), PkgCState::PC0);
+    }
+
+    #[test]
+    fn package_state_is_bounded_by_shallowest_core() {
+        let mixed = vec![CoreCState::C6, CoreCState::C3, CoreCState::C6];
+        assert_eq!(resolve_package_state(&mixed, false), PkgCState::PC3);
+        let shallow = vec![CoreCState::C6, CoreCState::C1];
+        assert_eq!(resolve_package_state(&shallow, false), PkgCState::PC2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_deeper_idle_never_selects_shallower_state(
+            idle in 0u32..1_000_000,
+            extra in 1u32..1_000_000,
+        ) {
+            let t = table();
+            prop_assert!(
+                select_core_state(&t, idle.saturating_add(extra))
+                    >= select_core_state(&t, idle)
+            );
+        }
+
+        #[test]
+        fn prop_other_socket_activity_never_deepens_package_state(
+            states in proptest::collection::vec(
+                prop_oneof![
+                    Just(CoreCState::C1),
+                    Just(CoreCState::C3),
+                    Just(CoreCState::C6),
+                ],
+                1..24,
+            )
+        ) {
+            prop_assert!(
+                resolve_package_state(&states, true)
+                    <= resolve_package_state(&states, false)
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # hsw-cstates — processor idle states and wake-up latencies
+//!
+//! Implements the ACPI processor power-state machinery of the simulated
+//! node: core C-states (C0/C1/C3/C6), package C-states (PC0/PC2/PC3/PC6),
+//! the wake-up-latency model calibrated to paper Figures 5/6 and
+//! Section VI-B, a menu-style OS governor driven by the (inaccurate) ACPI
+//! tables, and the cross-socket package-state coupling the paper observed
+//! ("these states are not used when there is still any core active in the
+//! system—even if this core is located on the other processor").
+
+pub mod governor;
+pub mod latency;
+pub mod predictor;
+pub mod residency;
+pub mod state;
+
+pub use governor::{resolve_package_state, select_core_state};
+pub use predictor::IdlePredictor;
+pub use residency::{GovernorStats, IdleEpisode, Residency};
+pub use latency::{wake_latency_us, WakeScenario};
+pub use state::{CoreCState, PkgCState};

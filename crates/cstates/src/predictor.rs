@@ -1,0 +1,157 @@
+//! Idle-interval prediction, menu-governor style.
+//!
+//! The governor in [`crate::governor`] needs a *predicted* idle length.
+//! Linux's menu governor derives it from the next timer event, scaled by a
+//! correction factor learned from how past predictions panned out, with a
+//! recent-intervals heuristic for repetitive interrupt patterns. This
+//! module implements that predictor so governor behavior can be studied on
+//! realistic event traces — including the interaction with the wrong ACPI
+//! tables the paper criticizes.
+
+/// Number of recent intervals kept for the repeating-pattern detector.
+const HISTORY: usize = 8;
+
+/// Menu-style idle-interval predictor.
+#[derive(Debug, Clone)]
+pub struct IdlePredictor {
+    /// Multiplicative correction factor (EWMA of actual/predicted).
+    correction: f64,
+    /// Recent observed intervals in µs.
+    recent: [u32; HISTORY],
+    filled: usize,
+    next_slot: usize,
+}
+
+impl Default for IdlePredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IdlePredictor {
+    pub fn new() -> Self {
+        IdlePredictor {
+            correction: 1.0,
+            recent: [0; HISTORY],
+            filled: 0,
+            next_slot: 0,
+        }
+    }
+
+    /// Predict the upcoming idle interval given the time to the next timer
+    /// event (µs).
+    pub fn predict(&self, next_timer_us: u32) -> u32 {
+        let timer_based = (next_timer_us as f64 * self.correction) as u32;
+        // Repetitive-pattern detector: if the recent intervals are tightly
+        // clustered, trust their mean over the timer bound.
+        if self.filled == HISTORY {
+            let mean = self.recent.iter().map(|x| *x as f64).sum::<f64>() / HISTORY as f64;
+            let var = self
+                .recent
+                .iter()
+                .map(|x| (*x as f64 - mean).powi(2))
+                .sum::<f64>()
+                / HISTORY as f64;
+            if var.sqrt() < mean * 0.2 {
+                return (mean as u32).min(timer_based);
+            }
+        }
+        timer_based
+    }
+
+    /// Learn from the actual outcome of the last prediction.
+    pub fn observe(&mut self, predicted_us: u32, actual_us: u32) {
+        let ratio = actual_us as f64 / predicted_us.max(1) as f64;
+        // EWMA with the menu governor's conservative weighting.
+        self.correction = (self.correction * 7.0 + ratio.clamp(0.0, 1.5)) / 8.0;
+        self.recent[self.next_slot] = actual_us;
+        self.next_slot = (self.next_slot + 1) % HISTORY;
+        self.filled = (self.filled + 1).min(HISTORY);
+    }
+
+    pub fn correction(&self) -> f64 {
+        self.correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::select_core_state;
+    use crate::state::CoreCState;
+    use hsw_hwspec::AcpiLatencyTable;
+    use proptest::prelude::*;
+
+    #[test]
+    fn early_wakeups_shrink_the_correction_factor() {
+        // A device that always interrupts long before the timer teaches the
+        // predictor to discount the timer bound.
+        let mut p = IdlePredictor::new();
+        for _ in 0..50 {
+            let pred = p.predict(10_000);
+            p.observe(pred, 1_000);
+        }
+        // Whether via the correction factor or the repeating-pattern
+        // detector, the prediction must land near the real ~1 ms.
+        assert!(p.predict(10_000) < 4_000, "pred {}", p.predict(10_000));
+    }
+
+    #[test]
+    fn repetitive_interrupts_override_the_timer_bound() {
+        // A steady 100 µs interrupt pattern: the pattern detector should
+        // predict ~100 µs although the next timer is 10 ms away.
+        let mut p = IdlePredictor::new();
+        for _ in 0..HISTORY {
+            let pred = p.predict(10_000);
+            p.observe(pred, 100);
+        }
+        let pred = p.predict(10_000);
+        assert!(pred <= 130, "pred {pred}");
+    }
+
+    #[test]
+    fn accurate_timers_keep_correction_near_one() {
+        let mut p = IdlePredictor::new();
+        for _ in 0..50 {
+            let pred = p.predict(500);
+            p.observe(pred, 500);
+        }
+        assert!((p.correction() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn predictor_guides_the_governor_to_shallower_states_under_interrupt_load() {
+        // With frequent early wakeups the governor learns to pick shallow
+        // states even when the timer is far away — combining predictor and
+        // governor end to end.
+        let table = AcpiLatencyTable::haswell_ep();
+        let mut p = IdlePredictor::new();
+        // Train: wakeups every 150 µs despite 10 ms timers.
+        for _ in 0..30 {
+            let pred = p.predict(10_000);
+            p.observe(pred, 150);
+        }
+        let state = select_core_state(&table, p.predict(10_000));
+        assert!(state <= CoreCState::C3, "picked {state:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_correction_stays_in_sane_bounds(
+            outcomes in proptest::collection::vec((1u32..100_000, 1u32..100_000), 1..200)
+        ) {
+            let mut p = IdlePredictor::new();
+            for (timer, actual) in outcomes {
+                let pred = p.predict(timer);
+                p.observe(pred, actual);
+                prop_assert!((0.0..=1.5).contains(&p.correction()));
+            }
+        }
+
+        #[test]
+        fn prop_prediction_never_exceeds_corrected_timer(timer in 1u32..1_000_000) {
+            let p = IdlePredictor::new();
+            prop_assert!(p.predict(timer) <= (timer as f64 * 1.5) as u32);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! C-state residency accounting.
+//!
+//! Mirrors what the hardware residency counters (`MSR_CORE_C*_RESIDENCY`,
+//! `MSR_PKG_C*_RESIDENCY`) measure, plus governor-quality statistics: how
+//! often the menu governor's choice matched what the (hindsight) optimal
+//! state would have been given the ACPI tables it used — the measurable
+//! consequence of the paper's "the discrepancy between the measured and
+//! defined latencies underlines the need for an interface to change these
+//! tables at runtime".
+
+use crate::state::CoreCState;
+
+/// Accumulated residency of one core.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Residency {
+    pub c0_us: f64,
+    pub c1_us: f64,
+    pub c3_us: f64,
+    pub c6_us: f64,
+}
+
+impl Residency {
+    pub fn total_us(&self) -> f64 {
+        self.c0_us + self.c1_us + self.c3_us + self.c6_us
+    }
+
+    pub fn add(&mut self, state: CoreCState, us: f64) {
+        debug_assert!(us >= 0.0);
+        match state {
+            CoreCState::C0 => self.c0_us += us,
+            CoreCState::C1 => self.c1_us += us,
+            CoreCState::C3 => self.c3_us += us,
+            CoreCState::C6 => self.c6_us += us,
+        }
+    }
+
+    /// Fraction of time in the given state.
+    pub fn fraction(&self, state: CoreCState) -> f64 {
+        let total = self.total_us();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let v = match state {
+            CoreCState::C0 => self.c0_us,
+            CoreCState::C1 => self.c1_us,
+            CoreCState::C3 => self.c3_us,
+            CoreCState::C6 => self.c6_us,
+        };
+        v / total
+    }
+}
+
+/// One observed idle episode: what the governor picked and how long the
+/// idle actually lasted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleEpisode {
+    pub selected: CoreCState,
+    pub actual_idle_us: u32,
+}
+
+/// The deepest state whose *true* break-even (measured exit latency, not
+/// the ACPI claim) fits the idle interval.
+pub fn hindsight_optimal(
+    actual_idle_us: u32,
+    measured_c3_exit_us: f64,
+    measured_c6_exit_us: f64,
+) -> CoreCState {
+    // Break-even at ~3× exit latency, like the governor's residency rule.
+    if actual_idle_us as f64 >= 3.0 * measured_c6_exit_us {
+        CoreCState::C6
+    } else if actual_idle_us as f64 >= 3.0 * measured_c3_exit_us {
+        CoreCState::C3
+    } else if actual_idle_us >= 5 {
+        CoreCState::C1
+    } else {
+        CoreCState::C0
+    }
+}
+
+/// Governor-quality statistics over a set of episodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GovernorStats {
+    pub episodes: usize,
+    /// Governor picked shallower than hindsight-optimal (energy left on the
+    /// table — the inflated-ACPI-table effect).
+    pub too_shallow: usize,
+    /// Governor picked deeper than optimal (latency paid for nothing).
+    pub too_deep: usize,
+}
+
+impl GovernorStats {
+    pub fn evaluate(
+        episodes: &[IdleEpisode],
+        measured_c3_exit_us: f64,
+        measured_c6_exit_us: f64,
+    ) -> GovernorStats {
+        let mut stats = GovernorStats::default();
+        for e in episodes {
+            stats.episodes += 1;
+            let optimal = hindsight_optimal(e.actual_idle_us, measured_c3_exit_us, measured_c6_exit_us);
+            if e.selected < optimal {
+                stats.too_shallow += 1;
+            } else if e.selected > optimal {
+                stats.too_deep += 1;
+            }
+        }
+        stats
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.episodes == 0 {
+            return 1.0;
+        }
+        1.0 - (self.too_shallow + self.too_deep) as f64 / self.episodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::select_core_state;
+    use hsw_hwspec::AcpiLatencyTable;
+    use crate::latency::{wake_latency_us, WakeScenario};
+    use hsw_hwspec::CpuGeneration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn residency_fractions_sum_to_one() {
+        let mut r = Residency::default();
+        r.add(CoreCState::C0, 250.0);
+        r.add(CoreCState::C6, 750.0);
+        assert!((r.fraction(CoreCState::C0) - 0.25).abs() < 1e-12);
+        assert!((r.fraction(CoreCState::C6) - 0.75).abs() < 1e-12);
+        assert_eq!(r.total_us(), 1000.0);
+    }
+
+    #[test]
+    fn inflated_acpi_tables_cause_too_shallow_choices() {
+        // The paper's point, quantified: with measured C6 exits of ~15 µs
+        // but an ACPI claim of 133 µs, mid-length idles (100–390 µs) get C3
+        // (or shallower) although C6 would pay off.
+        let table = AcpiLatencyTable::haswell_ep();
+        let measured_c3 =
+            wake_latency_us(CpuGeneration::HaswellEp, CoreCState::C3, WakeScenario::Local, 2.5);
+        let measured_c6 =
+            wake_latency_us(CpuGeneration::HaswellEp, CoreCState::C6, WakeScenario::Local, 2.5);
+        let episodes: Vec<IdleEpisode> = (0..50)
+            .map(|i| {
+                let idle = 60 + i * 6; // 60–354 µs
+                IdleEpisode {
+                    selected: select_core_state(&table, idle),
+                    actual_idle_us: idle,
+                }
+            })
+            .collect();
+        let stats = GovernorStats::evaluate(&episodes, measured_c3, measured_c6);
+        assert!(
+            stats.too_shallow > stats.episodes / 2,
+            "too_shallow {}/{}",
+            stats.too_shallow,
+            stats.episodes
+        );
+        assert_eq!(stats.too_deep, 0);
+        assert!(stats.accuracy() < 0.5);
+    }
+
+    #[test]
+    fn accurate_tables_would_fix_the_governor() {
+        // With tables reflecting the *measured* latencies, the same
+        // episodes are classified correctly — the runtime-interface ask.
+        let measured_c3 = 9.5;
+        let measured_c6 = 15.0;
+        let honest = AcpiLatencyTable {
+            pstate_transition_us: 500,
+            c1_exit_us: 2,
+            c3_exit_us: measured_c3 as u32,
+            c6_exit_us: measured_c6 as u32,
+        };
+        let episodes: Vec<IdleEpisode> = (0..50)
+            .map(|i| {
+                let idle = 60 + i * 6;
+                IdleEpisode {
+                    selected: select_core_state(&honest, idle),
+                    actual_idle_us: idle,
+                }
+            })
+            .collect();
+        let stats = GovernorStats::evaluate(&episodes, measured_c3, measured_c6);
+        assert!(stats.accuracy() > 0.9, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn hindsight_depth_is_monotone_in_idle_length() {
+        let mut prev = CoreCState::C0;
+        for idle in (0..500).step_by(10) {
+            let s = hindsight_optimal(idle, 9.5, 15.0);
+            assert!(s >= prev, "depth regressed at {idle} µs");
+            prev = s;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_residency_totals_conserve_time(
+            adds in proptest::collection::vec((0usize..4, 0.0f64..1000.0), 0..100)
+        ) {
+            let mut r = Residency::default();
+            let mut total = 0.0;
+            for (idx, us) in adds {
+                let st = [CoreCState::C0, CoreCState::C1, CoreCState::C3, CoreCState::C6][idx];
+                r.add(st, us);
+                total += us;
+            }
+            prop_assert!((r.total_us() - total).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_governor_stats_partition_episodes(
+            idles in proptest::collection::vec(0u32..2000, 1..100)
+        ) {
+            let table = AcpiLatencyTable::haswell_ep();
+            let episodes: Vec<IdleEpisode> = idles
+                .iter()
+                .map(|idle| IdleEpisode {
+                    selected: select_core_state(&table, *idle),
+                    actual_idle_us: *idle,
+                })
+                .collect();
+            let stats = GovernorStats::evaluate(&episodes, 9.5, 15.0);
+            prop_assert!(stats.too_shallow + stats.too_deep <= stats.episodes);
+            prop_assert!((0.0..=1.0).contains(&stats.accuracy()));
+        }
+    }
+}

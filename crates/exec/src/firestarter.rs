@@ -1,0 +1,255 @@
+//! FIRESTARTER kernel generator (paper Section VIII).
+//!
+//! The stress-test loop is structured in groups of four instructions
+//! (I1–I4) that fit one 16-byte fetch window, with one group variant per
+//! memory-hierarchy level (reg, L1, L2, L3, mem), executed at the published
+//! mix of 27.8 % reg, 62.7 % L1, 7.1 % L2, 0.8 % L3 and 1.6 % mem. The loop
+//! must exceed the µop cache but fit the L1 instruction cache so that the
+//! decoders stay busy.
+
+use hsw_hwspec::{calib, MicroArch};
+
+use crate::isa::{Instr, MemLevel};
+use crate::pipeline::{throughput, ThroughputResult};
+
+/// A generated FIRESTARTER loop.
+#[derive(Debug, Clone)]
+pub struct FirestarterKernel {
+    /// The instruction stream of one loop iteration.
+    pub instrs: Vec<Instr>,
+    /// Number of 4-instruction groups per level [reg, L1, L2, L3, mem].
+    pub groups_per_level: [usize; 5],
+}
+
+/// The I1–I4 group for one memory level (paper Section VIII):
+/// * I1: packed-double FMA on registers (reg, mem) or a store to the cache
+///   level (L1, L2, L3),
+/// * I2: FMA combined with a load (L1, L2, L3, mem) or another register FMA,
+/// * I3: right shift,
+/// * I4: xor (reg) or pointer-increment add (cache/mem levels).
+pub fn group_for_level(level: MemLevel) -> [Instr; 4] {
+    match level {
+        MemLevel::Reg => [
+            Instr::fma_reg(),
+            Instr::fma_reg(),
+            Instr::shift_right(),
+            Instr::xor_reg(),
+        ],
+        MemLevel::L1 | MemLevel::L2 | MemLevel::L3 => [
+            Instr::store_avx(level),
+            Instr::fma_load(level),
+            Instr::shift_right(),
+            Instr::add_ptr(),
+        ],
+        MemLevel::Mem => [
+            Instr::fma_reg(),
+            Instr::fma_load(MemLevel::Mem),
+            Instr::shift_right(),
+            Instr::add_ptr(),
+        ],
+    }
+}
+
+impl FirestarterKernel {
+    /// Generate a loop of `total_groups` groups at the paper's level mix,
+    /// interleaved with a largest-remainder schedule so the levels are
+    /// spread evenly through the loop (as the real generator does).
+    pub fn generate(total_groups: usize) -> Self {
+        assert!(total_groups >= 8, "loop too short to realize the mix");
+        let ratios = calib::FIRESTARTER_LEVEL_RATIOS;
+
+        // Largest-remainder apportionment of groups to levels.
+        let mut counts = [0usize; 5];
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(5);
+        let mut assigned = 0;
+        for (i, r) in ratios.iter().enumerate() {
+            let exact = r * total_groups as f64;
+            counts[i] = exact.floor() as usize;
+            assigned += counts[i];
+            remainders.push((i, exact - exact.floor()));
+        }
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (i, _) in remainders.iter().take(total_groups - assigned) {
+            counts[*i] += 1;
+        }
+
+        // Interleave: error-diffusion scheduler emits the level whose
+        // accumulated deficit is largest.
+        let mut emitted = [0usize; 5];
+        let mut instrs = Vec::with_capacity(total_groups * 4);
+        for step in 1..=total_groups {
+            let mut best = 0;
+            let mut best_deficit = f64::MIN;
+            for (i, &c) in counts.iter().enumerate() {
+                if emitted[i] >= c {
+                    continue;
+                }
+                let deficit =
+                    c as f64 * step as f64 / total_groups as f64 - emitted[i] as f64;
+                if deficit > best_deficit {
+                    best_deficit = deficit;
+                    best = i;
+                }
+            }
+            emitted[best] += 1;
+            instrs.extend(group_for_level(MemLevel::ALL[best]));
+        }
+
+        FirestarterKernel {
+            instrs,
+            groups_per_level: counts,
+        }
+    }
+
+    /// The default Haswell loop size: comfortably above the 1.5 K-µop cache
+    /// yet within the 32 KiB L1I (paper Section VIII: "larger than the
+    /// micro-op cache but small enough for the L1 instruction cache").
+    pub fn default_haswell() -> Self {
+        Self::generate(1000)
+    }
+
+    /// Total loop size in bytes.
+    pub fn code_bytes(&self) -> usize {
+        self.instrs.iter().map(|i| i.bytes as usize).sum()
+    }
+
+    /// Total unfused µops in the loop.
+    pub fn uop_count(&self) -> usize {
+        self.instrs.iter().map(|i| i.uops.len()).sum()
+    }
+
+    /// Fraction of instructions that are 256-bit AVX/FMA (drives the AVX
+    /// license).
+    pub fn avx_fraction(&self) -> f64 {
+        let avx = self.instrs.iter().filter(|i| i.avx256).count();
+        avx as f64 / self.instrs.len() as f64
+    }
+
+    /// Analyze the loop's throughput on a microarchitecture.
+    pub fn analyze(
+        &self,
+        arch: &MicroArch,
+        smt: bool,
+        core_uncore_ratio: f64,
+    ) -> ThroughputResult {
+        throughput(arch, &self.instrs, smt, core_uncore_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::{calib, MicroArch, SkuSpec};
+    use proptest::prelude::*;
+
+    #[test]
+    fn level_mix_matches_published_ratios() {
+        let k = FirestarterKernel::generate(1000);
+        let expect = [278, 627, 71, 8, 16];
+        assert_eq!(k.groups_per_level, expect);
+        assert_eq!(k.instrs.len(), 4000);
+    }
+
+    #[test]
+    fn loop_exceeds_uop_cache_but_fits_l1i() {
+        let k = FirestarterKernel::default_haswell();
+        let arch = MicroArch::haswell_ep();
+        let sku = SkuSpec::xeon_e5_2680_v3();
+        assert!(
+            k.uop_count() > arch.uop_cache_uops,
+            "{} µops must exceed the {}-µop cache",
+            k.uop_count(),
+            arch.uop_cache_uops
+        );
+        assert!(
+            k.code_bytes() < sku.cache.l1i_kib * 1024,
+            "{} B must fit L1I",
+            k.code_bytes()
+        );
+    }
+
+    #[test]
+    fn groups_fit_16_byte_fetch_windows() {
+        for level in MemLevel::ALL {
+            let bytes: usize = group_for_level(level)
+                .iter()
+                .map(|i| i.bytes as usize)
+                .sum();
+            assert!(bytes <= 16, "{}: {bytes} B", level.name());
+        }
+    }
+
+    #[test]
+    fn achieves_published_ipc_with_and_without_ht() {
+        // Paper Section VIII: "We achieve 3.1 executed instructions per
+        // cycle with Hyper-Threading enabled and 2.8 without."
+        let k = FirestarterKernel::default_haswell();
+        let arch = MicroArch::haswell_ep();
+        let ht = k.analyze(&arch, true, 1.0);
+        let no_ht = k.analyze(&arch, false, 1.0);
+        assert!(
+            (ht.ipc_core - calib::FIRESTARTER_IPC_HT).abs() < 0.1,
+            "HT ipc = {}",
+            ht.ipc_core
+        );
+        assert!(
+            (no_ht.ipc_core - calib::FIRESTARTER_IPC_NO_HT).abs() < 0.1,
+            "no-HT ipc = {}",
+            no_ht.ipc_core
+        );
+    }
+
+    #[test]
+    fn ipc_rises_when_uncore_outpaces_core() {
+        // The Table IV inversion: a faster uncore (relative to the core)
+        // shortens the L3/mem group stalls.
+        let k = FirestarterKernel::default_haswell();
+        let arch = MicroArch::haswell_ep();
+        let balanced = k.analyze(&arch, true, 2.31 / 2.34);
+        let uncore_heavy = k.analyze(&arch, true, 2.09 / 3.00);
+        assert!(uncore_heavy.ipc_core > balanced.ipc_core);
+    }
+
+    #[test]
+    fn high_avx_fraction_triggers_license() {
+        let k = FirestarterKernel::default_haswell();
+        assert!(k.avx_fraction() > 0.4, "avx = {}", k.avx_fraction());
+    }
+
+    #[test]
+    fn interleave_spreads_rare_levels() {
+        // The 0.8 % L3 groups must not cluster: the gap between consecutive
+        // L3 groups should stay close to 1/0.008 = 125 groups.
+        let k = FirestarterKernel::generate(1000);
+        let mut last = None;
+        let mut max_gap = 0usize;
+        for (g, chunk) in k.instrs.chunks(4).enumerate() {
+            if chunk.iter().any(|i| i.level == Some(MemLevel::L3)) {
+                if let Some(l) = last {
+                    max_gap = max_gap.max(g - l);
+                }
+                last = Some(g);
+            }
+        }
+        assert!(max_gap <= 140, "max L3 gap {max_gap}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_group_counts_sum_to_total(total in 8usize..2000) {
+            let k = FirestarterKernel::generate(total);
+            prop_assert_eq!(k.groups_per_level.iter().sum::<usize>(), total);
+            prop_assert_eq!(k.instrs.len(), total * 4);
+        }
+
+        #[test]
+        fn prop_mix_converges_to_ratios(total in 200usize..2000) {
+            let k = FirestarterKernel::generate(total);
+            for (i, r) in calib::FIRESTARTER_LEVEL_RATIOS.iter().enumerate() {
+                let got = k.groups_per_level[i] as f64 / total as f64;
+                prop_assert!((got - r).abs() < 0.01,
+                    "level {i}: {got} vs {r}");
+            }
+        }
+    }
+}

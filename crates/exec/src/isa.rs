@@ -1,0 +1,334 @@
+//! Instruction and µop representation with per-generation port maps.
+
+use hsw_hwspec::MicroArch;
+
+/// The memory-hierarchy level an instruction's memory operand lives in —
+/// FIRESTARTER's group classification (paper Section VIII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    Reg,
+    L1,
+    L2,
+    L3,
+    Mem,
+}
+
+impl MemLevel {
+    pub const ALL: [MemLevel; 5] = [
+        MemLevel::Reg,
+        MemLevel::L1,
+        MemLevel::L2,
+        MemLevel::L3,
+        MemLevel::Mem,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::Reg => "reg",
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::L3 => "L3",
+            MemLevel::Mem => "mem",
+        }
+    }
+}
+
+/// Functional role of a µop, resolved to a port set by the generation's
+/// [`PortMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopRole {
+    /// 256-bit FMA (or multiply on non-FMA parts).
+    FpFma,
+    /// 256-bit FP add.
+    FpAdd,
+    /// 256-bit FP multiply.
+    FpMul,
+    /// SIMD shift.
+    SimdShift,
+    /// Divider/square-root unit (single, unpipelined, port 0).
+    FpDivSqrt,
+    /// Scalar integer ALU (xor, add, compare).
+    Alu,
+    /// Load AGU + data.
+    Load,
+    /// Store-address generation.
+    StoreAddr,
+    /// Store data.
+    StoreData,
+}
+
+/// One macro-instruction: its µop roles, byte length, FLOP count and the
+/// memory level it touches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    pub mnemonic: &'static str,
+    pub uops: Vec<UopRole>,
+    pub bytes: u8,
+    /// Double-precision FLOPs performed.
+    pub flops: u8,
+    /// Memory level of the data operand (None for register-only work).
+    pub level: Option<MemLevel>,
+    /// Whether this is a 256-bit AVX/FMA instruction (drives the AVX
+    /// license, paper Section II-F).
+    pub avx256: bool,
+    /// Port occupancy in cycles per µop (1.0 for fully pipelined
+    /// instructions; ~16 for the unpipelined divider/sqrt unit).
+    pub occupancy: f64,
+}
+
+impl Instr {
+    /// `vfmadd231pd ymm, ymm, ymm` — register-only packed FMA (4 muls +
+    /// 4 adds on doubles = 8 FLOPs).
+    pub fn fma_reg() -> Instr {
+        Instr {
+            mnemonic: "vfmadd231pd ymm,ymm,ymm",
+            uops: vec![UopRole::FpFma],
+            bytes: 5,
+            flops: 8,
+            level: Some(MemLevel::Reg),
+            avx256: true,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `vfmadd231pd ymm, ymm, [mem]` — FMA with a memory source
+    /// (micro-fused load + FMA).
+    pub fn fma_load(level: MemLevel) -> Instr {
+        Instr {
+            mnemonic: "vfmadd231pd ymm,ymm,[mem]",
+            uops: vec![UopRole::Load, UopRole::FpFma],
+            bytes: 5,
+            flops: 8,
+            level: Some(level),
+            avx256: true,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `vmovapd [mem], ymm` — 256-bit store to the given level.
+    pub fn store_avx(level: MemLevel) -> Instr {
+        Instr {
+            mnemonic: "vmovapd [mem],ymm",
+            uops: vec![UopRole::StoreAddr, UopRole::StoreData],
+            bytes: 4,
+            flops: 0,
+            level: Some(level),
+            avx256: true,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `vpsrlq ymm, ymm, imm` — packed right shift (FIRESTARTER's I3).
+    pub fn shift_right() -> Instr {
+        Instr {
+            mnemonic: "vpsrlq ymm,ymm,imm",
+            uops: vec![UopRole::SimdShift],
+            bytes: 4,
+            flops: 0,
+            level: Some(MemLevel::Reg),
+            avx256: false,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `xor r64, r64` (FIRESTARTER's I4 in register groups).
+    pub fn xor_reg() -> Instr {
+        Instr {
+            mnemonic: "xor r,r",
+            uops: vec![UopRole::Alu],
+            bytes: 2,
+            flops: 0,
+            level: Some(MemLevel::Reg),
+            avx256: false,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `add r64, imm` — pointer increment (FIRESTARTER's I4 in memory
+    /// groups).
+    pub fn add_ptr() -> Instr {
+        Instr {
+            mnemonic: "add r,imm",
+            uops: vec![UopRole::Alu],
+            bytes: 2,
+            flops: 0,
+            level: Some(MemLevel::Reg),
+            avx256: false,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `vmulpd ymm, ymm, ymm` — packed multiply.
+    pub fn mul_reg() -> Instr {
+        Instr {
+            mnemonic: "vmulpd ymm,ymm,ymm",
+            uops: vec![UopRole::FpMul],
+            bytes: 5,
+            flops: 4,
+            level: Some(MemLevel::Reg),
+            avx256: true,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `vaddpd ymm, ymm, ymm` — packed add (the port-asymmetric case).
+    pub fn add_reg() -> Instr {
+        Instr {
+            mnemonic: "vaddpd ymm,ymm,ymm",
+            uops: vec![UopRole::FpAdd],
+            bytes: 5,
+            flops: 4,
+            level: Some(MemLevel::Reg),
+            avx256: true,
+            occupancy: 1.0,
+        }
+    }
+
+    /// `vsqrtpd ymm, ymm` — the unpipelined divider/sqrt unit: one µop on
+    /// the FP-multiply port that occupies it for ~16 cycles (the "sqrt"
+    /// micro-benchmark of paper Fig. 2 is built from these).
+    pub fn sqrt_pd() -> Instr {
+        Instr {
+            mnemonic: "vsqrtpd ymm,ymm",
+            uops: vec![UopRole::FpDivSqrt],
+            bytes: 4,
+            flops: 4,
+            level: Some(MemLevel::Reg),
+            avx256: true,
+            occupancy: 16.0,
+        }
+    }
+
+    /// Scalar integer work (mprime-style, no AVX license pressure).
+    pub fn scalar_alu() -> Instr {
+        Instr {
+            mnemonic: "add r,r",
+            uops: vec![UopRole::Alu],
+            bytes: 2,
+            flops: 0,
+            level: Some(MemLevel::Reg),
+            avx256: false,
+            occupancy: 1.0,
+        }
+    }
+}
+
+/// Port assignment table of one microarchitecture, as a bitmask of ports a
+/// role may issue to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortMap {
+    pub num_ports: usize,
+    masks: [u16; 9],
+}
+
+impl PortMap {
+    /// Haswell: 8 ports; FMA on 0+1, dedicated FP add only on 1, shift on
+    /// 0+6, ALU on 0/1/5/6, loads on 2+3, store-address on 2/3/7, store
+    /// data on 4 (paper Table I: 8 µops/cycle issue).
+    pub fn haswell() -> PortMap {
+        let mut masks = [0u16; 9];
+        masks[UopRole::FpFma as usize] = 0b0000_0011; // p0, p1
+        masks[UopRole::FpAdd as usize] = 0b0000_0010; // p1 only
+        masks[UopRole::FpMul as usize] = 0b0000_0011; // p0, p1
+        masks[UopRole::SimdShift as usize] = 0b0100_0001; // p0, p6
+        masks[UopRole::FpDivSqrt as usize] = 0b0000_0001; // p0 only
+        masks[UopRole::Alu as usize] = 0b0110_0011; // p0, p1, p5, p6
+        masks[UopRole::Load as usize] = 0b0000_1100; // p2, p3
+        masks[UopRole::StoreAddr as usize] = 0b1000_1100; // p2, p3, p7
+        masks[UopRole::StoreData as usize] = 0b0001_0000; // p4
+        PortMap {
+            num_ports: 8,
+            masks,
+        }
+    }
+
+    /// Sandy Bridge: 6 ports; FP mul on 0, FP add on 1 (no FMA), shift on
+    /// 0+5, ALU on 0/1/5, loads on 2+3 (shared with store-address), store
+    /// data on 4.
+    pub fn sandy_bridge() -> PortMap {
+        let mut masks = [0u16; 9];
+        masks[UopRole::FpFma as usize] = 0b0000_0001; // decomposes to mul port
+        masks[UopRole::FpAdd as usize] = 0b0000_0010;
+        masks[UopRole::FpMul as usize] = 0b0000_0001;
+        masks[UopRole::SimdShift as usize] = 0b0010_0001; // p0, p5
+        masks[UopRole::FpDivSqrt as usize] = 0b0000_0001; // p0 only
+        masks[UopRole::Alu as usize] = 0b0010_0011; // p0, p1, p5
+        masks[UopRole::Load as usize] = 0b0000_1100;
+        masks[UopRole::StoreAddr as usize] = 0b0000_1100;
+        masks[UopRole::StoreData as usize] = 0b0001_0000;
+        PortMap {
+            num_ports: 6,
+            masks,
+        }
+    }
+
+    pub fn for_arch(arch: &MicroArch) -> PortMap {
+        if arch.has_fma {
+            PortMap::haswell()
+        } else {
+            PortMap::sandy_bridge()
+        }
+    }
+
+    /// Ports a role may use, as a bitmask.
+    pub fn mask(&self, role: UopRole) -> u16 {
+        self.masks[role as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_has_two_fma_ports_but_one_add_port() {
+        let pm = PortMap::haswell();
+        assert_eq!(pm.mask(UopRole::FpFma).count_ones(), 2);
+        assert_eq!(pm.mask(UopRole::FpAdd).count_ones(), 1);
+    }
+
+    #[test]
+    fn sandy_bridge_has_single_mul_and_single_add_port() {
+        let pm = PortMap::sandy_bridge();
+        assert_eq!(pm.mask(UopRole::FpMul).count_ones(), 1);
+        assert_eq!(pm.mask(UopRole::FpAdd).count_ones(), 1);
+        assert_ne!(pm.mask(UopRole::FpMul), pm.mask(UopRole::FpAdd));
+    }
+
+    #[test]
+    fn haswell_store_addr_has_dedicated_agu() {
+        // Port 7's simple AGU is what lets Haswell sustain 2 loads + 1 store
+        // per cycle (Table I).
+        let pm = PortMap::haswell();
+        assert_eq!(pm.mask(UopRole::StoreAddr).count_ones(), 3);
+        assert_eq!(pm.mask(UopRole::Load).count_ones(), 2);
+    }
+
+    #[test]
+    fn fma_counts_eight_flops() {
+        assert_eq!(Instr::fma_reg().flops, 8);
+        assert_eq!(Instr::add_reg().flops, 4);
+        assert_eq!(Instr::mul_reg().flops, 4);
+    }
+
+    #[test]
+    fn firestarter_group_instrs_fit_16_byte_window() {
+        // Paper Section VIII: groups of four instructions fit the 16-byte
+        // fetch window.
+        let group = [
+            Instr::fma_reg(),
+            Instr::fma_load(MemLevel::L1),
+            Instr::shift_right(),
+            Instr::xor_reg(),
+        ];
+        let bytes: u32 = group.iter().map(|i| i.bytes as u32).sum();
+        assert!(bytes <= 16, "group is {bytes} B"); // one 16 B fetch window per cycle
+    }
+
+    #[test]
+    fn stores_take_two_uops_loads_fuse() {
+        assert_eq!(Instr::store_avx(MemLevel::L1).uops.len(), 2);
+        assert_eq!(Instr::fma_load(MemLevel::L2).uops.len(), 2);
+        assert_eq!(Instr::fma_reg().uops.len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Reference kernels: instruction-level realizations of the workload
+//! classes the paper's experiments use, analyzable through the pipeline
+//! model. These ground the aggregate [`crate::workloads`] profiles — tests
+//! check that the profile-level IPC/FLOPS figures are consistent with what
+//! the instruction streams actually achieve on the modeled ports.
+
+use crate::isa::{Instr, MemLevel};
+use crate::pipeline::{throughput, ThroughputResult};
+use hsw_hwspec::MicroArch;
+
+/// A dgemm register-blocked microkernel: 8 FMAs per 2 loads (a 4×3 blocking
+/// streaming B from L1), the shape MKL-class kernels use.
+pub fn dgemm_microkernel() -> Vec<Instr> {
+    let mut k = Vec::new();
+    for i in 0..8 {
+        if i % 4 == 0 {
+            k.push(Instr::fma_load(MemLevel::L1));
+        } else {
+            k.push(Instr::fma_reg());
+        }
+    }
+    k
+}
+
+/// STREAM-triad inner loop: `a[i] = b[i] + s*c[i]` over DRAM-resident
+/// arrays — two loads, one FMA, one store per 32 bytes.
+pub fn stream_triad() -> Vec<Instr> {
+    vec![
+        Instr::fma_load(MemLevel::Mem),
+        Instr::store_avx(MemLevel::Mem),
+        Instr::add_ptr(),
+        Instr::add_ptr(),
+    ]
+}
+
+/// The "sqrt" micro-benchmark of Figure 2: a chain of packed square roots —
+/// throughput-bound on the unpipelined divider unit.
+pub fn sqrt_loop() -> Vec<Instr> {
+    vec![
+        Instr::sqrt_pd(),
+        Instr::xor_reg(),
+        Instr::xor_reg(),
+        Instr::xor_reg(),
+    ]
+}
+
+/// A spin loop: scalar test/increment work, unrolled as compilers emit it
+/// (the per-iteration port pressure only shows with the unroll).
+pub fn busy_wait_loop() -> Vec<Instr> {
+    vec![Instr::scalar_alu(); 8]
+}
+
+/// Analyze a kernel on Haswell at balanced clocks.
+pub fn analyze_haswell(kernel: &[Instr], smt: bool) -> ThroughputResult {
+    throughput(&MicroArch::haswell_ep(), kernel, smt, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgemm_kernel_approaches_peak_flops() {
+        // 8 FMAs over 2 FMA ports → 4 cycles minimum; loads micro-fuse.
+        let r = analyze_haswell(&dgemm_microkernel(), false);
+        assert!(
+            r.flops_per_cycle > 12.0,
+            "dgemm {:.1} FLOPs/cycle of 16 peak",
+            r.flops_per_cycle
+        );
+    }
+
+    #[test]
+    fn dgemm_profile_ipc_is_consistent_with_the_kernel() {
+        // The aggregate dgemm profile must agree with the instruction stream.
+        let r = analyze_haswell(&dgemm_microkernel(), false);
+        let profile = crate::workloads::WorkloadProfile::dgemm();
+        let claimed = profile.ipc(false, 2.5, 3.0);
+        assert!(
+            (r.ipc_core - claimed).abs() < 0.3,
+            "kernel {:.2} vs profile {claimed:.2}",
+            r.ipc_core
+        );
+    }
+
+    #[test]
+    fn sqrt_loop_is_divider_bound() {
+        let r = analyze_haswell(&sqrt_loop(), false);
+        // One 16-cycle sqrt per 4 instructions → IPC = 0.25.
+        assert!(r.ipc_core < 0.3, "sqrt ipc {:.2}", r.ipc_core);
+        assert!(matches!(
+            r.bottleneck,
+            crate::pipeline::Bottleneck::Port(_)
+        ));
+    }
+
+    #[test]
+    fn stream_triad_is_memory_stall_bound() {
+        let r = analyze_haswell(&stream_triad(), false);
+        assert_eq!(r.bottleneck, crate::pipeline::Bottleneck::MemoryStalls);
+        assert!(r.ipc_core < 0.5, "triad ipc {:.2}", r.ipc_core);
+    }
+
+    #[test]
+    fn busy_wait_is_frontend_bound_and_cheap() {
+        let r = analyze_haswell(&busy_wait_loop(), false);
+        assert!(r.ipc_core > 3.0);
+        assert_eq!(r.flops_per_cycle, 0.0);
+    }
+
+    #[test]
+    fn smt_doubles_nothing_for_divider_bound_code() {
+        // The divider is shared: a second sqrt thread cannot help.
+        let single = analyze_haswell(&sqrt_loop(), false);
+        let smt = analyze_haswell(&sqrt_loop(), true);
+        assert!(smt.ipc_core < single.ipc_core * 1.2);
+    }
+}

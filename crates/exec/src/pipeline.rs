@@ -1,0 +1,300 @@
+//! Port-binding throughput model.
+//!
+//! Computes steady-state instructions-per-cycle for a kernel (a repeating
+//! instruction sequence) on a given microarchitecture:
+//!
+//! 1. **Frontend**: 4 instructions per cycle, one 16-byte fetch window per
+//!    cycle when the loop exceeds the µop cache (FIRESTARTER's regime),
+//!    retire 4 µops/cycle.
+//! 2. **Backend**: greedy fractional assignment of µops to their allowed
+//!    ports; the busiest port sets the port-bound cycle count; the total
+//!    µop count is bounded by the issue width (8 on Haswell, 6 on SNB).
+//! 3. **Memory stalls**: per-access penalties (post-out-of-order-overlap)
+//!    for L2/L3/DRAM operands; the L3/DRAM penalties scale with the
+//!    core:uncore clock ratio — this couples IPC to the UFS behavior
+//!    (paper Table IV).
+//! 4. **SMT**: a second thread doubles the execution demand but hides a
+//!    third of the stall cycles ([`HT_STALL_HIDE`]), reproducing
+//!    FIRESTARTER's 3.1 (HT) vs 2.8 (no HT) IPC (paper Section VIII).
+
+use hsw_hwspec::MicroArch;
+
+use crate::isa::{Instr, MemLevel, PortMap};
+
+/// Residual stall cycles per access after out-of-order overlap, calibrated
+/// at a core:uncore ratio of 1.0 against FIRESTARTER's published IPC.
+pub const STALL_L1_CYCLES: f64 = 0.05;
+pub const STALL_L2_CYCLES: f64 = 0.8;
+pub const STALL_L3_CYCLES: f64 = 4.0;
+pub const STALL_MEM_CYCLES: f64 = 12.0;
+
+/// Fraction of one thread's memory-stall cycles the sibling hyper-thread
+/// can fill with its own work.
+pub const HT_STALL_HIDE: f64 = 0.33;
+
+/// What limits the kernel's throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Fetch/decode (4 instructions, one 16 B window per cycle).
+    Frontend,
+    /// A single execution port (index).
+    Port(usize),
+    /// Total issue width.
+    IssueWidth,
+    /// Memory stalls dominate.
+    MemoryStalls,
+}
+
+/// Throughput-analysis result for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputResult {
+    /// Cycles per kernel iteration, per core (both threads combined under
+    /// SMT).
+    pub cycles_per_iter: f64,
+    pub instrs_per_iter: f64,
+    pub flops_per_iter: f64,
+    /// Instructions per cycle retired by the whole core.
+    pub ipc_core: f64,
+    /// Instructions per cycle per hardware thread (what a per-thread
+    /// counter like `INST_RETIRED.ANY` divided by unhalted cycles shows).
+    pub ipc_thread: f64,
+    /// Double-precision FLOPs per cycle for the whole core.
+    pub flops_per_cycle: f64,
+    pub bottleneck: Bottleneck,
+}
+
+/// Analyze `kernel` on `arch` at a given core:uncore frequency ratio.
+///
+/// `smt` — whether two hardware threads run the same kernel on the core.
+/// `core_uncore_ratio` — `f_core / f_uncore`; scales the L3/DRAM stall
+/// penalties (the uncore serves misses in *its* clock).
+pub fn throughput(
+    arch: &MicroArch,
+    kernel: &[Instr],
+    smt: bool,
+    core_uncore_ratio: f64,
+) -> ThroughputResult {
+    assert!(!kernel.is_empty(), "kernel must contain instructions");
+    let pm = PortMap::for_arch(arch);
+
+    let instrs = kernel.len() as f64;
+    let bytes: f64 = kernel.iter().map(|i| i.bytes as f64).sum();
+    let uops: f64 = kernel.iter().map(|i| i.uops.len() as f64).sum();
+    let flops: f64 = kernel.iter().map(|i| i.flops as f64).sum();
+
+    // --- Frontend ---
+    let total_uops_in_loop = uops; // per iteration; the *loop* is the kernel
+    let uses_uop_cache = total_uops_in_loop <= arch.uop_cache_uops as f64;
+    let fetch_cycles = if uses_uop_cache {
+        // The µop cache delivers 4 *fused* µops (≈ macro instructions) per
+        // cycle without fetch-window limits.
+        instrs / arch.decode_width as f64
+    } else {
+        bytes / arch.fetch_window_bytes as f64
+    };
+    let decode_cycles = instrs / arch.decode_width as f64;
+    // Retirement works on *fused* µops: micro-fused load+op and
+    // store-address+store-data pairs retire as one slot, so the macro
+    // instruction count is the right unit here.
+    let retire_cycles = instrs / arch.retire_uops_per_cycle as f64;
+    let frontend_cycles = fetch_cycles.max(decode_cycles).max(retire_cycles);
+
+    // --- Backend: greedy fractional port binding ---
+    let mut port_load = vec![0.0f64; pm.num_ports];
+    for instr in kernel {
+        for role in &instr.uops {
+            let mask = pm.mask(*role);
+            debug_assert!(mask != 0, "role {role:?} unmapped");
+            // Least-loaded allowed port takes the µop; unpipelined units
+            // (divider/sqrt) occupy their port for multiple cycles.
+            let mut best = usize::MAX;
+            let mut best_load = f64::INFINITY;
+            for (p, load) in port_load.iter().enumerate().take(pm.num_ports) {
+                if mask & (1 << p) != 0 && *load < best_load {
+                    best = p;
+                    best_load = *load;
+                }
+            }
+            port_load[best] += instr.occupancy;
+        }
+    }
+    let (busiest_port, port_cycles) = port_load
+        .iter()
+        .copied()
+        .enumerate()
+        .fold((0, 0.0), |acc, (i, l)| if l > acc.1 { (i, l) } else { acc });
+    let issue_cycles = uops / arch.execute_uops_per_cycle as f64;
+
+    let exec_cycles = frontend_cycles.max(port_cycles).max(issue_cycles);
+
+    // --- Memory stalls ---
+    let ratio = core_uncore_ratio.max(0.1);
+    let mut stall_cycles = 0.0;
+    for instr in kernel {
+        stall_cycles += match instr.level {
+            Some(MemLevel::L1) => STALL_L1_CYCLES,
+            Some(MemLevel::L2) => STALL_L2_CYCLES,
+            Some(MemLevel::L3) => STALL_L3_CYCLES * ratio,
+            Some(MemLevel::Mem) => STALL_MEM_CYCLES * ratio,
+            Some(MemLevel::Reg) | None => 0.0,
+        };
+    }
+
+    // --- Combine ---
+    let (cycles_per_iter, instrs_retired) = if smt {
+        // Two threads: double the execution demand, hide part of the stalls.
+        (
+            2.0 * exec_cycles + 2.0 * stall_cycles * (1.0 - HT_STALL_HIDE),
+            2.0 * instrs,
+        )
+    } else {
+        (exec_cycles + stall_cycles, instrs)
+    };
+
+    let ipc_core = instrs_retired / cycles_per_iter;
+    let ipc_thread = if smt { ipc_core / 2.0 } else { ipc_core };
+
+    let bottleneck = if stall_cycles > exec_cycles {
+        Bottleneck::MemoryStalls
+    } else if (port_cycles - exec_cycles).abs() < 1e-12 && port_cycles > frontend_cycles {
+        Bottleneck::Port(busiest_port)
+    } else if issue_cycles >= port_cycles && issue_cycles > frontend_cycles {
+        Bottleneck::IssueWidth
+    } else {
+        Bottleneck::Frontend
+    };
+
+    ThroughputResult {
+        cycles_per_iter,
+        instrs_per_iter: instrs_retired,
+        flops_per_iter: if smt { 2.0 * flops } else { flops },
+        ipc_core,
+        ipc_thread,
+        flops_per_cycle: (if smt { 2.0 * flops } else { flops }) / cycles_per_iter,
+        bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::MicroArch;
+
+    fn hsw() -> MicroArch {
+        MicroArch::haswell_ep()
+    }
+    fn snb() -> MicroArch {
+        MicroArch::sandy_bridge_ep()
+    }
+
+    /// A register-only FMA stream (peak-FLOPS kernel).
+    fn fma_kernel() -> Vec<Instr> {
+        vec![Instr::fma_reg(); 8]
+    }
+
+    #[test]
+    fn haswell_peak_is_16_flops_per_cycle() {
+        // Table I: FLOPS/cycle (double) = 16 on Haswell.
+        let r = throughput(&hsw(), &fma_kernel(), false, 1.0);
+        assert!(
+            (r.flops_per_cycle - 16.0).abs() < 0.2,
+            "flops/cycle = {}",
+            r.flops_per_cycle
+        );
+        assert!(matches!(r.bottleneck, Bottleneck::Port(_)));
+    }
+
+    #[test]
+    fn sandy_bridge_fma_decomposes_to_8_flops_per_cycle() {
+        // Without FMA the same stream binds to the single multiply port:
+        // 8 FLOPs per instruction but one instruction per cycle max on p0.
+        let r = throughput(&snb(), &fma_kernel(), false, 1.0);
+        assert!(r.flops_per_cycle <= 8.0 + 1e-9, "{}", r.flops_per_cycle);
+    }
+
+    #[test]
+    fn sandy_bridge_add_mul_mix_reaches_8_flops_per_cycle() {
+        // Table I: SNB peak = 1 add + 1 mul per cycle = 8 FLOPs.
+        let kernel: Vec<Instr> = (0..8)
+            .map(|i| if i % 2 == 0 { Instr::add_reg() } else { Instr::mul_reg() })
+            .collect();
+        let r = throughput(&snb(), &kernel, false, 1.0);
+        assert!((r.flops_per_cycle - 8.0).abs() < 0.3, "{}", r.flops_per_cycle);
+    }
+
+    #[test]
+    fn haswell_pure_avx_adds_are_port_limited() {
+        // Paper Section II-A: "Two AVX or FMA operations can be issued per
+        // cycle, except for AVX additions" — a pure-add stream manages only
+        // one per cycle (port 1), i.e. 4 FLOPs/cycle.
+        let kernel = vec![Instr::add_reg(); 8];
+        let r = throughput(&hsw(), &kernel, false, 1.0);
+        assert!((r.flops_per_cycle - 4.0).abs() < 0.2, "{}", r.flops_per_cycle);
+        assert_eq!(r.bottleneck, Bottleneck::Port(1));
+        // Mixing adds into FMAs restores dual issue.
+        let mixed: Vec<Instr> = (0..8)
+            .map(|i| if i % 2 == 0 { Instr::fma_reg() } else { Instr::add_reg() })
+            .collect();
+        let r2 = throughput(&hsw(), &mixed, false, 1.0);
+        assert!(r2.flops_per_cycle > 10.0, "{}", r2.flops_per_cycle);
+    }
+
+    #[test]
+    fn smt_improves_stalled_kernels() {
+        let kernel = vec![
+            Instr::fma_load(MemLevel::L3),
+            Instr::fma_reg(),
+            Instr::shift_right(),
+            Instr::xor_reg(),
+        ];
+        let single = throughput(&hsw(), &kernel, false, 1.0);
+        let smt = throughput(&hsw(), &kernel, true, 1.0);
+        assert!(smt.ipc_core > single.ipc_core);
+        assert!(smt.ipc_thread < single.ipc_thread);
+    }
+
+    #[test]
+    fn uncore_ratio_couples_ipc_for_l3_bound_kernels() {
+        // Table IV's effect: raising the uncore clock (lower ratio) lifts
+        // IPC of kernels with L3/mem traffic.
+        let kernel = vec![
+            Instr::fma_load(MemLevel::Mem),
+            Instr::fma_reg(),
+            Instr::shift_right(),
+            Instr::add_ptr(),
+        ];
+        let slow_uncore = throughput(&hsw(), &kernel, true, 2.5 / 2.0);
+        let fast_uncore = throughput(&hsw(), &kernel, true, 2.1 / 3.0);
+        assert!(fast_uncore.ipc_core > slow_uncore.ipc_core * 1.1);
+    }
+
+    #[test]
+    fn reg_only_kernels_ignore_uncore_ratio() {
+        let kernel = fma_kernel();
+        let a = throughput(&hsw(), &kernel, false, 0.5);
+        let b = throughput(&hsw(), &kernel, false, 2.0);
+        assert_eq!(a.ipc_core, b.ipc_core);
+    }
+
+    #[test]
+    fn ipc_never_exceeds_decode_width() {
+        for smt in [false, true] {
+            let kernel = vec![Instr::xor_reg(); 16];
+            let r = throughput(&hsw(), &kernel, smt, 1.0);
+            assert!(r.ipc_core <= hsw().decode_width as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_stall_model_for_l1_groups() {
+        // L1 groups barely stall — FIRESTARTER's bread and butter.
+        let kernel = vec![
+            Instr::store_avx(MemLevel::L1),
+            Instr::fma_load(MemLevel::L1),
+            Instr::shift_right(),
+            Instr::add_ptr(),
+        ];
+        let r = throughput(&hsw(), &kernel, false, 1.0);
+        assert!(r.ipc_core > 3.0, "ipc = {}", r.ipc_core);
+    }
+}

@@ -1,0 +1,78 @@
+//! ACPI-reported latency tables (paper Sections VI-A and VI-B).
+//!
+//! The paper shows that the static ACPI claims diverge from measured
+//! behavior in both directions: p-state transitions are *much slower* than
+//! the claimed 10 µs, while C3/C6 exits are *faster* than the claimed
+//! 33/133 µs — "the discrepancy ... underlines the need for an interface to
+//! change these tables at runtime".
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib;
+
+/// The latency values an OS reads from the ACPI `_PSS`/`_CST` objects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcpiLatencyTable {
+    /// Claimed p-state transition latency in µs.
+    pub pstate_transition_us: u32,
+    /// Claimed C1 exit latency in µs.
+    pub c1_exit_us: u32,
+    /// Claimed C3 exit latency in µs.
+    pub c3_exit_us: u32,
+    /// Claimed C6 exit latency in µs.
+    pub c6_exit_us: u32,
+}
+
+impl AcpiLatencyTable {
+    /// The table exposed by the test system's firmware.
+    pub fn haswell_ep() -> Self {
+        AcpiLatencyTable {
+            pstate_transition_us: calib::ACPI_PSTATE_LATENCY_US,
+            c1_exit_us: 2,
+            c3_exit_us: calib::cstate::ACPI_C3_US as u32,
+            c6_exit_us: calib::cstate::ACPI_C6_US as u32,
+        }
+    }
+
+    /// Target residency the OS governor requires before entering a state:
+    /// conventionally a small multiple of the exit latency.
+    pub fn target_residency_us(&self, state: AcpiCState) -> u32 {
+        match state {
+            AcpiCState::C1 => self.c1_exit_us * 2,
+            AcpiCState::C3 => self.c3_exit_us * 3,
+            AcpiCState::C6 => self.c6_exit_us * 3,
+        }
+    }
+}
+
+/// The ACPI-visible processor idle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcpiCState {
+    C1,
+    C3,
+    C6,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_claims() {
+        let t = AcpiLatencyTable::haswell_ep();
+        assert_eq!(t.pstate_transition_us, 10);
+        assert_eq!(t.c3_exit_us, 33);
+        assert_eq!(t.c6_exit_us, 133);
+    }
+
+    #[test]
+    fn residency_grows_with_state_depth() {
+        let t = AcpiLatencyTable::haswell_ep();
+        assert!(
+            t.target_residency_us(AcpiCState::C1) < t.target_residency_us(AcpiCState::C3)
+        );
+        assert!(
+            t.target_residency_us(AcpiCState::C3) < t.target_residency_us(AcpiCState::C6)
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Calibration constants derived from the paper's published measurements.
+//!
+//! Every constant cites the paper table/figure it reproduces. These are the
+//! *only* magic numbers in the workspace; all mechanism code takes them from
+//! here so that a different calibration (e.g. a different SKU) is a data
+//! change, not a code change.
+
+/// Period of the PCU p-state "opportunity" clock on Haswell-EP in µs
+/// (paper Section VI-A / Figure 4: "frequency changes only occur in regular
+/// intervals of about 500 µs").
+pub const PSTATE_OPPORTUNITY_PERIOD_US: u32 = 500;
+
+/// FIVR voltage/frequency switching time in µs once an opportunity is taken
+/// (paper Figure 3: minimum observed latency is 21 µs).
+pub const PSTATE_SWITCHING_TIME_US: u32 = 21;
+
+/// Jitter (± µs) of the opportunity period, reflecting the "about" in the
+/// paper's 500 µs estimate and the spread visible in Figure 3.
+pub const PSTATE_OPPORTUNITY_JITTER_US: u32 = 3;
+
+/// P-state transition latency reported by the ACPI tables in µs, which the
+/// paper shows to be inapplicable (Section VI-A).
+pub const ACPI_PSTATE_LATENCY_US: u32 = 10;
+
+/// EET stall-polling period in µs (patent \[17\] cited in Section II-E lists
+/// 1 ms).
+pub const EET_POLL_PERIOD_US: u32 = 1_000;
+
+/// Time after the last heavy-AVX instruction until the PCU returns to
+/// non-AVX operating mode, in µs (paper Section II-F: 1 ms).
+pub const AVX_RELAX_PERIOD_US: u32 = 1_000;
+
+/// RAPL running-average window used by the package power limiter, in µs.
+/// The paper's Table IV equilibria are steady-state, so only the settled
+/// value matters; the window length governs how long PL2 bursts last.
+pub const RAPL_LIMIT_WINDOW_US: u32 = 150_000;
+
+/// Short-term power limit (PL2) as a multiple of TDP: sustained while the
+/// running-average package power is still below PL1 — the burst headroom
+/// new workloads enjoy before the limiter clamps them to TDP.
+pub const PL2_TDP_MULT: f64 = 1.2;
+
+/// Package RAPL energy status unit in µJ (1/2¹⁴ J ≈ 61 µJ, the common
+/// Haswell-EP `MSR_RAPL_POWER_UNIT` encoding ESU=14).
+pub const PKG_ENERGY_UNIT_UJ: f64 = 61.035_156_25;
+
+/// DRAM RAPL energy unit in µJ: fixed 15.3 µJ on Haswell-EP regardless of
+/// `MSR_RAPL_POWER_UNIT` (paper Section IV, quoting \[21\] Section 5.3.3:
+/// "ENERGY UNIT for DRAM domain is 15.3 µJ" = 1/2¹⁶ J).
+pub const DRAM_ENERGY_UNIT_UJ: f64 = 15.258_789_062_5;
+
+/// Quadratic AC-vs-RAPL fit published for the Haswell-EP system
+/// (paper footnote 2): `P_AC = A2·P² + A1·P + A0`, R² > 0.9998.
+/// Used as ground truth when designing the PSU/fan model, and as the
+/// reference the Figure 2b experiment must re-discover.
+pub const AC_FIT_A2: f64 = 0.0003;
+pub const AC_FIT_A1: f64 = 1.097;
+pub const AC_FIT_A0_W: f64 = 225.7;
+
+/// Idle AC power of the test node with fans at maximum (paper Table II).
+pub const IDLE_NODE_POWER_W: f64 = 261.5;
+
+/// Maximum residual of RAPL samples from the quadratic fit (paper
+/// Section IV: "below 3 W").
+pub const AC_FIT_MAX_RESIDUAL_W: f64 = 3.0;
+
+/// Average extra package power from OS housekeeping on an otherwise idle
+/// socket (timer ticks and kernel threads periodically waking cores out of
+/// C6). Calibrated so the idle node draws Table II's 261.5 W AC.
+pub const IDLE_PKG_HOUSEKEEPING_W: f64 = 3.6;
+
+/// Fraction of time the uncore clock still runs (at its floor frequency)
+/// on a package that is nominally eligible for PC6 — wakeups keep breaking
+/// the deep package state on a running OS.
+pub const IDLE_UNCORE_RESIDENCY: f64 = 0.5;
+
+/// LMG450 power meter sample rate (paper Section III: 20 Sa/s).
+pub const LMG450_SAMPLE_RATE_HZ: f64 = 20.0;
+
+/// LMG450 accuracy: relative fraction and absolute offset
+/// (paper Table II: 0.07 % + 0.23 W).
+pub const LMG450_REL_ACCURACY: f64 = 0.0007;
+pub const LMG450_ABS_ACCURACY_W: f64 = 0.23;
+
+/// Uncore frequency schedule measured in the single-threaded, no-memory-stall
+/// scenario on the *active* socket (paper Table III). Index 0 is the Turbo
+/// setting, then 2.5 GHz down to 1.2 GHz in 100 MHz steps. Values in MHz.
+pub const UFS_ACTIVE_SCHEDULE_MHZ: [u32; 15] = [
+    3000, // Turbo setting
+    2200, // 2.5 GHz (3.0 GHz when EPB = performance)
+    2100, // 2.4
+    2000, // 2.3
+    1900, // 2.2
+    1800, // 2.1
+    1750, // 2.0
+    1650, // 1.9
+    1600, // 1.8
+    1500, // 1.7
+    1400, // 1.6
+    1300, // 1.5
+    1200, // 1.4
+    1200, // 1.3
+    1200, // 1.2
+];
+
+/// Same schedule for the *passive* socket (no thread running there); it
+/// tracks roughly one bin below the active socket with a 1.2 GHz floor
+/// (paper Table III, second row).
+pub const UFS_PASSIVE_SCHEDULE_MHZ: [u32; 15] = [
+    2950, // Turbo setting (2.9–3.0 in the paper; 3.0 with EPB = performance)
+    2100, // 2.5 GHz
+    2000, // 2.4
+    1900, // 2.3
+    1800, // 2.2
+    1700, // 2.1
+    1650, // 2.0
+    1550, // 1.9
+    1500, // 1.8
+    1400, // 1.7
+    1200, // 1.6
+    1200, // 1.5
+    1200, // 1.4
+    1200, // 1.3
+    1200, // 1.2
+];
+
+/// Upper bound of the uncore frequency in memory-stall scenarios
+/// (paper Section V-A: 3.0 GHz "also for lower core frequencies").
+pub const UNCORE_MAX_MHZ: u32 = 3_000;
+
+/// Lower bound of the uncore frequency (floor of Table III).
+pub const UNCORE_MIN_MHZ: u32 = 1_200;
+
+/// Stall-cycle fraction above which UFS considers a workload memory-bound
+/// and drives the uncore toward its maximum.
+pub const UFS_STALL_THRESHOLD: f64 = 0.25;
+
+/// FIRESTARTER instruction-group distribution over memory-hierarchy levels
+/// (paper Section VIII): reg, L1, L2, L3, mem.
+pub const FIRESTARTER_LEVEL_RATIOS: [f64; 5] = [0.278, 0.627, 0.071, 0.008, 0.016];
+
+/// FIRESTARTER achieved instructions per cycle per core (paper Section VIII).
+pub const FIRESTARTER_IPC_HT: f64 = 3.1;
+pub const FIRESTARTER_IPC_NO_HT: f64 = 2.8;
+
+/// Per-thread IPC model for FIRESTARTER as a function of the core:uncore
+/// frequency ratio, fitted to paper Table IV:
+/// `ipc_thread = FS_IPC_A - FS_IPC_B · (f_core / f_uncore)`.
+/// (Derived: the four (core, uncore, GIPS) equilibria of Table IV lie on this
+/// line with residual < 0.006 IPC.)
+pub const FS_IPC_A: f64 = 2.011;
+pub const FS_IPC_B: f64 = 0.476;
+
+/// Socket efficiency variation (paper Section III: "the cores of the second
+/// processor have a higher voltage ... the first processor also appears to
+/// use lower sustained turbo frequencies"). Multiplier on dynamic power,
+/// socket 0 (less efficient) and socket 1.
+pub const SOCKET_POWER_EFFICIENCY: [f64; 2] = [1.012, 1.0];
+
+/// C-state wake-up latency calibration, all in µs (paper Figures 5/6 and
+/// Section VI-B). `*_BASE` is the frequency-independent component; the
+/// frequency-dependent component is `*_CYCLES_K / f_ghz`.
+pub mod cstate {
+    /// C1 local wake at 1.2 GHz is ≤1.6 µs; remote up to 2.1 µs.
+    pub const C1_BASE_US: f64 = 0.55;
+    pub const C1_CYCLES_K: f64 = 1.2; // µs·GHz → 1.0 µs at 1.2 GHz
+    pub const C1_REMOTE_EXTRA_US: f64 = 0.5;
+
+    /// C3 local: mostly frequency independent; +1.5 µs above 1.5 GHz
+    /// (paper Section VI-B).
+    pub const C3_BASE_US: f64 = 8.0;
+    pub const C3_HIGHFREQ_STEP_US: f64 = 1.5;
+    pub const C3_HIGHFREQ_THRESHOLD_GHZ: f64 = 1.5;
+    /// Remote-active adds the QPI round trip.
+    pub const C3_REMOTE_EXTRA_US: f64 = 1.0;
+    /// Package C3 adds "another two to four microseconds"; we model the
+    /// spread as frequency dependent between these bounds.
+    pub const PKG_C3_EXTRA_MIN_US: f64 = 2.0;
+    pub const PKG_C3_EXTRA_MAX_US: f64 = 4.0;
+
+    /// C6 = C3 + 2..8 µs depending (strongly) on frequency: flushing and
+    /// restoring architectural state + caches runs at core speed.
+    pub const C6_EXTRA_MIN_US: f64 = 2.0;
+    pub const C6_EXTRA_MAX_US: f64 = 8.0;
+    /// Package C6 adds 8 µs over package C3.
+    pub const PKG_C6_EXTRA_US: f64 = 8.0;
+
+    /// Sandy Bridge-EP comparison offsets (grey curves in Figures 5/6):
+    /// deep c-state exits were slightly slower (paper Conclusions:
+    /// "transition latencies from deep c-states have slightly improved").
+    pub const SNB_C3_EXTRA_US: f64 = 1.5;
+    pub const SNB_C6_EXTRA_US: f64 = 3.0;
+
+    /// ACPI-table claims (paper Section VI-B): C3 33 µs, C6 133 µs.
+    pub const ACPI_C3_US: f64 = 33.0;
+    pub const ACPI_C6_US: f64 = 133.0;
+}
+
+/// Memory-bandwidth calibration (paper Figures 7/8 and Table I).
+pub mod bandwidth {
+    /// Effective peak DRAM read bandwidth per socket in GB/s. Theoretical
+    /// peak for 4×DDR4-2133 is 68.2 GB/s (Table I); the read-only stream
+    /// achieves ~88 % of that.
+    pub const HSW_DRAM_PEAK_GBS: f64 = 60.0;
+    /// 4×DDR3-1600 = 51.2 GB/s theoretical; SNB-EP read streams reach ~80 %.
+    pub const SNB_DRAM_PEAK_GBS: f64 = 41.0;
+    /// 3×DDR3-1333 = 32.0 GB/s theoretical on Westmere-EP; ~75 %.
+    pub const WSM_DRAM_PEAK_GBS: f64 = 24.0;
+
+    /// Number of cores at which a socket's DRAM read bandwidth saturates
+    /// (paper Fig. 8: "saturates at 8 cores").
+    pub const DRAM_SATURATION_CORES: usize = 8;
+    /// Core count from which DRAM bandwidth becomes independent of core
+    /// frequency (paper Fig. 8: "if ten cores are active").
+    pub const DRAM_FREQ_INDEPENDENT_CORES: usize = 10;
+
+    /// Per-core L3 read bandwidth demand in bytes per core cycle for the
+    /// read benchmark (Haswell can sustain 2×32 B loads/cycle from L1; from
+    /// L3 the demand side sustains ~10 B/cycle).
+    pub const HSW_L3_BYTES_PER_CORE_CYCLE: f64 = 10.0;
+    pub const SNB_L3_BYTES_PER_CORE_CYCLE: f64 = 6.5;
+    pub const WSM_L3_BYTES_PER_CORE_CYCLE: f64 = 5.0;
+
+    /// Service capability of one L3 slice in bytes per uncore cycle.
+    pub const L3_SLICE_BYTES_PER_UNCORE_CYCLE: f64 = 16.0;
+
+    /// Hyper-threading L3 bandwidth gain at low concurrency (paper Fig. 8:
+    /// "multiple threads per core only is beneficial for low-concurrency
+    /// scenarios").
+    pub const HT_LOW_CONCURRENCY_GAIN: f64 = 1.18;
+}
+
+/// Workload/TDP calibration for Tables IV/V.
+pub mod powercal {
+    /// TDP of the Xeon E5-2680 v3 in W.
+    pub const E5_2680V3_TDP_W: f64 = 120.0;
+
+    /// Package power (RAPL) per socket below which no throttling occurs for
+    /// FIRESTARTER (paper Section V-B: "for 2.1 GHz and slower, both
+    /// processors use less than 120 W").
+    pub const FS_NO_THROTTLE_BELOW_W: f64 = 120.0;
+
+    /// Table V reference AC power values in W (1-minute max window,
+    /// HT off, 2.5 GHz, balanced EPB).
+    pub const TABLE5_FIRESTARTER_W: f64 = 560.4;
+    pub const TABLE5_LINPACK_W: f64 = 547.9;
+    pub const TABLE5_MPRIME_W: f64 = 558.6;
+
+    /// Table V measured core frequencies in GHz (same configuration).
+    pub const TABLE5_FIRESTARTER_GHZ: f64 = 2.45;
+    pub const TABLE5_LINPACK_GHZ: f64 = 2.28;
+    pub const TABLE5_MPRIME_GHZ: f64 = 2.49;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_energy_unit_matches_paper_quote() {
+        // "ENERGY UNIT for DRAM domain is 15.3 µJ"
+        assert!((DRAM_ENERGY_UNIT_UJ - 15.3).abs() < 0.05);
+        // and it is exactly 2^-16 J
+        assert!((DRAM_ENERGY_UNIT_UJ - 1e6 / 65_536.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pkg_energy_unit_is_2_pow_minus_14_joule() {
+        assert!((PKG_ENERGY_UNIT_UJ - 1e6 / 16_384.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn firestarter_level_ratios_sum_to_one() {
+        let sum: f64 = FIRESTARTER_LEVEL_RATIOS.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn ufs_schedules_have_full_setting_range() {
+        assert_eq!(UFS_ACTIVE_SCHEDULE_MHZ.len(), 15); // Turbo + 2.5..=1.2
+        assert_eq!(UFS_PASSIVE_SCHEDULE_MHZ.len(), 15);
+    }
+
+    #[test]
+    fn ufs_passive_never_exceeds_active() {
+        for (a, p) in UFS_ACTIVE_SCHEDULE_MHZ
+            .iter()
+            .zip(UFS_PASSIVE_SCHEDULE_MHZ.iter())
+        {
+            assert!(p <= a, "passive {p} > active {a}");
+        }
+    }
+
+    #[test]
+    fn ufs_schedules_respect_bounds() {
+        for &m in UFS_ACTIVE_SCHEDULE_MHZ
+            .iter()
+            .chain(UFS_PASSIVE_SCHEDULE_MHZ.iter())
+        {
+            assert!((UNCORE_MIN_MHZ..=UNCORE_MAX_MHZ).contains(&m));
+        }
+    }
+
+    #[test]
+    fn ufs_schedules_are_monotone_nonincreasing_after_turbo() {
+        for sched in [&UFS_ACTIVE_SCHEDULE_MHZ, &UFS_PASSIVE_SCHEDULE_MHZ] {
+            for w in sched[1..].windows(2) {
+                assert!(w[0] >= w[1], "schedule not monotone: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fs_ipc_line_matches_table4_equilibria() {
+        // (core GHz, uncore GHz, GIPS) medians from paper Table IV, socket 0.
+        let rows = [
+            (2.31_f64, 2.34_f64, 3.56_f64),
+            (2.27, 2.46, 3.58),
+            (2.19, 2.80, 3.58),
+            (2.09, 3.00, 3.51),
+        ];
+        for (fc, fu, gips) in rows {
+            let ipc = FS_IPC_A - FS_IPC_B * (fc / fu);
+            let model_gips = ipc * fc;
+            assert!(
+                (model_gips - gips).abs() < 0.06,
+                "core {fc} uncore {fu}: model {model_gips:.3} vs paper {gips}"
+            );
+        }
+    }
+
+    #[test]
+    fn ac_fit_reproduces_idle_power() {
+        // Idle: both sockets + DRAM around 32 W RAPL total → 261.5 W AC.
+        let p_rapl = 32.0_f64;
+        let ac = AC_FIT_A2 * p_rapl * p_rapl + AC_FIT_A1 * p_rapl + AC_FIT_A0_W;
+        assert!((ac - IDLE_NODE_POWER_W).abs() < 1.5, "ac = {ac}");
+    }
+
+    #[test]
+    fn cstate_latencies_are_below_acpi_claims() {
+        // Measured C3/C6 latencies are lower than the ACPI tables
+        // (paper Section VI-B) — the calibration must keep it that way even
+        // for the worst case (package C6 at the lowest frequency).
+        let worst_c6 = cstate::C3_BASE_US
+            + cstate::C3_HIGHFREQ_STEP_US
+            + cstate::C6_EXTRA_MAX_US
+            + cstate::PKG_C3_EXTRA_MAX_US
+            + cstate::PKG_C6_EXTRA_US
+            + cstate::SNB_C6_EXTRA_US;
+        assert!(worst_c6 < cstate::ACPI_C6_US);
+        let worst_c3 = cstate::C3_BASE_US
+            + cstate::C3_HIGHFREQ_STEP_US
+            + cstate::PKG_C3_EXTRA_MAX_US
+            + cstate::SNB_C3_EXTRA_US;
+        assert!(worst_c3 < cstate::ACPI_C3_US);
+    }
+}

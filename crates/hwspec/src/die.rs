@@ -1,0 +1,219 @@
+//! Die layouts and ring-interconnect topology (paper Figure 1).
+//!
+//! Haswell-EP is built from three dies: an 8-core die with a single
+//! bidirectional ring, a 12-core die with an 8-core and a 4-core partition,
+//! and an 18-core die with an 8-core and a 10-core partition. Partitions are
+//! connected by buffered queues; each partition has its own integrated memory
+//! controller (IMC) serving two DDR channels.
+
+use serde::{Deserialize, Serialize};
+
+/// One ring partition: a bidirectional ring connecting cores, their L3
+/// slices, and one IMC with two memory channels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingPartition {
+    /// Number of core/L3-slice ring stops in this partition.
+    pub cores: usize,
+    /// Number of DDR channels behind this partition's IMC.
+    pub memory_channels: usize,
+}
+
+/// A physical die: one or two ring partitions plus shared uncore agents
+/// (QPI, PCIe).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DieLayout {
+    pub name: &'static str,
+    pub partitions: Vec<RingPartition>,
+    /// Cores physically present on the die (some may be fused off in a SKU).
+    pub physical_cores: usize,
+}
+
+impl DieLayout {
+    /// The 8-core die (4/6/8-core SKUs): one bidirectional ring.
+    pub fn die8() -> Self {
+        DieLayout {
+            name: "HSW-EP 8-core die",
+            partitions: vec![RingPartition {
+                cores: 8,
+                memory_channels: 4,
+            }],
+            physical_cores: 8,
+        }
+    }
+
+    /// The 12-core die (10/12-core SKUs): 8-core + 4-core partitions
+    /// (Figure 1a), two channels per IMC.
+    pub fn die12() -> Self {
+        DieLayout {
+            name: "HSW-EP 12-core die",
+            partitions: vec![
+                RingPartition {
+                    cores: 8,
+                    memory_channels: 2,
+                },
+                RingPartition {
+                    cores: 4,
+                    memory_channels: 2,
+                },
+            ],
+            physical_cores: 12,
+        }
+    }
+
+    /// The 18-core die (14/16/18-core SKUs): 8-core + 10-core partitions
+    /// (Figure 1b).
+    pub fn die18() -> Self {
+        DieLayout {
+            name: "HSW-EP 18-core die",
+            partitions: vec![
+                RingPartition {
+                    cores: 8,
+                    memory_channels: 2,
+                },
+                RingPartition {
+                    cores: 10,
+                    memory_channels: 2,
+                },
+            ],
+            physical_cores: 18,
+        }
+    }
+
+    /// Single-ring layouts for the older generations (Westmere-EP,
+    /// Sandy Bridge-EP) with the given core and channel counts.
+    pub fn monolithic(name: &'static str, cores: usize, channels: usize) -> Self {
+        DieLayout {
+            name,
+            partitions: vec![RingPartition {
+                cores,
+                memory_channels: channels,
+            }],
+            physical_cores: cores,
+        }
+    }
+
+    /// Select the Haswell-EP die used to build a SKU with `cores` enabled
+    /// cores (paper Section II-A: 4–18 cores from three dies).
+    pub fn for_haswell_core_count(cores: usize) -> Self {
+        match cores {
+            1..=8 => Self::die8(),
+            9..=12 => Self::die12(),
+            13..=18 => Self::die18(),
+            _ => panic!("Haswell-EP SKUs have 4–18 cores, got {cores}"),
+        }
+    }
+
+    /// Total DDR channels across all partitions.
+    pub fn total_memory_channels(&self) -> usize {
+        self.partitions.iter().map(|p| p.memory_channels).sum()
+    }
+
+    /// Total ring stops counting cores only.
+    pub fn total_cores(&self) -> usize {
+        self.partitions.iter().map(|p| p.cores).sum()
+    }
+
+    /// Which partition a (0-based) core id belongs to, counting cores in
+    /// partition order.
+    pub fn partition_of_core(&self, core: usize) -> usize {
+        let mut base = 0;
+        for (i, p) in self.partitions.iter().enumerate() {
+            if core < base + p.cores {
+                return i;
+            }
+            base += p.cores;
+        }
+        panic!("core {core} out of range for die {}", self.name);
+    }
+
+    /// Average number of ring hops between a core and an L3 slice / IMC in
+    /// the same partition: on a bidirectional ring of `n` stops the mean
+    /// distance is ≈ n/4.
+    pub fn mean_ring_hops(&self, partition: usize) -> f64 {
+        let n = self.partitions[partition].cores as f64;
+        (n / 4.0).max(1.0)
+    }
+
+    /// Whether two cores are on different partitions (their traffic crosses
+    /// the buffered inter-ring queues).
+    pub fn crosses_partition(&self, core_a: usize, core_b: usize) -> bool {
+        self.partition_of_core(core_a) != self.partition_of_core(core_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_core_counts_match_figure1() {
+        assert_eq!(DieLayout::die8().total_cores(), 8);
+        assert_eq!(DieLayout::die12().total_cores(), 12);
+        assert_eq!(DieLayout::die18().total_cores(), 18);
+    }
+
+    #[test]
+    fn die12_partitions_are_8_plus_4() {
+        let d = DieLayout::die12();
+        assert_eq!(d.partitions.len(), 2);
+        assert_eq!(d.partitions[0].cores, 8);
+        assert_eq!(d.partitions[1].cores, 4);
+    }
+
+    #[test]
+    fn die18_partitions_are_8_plus_10() {
+        let d = DieLayout::die18();
+        assert_eq!(d.partitions[0].cores, 8);
+        assert_eq!(d.partitions[1].cores, 10);
+    }
+
+    #[test]
+    fn every_haswell_die_has_four_channels_total() {
+        // Each partition has an IMC for two channels; single-partition die
+        // drives all four (paper Section II-A).
+        for d in [DieLayout::die8(), DieLayout::die12(), DieLayout::die18()] {
+            assert_eq!(d.total_memory_channels(), 4, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn sku_core_count_selects_correct_die() {
+        assert_eq!(DieLayout::for_haswell_core_count(4).physical_cores, 8);
+        assert_eq!(DieLayout::for_haswell_core_count(8).physical_cores, 8);
+        assert_eq!(DieLayout::for_haswell_core_count(10).physical_cores, 12);
+        assert_eq!(DieLayout::for_haswell_core_count(12).physical_cores, 12);
+        assert_eq!(DieLayout::for_haswell_core_count(14).physical_cores, 18);
+        assert_eq!(DieLayout::for_haswell_core_count(18).physical_cores, 18);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_18_cores_is_not_a_haswell_ep() {
+        let _ = DieLayout::for_haswell_core_count(20);
+    }
+
+    #[test]
+    fn partition_of_core_partitions_the_id_space() {
+        let d = DieLayout::die12();
+        for c in 0..8 {
+            assert_eq!(d.partition_of_core(c), 0);
+        }
+        for c in 8..12 {
+            assert_eq!(d.partition_of_core(c), 1);
+        }
+    }
+
+    #[test]
+    fn cross_partition_detection() {
+        let d = DieLayout::die12();
+        assert!(!d.crosses_partition(0, 7));
+        assert!(d.crosses_partition(0, 8));
+        assert!(!d.crosses_partition(9, 11));
+    }
+
+    #[test]
+    fn mean_hops_scale_with_partition_size() {
+        let d = DieLayout::die18();
+        assert!(d.mean_ring_hops(1) > d.mean_ring_hops(0) * 1.1);
+    }
+}

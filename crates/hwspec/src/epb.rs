@@ -1,0 +1,92 @@
+//! Performance and Energy Bias Hint (EPB) semantics (paper Section II-C).
+//!
+//! The EPB is a 4-bit field in `IA32_ENERGY_PERF_BIAS`. Only three of the 16
+//! settings are architecturally defined (0 = performance, 6 = balanced,
+//! 15 = energy saving); the paper measured that the remaining values map to
+//! the classes encoded in [`EpbClass::from_raw`].
+
+use serde::{Deserialize, Serialize};
+
+/// Semantic class of an EPB setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EpbClass {
+    /// Optimal performance: turbo stays active even at the base-frequency
+    /// setting; UFS pins the uncore at its maximum (paper Table III note).
+    Performance,
+    /// Balanced between performance and energy (firmware default on the test
+    /// system, paper Table II).
+    Balanced,
+    /// Low power.
+    EnergySaving,
+}
+
+impl EpbClass {
+    /// Canonical raw register values for each class (0, 6, 15).
+    pub fn canonical_raw(self) -> u8 {
+        match self {
+            EpbClass::Performance => 0,
+            EpbClass::Balanced => 6,
+            EpbClass::EnergySaving => 15,
+        }
+    }
+
+    /// Decode a 4-bit EPB register value into its measured semantic class
+    /// (paper Section II-C: "other settings are mapped to balanced (1-7) and
+    /// energy saving (8-14)").
+    pub fn from_raw(raw: u8) -> EpbClass {
+        match raw & 0xF {
+            0 => EpbClass::Performance,
+            1..=7 => EpbClass::Balanced,
+            _ => EpbClass::EnergySaving,
+        }
+    }
+
+    /// Short label used in Table V headers ("perf", "bal", "power").
+    pub fn short_label(self) -> &'static str {
+        match self {
+            EpbClass::Performance => "perf",
+            EpbClass::Balanced => "bal",
+            EpbClass::EnergySaving => "power",
+        }
+    }
+
+    /// All classes in the paper's Table V column order (power, bal, perf).
+    pub const TABLE5_ORDER: [EpbClass; 3] = [
+        EpbClass::EnergySaving,
+        EpbClass::Balanced,
+        EpbClass::Performance,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_values_decode_to_themselves() {
+        for class in [
+            EpbClass::Performance,
+            EpbClass::Balanced,
+            EpbClass::EnergySaving,
+        ] {
+            assert_eq!(EpbClass::from_raw(class.canonical_raw()), class);
+        }
+    }
+
+    #[test]
+    fn measured_mapping_matches_paper() {
+        assert_eq!(EpbClass::from_raw(0), EpbClass::Performance);
+        for raw in 1..=7 {
+            assert_eq!(EpbClass::from_raw(raw), EpbClass::Balanced, "raw={raw}");
+        }
+        for raw in 8..=15 {
+            assert_eq!(EpbClass::from_raw(raw), EpbClass::EnergySaving, "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn only_low_4_bits_matter() {
+        assert_eq!(EpbClass::from_raw(0x10), EpbClass::Performance);
+        assert_eq!(EpbClass::from_raw(0xF6), EpbClass::Balanced);
+    }
+}

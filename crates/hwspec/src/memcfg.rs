@@ -1,0 +1,101 @@
+//! Memory subsystem configuration (paper Table I bottom rows).
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramKind {
+    Ddr3,
+    Ddr4,
+}
+
+/// Per-socket memory configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSpec {
+    pub kind: DramKind,
+    /// Number of populated channels.
+    pub channels: usize,
+    /// Mega-transfers per second per channel (e.g. 2133 for DDR4-2133).
+    pub mts: u32,
+    /// Bytes transferred per channel transfer (8 for a 64-bit channel).
+    pub bytes_per_transfer: usize,
+    /// QPI link speed in GT/s (cross-socket traffic).
+    pub qpi_gts: f64,
+}
+
+impl MemSpec {
+    /// 4×DDR4-2133 as on Haswell-EP (Table I: up to 68.2 GB/s).
+    pub fn ddr4_2133_quad() -> Self {
+        MemSpec {
+            kind: DramKind::Ddr4,
+            channels: 4,
+            mts: 2133,
+            bytes_per_transfer: 8,
+            qpi_gts: 9.6,
+        }
+    }
+
+    /// 4×DDR3-1600 as on Sandy Bridge-EP (Table I: up to 51.2 GB/s).
+    pub fn ddr3_1600_quad() -> Self {
+        MemSpec {
+            kind: DramKind::Ddr3,
+            channels: 4,
+            mts: 1600,
+            bytes_per_transfer: 8,
+            qpi_gts: 8.0,
+        }
+    }
+
+    /// 3×DDR3-1333 as on Westmere-EP.
+    pub fn ddr3_1333_triple() -> Self {
+        MemSpec {
+            kind: DramKind::Ddr3,
+            channels: 3,
+            mts: 1333,
+            bytes_per_transfer: 8,
+            qpi_gts: 6.4,
+        }
+    }
+
+    /// Theoretical peak DRAM bandwidth in GB/s (decimal GB as in the paper).
+    pub fn peak_bandwidth_gbs(&self) -> f64 {
+        self.channels as f64 * self.mts as f64 * 1e6 * self.bytes_per_transfer as f64 / 1e9
+    }
+
+    /// QPI peak bandwidth in GB/s (2 bytes per transfer per direction,
+    /// paper Table I: 9.6 GT/s → 38.4 GB/s).
+    pub fn qpi_bandwidth_gbs(&self) -> f64 {
+        self.qpi_gts * 2.0 * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_peak_matches_table1() {
+        let bw = MemSpec::ddr4_2133_quad().peak_bandwidth_gbs();
+        assert!((bw - 68.256).abs() < 0.1, "bw = {bw}");
+    }
+
+    #[test]
+    fn ddr3_peak_matches_table1() {
+        let bw = MemSpec::ddr3_1600_quad().peak_bandwidth_gbs();
+        assert!((bw - 51.2).abs() < 0.1, "bw = {bw}");
+    }
+
+    #[test]
+    fn qpi_matches_table1() {
+        assert!((MemSpec::ddr4_2133_quad().qpi_bandwidth_gbs() - 38.4).abs() < 1e-9);
+        assert!((MemSpec::ddr3_1600_quad().qpi_bandwidth_gbs() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddr4_outpaces_ddr3() {
+        assert!(
+            MemSpec::ddr4_2133_quad().peak_bandwidth_gbs()
+                > MemSpec::ddr3_1600_quad().peak_bandwidth_gbs()
+        );
+    }
+}

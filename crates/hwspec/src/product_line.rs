@@ -1,0 +1,171 @@
+//! The Xeon E5-2600 v3 product line (paper Section II-A: "Haswell-EP
+//! processors are available with 4 to 18 cores. Three different dies cover
+//! this range").
+//!
+//! Frequency data from the Intel specification update the paper cites
+//! (\[10\]); turbo/AVX bins are generated from the published single-core
+//! maximum and all-core values with the standard 100 MHz-per-2-cores
+//! stagger, since the full per-core-count tables are SKU datasheet
+//! material.
+
+use crate::die::DieLayout;
+use crate::freq::FrequencyTable;
+use crate::generation::CpuGeneration;
+use crate::memcfg::MemSpec;
+use crate::sku::{CacheSpec, PowerCoeffs, SkuSpec};
+use crate::vf::VfCurveSpec;
+use crate::{calib, AcpiLatencyTable};
+
+/// Construct a Haswell-EP SKU from its headline numbers.
+pub fn haswell_ep_sku(
+    model: &'static str,
+    cores: usize,
+    base_mhz: u32,
+    max_turbo_mhz: u32,
+    tdp_w: f64,
+) -> SkuSpec {
+    assert!((4..=18).contains(&cores), "Haswell-EP spans 4–18 cores");
+    // Turbo bins: single-core max, dropping 100 MHz per two additional
+    // active cores until the all-core bin.
+    let turbo: Vec<u32> = (0..cores)
+        .map(|active| {
+            let steps = (active / 2) as u32 * 100;
+            max_turbo_mhz.saturating_sub(steps).max(base_mhz + 200)
+        })
+        .collect();
+    // AVX base sits ~400 MHz below nominal; AVX turbo ~200 MHz below the
+    // regular bins (the test SKU's published 2.1/2.8–3.1 pattern).
+    let avx_base = base_mhz.saturating_sub(400).max(1200);
+    let avx_turbo: Vec<u32> = turbo
+        .iter()
+        .map(|t| t.saturating_sub(200).max(avx_base))
+        .collect();
+    SkuSpec {
+        generation: CpuGeneration::HaswellEp,
+        model,
+        cores,
+        threads_per_core: 2,
+        die: DieLayout::for_haswell_core_count(cores),
+        freq: FrequencyTable {
+            min_mhz: 1200,
+            base_mhz,
+            turbo_by_active_cores_mhz: turbo,
+            avx_base_mhz: Some(avx_base),
+            avx_turbo_by_active_cores_mhz: avx_turbo,
+            uncore_min_mhz: calib::UNCORE_MIN_MHZ,
+            uncore_max_mhz: calib::UNCORE_MAX_MHZ,
+        },
+        tdp_w,
+        cache: CacheSpec::xeon_ep(),
+        mem: MemSpec::ddr4_2133_quad(),
+        core_vf: VfCurveSpec::haswell_core(),
+        uncore_vf: VfCurveSpec::haswell_uncore(),
+        power: PowerCoeffs::haswell_ep(),
+        acpi: AcpiLatencyTable::haswell_ep(),
+    }
+}
+
+/// Representative SKUs across the three dies.
+pub fn e5_2600_v3_line() -> Vec<SkuSpec> {
+    vec![
+        haswell_ep_sku("Intel Xeon E5-2623 v3", 4, 3000, 3500, 105.0),
+        haswell_ep_sku("Intel Xeon E5-2620 v3", 6, 2400, 3200, 85.0),
+        haswell_ep_sku("Intel Xeon E5-2630 v3", 8, 2400, 3200, 85.0),
+        haswell_ep_sku("Intel Xeon E5-2650 v3", 10, 2300, 3000, 105.0),
+        haswell_ep_sku("Intel Xeon E5-2680 v3", 12, 2500, 3300, 120.0),
+        haswell_ep_sku("Intel Xeon E5-2690 v3", 12, 2600, 3500, 135.0),
+        haswell_ep_sku("Intel Xeon E5-2695 v3", 14, 2300, 3300, 120.0),
+        haswell_ep_sku("Intel Xeon E5-2697 v3", 14, 2600, 3600, 145.0),
+        haswell_ep_sku("Intel Xeon E5-2698 v3", 16, 2300, 3600, 135.0),
+        haswell_ep_sku("Intel Xeon E5-2699 v3", 18, 2300, 3600, 145.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_covers_all_three_dies() {
+        let line = e5_2600_v3_line();
+        let mut die_names: Vec<&str> = line.iter().map(|s| s.die.name).collect();
+        die_names.sort_unstable();
+        die_names.dedup();
+        assert_eq!(die_names.len(), 3, "{die_names:?}");
+    }
+
+    #[test]
+    fn die_selection_matches_figure1() {
+        for sku in e5_2600_v3_line() {
+            let expect = match sku.cores {
+                4..=8 => 8,
+                9..=12 => 12,
+                _ => 18,
+            };
+            assert_eq!(
+                sku.die.physical_cores, expect,
+                "{} ({} cores)",
+                sku.model, sku.cores
+            );
+        }
+    }
+
+    #[test]
+    fn l3_scales_at_2_5_mib_per_core() {
+        for sku in e5_2600_v3_line() {
+            assert_eq!(
+                sku.cache.l3_total_kib(sku.cores),
+                sku.cores * 2560,
+                "{}",
+                sku.model
+            );
+        }
+    }
+
+    #[test]
+    fn turbo_bins_are_monotone_and_bounded() {
+        for sku in e5_2600_v3_line() {
+            let bins = &sku.freq.turbo_by_active_cores_mhz;
+            assert_eq!(bins.len(), sku.cores, "{}", sku.model);
+            for w in bins.windows(2) {
+                assert!(w[0] >= w[1], "{}: {bins:?}", sku.model);
+            }
+            assert!(bins[0] > sku.freq.base_mhz, "{}", sku.model);
+        }
+    }
+
+    #[test]
+    fn avx_bins_sit_below_regular_bins() {
+        for sku in e5_2600_v3_line() {
+            let avx_base = sku.freq.avx_base_mhz.unwrap();
+            assert!(avx_base < sku.freq.base_mhz, "{}", sku.model);
+            for (avx, reg) in sku
+                .freq
+                .avx_turbo_by_active_cores_mhz
+                .iter()
+                .zip(&sku.freq.turbo_by_active_cores_mhz)
+            {
+                assert!(avx <= reg, "{}", sku.model);
+                assert!(*avx >= avx_base, "{}", sku.model);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_2680v3_matches_the_hand_written_test_sku() {
+        let generated = haswell_ep_sku("Intel Xeon E5-2680 v3", 12, 2500, 3300, 120.0);
+        let reference = SkuSpec::xeon_e5_2680_v3();
+        assert_eq!(generated.cores, reference.cores);
+        assert_eq!(generated.freq.base_mhz, reference.freq.base_mhz);
+        assert_eq!(generated.freq.turbo_mhz(1), reference.freq.turbo_mhz(1));
+        assert_eq!(generated.freq.avx_base_mhz, reference.freq.avx_base_mhz);
+        assert_eq!(generated.tdp_w, reference.tdp_w);
+        assert_eq!(generated.die.name, reference.die.name);
+    }
+
+    #[test]
+    #[should_panic]
+    fn twenty_cores_is_rejected() {
+        let _ = haswell_ep_sku("bogus", 20, 2000, 2500, 100.0);
+    }
+}

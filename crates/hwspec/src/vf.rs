@@ -1,0 +1,101 @@
+//! Voltage/frequency curve specification for the FIVR model.
+//!
+//! The actual electrical model lives in `hsw-power`; this module only holds
+//! the curve parameters so that all SKU data stays in `hsw-hwspec`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a piecewise-linear V/f curve: below `knee_mhz` the voltage
+/// floor `vmin` applies; above it voltage rises linearly to `v_at_max` at
+/// `max_mhz`. This is the standard shape for FIVR-era parts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfCurveSpec {
+    /// Minimum operating voltage (V) — applies at and below the knee.
+    pub vmin: f64,
+    /// Frequency (MHz) up to which `vmin` suffices.
+    pub knee_mhz: u32,
+    /// Voltage at the maximum boost frequency (V).
+    pub v_at_max: f64,
+    /// Maximum boost frequency (MHz) anchoring `v_at_max`.
+    pub max_mhz: u32,
+}
+
+impl VfCurveSpec {
+    /// Typical Haswell-EP core V/f curve: ~0.7 V floor up to 1.2 GHz,
+    /// ~1.15 V at 3.3 GHz single-core turbo.
+    pub fn haswell_core() -> Self {
+        VfCurveSpec {
+            vmin: 0.70,
+            knee_mhz: 1200,
+            v_at_max: 1.15,
+            max_mhz: 3300,
+        }
+    }
+
+    /// Haswell-EP uncore V/f curve (ring + LLC domain).
+    pub fn haswell_uncore() -> Self {
+        VfCurveSpec {
+            vmin: 0.75,
+            knee_mhz: 1200,
+            v_at_max: 1.10,
+            max_mhz: 3000,
+        }
+    }
+
+    /// Sandy Bridge-EP core curve (chip-wide domain; mainboard VR).
+    pub fn sandy_bridge_core() -> Self {
+        VfCurveSpec {
+            vmin: 0.80,
+            knee_mhz: 1200,
+            v_at_max: 1.20,
+            max_mhz: 3800,
+        }
+    }
+
+    /// Operating voltage (V) at `mhz`, clamped to the curve's range.
+    pub fn voltage_at(&self, mhz: u32) -> f64 {
+        if mhz <= self.knee_mhz {
+            return self.vmin;
+        }
+        let mhz = mhz.min(self.max_mhz);
+        let t = (mhz - self.knee_mhz) as f64 / (self.max_mhz - self.knee_mhz) as f64;
+        self.vmin + t * (self.v_at_max - self.vmin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_is_monotone_in_frequency() {
+        let c = VfCurveSpec::haswell_core();
+        let mut prev = 0.0;
+        for mhz in (1200..=3300).step_by(100) {
+            let v = c.voltage_at(mhz);
+            assert!(v >= prev, "voltage dropped at {mhz} MHz");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn voltage_floor_below_knee() {
+        let c = VfCurveSpec::haswell_core();
+        assert_eq!(c.voltage_at(800), c.vmin);
+        assert_eq!(c.voltage_at(1200), c.vmin);
+    }
+
+    #[test]
+    fn voltage_clamps_at_max() {
+        let c = VfCurveSpec::haswell_core();
+        assert_eq!(c.voltage_at(3300), c.v_at_max);
+        assert_eq!(c.voltage_at(5000), c.v_at_max);
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let c = VfCurveSpec::haswell_uncore();
+        assert!((c.voltage_at(c.knee_mhz) - c.vmin).abs() < 1e-12);
+        assert!((c.voltage_at(c.max_mhz) - c.v_at_max).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! Functional set-associative cache simulator with LRU replacement, plus a
+//! three-level hierarchy matching the Xeon-EP cache geometry.
+//!
+//! This is the microbenchmark-scale companion of the analytic bandwidth
+//! model: experiments that reason about *which level a working set lives in*
+//! (the paper's 17 MB L3 set vs. 350 MB DRAM set, FIRESTARTER's per-level
+//! instruction groups) validate their classification against this model.
+
+use hsw_hwspec::CacheSpec;
+
+/// Result of a hierarchy access: which level served the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    L1Hit,
+    L2Hit,
+    L3Hit,
+    DramAccess,
+}
+
+impl AccessResult {
+    pub fn level_name(self) -> &'static str {
+        match self {
+            AccessResult::L1Hit => "L1",
+            AccessResult::L2Hit => "L2",
+            AccessResult::L3Hit => "L3",
+            AccessResult::DramAccess => "DRAM",
+        }
+    }
+}
+
+/// One set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_bytes: usize,
+    /// tags[set * ways + way] = Some(tag); parallel `lru` holds recency
+    /// (higher = more recent).
+    tags: Vec<Option<u64>>,
+    lru: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(ways >= 1 && line_bytes.is_power_of_two());
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines >= ways, "capacity too small for associativity");
+        // Sets need not be a power of two: ring L3s hash lines across
+        // slices, so e.g. a 30 MiB 20-way L3 has 24576 sets. We index with a
+        // modulo, matching the hash's uniform distribution.
+        let sets = lines / ways;
+        Cache {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![None; sets * ways],
+            lru: vec![0; sets * ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes as u64;
+        ((line % self.sets as u64) as usize, line / self.sets as u64)
+    }
+
+    /// Access `addr`; returns true on hit. On miss the line is filled,
+    /// evicting the LRU way.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w] == Some(tag) {
+                self.lru[base + w] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // Fill: pick an empty way or the least recently used one.
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for w in 0..self.ways {
+            if self.tags[base + w].is_none() {
+                victim = w;
+                break;
+            }
+            if self.lru[base + w] < best {
+                best = self.lru[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = Some(tag);
+        self.lru[base + victim] = self.clock;
+        false
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// L1D → L2 → shared L3 hierarchy of one core's view (L3 sized for the full
+/// socket: slice capacity × core count, as on the ring architectures).
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    pub l1: Cache,
+    pub l2: Cache,
+    pub l3: Cache,
+}
+
+impl CacheHierarchy {
+    pub fn new(spec: &CacheSpec, socket_cores: usize) -> Self {
+        CacheHierarchy {
+            l1: Cache::new(spec.l1d_kib * 1024, spec.l1d_ways, spec.line_bytes),
+            l2: Cache::new(spec.l2_kib * 1024, spec.l2_ways, spec.line_bytes),
+            l3: Cache::new(
+                spec.l3_slice_kib * 1024 * socket_cores,
+                spec.l3_ways,
+                spec.line_bytes,
+            ),
+        }
+    }
+
+    /// Access an address through the hierarchy (inclusive fill on miss).
+    pub fn access(&mut self, addr: u64) -> AccessResult {
+        if self.l1.access(addr) {
+            return AccessResult::L1Hit;
+        }
+        if self.l2.access(addr) {
+            return AccessResult::L2Hit;
+        }
+        if self.l3.access(addr) {
+            return AccessResult::L3Hit;
+        }
+        AccessResult::DramAccess
+    }
+
+    /// Stream over a working set once (sequential line-granular reads) and
+    /// report the distribution of service levels.
+    pub fn stream(&mut self, working_set_bytes: usize, line: usize) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        let mut addr = 0u64;
+        while (addr as usize) < working_set_bytes {
+            let idx = match self.access(addr) {
+                AccessResult::L1Hit => 0,
+                AccessResult::L2Hit => 1,
+                AccessResult::L3Hit => 2,
+                AccessResult::DramAccess => 3,
+            };
+            counts[idx] += 1;
+            addr += line as u64;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::SkuSpec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(32 * 1024, 8, 64);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1008)); // same line
+        assert!(!c.access(0x1040)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        // Direct-mapped-per-set behavior: 2 ways, fill 3 conflicting lines.
+        let mut c = Cache::new(2 * 64, 2, 64); // 1 set, 2 ways
+        let stride = 64;
+        c.access(0);
+        c.access(stride);
+        c.access(2 * stride); // evicts line 0
+        assert!(!c.access(0), "LRU line should have been evicted");
+        assert!(c.access(2 * stride));
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = Cache::new(32 * 1024, 8, 64);
+        for addr in (0..32 * 1024).step_by(64) {
+            c.access(addr as u64);
+        }
+        c.reset_stats();
+        for addr in (0..32 * 1024).step_by(64) {
+            c.access(addr as u64);
+        }
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_under_lru_stream() {
+        let mut c = Cache::new(32 * 1024, 8, 64);
+        // 2× capacity, streamed cyclically: LRU gives 0 % hits.
+        for _ in 0..3 {
+            for addr in (0..64 * 1024).step_by(64) {
+                c.access(addr as u64);
+            }
+        }
+        c.reset_stats();
+        for addr in (0..64 * 1024).step_by(64) {
+            c.access(addr as u64);
+        }
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn paper_17mb_set_is_l3_resident_350mb_is_not() {
+        // The paper's L3 benchmark uses 17 MB (< 30 MB L3) and the DRAM
+        // benchmark 350 MB (paper Section VII).
+        let sku = SkuSpec::xeon_e5_2680_v3();
+        let mut h = CacheHierarchy::new(&sku.cache, sku.cores);
+        let line = sku.cache.line_bytes;
+
+        let warm = 17 * 1024 * 1024;
+        h.stream(warm, line); // warm-up pass
+        let counts = h.stream(warm, line);
+        let dram_frac = counts[3] as f64 / counts.iter().sum::<u64>() as f64;
+        assert_eq!(counts[3], 0, "17 MB must be L3 resident ({dram_frac})");
+        assert!(counts[2] > 0, "17 MB must overflow L2 into L3");
+
+        let mut h2 = CacheHierarchy::new(&sku.cache, sku.cores);
+        let big = 350 * 1024 * 1024;
+        h2.stream(big, line);
+        let counts = h2.stream(big, line);
+        assert!(
+            counts[3] > counts[2],
+            "350 MB must be DRAM dominated: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_levels_have_increasing_capacity() {
+        let sku = SkuSpec::xeon_e5_2680_v3();
+        let h = CacheHierarchy::new(&sku.cache, sku.cores);
+        assert!(h.l1.capacity_bytes() < h.l2.capacity_bytes());
+        assert!(h.l2.capacity_bytes() < h.l3.capacity_bytes());
+        assert_eq!(h.l3.capacity_bytes(), 30 * 1024 * 1024);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hits_plus_misses_equals_accesses(
+            addrs in proptest::collection::vec(0u64..1_000_000, 1..500)
+        ) {
+            let mut c = Cache::new(4096, 4, 64);
+            for a in &addrs {
+                c.access(*a);
+            }
+            prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        }
+
+        #[test]
+        fn prop_immediate_reaccess_always_hits(addr in 0u64..10_000_000) {
+            let mut c = Cache::new(32 * 1024, 8, 64);
+            c.access(addr);
+            prop_assert!(c.access(addr));
+        }
+
+        #[test]
+        fn prop_capacity_is_preserved(
+            kib in prop_oneof![Just(32usize), Just(64), Just(256), Just(2048)],
+            ways in prop_oneof![Just(4usize), Just(8), Just(16)],
+        ) {
+            let c = Cache::new(kib * 1024, ways, 64);
+            prop_assert_eq!(c.capacity_bytes(), kib * 1024);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! MESI cache-coherence model for core-to-core line transfers.
+//!
+//! The paper notes that "the uncore frequency has a significant impact on
+//! on-die cache-line transfer rates" (Section II-D) — those transfers are
+//! coherence actions resolved through the ring and the L3's core-valid
+//! bits. This module implements the MESI state machine per cache line with
+//! a transfer-cost model in ring (uncore) cycles, following the
+//! methodology of the group's earlier coherence study (\[28\]: *Memory
+//! Performance and Cache Coherency Effects on an Intel Nehalem
+//! Multiprocessor System*).
+
+use std::collections::HashMap;
+
+use hsw_hwspec::DieLayout;
+
+use crate::ring::{RingNetwork, Stop};
+
+/// MESI states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mesi {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid,
+}
+
+/// What kind of access a core performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    Write,
+}
+
+/// Where a request was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Own cache (hit, no coherence action).
+    Local,
+    /// Forwarded from another core's cache (dirty or clean-exclusive line).
+    CacheToCache { owner: usize },
+    /// L3 (line shared or unowned but present).
+    L3,
+    /// Memory (line absent everywhere).
+    Dram,
+}
+
+/// Per-line directory entry: MESI state in each core's private cache.
+#[derive(Debug, Clone)]
+struct LineState {
+    states: Vec<Mesi>,
+}
+
+/// The coherence directory of one socket (L3 core-valid bits).
+#[derive(Debug)]
+pub struct CoherenceDirectory {
+    cores: usize,
+    lines: HashMap<u64, LineState>,
+    ring: RingNetwork,
+    die: DieLayout,
+}
+
+/// Outcome of one access: the serving source plus the coherence cost in
+/// uncore cycles (ring hops + snoop/forward latency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceResult {
+    pub source: Source,
+    pub uncore_cycles: u64,
+}
+
+/// Fixed L3/directory lookup cost in uncore cycles.
+const DIR_LOOKUP_CYCLES: u64 = 10;
+/// Extra cycles for a cache-to-cache forward (snoop + data return).
+const FORWARD_CYCLES: u64 = 14;
+/// DRAM access cost expressed in uncore cycles at 3 GHz (~65 ns).
+const DRAM_CYCLES: u64 = 195;
+
+impl CoherenceDirectory {
+    pub fn new(die: DieLayout) -> Self {
+        CoherenceDirectory {
+            cores: die.total_cores(),
+            lines: HashMap::new(),
+            ring: RingNetwork::new(&die),
+            die,
+        }
+    }
+
+    fn stop_of(&self, core: usize) -> Stop {
+        let partition = self.die.partition_of_core(core);
+        let base: usize = self
+            .die
+            .partitions
+            .iter()
+            .take(partition)
+            .map(|p| p.cores)
+            .sum();
+        Stop {
+            partition,
+            index: core - base,
+        }
+    }
+
+    /// Ring cost between two cores' stops (uncongested).
+    fn hop_cycles(&self, a: usize, b: usize) -> u64 {
+        self.ring.min_latency(self.stop_of(a), self.stop_of(b))
+    }
+
+    /// The MESI state of `line` in `core`'s cache.
+    pub fn state(&self, core: usize, line: u64) -> Mesi {
+        self.lines
+            .get(&line)
+            .map(|l| l.states[core])
+            .unwrap_or(Mesi::Invalid)
+    }
+
+    /// Perform an access and update the directory.
+    pub fn access(&mut self, core: usize, line: u64, access: Access) -> CoherenceResult {
+        assert!(core < self.cores);
+        let cores = self.cores;
+        let entry = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| LineState {
+                states: vec![Mesi::Invalid; cores],
+            });
+        let my_state = entry.states[core];
+
+        // Hits that need no bus action.
+        match (access, my_state) {
+            (Access::Read, Mesi::Modified | Mesi::Exclusive | Mesi::Shared)
+            | (Access::Write, Mesi::Modified) => {
+                return CoherenceResult {
+                    source: Source::Local,
+                    uncore_cycles: 0,
+                };
+            }
+            (Access::Write, Mesi::Exclusive) => {
+                // Silent E→M upgrade.
+                entry.states[core] = Mesi::Modified;
+                return CoherenceResult {
+                    source: Source::Local,
+                    uncore_cycles: 0,
+                };
+            }
+            _ => {}
+        }
+
+        // Find an owner (M or E) or sharers.
+        let owner = entry
+            .states
+            .iter()
+            .position(|s| matches!(s, Mesi::Modified | Mesi::Exclusive));
+        let any_shared = entry.states.contains(&Mesi::Shared);
+
+        let (source, extra) = match owner {
+            Some(o) if o != core => (
+                Source::CacheToCache { owner: o },
+                self.hop_cycles(core, o) + FORWARD_CYCLES,
+            ),
+            _ if any_shared => (Source::L3, 0),
+            _ => (Source::Dram, DRAM_CYCLES),
+        };
+
+        // State updates.
+        let entry = self.lines.get_mut(&line).expect("entry exists");
+        match access {
+            Access::Read => {
+                if let Some(o) = owner.filter(|o| *o != core) {
+                    // Owner is demoted to Shared; line now shared.
+                    entry.states[o] = Mesi::Shared;
+                    entry.states[core] = Mesi::Shared;
+                } else if any_shared {
+                    entry.states[core] = Mesi::Shared;
+                } else {
+                    entry.states[core] = Mesi::Exclusive;
+                }
+            }
+            Access::Write => {
+                for s in entry.states.iter_mut() {
+                    *s = Mesi::Invalid;
+                }
+                entry.states[core] = Mesi::Modified;
+            }
+        }
+
+        CoherenceResult {
+            source,
+            uncore_cycles: DIR_LOOKUP_CYCLES + extra,
+        }
+    }
+
+    /// Core-to-core transfer latency of a dirty line in ns at the given
+    /// uncore frequency — the quantity the paper says UFS moves.
+    pub fn dirty_transfer_ns(&mut self, from: usize, to: usize, f_unc_ghz: f64) -> f64 {
+        // Install dirty in `from`, then read from `to`.
+        let line = 0xDEAD_0000u64 | ((from as u64) << 8) | to as u64;
+        self.access(from, line, Access::Write);
+        let r = self.access(to, line, Access::Read);
+        debug_assert!(matches!(r.source, Source::CacheToCache { .. }));
+        r.uncore_cycles as f64 / f_unc_ghz.max(0.1)
+    }
+
+    /// Exactly-one-owner invariant (at most one M/E copy; M excludes any
+    /// other valid copy).
+    pub fn check_invariants(&self) -> bool {
+        for l in self.lines.values() {
+            let m = l.states.iter().filter(|s| **s == Mesi::Modified).count();
+            let e = l.states.iter().filter(|s| **s == Mesi::Exclusive).count();
+            let shared = l.states.iter().filter(|s| **s == Mesi::Shared).count();
+            if m + e > 1 {
+                return false;
+            }
+            if m == 1 && shared > 0 {
+                return false;
+            }
+            if e == 1 && shared > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::DieLayout;
+    use proptest::prelude::*;
+
+    fn dir() -> CoherenceDirectory {
+        CoherenceDirectory::new(DieLayout::die12())
+    }
+
+    #[test]
+    fn cold_read_comes_from_dram_then_hits_locally() {
+        let mut d = dir();
+        let r = d.access(0, 0x40, Access::Read);
+        assert_eq!(r.source, Source::Dram);
+        assert_eq!(d.state(0, 0x40), Mesi::Exclusive);
+        let r2 = d.access(0, 0x40, Access::Read);
+        assert_eq!(r2.source, Source::Local);
+        assert_eq!(r2.uncore_cycles, 0);
+    }
+
+    #[test]
+    fn dirty_line_forwards_cache_to_cache() {
+        let mut d = dir();
+        d.access(3, 0x80, Access::Write);
+        assert_eq!(d.state(3, 0x80), Mesi::Modified);
+        let r = d.access(7, 0x80, Access::Read);
+        assert_eq!(r.source, Source::CacheToCache { owner: 3 });
+        assert_eq!(d.state(3, 0x80), Mesi::Shared);
+        assert_eq!(d.state(7, 0x80), Mesi::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut d = dir();
+        for c in 0..4 {
+            d.access(c, 0xC0, Access::Read);
+        }
+        d.access(5, 0xC0, Access::Write);
+        for c in 0..4 {
+            assert_eq!(d.state(c, 0xC0), Mesi::Invalid, "core {c}");
+        }
+        assert_eq!(d.state(5, 0xC0), Mesi::Modified);
+    }
+
+    #[test]
+    fn silent_exclusive_to_modified_upgrade() {
+        let mut d = dir();
+        d.access(2, 0x100, Access::Read);
+        assert_eq!(d.state(2, 0x100), Mesi::Exclusive);
+        let r = d.access(2, 0x100, Access::Write);
+        assert_eq!(r.source, Source::Local);
+        assert_eq!(d.state(2, 0x100), Mesi::Modified);
+    }
+
+    #[test]
+    fn cross_partition_transfers_cost_more() {
+        let mut d = dir();
+        // Cores 0 and 7 share partition 0; core 8 lives in partition 1.
+        d.access(0, 0x140, Access::Write);
+        let local = d.access(7, 0x140, Access::Read).uncore_cycles;
+        d.access(0, 0x180, Access::Write);
+        let cross = d.access(8, 0x180, Access::Read).uncore_cycles;
+        assert!(
+            cross > local,
+            "cross-partition {cross} must exceed in-partition {local}"
+        );
+    }
+
+    #[test]
+    fn transfer_latency_scales_with_uncore_frequency() {
+        // The paper's Section II-D claim: UFS moves cache-line transfer
+        // rates. Halving the uncore clock doubles the transfer time.
+        let mut d = dir();
+        let fast = d.dirty_transfer_ns(0, 5, 3.0);
+        let mut d = dir();
+        let slow = d.dirty_transfer_ns(0, 5, 1.5);
+        assert!((slow / fast - 2.0).abs() < 1e-9, "{slow} vs {fast}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mesi_invariants_hold_under_random_traffic(
+            ops in proptest::collection::vec(
+                (0usize..12, 0u64..16, any::<bool>()),
+                1..300,
+            )
+        ) {
+            let mut d = dir();
+            for (core, line, write) in ops {
+                let access = if write { Access::Write } else { Access::Read };
+                d.access(core, line * 64, access);
+                prop_assert!(d.check_invariants());
+            }
+        }
+
+        #[test]
+        fn prop_write_makes_writer_modified(
+            setup in proptest::collection::vec((0usize..12, any::<bool>()), 0..20),
+            writer in 0usize..12,
+        ) {
+            let mut d = dir();
+            for (core, write) in setup {
+                d.access(core, 0x40, if write { Access::Write } else { Access::Read });
+            }
+            d.access(writer, 0x40, Access::Write);
+            prop_assert_eq!(d.state(writer, 0x40), Mesi::Modified);
+            for c in (0..12).filter(|c| *c != writer) {
+                prop_assert_eq!(d.state(c, 0x40), Mesi::Invalid);
+            }
+        }
+
+        #[test]
+        fn prop_reads_never_invalidate_other_copies(
+            readers in proptest::collection::vec(0usize..12, 1..24),
+        ) {
+            let mut d = dir();
+            let mut valid = std::collections::HashSet::new();
+            for r in readers {
+                d.access(r, 0x200, Access::Read);
+                valid.insert(r);
+                for v in &valid {
+                    prop_assert_ne!(d.state(*v, 0x200), Mesi::Invalid);
+                }
+            }
+        }
+    }
+}

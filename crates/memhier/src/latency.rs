@@ -1,0 +1,115 @@
+//! Load-to-use latency model per memory level.
+//!
+//! Latencies combine a core-clock component (issue, L1/L2 lookups) with an
+//! uncore-clock component (ring traversal, slice lookup, IMC). This is why
+//! the paper's uncore frequency scaling moves L3 and DRAM latency — and why
+//! "the performance of the uncore can change depending on the previous
+//! memory access patterns" (paper Conclusions).
+
+use hsw_hwspec::SkuSpec;
+
+/// L1D load-to-use latency in core cycles (constant across the covered
+/// generations).
+pub const L1_LATENCY_CYCLES: f64 = 4.0;
+
+/// L2 load-to-use latency in core cycles.
+pub const L2_LATENCY_CYCLES: f64 = 12.0;
+
+/// Core-clock cycles spent before a request leaves the core domain
+/// (L1+L2 miss handling, super queue).
+const L3_CORE_CYCLES: f64 = 10.0;
+
+/// Uncore cycles for slice lookup + data return, excluding ring hops.
+const L3_UNCORE_BASE_CYCLES: f64 = 21.0;
+
+/// Uncore cycles per ring hop (one direction; the return trip doubles it).
+const RING_HOP_CYCLES: f64 = 1.0;
+
+/// DRAM device latency (activate + CAS + transfer) in ns, independent of
+/// both clock domains.
+const DRAM_DEVICE_NS: f64 = 55.0;
+
+/// IMC queue occupancy in uncore cycles.
+const IMC_CYCLES: f64 = 12.0;
+
+/// Average L3 hit latency in ns for a core in `partition` of the SKU's die.
+pub fn l3_latency_ns(spec: &SkuSpec, partition: usize, f_core_ghz: f64, f_unc_ghz: f64) -> f64 {
+    let hops = spec.die.mean_ring_hops(partition.min(spec.die.partitions.len() - 1));
+    let uncore_cycles = L3_UNCORE_BASE_CYCLES + 2.0 * RING_HOP_CYCLES * hops;
+    L3_CORE_CYCLES / f_core_ghz.max(0.1) + uncore_cycles / f_unc_ghz.max(0.1)
+}
+
+/// Average local-DRAM load latency in ns.
+pub fn dram_latency_ns(spec: &SkuSpec, partition: usize, f_core_ghz: f64, f_unc_ghz: f64) -> f64 {
+    l3_latency_ns(spec, partition, f_core_ghz, f_unc_ghz)
+        + IMC_CYCLES / f_unc_ghz.max(0.1)
+        + DRAM_DEVICE_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::SkuSpec;
+    use proptest::prelude::*;
+
+    fn hsw() -> SkuSpec {
+        SkuSpec::xeon_e5_2680_v3()
+    }
+
+    #[test]
+    fn l3_latency_in_plausible_range() {
+        // ~34 core cycles at 2.5/3.0 GHz ≈ 12–16 ns on real Haswell-EP.
+        let ns = l3_latency_ns(&hsw(), 0, 2.5, 3.0);
+        assert!((10.0..20.0).contains(&ns), "l3 = {ns} ns");
+    }
+
+    #[test]
+    fn dram_latency_in_plausible_range() {
+        let ns = dram_latency_ns(&hsw(), 0, 2.5, 3.0);
+        assert!((65.0..95.0).contains(&ns), "dram = {ns} ns");
+    }
+
+    #[test]
+    fn uncore_frequency_moves_l3_latency() {
+        // The UFS consequence: halving the uncore clock visibly slows L3.
+        let fast = l3_latency_ns(&hsw(), 0, 2.5, 3.0);
+        let slow = l3_latency_ns(&hsw(), 0, 2.5, 1.5);
+        assert!(slow > fast * 1.5, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn dram_device_time_dominates_dram_latency() {
+        // Core frequency has limited leverage on DRAM latency — the root of
+        // the paper's DVFS-for-memory-bound-codes argument.
+        let fast = dram_latency_ns(&hsw(), 0, 2.5, 3.0);
+        let slow = dram_latency_ns(&hsw(), 0, 1.2, 3.0);
+        assert!(slow / fast < 1.1, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn bigger_partition_means_longer_ring() {
+        let sku = hsw(); // 12-core die: partitions of 8 and 4
+        let big = l3_latency_ns(&sku, 0, 2.5, 3.0);
+        let small = l3_latency_ns(&sku, 1, 2.5, 3.0);
+        assert!(big > small);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_latency_monotone_in_clocks(
+            fc in 1.2f64..3.3,
+            fu in 1.2f64..3.0,
+        ) {
+            let sku = hsw();
+            prop_assert!(
+                l3_latency_ns(&sku, 0, fc + 0.1, fu) < l3_latency_ns(&sku, 0, fc, fu)
+            );
+            prop_assert!(
+                l3_latency_ns(&sku, 0, fc, fu + 0.1) < l3_latency_ns(&sku, 0, fc, fu)
+            );
+            prop_assert!(
+                dram_latency_ns(&sku, 0, fc, fu) > l3_latency_ns(&sku, 0, fc, fu)
+            );
+        }
+    }
+}

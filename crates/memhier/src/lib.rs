@@ -1,0 +1,37 @@
+//! # hsw-memhier — ring interconnect, caches, and memory bandwidth
+//!
+//! Three layers, bottom-up:
+//!
+//! * [`cache`]: a functional set-associative cache simulator (LRU) and a
+//!   three-level hierarchy used for microbenchmark-scale experiments and for
+//!   validating working-set classification.
+//! * [`ring`]: a message-level simulator of the partitioned ring
+//!   interconnect (paper Figure 1) with the buffered inter-partition
+//!   queues — the structural ground truth the analytic models are checked
+//!   against.
+//! * [`latency`]: load-to-use latencies per memory level as a function of
+//!   core and uncore frequency and the ring topology (paper Figure 1).
+//! * [`bandwidth`]: the analytic read-bandwidth model behind paper
+//!   Figures 7 and 8 — per-generation core-side and uncore-side service
+//!   terms that reproduce who scales with what: Haswell's L3 follows the
+//!   core clock and flattens, its DRAM saturates at 8 cores and becomes
+//!   core-frequency independent, Sandy Bridge's DRAM tracks the core clock
+//!   because the uncore is core-coupled, Westmere's fixed uncore decouples
+//!   both.
+
+pub mod bandwidth;
+pub mod cache;
+pub mod coherence;
+pub mod latency;
+pub mod prefetch;
+pub mod ring;
+
+pub use bandwidth::{
+    dram_read_bandwidth_gbs, dram_read_bandwidth_gbs_ext, l3_read_bandwidth_gbs, BwParams,
+    MemoryLevel,
+};
+pub use cache::{AccessResult, Cache, CacheHierarchy};
+pub use coherence::{Access, CoherenceDirectory, CoherenceResult, Mesi, Source};
+pub use latency::{dram_latency_ns, l3_latency_ns};
+pub use prefetch::{PrefetchedHierarchy, StreamPrefetcher};
+pub use ring::{Delivery, RingNetwork, Stop};

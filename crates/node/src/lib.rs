@@ -1,0 +1,25 @@
+//! # hsw-node — the simulated dual-socket compute node
+//!
+//! Binds the substrates into the paper's test system (Table II): two
+//! simulated Xeon E5-2680 v3 packages with per-socket PCU (p-state engine,
+//! UFS, AVX licenses, EET, TDP limiter), MSR banks, RAPL engines, c-state
+//! governor with cross-socket package-state coupling, the DRAM/bandwidth
+//! model, and the node-level electrical path (PSU, fans, LMG450 meter).
+//!
+//! The simulator advances in fixed ticks (configurable, default 20 µs,
+//! 1 µs for latency experiments). Workloads are assigned per hardware
+//! thread as [`hsw_exec::WorkloadProfile`]s; measurement tools interact
+//! with the hardware through [`Node::rdmsr`]/[`Node::wrmsr`] exactly like
+//! their real counterparts.
+
+pub mod config;
+pub mod node;
+pub mod script;
+pub mod socket;
+pub mod telemetry;
+
+pub use config::{CpuId, NodeConfig};
+pub use node::Node;
+pub use script::{Action, WorkloadScript};
+pub use socket::Socket;
+pub use telemetry::{Snapshot, Trace};

@@ -1,0 +1,163 @@
+//! Timed workload scripts: declarative sequences of node actions, for
+//! experiments whose point is *dynamics* (EET misprediction, DVFS during
+//! phase changes) rather than steady state.
+
+use hsw_exec::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_hwspec::EpbClass;
+
+use crate::config::CpuId;
+use crate::node::Node;
+
+/// One scripted action.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Run a profile on the first `cores` cores of `socket` with
+    /// `threads_per_core` threads.
+    Run {
+        socket: usize,
+        profile: WorkloadProfile,
+        cores: usize,
+        threads_per_core: usize,
+    },
+    /// Idle one socket.
+    IdleSocket(usize),
+    /// Assign one hardware thread.
+    Assign(CpuId, Option<WorkloadProfile>),
+    /// Set the frequency setting on all cores.
+    SetSettingAll(FreqSetting),
+    /// Program the EPB everywhere.
+    SetEpbAll(EpbClass),
+    /// Toggle turbo.
+    SetTurbo(bool),
+}
+
+/// A script: actions at absolute times (seconds from playback start).
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadScript {
+    events: Vec<(f64, Action)>,
+}
+
+impl WorkloadScript {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an action at `t_s` seconds from playback start.
+    pub fn at(mut self, t_s: f64, action: Action) -> Self {
+        self.events.push((t_s, action));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Play the script on a node for `total_s` seconds, invoking `sample`
+    /// every `sample_every_s` (after advancing to each sample point).
+    pub fn play(
+        mut self,
+        node: &mut Node,
+        total_s: f64,
+        sample_every_s: f64,
+        mut sample: impl FnMut(&mut Node),
+    ) {
+        self.events
+            .sort_by(|a, b| a.0.total_cmp(&b.0));
+        let t0 = node.now_s();
+        let mut next_event = 0usize;
+        let mut next_sample = t0 + sample_every_s;
+        let end = t0 + total_s;
+        while node.now_s() < end {
+            // Fire due events.
+            while next_event < self.events.len()
+                && t0 + self.events[next_event].0 <= node.now_s() + 1e-9
+            {
+                apply(node, self.events[next_event].1.clone());
+                next_event += 1;
+            }
+            // Advance to the next boundary (event, sample, or end).
+            let mut target = end.min(next_sample);
+            if next_event < self.events.len() {
+                target = target.min(t0 + self.events[next_event].0);
+            }
+            let dt = (target - node.now_s()).max(1e-6);
+            node.advance_s(dt);
+            if node.now_s() + 1e-9 >= next_sample {
+                sample(node);
+                next_sample += sample_every_s;
+            }
+        }
+    }
+}
+
+fn apply(node: &mut Node, action: Action) {
+    match action {
+        Action::Run {
+            socket,
+            profile,
+            cores,
+            threads_per_core,
+        } => node.run_on_socket(socket, &profile, cores, threads_per_core),
+        Action::IdleSocket(s) => node.run_on_socket(s, &WorkloadProfile::idle(), 0, 0),
+        Action::Assign(cpu, w) => node.assign(cpu, w),
+        Action::SetSettingAll(s) => node.set_setting_all(s),
+        Action::SetEpbAll(e) => node.set_epb_all(e),
+        Action::SetTurbo(t) => node.set_turbo(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+
+    #[test]
+    fn script_fires_actions_in_time_order() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        let script = WorkloadScript::new()
+            .at(0.2, Action::Run {
+                socket: 0,
+                profile: WorkloadProfile::compute(),
+                cores: 4,
+                threads_per_core: 1,
+            })
+            .at(0.0, Action::SetSettingAll(FreqSetting::from_mhz(2000)));
+        let mut samples = Vec::new();
+        script.play(&mut node, 0.5, 0.1, |n| {
+            samples.push((n.now_s(), n.true_pkg_power_w(0)));
+        });
+        assert_eq!(samples.len(), 5);
+        // Power rises once the workload starts at t = 0.2 s.
+        assert!(samples.last().unwrap().1 > samples.first().unwrap().1 + 5.0);
+    }
+
+    #[test]
+    fn idle_action_quiesces_the_socket() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        let script = WorkloadScript::new()
+            .at(0.0, Action::Run {
+                socket: 0,
+                profile: WorkloadProfile::compute(),
+                cores: 12,
+                threads_per_core: 2,
+            })
+            .at(0.3, Action::IdleSocket(0));
+        let mut last = 0.0;
+        script.play(&mut node, 0.6, 0.05, |n| last = n.true_pkg_power_w(0));
+        assert!(last < 30.0, "socket should be near idle, got {last:.1} W");
+    }
+
+    #[test]
+    fn sample_cadence_is_respected() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        let mut times = Vec::new();
+        WorkloadScript::new().play(&mut node, 0.35, 0.1, |n| times.push(n.now_s()));
+        assert_eq!(times.len(), 3);
+        assert!((times[1] - times[0] - 0.1).abs() < 1e-3);
+    }
+}

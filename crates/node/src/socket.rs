@@ -1,0 +1,611 @@
+//! One simulated processor package.
+
+use hsw_cstates::{resolve_package_state, select_core_state, CoreCState, PkgCState};
+use hsw_exec::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_hwspec::{EpbClass, PState, SkuSpec};
+use hsw_msr::{addresses as msra, fields, MsrBank};
+use hsw_pcu::{
+    AvxLicense, EetController, PStateEngine, PcuController, PcuInputs, PcuGrant, TransitionEvent,
+};
+use hsw_power::{
+    dram_power_w, package_power_w, CoreElecState, DramRaplMode, Mbvr, MbvrPowerState,
+    ModelBias, RaplEngine, ThermalParams, ThermalState,
+};
+use rand::Rng;
+
+/// Nanoseconds.
+pub type Ns = u64;
+const US: Ns = 1_000;
+
+/// Per-tick result handed to the node for aggregation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SocketTick {
+    pub pkg_w: f64,
+    pub dram_w: f64,
+    pub dram_bw_gbs: f64,
+}
+
+/// One processor package with its PCU, MSRs, RAPL, and c-state machinery.
+pub struct Socket {
+    pub id: usize,
+    spec: SkuSpec,
+    power_mult: f64,
+    eet_enabled: bool,
+    pub msr: MsrBank,
+    pstate: PStateEngine,
+    eet: EetController,
+    avx: Vec<AvxLicense>,
+    rapl: RaplEngine,
+    /// Requested frequency setting per core (the OS view).
+    requested: Vec<FreqSetting>,
+    /// Workload per hardware thread.
+    threads: Vec<Option<WorkloadProfile>>,
+    /// Current c-state per core.
+    cstates: Vec<CoreCState>,
+    pkg_cstate: PkgCState,
+    /// Granted operating point (updated at the PCU cadence).
+    grant: PcuGrant,
+    next_pcu: Ns,
+    /// Hash of the PCU inputs at the last solve (event-driven re-solve).
+    last_pcu_key: u64,
+    /// Effective core frequencies in MHz (ground truth).
+    core_mhz: Vec<f64>,
+    uncore_mhz: f64,
+    thermal: ThermalState,
+    mbvr: Mbvr,
+    transition_log: Vec<TransitionEvent>,
+}
+
+impl Socket {
+    pub fn new(
+        id: usize,
+        spec: SkuSpec,
+        power_mult: f64,
+        dram_mode: DramRaplMode,
+        eet_enabled: bool,
+        pcu_phase_ns: Ns,
+    ) -> Self {
+        let threads = spec.hw_threads();
+        let cores = spec.cores;
+        let base = PState::from_mhz(spec.freq.base_mhz);
+        let mut msr = MsrBank::new(spec.generation, threads);
+        // The firmware default EPB is balanced (paper Table II).
+        for t in 0..threads {
+            msr.store(t, msra::IA32_ENERGY_PERF_BIAS, fields::encode_epb(EpbClass::Balanced));
+            msr.store(t, msra::IA32_PERF_CTL, fields::encode_perf_ctl(base));
+        }
+        Socket {
+            id,
+            power_mult,
+            eet_enabled,
+            pstate: PStateEngine::new(spec.generation, cores, base, pcu_phase_ns),
+            eet: EetController::new(eet_enabled),
+            avx: vec![AvxLicense::new(); cores],
+            rapl: RaplEngine::new(spec.generation, dram_mode),
+            requested: vec![FreqSetting::Turbo; cores],
+            threads: vec![None; threads],
+            cstates: vec![CoreCState::C6; cores],
+            pkg_cstate: PkgCState::PC6,
+            grant: PcuGrant {
+                core_mhz: spec.freq.min_mhz as f64,
+                uncore_mhz: spec.freq.uncore_min_mhz as f64,
+                power_w: 0.0,
+                power_limited: false,
+            },
+            next_pcu: pcu_phase_ns,
+            last_pcu_key: u64::MAX,
+            core_mhz: vec![spec.freq.min_mhz as f64; cores],
+            uncore_mhz: spec.freq.uncore_min_mhz as f64,
+            thermal: ThermalState::new(ThermalParams::server_max_fans()),
+            mbvr: Mbvr::new(),
+            msr,
+            spec,
+            transition_log: Vec::new(),
+        }
+    }
+
+    pub fn spec(&self) -> &SkuSpec {
+        &self.spec
+    }
+
+    /// Assign (or clear) a workload on a hardware thread.
+    pub fn set_thread(&mut self, core: usize, thread: usize, w: Option<WorkloadProfile>) {
+        let idx = core * self.spec.threads_per_core + thread;
+        self.threads[idx] = w;
+    }
+
+    /// OS request: set the frequency setting of one core.
+    pub fn set_core_setting(&mut self, core: usize, setting: FreqSetting, now: Ns) {
+        self.requested[core] = setting;
+        let target = match setting {
+            FreqSetting::Fixed(p) => p,
+            FreqSetting::Turbo => PState::from_mhz(self.spec.freq.base_mhz),
+        };
+        self.pstate.request(core, target, now);
+        for t in 0..self.spec.threads_per_core {
+            self.msr.store(
+                core * self.spec.threads_per_core + t,
+                msra::IA32_PERF_CTL,
+                fields::encode_perf_ctl(target),
+            );
+        }
+    }
+
+    /// A `wrmsr` to `IA32_PERF_CTL` from a tool: translate into a p-state
+    /// request (per-core domain on Haswell-EP).
+    pub fn perf_ctl_written(&mut self, thread: usize, value: u64, now: Ns) {
+        let core = thread / self.spec.threads_per_core;
+        let target = fields::decode_perf_ctl(value);
+        self.requested[core] = FreqSetting::Fixed(target);
+        self.pstate.request(core, target, now);
+    }
+
+    /// EPB class currently programmed (core 0's thread 0 — the paper
+    /// programs all cores alike).
+    pub fn epb(&self) -> EpbClass {
+        fields::decode_epb(self.msr.read(0, msra::IA32_ENERGY_PERF_BIAS).unwrap_or(0))
+    }
+
+    /// Whether turbo is enabled (inverted `IA32_MISC_ENABLE\[38\]`).
+    pub fn turbo_enabled(&self) -> bool {
+        let v = self
+            .msr
+            .read_package(msra::IA32_MISC_ENABLE)
+            .unwrap_or(0);
+        v & msra::MISC_ENABLE_TURBO_DISABLE_BIT == 0
+    }
+
+    fn active_cores(&self) -> usize {
+        (0..self.spec.cores)
+            .filter(|c| self.core_busy(*c))
+            .count()
+    }
+
+    fn core_busy(&self, core: usize) -> bool {
+        let tpc = self.spec.threads_per_core;
+        (0..tpc).any(|t| self.threads[core * tpc + t].is_some())
+    }
+
+    fn core_smt(&self, core: usize) -> bool {
+        let tpc = self.spec.threads_per_core;
+        (0..tpc)
+            .filter(|t| self.threads[core * tpc + t].is_some())
+            .count()
+            >= 2
+    }
+
+    /// The dominant profile across busy threads (first found) — used for
+    /// socket-scope aggregates that have no per-core meaning (the modeled
+    /// RAPL bias class).
+    fn dominant_profile(&self) -> Option<&WorkloadProfile> {
+        self.threads.iter().flatten().next()
+    }
+
+    /// The profile running on one core (its first busy thread).
+    fn core_profile(&self, core: usize) -> Option<&WorkloadProfile> {
+        let tpc = self.spec.threads_per_core;
+        (0..tpc).find_map(|t| self.threads[core * tpc + t].as_ref())
+    }
+
+    /// The transition-engine-gated setting of one core: a fixed request
+    /// only takes effect once the p-state engine has switched (the ~500 µs
+    /// opportunity mechanism).
+    fn gated_setting(&self, core: usize) -> FreqSetting {
+        match self.requested[core] {
+            FreqSetting::Turbo => FreqSetting::Turbo,
+            FreqSetting::Fixed(_) => FreqSetting::Fixed(self.pstate.current(core)),
+        }
+    }
+
+    /// The fastest (gated) setting among busy cores (Turbo dominates).
+    fn fastest_setting(&self) -> FreqSetting {
+        let mut best: Option<FreqSetting> = None;
+        for c in 0..self.spec.cores {
+            if !self.core_busy(c) {
+                continue;
+            }
+            let s = self.gated_setting(c);
+            best = Some(match (best, s) {
+                (None, s) => s,
+                (Some(FreqSetting::Turbo), _) | (_, FreqSetting::Turbo) => FreqSetting::Turbo,
+                (Some(FreqSetting::Fixed(a)), FreqSetting::Fixed(b)) => {
+                    FreqSetting::Fixed(a.max(b))
+                }
+            });
+        }
+        best.unwrap_or(FreqSetting::Fixed(PState::from_mhz(self.spec.freq.base_mhz)))
+    }
+
+    /// Advance this socket by `dt` ending at `now`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick<R: Rng>(
+        &mut self,
+        now: Ns,
+        dt: Ns,
+        t_s: f64,
+        other_socket_active: bool,
+        fastest_setting_in_system: Option<FreqSetting>,
+        rng: &mut R,
+    ) -> SocketTick {
+        let dt_s = dt as f64 * 1e-9;
+        let spec = self.spec.clone();
+        let tpc = spec.threads_per_core;
+
+        // 1. P-state engine (transition latencies).
+        self.pstate.tick(now, rng);
+        self.transition_log.extend(self.pstate.drain_events());
+
+        // 2. Workload aggregation — heterogeneous per core: each core
+        //    contributes its own profile's duty, activity, stalls and AVX
+        //    stream; socket-scope aggregates are derived from those.
+        let active = self.active_cores();
+        let profile = self.dominant_profile().cloned();
+        let mut duty_sum = 0.0;
+        let mut activity_sum = 0.0;
+        let mut stall = 0.0f64;
+        let smt_any = (0..spec.cores).any(|c| self.core_smt(c));
+        for c in 0..spec.cores {
+            if let Some(p) = self.core_profile(c) {
+                let d = p.duty.factor_at(t_s);
+                duty_sum += d;
+                activity_sum += p.activity(self.core_smt(c)) * d;
+                // Stalls drive UFS up: the hungriest core dominates.
+                stall = stall.max(p.stall_fraction);
+            }
+        }
+        let duty = if active > 0 { duty_sum / active as f64 } else { 0.0 };
+
+        // 3. AVX licenses (per core, driven by its own instruction stream).
+        for c in 0..spec.cores {
+            let avx_stream = self.core_profile(c).map(|p| p.avx_heavy).unwrap_or(false);
+            let busy = self.core_busy(c);
+            self.avx[c].observe(busy && avx_stream, now);
+        }
+        let avx_engaged = (0..spec.cores).any(|c| self.core_busy(c) && self.avx[c].engaged());
+
+        // 4. EET (1 ms sporadic stall polling).
+        self.eet.tick(now, stall * duty.min(1.0));
+
+        // 5. PCU equilibrium: re-solved at the 500 µs cadence (power drift)
+        //    and immediately whenever an input changes — e.g. a p-state
+        //    opportunity completing a transition.
+        let setting = fastest_setting_in_system
+            .filter(|_| active == 0)
+            .unwrap_or_else(|| self.fastest_setting());
+        let duty_bucket = (duty * 20.0).round() as u64;
+        // Bucketed so the solver re-runs as the limiter's average migrates
+        // (fine steps during bursts, none in steady state).
+        let avg_bucket = (self.rapl.running_avg_pkg_w() / 2.0) as u64;
+        let key = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            avg_bucket.hash(&mut h);
+            setting.hash(&mut h);
+            active.hash(&mut h);
+            self.epb().hash(&mut h);
+            self.turbo_enabled().hash(&mut h);
+            avx_engaged.hash(&mut h);
+            duty_bucket.hash(&mut h);
+            ((self.eet.sampled_stall() * 100.0) as u64).hash(&mut h);
+            h.finish()
+        };
+        if key != self.last_pcu_key || self.next_pcu <= now {
+            self.last_pcu_key = key;
+            self.next_pcu = now + hsw_hwspec::calib::PSTATE_OPPORTUNITY_PERIOD_US as Ns * US;
+            let epb = self.epb();
+            let eet_limit = if self.eet_enabled {
+                self.eet
+                    .limit_mhz(&spec, epb, spec.freq.turbo_mhz(active.max(1)))
+            } else {
+                u32::MAX
+            };
+            let _ = smt_any;
+            let activity = if active > 0 {
+                activity_sum / active as f64
+            } else {
+                0.0
+            };
+            let inputs = PcuInputs {
+                spec: &spec,
+                socket_power_mult: self.power_mult,
+                setting,
+                epb,
+                turbo_enabled: self.turbo_enabled(),
+                active_cores: active,
+                gated_idle_cores: (0..spec.cores)
+                    .filter(|c| !self.core_busy(*c) && self.cstates[*c].power_gated())
+                    .count(),
+                activity,
+                avx_engaged,
+                stall_fraction: stall,
+                eet_limit_mhz: eet_limit,
+                avg_pkg_w: self.rapl.running_avg_pkg_w(),
+            };
+            self.grant = PcuController::solve(&inputs);
+            // Software-imposed uncore bounds (paper Section II-D: "it can
+            // be specified via the MSR UNCORE_RATIO_LIMIT"): clamp the UFS
+            // grant to the programmed window.
+            if let Ok(v) = self.msr.read_package(msra::MSR_UNCORE_RATIO_LIMIT) {
+                if v != 0 {
+                    let (min_ratio, max_ratio) = fields::decode_uncore_ratio_limit(v);
+                    let lo = (min_ratio as f64 * 100.0)
+                        .max(spec.freq.uncore_min_mhz as f64);
+                    let hi = (max_ratio as f64 * 100.0)
+                        .min(spec.freq.uncore_max_mhz as f64)
+                        .max(lo);
+                    self.grant.uncore_mhz = self.grant.uncore_mhz.clamp(lo, hi);
+                }
+            }
+        }
+
+        // 6. Effective frequencies: the PCU grant, clamped per core by its
+        //    own (transition-latency-gated) p-state for fixed settings.
+        for c in 0..spec.cores {
+            if !self.core_busy(c) {
+                self.core_mhz[c] = spec.freq.min_mhz as f64;
+                continue;
+            }
+            let own_cap = match self.requested[c] {
+                FreqSetting::Turbo => f64::INFINITY,
+                // EPB=performance keeps turbo active at the base-frequency
+                // setting (paper Section II-C) — the fixed-p-state clamp
+                // must not override the PCU's turbo grant in that case.
+                FreqSetting::Fixed(p)
+                    if p.mhz() == spec.freq.base_mhz
+                        && self.epb() == EpbClass::Performance
+                        && self.turbo_enabled() =>
+                {
+                    f64::INFINITY
+                }
+                FreqSetting::Fixed(_) => self.pstate.current(c).mhz() as f64,
+            };
+            self.core_mhz[c] = self.grant.core_mhz.min(own_cap);
+        }
+
+        // 7. C-states: busy cores in C0; idle cores deep-idle via the
+        //    governor (long predicted idle); package state needs the whole
+        //    system idle (paper Section V-A).
+        for c in 0..spec.cores {
+            self.cstates[c] = if self.core_busy(c) {
+                CoreCState::C0
+            } else {
+                select_core_state(&spec.acpi, 1_000_000)
+            };
+        }
+        self.pkg_cstate = resolve_package_state(&self.cstates, other_socket_active);
+        let uncore_mhz = if self.pkg_cstate.uncore_halted() {
+            0.0
+        } else {
+            self.grant.uncore_mhz
+        };
+        self.uncore_mhz = uncore_mhz;
+
+        // 8. DRAM traffic: per-core demand summed across profiles, capped
+        //    by the bandwidth model at the current clocks. Bandwidth-bound
+        //    cores saturate the channels at ~8 cores (paper Fig. 8);
+        //    compute-bound traffic scales with the number of busy cores.
+        let sat = hsw_hwspec::calib::bandwidth::DRAM_SATURATION_CORES as f64;
+        // Group busy cores by profile: `dram_gbs_full_socket` is the demand
+        // of a fully loaded socket, so a group's demand saturates (at that
+        // value) once it spans ~8 cores for bandwidth-bound profiles, and
+        // scales linearly with cores otherwise.
+        let mut groups: Vec<(&WorkloadProfile, usize, f64)> = Vec::new();
+        for c in 0..spec.cores {
+            if let Some(p) = self.core_profile(c) {
+                let d = p.duty.factor_at(t_s);
+                if let Some(g) = groups.iter_mut().find(|(gp, _, _)| gp.name == p.name) {
+                    g.1 += 1;
+                    g.2 += d;
+                } else {
+                    groups.push((p, 1, d));
+                }
+            }
+        }
+        let mut demand = 0.0;
+        for (p, n, duty_total) in &groups {
+            let avg_duty = duty_total / *n as f64;
+            let scale = if p.stall_fraction > hsw_hwspec::calib::UFS_STALL_THRESHOLD {
+                (*n as f64 / sat).min(1.0)
+            } else {
+                *n as f64 / spec.cores as f64
+            };
+            demand += p.dram_gbs_full_socket * scale * avg_duty;
+        }
+        let dram_bw = if active > 0 {
+            let cap = hsw_memhier::dram_read_bandwidth_gbs(
+                &spec,
+                active,
+                if smt_any { 2 } else { 1 },
+                self.grant.core_mhz / 1000.0,
+                (uncore_mhz / 1000.0).max(1.2),
+            );
+            demand.min(cap)
+        } else {
+            0.0
+        };
+
+        // 9. Power.
+        let mut cores_elec = Vec::with_capacity(spec.cores);
+        for c in 0..spec.cores {
+            if self.core_busy(c) {
+                let smt = self.core_smt(c);
+                let act = self
+                    .core_profile(c)
+                    .map(|p| p.activity(smt) * p.duty.factor_at(t_s))
+                    .unwrap_or(0.0)
+                    * self.avx[c].throughput_factor().max(0.5);
+                cores_elec.push(CoreElecState {
+                    mhz: self.core_mhz[c].round() as u32,
+                    activity: act,
+                    avx_active: self.avx[c].engaged(),
+                    power_gated: false,
+                });
+            } else if self.cstates[c].power_gated() {
+                cores_elec.push(CoreElecState::gated());
+            } else {
+                cores_elec.push(CoreElecState {
+                    mhz: spec.freq.min_mhz,
+                    activity: 0.0,
+                    avx_active: false,
+                    power_gated: false,
+                });
+            }
+        }
+        let pkg = package_power_w(
+            &spec,
+            self.power_mult,
+            &cores_elec,
+            uncore_mhz.round() as u32,
+        );
+        let mut pkg_w = pkg.total_w();
+        // OS housekeeping: idle cores keep waking briefly (timer ticks), and
+        // a nominally halted uncore still clocks part of the time — this is
+        // what keeps the paper's idle node at 261.5 W AC (Table II).
+        let idle_frac = (spec.cores - active) as f64 / spec.cores as f64;
+        pkg_w += hsw_hwspec::calib::IDLE_PKG_HOUSEKEEPING_W * idle_frac;
+        if self.pkg_cstate.uncore_halted() {
+            let floor = spec.freq.uncore_min_mhz;
+            let residual = package_power_w(&spec, self.power_mult, &[], floor).uncore_w;
+            pkg_w += residual * hsw_hwspec::calib::IDLE_UNCORE_RESIDENCY;
+        }
+        let dram_w = dram_power_w(&spec, dram_bw);
+
+        // 10. MBVR power state follows the estimated package draw
+        //     (paper Section II-B) and thermal state integrates
+        //     (observability: the test node's maximum fans keep TDP, not
+        //     PROCHOT, the binding limit).
+        self.mbvr.update_estimated_power(pkg_w);
+        self.thermal.advance(dt_s, pkg_w);
+        debug_assert!(!self.thermal.prochot(), "max-fan node must not PROCHOT");
+        let readout = (96.0 - self.thermal.t_die_c).clamp(0.0, 127.0) as u64;
+        for t in 0..spec.hw_threads() {
+            self.msr
+                .store(t, msra::IA32_THERM_STATUS, readout << 16);
+        }
+
+        // 11. RAPL (modeled bias on pre-Haswell generations).
+        let bias = profile
+            .as_ref()
+            .map(|p| ModelBias {
+                gain: p.snb_rapl_bias.0,
+                offset_w: p.snb_rapl_bias.1,
+            })
+            .unwrap_or(ModelBias::NONE);
+        self.rapl.advance(dt_s, pkg_w, dram_w, bias, rng);
+
+        // 12. Mirror counters into the MSR bank.
+        self.msr
+            .store_package(msra::MSR_PKG_ENERGY_STATUS, self.rapl.pkg_raw() as u64);
+        self.msr
+            .store_package(msra::MSR_DRAM_ENERGY_STATUS, self.rapl.dram_raw() as u64);
+        let nominal_ghz = spec.freq.base_mhz as f64 / 1000.0;
+        let dt_ns = dt as f64;
+        self.msr
+            .accumulate(0, msra::MSR_U_PMON_UCLK_FIXED_CTR, uncore_mhz / 1000.0 * dt_ns);
+        for c in 0..spec.cores {
+            let fc_ghz = self.core_mhz[c] / 1000.0;
+            let fu_ghz = (uncore_mhz / 1000.0).max(0.1);
+            for t in 0..tpc {
+                let idx = c * tpc + t;
+                self.msr
+                    .accumulate(idx, msra::IA32_TIME_STAMP_COUNTER, nominal_ghz * dt_ns);
+                if self.cstates[c] == CoreCState::C0 {
+                    self.msr.accumulate(idx, msra::IA32_APERF, fc_ghz * dt_ns);
+                    self.msr.accumulate(idx, msra::IA32_MPERF, nominal_ghz * dt_ns);
+                    self.msr
+                        .accumulate(idx, msra::IA32_FIXED_CTR1_CPU_CLK_UNHALTED, fc_ghz * dt_ns);
+                    self.msr.accumulate(
+                        idx,
+                        msra::IA32_FIXED_CTR2_REF_CYCLES,
+                        nominal_ghz * dt_ns,
+                    );
+                    if let Some(p) = self.threads[idx].as_ref() {
+                        let ipc = p.ipc(self.core_smt(c), fc_ghz, fu_ghz)
+                            * self.avx[c].throughput_factor();
+                        self.msr.accumulate(
+                            idx,
+                            msra::IA32_FIXED_CTR0_INST_RETIRED,
+                            ipc * fc_ghz * dt_ns * duty.max(0.0),
+                        );
+                    }
+                }
+                let ratio = PState((self.core_mhz[c] / 100.0).round() as u8);
+                self.msr
+                    .store(idx, msra::IA32_PERF_STATUS, fields::encode_perf_status(ratio));
+            }
+            // Core c-state residency counters (TSC-rate units).
+            if self.cstates[c] == CoreCState::C3 {
+                self.msr
+                    .accumulate(c * tpc, msra::MSR_CORE_C3_RESIDENCY, nominal_ghz * dt_ns);
+            }
+            if self.cstates[c] == CoreCState::C6 {
+                self.msr
+                    .accumulate(c * tpc, msra::MSR_CORE_C6_RESIDENCY, nominal_ghz * dt_ns);
+            }
+        }
+        if self.pkg_cstate == PkgCState::PC3 {
+            self.msr
+                .accumulate(0, msra::MSR_PKG_C3_RESIDENCY, nominal_ghz * dt_ns);
+        }
+        if self.pkg_cstate == PkgCState::PC6 {
+            self.msr
+                .accumulate(0, msra::MSR_PKG_C6_RESIDENCY, nominal_ghz * dt_ns);
+        }
+
+        SocketTick {
+            pkg_w,
+            dram_w,
+            dram_bw_gbs: dram_bw,
+        }
+    }
+
+    // --- Ground-truth accessors (simulation-internal; tests and traces) ---
+
+    pub fn true_core_mhz(&self, core: usize) -> f64 {
+        self.core_mhz[core]
+    }
+
+    pub fn true_uncore_mhz(&self) -> f64 {
+        self.uncore_mhz
+    }
+
+    pub fn grant(&self) -> PcuGrant {
+        self.grant
+    }
+
+    pub fn package_cstate(&self) -> PkgCState {
+        self.pkg_cstate
+    }
+
+    pub fn core_cstate(&self, core: usize) -> CoreCState {
+        self.cstates[core]
+    }
+
+    pub fn any_core_active(&self) -> bool {
+        self.active_cores() > 0
+    }
+
+    pub fn requested_setting(&self, core: usize) -> FreqSetting {
+        self.requested[core]
+    }
+
+    pub fn drain_transitions(&mut self) -> Vec<TransitionEvent> {
+        std::mem::take(&mut self.transition_log)
+    }
+
+    pub fn rapl(&self) -> &RaplEngine {
+        &self.rapl
+    }
+
+    /// Die temperature in °C (ground truth; software reads the digital
+    /// readout in `IA32_THERM_STATUS`).
+    pub fn die_temperature_c(&self) -> f64 {
+        self.thermal.t_die_c
+    }
+
+    /// The mainboard VR's current power state (paper Section II-B).
+    pub fn mbvr_state(&self) -> MbvrPowerState {
+        self.mbvr.state()
+    }
+}

@@ -1,0 +1,141 @@
+//! Ground-truth telemetry recording: periodic snapshots of the node state
+//! into a time-series trace, exportable as CSV — the simulator-side
+//! equivalent of the paper's measurement logs (and the raw material for
+//! replotting its figures).
+
+use crate::node::Node;
+
+/// One telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub t_s: f64,
+    /// Per-socket package power (W).
+    pub pkg_w: Vec<f64>,
+    /// Per-socket DRAM power (W).
+    pub dram_w: Vec<f64>,
+    /// Per-socket uncore frequency (GHz; 0 when halted).
+    pub uncore_ghz: Vec<f64>,
+    /// Core-0 frequency per socket (GHz) — the paper samples one core per
+    /// processor.
+    pub core0_ghz: Vec<f64>,
+    /// Per-socket package c-state name.
+    pub pkg_cstate: Vec<&'static str>,
+    /// Node AC power (W).
+    pub ac_w: f64,
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl Trace {
+    /// Record a trace: advance the node for `total_s`, snapshotting every
+    /// `interval_s`.
+    pub fn record(node: &mut Node, total_s: f64, interval_s: f64) -> Trace {
+        let n = (total_s / interval_s).round().max(1.0) as usize;
+        let mut snapshots = Vec::with_capacity(n);
+        for _ in 0..n {
+            node.advance_s(interval_s);
+            let sockets = node.sockets();
+            snapshots.push(Snapshot {
+                t_s: node.now_s(),
+                pkg_w: (0..sockets.len()).map(|s| node.true_pkg_power_w(s)).collect(),
+                dram_w: (0..sockets.len()).map(|s| node.true_dram_power_w(s)).collect(),
+                uncore_ghz: sockets.iter().map(|s| s.true_uncore_mhz() / 1000.0).collect(),
+                core0_ghz: sockets.iter().map(|s| s.true_core_mhz(0) / 1000.0).collect(),
+                pkg_cstate: sockets.iter().map(|s| s.package_cstate().name()).collect(),
+                ac_w: node.true_ac_power_w(),
+            });
+        }
+        Trace { snapshots }
+    }
+
+    /// Render as CSV (one row per snapshot).
+    pub fn to_csv(&self) -> String {
+        let sockets = self.snapshots.first().map(|s| s.pkg_w.len()).unwrap_or(0);
+        let mut out = String::from("t_s");
+        for s in 0..sockets {
+            out.push_str(&format!(
+                ",pkg{s}_w,dram{s}_w,uncore{s}_ghz,core{s}0_ghz,pc{s}"
+            ));
+        }
+        out.push_str(",ac_w\n");
+        for snap in &self.snapshots {
+            out.push_str(&format!("{:.6}", snap.t_s));
+            for s in 0..sockets {
+                out.push_str(&format!(
+                    ",{:.3},{:.3},{:.3},{:.3},{}",
+                    snap.pkg_w[s],
+                    snap.dram_w[s],
+                    snap.uncore_ghz[s],
+                    snap.core0_ghz[s],
+                    snap.pkg_cstate[s]
+                ));
+            }
+            out.push_str(&format!(",{:.3}\n", snap.ac_w));
+        }
+        out
+    }
+
+    /// Column statistics helper: (min, mean, max) of a per-snapshot value.
+    pub fn stats(&self, f: impl Fn(&Snapshot) -> f64) -> (f64, f64, f64) {
+        if self.snapshots.is_empty() {
+            return (f64::NAN, f64::NAN, f64::NAN);
+        }
+        let vals: Vec<f64> = self.snapshots.iter().map(f).collect();
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        (min, mean, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use hsw_exec::WorkloadProfile;
+    use hsw_hwspec::freq::FreqSetting;
+
+    #[test]
+    fn trace_records_the_expected_cadence() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        node.run_on_socket(0, &WorkloadProfile::compute(), 4, 1);
+        let trace = Trace::record(&mut node, 0.5, 0.05);
+        assert_eq!(trace.snapshots.len(), 10);
+        let dt = trace.snapshots[1].t_s - trace.snapshots[0].t_s;
+        assert!((dt - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_snapshot_and_stable_columns() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
+        let trace = Trace::record(&mut node, 0.2, 0.05);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + trace.snapshots.len());
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+        }
+        assert!(lines[0].starts_with("t_s,pkg0_w"));
+    }
+
+    #[test]
+    fn firestarter_trace_shows_tdp_plateau() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        let fs = WorkloadProfile::firestarter();
+        for s in 0..2 {
+            node.run_on_socket(s, &fs, 12, 2);
+        }
+        node.set_setting_all(FreqSetting::Turbo);
+        node.advance_s(0.5);
+        let trace = Trace::record(&mut node, 1.0, 0.1);
+        let (min, mean, max) = trace.stats(|s| s.pkg_w[0]);
+        assert!((mean - 120.0).abs() < 3.0, "mean {mean:.1}");
+        assert!(max - min < 5.0, "plateau spread {:.1}", max - min);
+    }
+}

@@ -1,0 +1,189 @@
+//! The AVX license / AVX-frequency state machine (paper Section II-F).
+//!
+//! Heavy 256-bit AVX/FMA streams draw more current: the core signals the
+//! PCU for more voltage and slows AVX execution while the FIVR ramps; to
+//! stay inside the TDP the clock ceiling drops to the AVX frequency range
+//! (AVX base … AVX max-all-core turbo). The PCU returns to the regular
+//! operating mode 1 ms after the last AVX instruction completes.
+
+use hsw_hwspec::{calib, SkuSpec};
+
+use crate::pstate::Ns;
+
+const US: Ns = 1_000;
+
+/// License state of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LicenseState {
+    /// Scalar/128-bit operation: regular frequencies apply.
+    Normal,
+    /// Voltage ramp in progress: AVX instructions execute at reduced
+    /// throughput (the paper's "slows the execution of AVX instructions").
+    Ramping { until: Ns },
+    /// License granted: AVX frequency ceiling applies.
+    Active,
+}
+
+/// Per-core AVX license tracker.
+#[derive(Debug, Clone)]
+pub struct AvxLicense {
+    state: LicenseState,
+    /// Last time heavy AVX instructions were observed.
+    last_avx: Option<Ns>,
+    /// FIVR voltage-ramp time when entering the license.
+    ramp_us: u32,
+}
+
+impl Default for AvxLicense {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AvxLicense {
+    pub fn new() -> Self {
+        AvxLicense {
+            state: LicenseState::Normal,
+            last_avx: None,
+            // Voltage ramp is on the order of the FIVR switching time.
+            ramp_us: calib::PSTATE_SWITCHING_TIME_US,
+        }
+    }
+
+    /// Inform the license tracker whether the interval ending at `now`
+    /// executed heavy-AVX work.
+    pub fn observe(&mut self, avx_active: bool, now: Ns) {
+        if avx_active {
+            self.last_avx = Some(now);
+            if self.state == LicenseState::Normal {
+                self.state = LicenseState::Ramping {
+                    until: now + self.ramp_us as Ns * US,
+                };
+            }
+        }
+        match self.state {
+            LicenseState::Ramping { until } if now >= until => {
+                self.state = LicenseState::Active;
+            }
+            LicenseState::Active => {
+                // Relax 1 ms after the last AVX instruction (paper: "The PCU
+                // returns to regular (non-AVX) operating mode 1 ms after AVX
+                // instructions are completed").
+                if let Some(last) = self.last_avx {
+                    if now.saturating_sub(last) >= calib::AVX_RELAX_PERIOD_US as Ns * US {
+                        self.state = LicenseState::Normal;
+                        self.last_avx = None;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    pub fn state(&self) -> LicenseState {
+        self.state
+    }
+
+    /// Whether the AVX frequency ceiling (and the AVX power multiplier)
+    /// applies.
+    pub fn engaged(&self) -> bool {
+        !matches!(self.state, LicenseState::Normal)
+    }
+
+    /// Execution-throughput factor: reduced while the voltage ramps.
+    pub fn throughput_factor(&self) -> f64 {
+        match self.state {
+            LicenseState::Ramping { .. } => 0.25,
+            _ => 1.0,
+        }
+    }
+
+    /// The frequency ceiling in MHz this license state imposes for `active`
+    /// active cores; `None` when regular frequencies apply.
+    pub fn ceiling_mhz(&self, spec: &SkuSpec, active: usize) -> Option<u32> {
+        if !self.engaged() || !spec.generation.has_avx_frequencies() {
+            return None;
+        }
+        Some(spec.freq.avx_turbo_mhz(active))
+    }
+
+    /// The guaranteed minimum under AVX load (AVX base frequency).
+    pub fn guaranteed_mhz(spec: &SkuSpec) -> u32 {
+        spec.freq.avx_base_mhz.unwrap_or(spec.freq.min_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::SkuSpec;
+
+    fn sku() -> SkuSpec {
+        SkuSpec::xeon_e5_2680_v3()
+    }
+
+    #[test]
+    fn license_engages_via_voltage_ramp() {
+        let mut lic = AvxLicense::new();
+        lic.observe(true, 0);
+        assert!(matches!(lic.state(), LicenseState::Ramping { .. }));
+        assert!(lic.throughput_factor() < 1.0, "ramp slows AVX execution");
+        lic.observe(true, 30 * US);
+        assert_eq!(lic.state(), LicenseState::Active);
+        assert_eq!(lic.throughput_factor(), 1.0, "full throughput after ramp");
+    }
+
+    #[test]
+    fn license_relaxes_1ms_after_last_avx() {
+        let mut lic = AvxLicense::new();
+        lic.observe(true, 0);
+        lic.observe(true, 30 * US);
+        assert!(lic.engaged());
+        // 0.9 ms of scalar code: still licensed.
+        lic.observe(false, 930 * US);
+        assert!(lic.engaged());
+        // ≥1 ms after the last AVX instruction: back to normal.
+        lic.observe(false, 1_040 * US);
+        assert!(!lic.engaged());
+    }
+
+    #[test]
+    fn avx_ceiling_matches_turbo_table() {
+        // Section II-F: AVX turbo 2.8–3.1 GHz depending on active cores.
+        let spec = sku();
+        let mut lic = AvxLicense::new();
+        lic.observe(true, 0);
+        lic.observe(true, 30 * US);
+        assert_eq!(lic.ceiling_mhz(&spec, 1), Some(3100));
+        assert_eq!(lic.ceiling_mhz(&spec, 12), Some(2800));
+    }
+
+    #[test]
+    fn no_ceiling_without_license_or_on_old_generations() {
+        let spec = sku();
+        let lic = AvxLicense::new();
+        assert_eq!(lic.ceiling_mhz(&spec, 12), None);
+
+        let snb = SkuSpec::xeon_e5_2690();
+        let mut lic = AvxLicense::new();
+        lic.observe(true, 0);
+        lic.observe(true, 30 * US);
+        assert_eq!(lic.ceiling_mhz(&snb, 8), None, "SNB has no AVX frequencies");
+    }
+
+    #[test]
+    fn avx_base_is_the_guarantee() {
+        assert_eq!(AvxLicense::guaranteed_mhz(&sku()), 2100);
+    }
+
+    #[test]
+    fn relicensing_after_relax_ramps_again() {
+        let mut lic = AvxLicense::new();
+        lic.observe(true, 0);
+        lic.observe(true, 30 * US);
+        lic.observe(false, 1_100 * US);
+        assert!(!lic.engaged());
+        lic.observe(true, 2_000 * US);
+        assert!(matches!(lic.state(), LicenseState::Ramping { .. }));
+    }
+}

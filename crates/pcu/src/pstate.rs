@@ -1,0 +1,378 @@
+//! The p-state transition engine (paper Section VI-A, Figures 3 and 4).
+//!
+//! On Haswell-EP, software p-state requests (writes to `IA32_PERF_CTL`) are
+//! *not* carried out immediately: the PCU latches pending requests at
+//! "opportunities" that recur roughly every 500 µs, then performs the FIVR
+//! voltage/frequency switch (~21 µs). All cores of a socket transition at
+//! the same opportunity; the opportunity clocks of different sockets are
+//! independent. Earlier generations (and Haswell-HE) service requests
+//! immediately, paying only the switching time.
+
+use hsw_hwspec::{calib, CpuGeneration, PState, PStateTransitionMode};
+use rand::Rng;
+
+/// Simulation time in nanoseconds.
+pub type Ns = u64;
+
+const US: Ns = 1_000;
+
+/// A completed transition, for tracing/experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionEvent {
+    pub core: usize,
+    pub from: PState,
+    pub to: PState,
+    /// When the request was made (wrmsr time).
+    pub requested_at: Ns,
+    /// When the new frequency became effective.
+    pub completed_at: Ns,
+}
+
+impl TransitionEvent {
+    /// The latency FTaLaT-style tools observe, in µs.
+    pub fn latency_us(&self) -> f64 {
+        (self.completed_at - self.requested_at) as f64 / 1000.0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    target: PState,
+    requested_at: Ns,
+}
+
+/// The p-state machinery of one socket.
+#[derive(Debug)]
+pub struct PStateEngine {
+    mode: PStateTransitionMode,
+    per_core_domains: bool,
+    /// Current p-state per core.
+    current: Vec<PState>,
+    /// In-flight switch per core: (target, completes_at, requested_at).
+    switching: Vec<Option<(PState, Ns, Ns)>>,
+    pending: Vec<Option<PendingRequest>>,
+    /// Next opportunity instant (opportunity mode only).
+    next_opportunity: Ns,
+    /// Completed transitions since the last drain.
+    events: Vec<TransitionEvent>,
+}
+
+impl PStateEngine {
+    /// `phase_ns` staggers the socket's opportunity clock — sockets run
+    /// independent PCUs (paper Section VI-A).
+    pub fn new(generation: CpuGeneration, cores: usize, initial: PState, phase_ns: Ns) -> Self {
+        let mode = generation.pstate_transition_mode();
+        let next_opportunity = match mode {
+            PStateTransitionMode::OpportunityWindow { period_us } => {
+                phase_ns % (period_us as Ns * US)
+            }
+            PStateTransitionMode::Immediate => 0,
+        };
+        PStateEngine {
+            mode,
+            per_core_domains: generation.per_core_pstates(),
+            current: vec![initial; cores],
+            switching: vec![None; cores],
+            pending: vec![None; cores],
+            next_opportunity,
+            events: Vec::new(),
+        }
+    }
+
+    /// Software writes `IA32_PERF_CTL` on `core` at time `now`.
+    ///
+    /// In a chip-wide domain (pre-Haswell-EP) the request applies to all
+    /// cores; with PCPS only to the requesting core.
+    pub fn request(&mut self, core: usize, target: PState, now: Ns) {
+        let cores: Vec<usize> = if self.per_core_domains {
+            vec![core]
+        } else {
+            (0..self.current.len()).collect()
+        };
+        for c in cores {
+            if self.current[c] == target && self.pending[c].is_none() && self.switching[c].is_none()
+            {
+                continue; // no-op request
+            }
+            self.pending[c] = Some(PendingRequest {
+                target,
+                requested_at: now,
+            });
+            if self.mode == PStateTransitionMode::Immediate {
+                self.begin_switch(c, now);
+            }
+        }
+    }
+
+    fn begin_switch(&mut self, core: usize, now: Ns) {
+        if let Some(req) = self.pending[core].take() {
+            let completes = now + calib::PSTATE_SWITCHING_TIME_US as Ns * US;
+            self.switching[core] = Some((req.target, completes, req.requested_at));
+        }
+    }
+
+    /// Advance the engine to time `now`. `rng` drives the opportunity-period
+    /// jitter. Completed transitions are queued for [`Self::drain_events`].
+    pub fn tick<R: Rng>(&mut self, now: Ns, rng: &mut R) {
+        // Latch pending requests at every opportunity boundary passed.
+        if let PStateTransitionMode::OpportunityWindow { period_us } = self.mode {
+            while self.next_opportunity <= now {
+                let opp = self.next_opportunity;
+                for c in 0..self.current.len() {
+                    // All cores of the socket latch at the same opportunity
+                    // (the paper's parallel-core measurement). An opportunity
+                    // can only latch requests that already existed then —
+                    // relevant when the engine is ticked sparsely.
+                    let eligible = self.pending[c]
+                        .map(|r| r.requested_at <= opp)
+                        .unwrap_or(false);
+                    if eligible && self.switching[c].is_none() {
+                        self.begin_switch(c, opp);
+                    }
+                }
+                let jitter_us = calib::PSTATE_OPPORTUNITY_JITTER_US as i64;
+                let jitter = rng.gen_range(-jitter_us..=jitter_us);
+                let period = (period_us as i64 + jitter).max(1) as Ns * US;
+                self.next_opportunity = opp + period;
+            }
+        }
+        // Complete in-flight switches.
+        for c in 0..self.current.len() {
+            if let Some((target, completes, requested_at)) = self.switching[c] {
+                if completes <= now {
+                    let from = self.current[c];
+                    self.current[c] = target;
+                    self.switching[c] = None;
+                    self.events.push(TransitionEvent {
+                        core: c,
+                        from,
+                        to: target,
+                        requested_at,
+                        completed_at: completes,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Current (granted) p-state of a core.
+    pub fn current(&self, core: usize) -> PState {
+        self.current[core]
+    }
+
+    /// Whether any request or switch is outstanding for the core.
+    pub fn in_flight(&self, core: usize) -> bool {
+        self.pending[core].is_some() || self.switching[core].is_some()
+    }
+
+    /// Take the accumulated transition events.
+    pub fn drain_events(&mut self) -> Vec<TransitionEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The next opportunity instant (for tracing Figure 4's timeline).
+    pub fn next_opportunity(&self) -> Ns {
+        self.next_opportunity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const HSW: CpuGeneration = CpuGeneration::HaswellEp;
+
+    fn engine(gen: CpuGeneration) -> PStateEngine {
+        PStateEngine::new(gen, 12, PState::from_mhz(1200), 0)
+    }
+
+    fn run_until(e: &mut PStateEngine, rng: &mut SmallRng, from: Ns, to: Ns) {
+        let mut t = from;
+        while t <= to {
+            e.tick(t, rng);
+            t += US; // 1 µs steps
+        }
+    }
+
+    /// Measure one request→completion latency in µs.
+    fn measure(e: &mut PStateEngine, rng: &mut SmallRng, t_req: Ns) -> f64 {
+        let target = if e.current(0) == PState::from_mhz(1200) {
+            PState::from_mhz(1300)
+        } else {
+            PState::from_mhz(1200)
+        };
+        e.request(0, target, t_req);
+        let mut t = t_req;
+        loop {
+            e.tick(t, rng);
+            if let Some(ev) = e.drain_events().into_iter().find(|ev| ev.core == 0) {
+                return ev.latency_us();
+            }
+            t += US;
+        }
+    }
+
+    #[test]
+    fn latency_bounds_match_figure3() {
+        // Random request times → latencies between ~21 µs and ~524 µs.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut e = engine(HSW);
+        run_until(&mut e, &mut rng, 0, 10_000 * US);
+        let mut lo = f64::MAX;
+        let mut hi: f64 = 0.0;
+        let mut t = 10_000 * US;
+        for _ in 0..300 {
+            t += US * rng.gen_range(1..997); // random offset vs. the 500 µs clock
+            let lat = measure(&mut e, &mut rng, t);
+            lo = lo.min(lat);
+            hi = hi.max(lat);
+            t += 2_000 * US;
+        }
+        assert!((20.0..=40.0).contains(&lo), "min latency {lo}");
+        assert!((480.0..=530.0).contains(&hi), "max latency {hi}");
+    }
+
+    #[test]
+    fn request_right_after_change_takes_a_full_period() {
+        // Figure 3: "Requesting a frequency transition instantly after a
+        // frequency change has been detected leads to around 500 µs".
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut e = engine(HSW);
+        let mut t = 0;
+        for _ in 0..50 {
+            // Wait for a change to complete, then request immediately.
+            let lat = measure(&mut e, &mut rng, t + US);
+            t += (lat as Ns + 2) * US;
+            let lat2 = measure(&mut e, &mut rng, t);
+            assert!(
+                (470.0..=540.0).contains(&lat2),
+                "instant re-request latency {lat2}"
+            );
+            t += (lat2 as Ns + 7) * US;
+        }
+    }
+
+    #[test]
+    fn request_400us_after_change_takes_about_100us() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut e = engine(HSW);
+        let mut t = 1_000 * US;
+        let mut lats = Vec::new();
+        for _ in 0..50 {
+            let lat = measure(&mut e, &mut rng, t);
+            t += (lat as Ns) * US; // change completed here
+            t += 400 * US - calib::PSTATE_SWITCHING_TIME_US as Ns * US;
+            let lat2 = measure(&mut e, &mut rng, t);
+            lats.push(lat2);
+            t += 1_700 * US + (t % 13) * US;
+        }
+        let median = {
+            lats.sort_by(f64::total_cmp);
+            lats[lats.len() / 2]
+        };
+        assert!(
+            (70.0..=140.0).contains(&median),
+            "400 µs-delay median latency {median}"
+        );
+    }
+
+    #[test]
+    fn same_socket_cores_transition_at_the_same_opportunity() {
+        // Paper Section VI-A: "cores on the same processor change their
+        // frequency at the same time".
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut e = engine(HSW);
+        run_until(&mut e, &mut rng, 0, 3_000 * US);
+        e.drain_events();
+        e.request(2, PState::from_mhz(1300), 3_100 * US);
+        e.request(9, PState::from_mhz(1400), 3_250 * US);
+        run_until(&mut e, &mut rng, 3_100 * US, 5_000 * US);
+        let events = e.drain_events();
+        let e2 = events.iter().find(|ev| ev.core == 2).expect("core 2");
+        let e9 = events.iter().find(|ev| ev.core == 9).expect("core 9");
+        assert_eq!(
+            e2.completed_at, e9.completed_at,
+            "same-socket transitions must coincide"
+        );
+    }
+
+    #[test]
+    fn different_sockets_transition_independently() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut s0 = PStateEngine::new(HSW, 12, PState::from_mhz(1200), 0);
+        let mut s1 = PStateEngine::new(HSW, 12, PState::from_mhz(1200), 237 * US);
+        run_until(&mut s0, &mut rng, 0, 3_000 * US);
+        run_until(&mut s1, &mut rng, 0, 3_000 * US);
+        s0.drain_events();
+        s1.drain_events();
+        s0.request(0, PState::from_mhz(1300), 3_050 * US);
+        s1.request(0, PState::from_mhz(1300), 3_050 * US);
+        run_until(&mut s0, &mut rng, 3_050 * US, 5_000 * US);
+        run_until(&mut s1, &mut rng, 3_050 * US, 5_000 * US);
+        let t0 = s0.drain_events()[0].completed_at;
+        let t1 = s1.drain_events()[0].completed_at;
+        assert_ne!(t0, t1, "socket phase offsets must decouple transitions");
+    }
+
+    #[test]
+    fn pre_haswell_transitions_are_immediate() {
+        // Paper Section VI-A: "on previous processors (including
+        // Haswell-HE), p-state transition requests are always carried out
+        // immediately (requiring only the switching time)."
+        for gen in [CpuGeneration::SandyBridgeEp, CpuGeneration::HaswellHe] {
+            let mut rng = SmallRng::seed_from_u64(6);
+            let mut e = PStateEngine::new(gen, 8, PState::from_mhz(1200), 0);
+            for t_req in [123 * US, 7_777 * US, 31_415 * US] {
+                let lat = measure(&mut e, &mut rng, t_req);
+                assert!(
+                    (lat - calib::PSTATE_SWITCHING_TIME_US as f64).abs() < 1.5,
+                    "{}: latency {lat}",
+                    gen.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chip_wide_domain_moves_all_cores_before_haswell_ep() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut e = PStateEngine::new(CpuGeneration::SandyBridgeEp, 8, PState::from_mhz(1200), 0);
+        e.request(3, PState::from_mhz(2500), 1000 * US);
+        run_until(&mut e, &mut rng, 1000 * US, 1100 * US);
+        for c in 0..8 {
+            assert_eq!(e.current(c), PState::from_mhz(2500), "core {c}");
+        }
+    }
+
+    #[test]
+    fn pcps_moves_only_the_requested_core() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut e = engine(HSW);
+        e.request(3, PState::from_mhz(2500), 0);
+        run_until(&mut e, &mut rng, 0, 1_000 * US);
+        assert_eq!(e.current(3), PState::from_mhz(2500));
+        for c in (0..12).filter(|c| *c != 3) {
+            assert_eq!(e.current(c), PState::from_mhz(1200), "core {c}");
+        }
+    }
+
+    #[test]
+    fn acpi_claim_of_10us_is_inapplicable_on_haswell_ep() {
+        // Paper: "the ACPI tables report an estimated 10 µs ... not
+        // supported by the measurements".
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut e = engine(HSW);
+        run_until(&mut e, &mut rng, 0, 2_000 * US);
+        let mut all_above = true;
+        let mut t = 2_000 * US;
+        for _ in 0..40 {
+            t += US * rng.gen_range(1..991);
+            let lat = measure(&mut e, &mut rng, t);
+            all_above &= lat > calib::ACPI_PSTATE_LATENCY_US as f64;
+            t += 1_500 * US;
+        }
+        assert!(all_above, "every measured latency must exceed 10 µs");
+    }
+}

@@ -1,0 +1,164 @@
+//! The fully integrated voltage regulators (FIVR; paper Section II-B, \[1\]).
+//!
+//! Haswell moves voltage regulation onto the die: the mainboard supplies a
+//! single ~1.8 V `VCCin` rail ([`crate::mbvr`]) and per-domain on-die
+//! regulators derive the core/uncore voltages — which is what enables
+//! per-core p-states in the first place. This module models one regulator:
+//! conversion efficiency, input-current draw, and the load-step transient
+//! (voltage droop and recovery) whose settling time is the ~21 µs
+//! switching component of the paper's p-state transition measurements.
+
+use hsw_hwspec::calib;
+
+/// One on-die regulator domain (a core, or the uncore).
+#[derive(Debug, Clone)]
+pub struct Fivr {
+    /// Input rail voltage (V), commanded to the MBVR over SVID.
+    vccin: f64,
+    /// Current output setpoint (V).
+    setpoint: f64,
+    /// Actual output voltage (V) — lags the setpoint during transients.
+    vout: f64,
+}
+
+/// FIVR conversion efficiency at a given output power share. High-frequency
+/// integrated regulators peak around 90 % and fall off at light load.
+pub fn efficiency(out_w: f64) -> f64 {
+    let x = out_w.max(0.05);
+    (0.905 - 0.35 / x - 0.0004 * x).clamp(0.5, 0.92)
+}
+
+impl Fivr {
+    pub fn new(initial_v: f64) -> Self {
+        Fivr {
+            vccin: 1.80,
+            setpoint: initial_v,
+            vout: initial_v,
+        }
+    }
+
+    pub fn vccin(&self) -> f64 {
+        self.vccin
+    }
+
+    pub fn vout(&self) -> f64 {
+        self.vout
+    }
+
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+
+    /// Command a new output voltage (the PCU does this at a p-state
+    /// change).
+    pub fn set_voltage(&mut self, volts: f64) {
+        assert!((0.4..=1.4).contains(&volts), "core voltage range");
+        self.setpoint = volts;
+    }
+
+    /// Advance the regulator by `dt_us`: the output slews toward the
+    /// setpoint with a time constant sized so a 100 mV step settles (to
+    /// within 2 mV) in about the FIVR switching time the paper measured.
+    pub fn advance(&mut self, dt_us: f64) {
+        // settle(21 µs) for a 100 mV step to 2 mV → τ ≈ 21/ln(50) ≈ 5.4 µs.
+        let tau_us = calib::PSTATE_SWITCHING_TIME_US as f64 / (50.0f64).ln();
+        let alpha = 1.0 - (-dt_us / tau_us).exp();
+        self.vout += alpha * (self.setpoint - self.vout);
+    }
+
+    /// Whether the output has settled at the setpoint (within 2 mV) — the
+    /// condition for the PCU to "signal that the voltage has been adjusted"
+    /// (paper Section II-F's AVX workflow).
+    pub fn settled(&self) -> bool {
+        (self.vout - self.setpoint).abs() < 0.002
+    }
+
+    /// Input power drawn from `VCCin` to deliver `out_w` at the output.
+    pub fn input_power_w(&self, out_w: f64) -> f64 {
+        out_w / efficiency(out_w)
+    }
+
+    /// Input current on the VCCin rail (A).
+    pub fn input_current_a(&self, out_w: f64) -> f64 {
+        self.input_power_w(out_w) / self.vccin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn voltage_step_settles_in_about_the_switching_time() {
+        // A 0.89 → 0.99 V step (one ~large p-state hop) must settle within
+        // the paper's 21 µs switching time, but not much faster.
+        let mut f = Fivr::new(0.89);
+        f.set_voltage(0.99);
+        let mut t = 0.0;
+        while !f.settled() {
+            f.advance(0.5);
+            t += 0.5;
+            assert!(t < 30.0, "did not settle");
+        }
+        assert!(
+            (15.0..=25.0).contains(&t),
+            "settled in {t} µs (expected ≈21 µs)"
+        );
+    }
+
+    #[test]
+    fn efficiency_peaks_at_moderate_load() {
+        assert!(efficiency(8.0) > 0.85);
+        assert!(efficiency(0.2) < efficiency(8.0)); // light-load penalty
+        assert!(efficiency(8.0) <= 0.92);
+    }
+
+    #[test]
+    fn input_power_exceeds_output_power() {
+        let f = Fivr::new(0.9);
+        for out in [0.5, 2.0, 8.0, 15.0] {
+            assert!(f.input_power_w(out) > out);
+        }
+        // A ~7 W core at 90 % efficiency pulls ~4.3 A from the 1.8 V rail.
+        let amps = f.input_current_a(7.0);
+        assert!((3.5..5.5).contains(&amps), "{amps:.1} A");
+    }
+
+    #[test]
+    fn per_core_regulators_are_independent() {
+        // The PCPS enabler: one core's regulator moves without the other.
+        let mut a = Fivr::new(0.85);
+        let mut b = Fivr::new(0.85);
+        a.set_voltage(1.05);
+        for _ in 0..100 {
+            a.advance(1.0);
+            b.advance(1.0);
+        }
+        assert!((a.vout() - 1.05).abs() < 0.003);
+        assert!((b.vout() - 0.85).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_output_always_between_start_and_setpoint(
+            start in 0.6f64..1.2,
+            target in 0.6f64..1.2,
+            steps in 1usize..100,
+        ) {
+            let mut f = Fivr::new(start);
+            f.set_voltage(target);
+            let (lo, hi) = if start < target { (start, target) } else { (target, start) };
+            for _ in 0..steps {
+                f.advance(1.0);
+                prop_assert!(f.vout() >= lo - 1e-9 && f.vout() <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_efficiency_physical(out in 0.05f64..50.0) {
+            let eta = efficiency(out);
+            prop_assert!((0.5..=0.92).contains(&eta));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The mainboard voltage regulator and SVID interface (paper Section II-B).
+//!
+//! With FIVR on die, the mainboard VR supplies only three lanes: the
+//! processor input `VCCin` and two DRAM lanes (`VCCD_01`, `VCCD_23`). The
+//! processor commands the input voltage over SVID and "the MBVR supports
+//! three different power states which are activated by the processor
+//! according to the estimated power consumption" — light-load states trade
+//! peak efficiency at high current for better efficiency at low current
+//! (phase shedding).
+
+use serde::{Deserialize, Serialize};
+
+/// The three MBVR power states (full-phase, reduced-phase, light-load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MbvrPowerState {
+    /// All phases active: best efficiency at high load.
+    Ps0,
+    /// Phases shed: better mid-load efficiency.
+    Ps1,
+    /// Diode/light-load mode: best at near-idle currents.
+    Ps2,
+}
+
+/// The supply lanes reaching a Haswell-EP package (paper Section II-B:
+/// "only three voltage lanes are attached to the processor", vs. five on
+/// previous products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SupplyLane {
+    VccIn,
+    VccD01,
+    VccD23,
+}
+
+impl SupplyLane {
+    pub const ALL: [SupplyLane; 3] = [SupplyLane::VccIn, SupplyLane::VccD01, SupplyLane::VccD23];
+}
+
+/// Thresholds (in W of estimated package draw) at which the processor
+/// commands the next MBVR state, with hysteresis to avoid chattering.
+const PS1_BELOW_W: f64 = 45.0;
+const PS2_BELOW_W: f64 = 15.0;
+const HYSTERESIS_W: f64 = 4.0;
+
+/// The mainboard VR for the `VCCin` lane.
+#[derive(Debug, Clone)]
+pub struct Mbvr {
+    state: MbvrPowerState,
+    /// Nominal input voltage commanded over SVID (1.8 V for FIVR input).
+    vccin: f64,
+}
+
+impl Default for Mbvr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mbvr {
+    pub fn new() -> Self {
+        Mbvr {
+            state: MbvrPowerState::Ps0,
+            vccin: 1.80,
+        }
+    }
+
+    pub fn state(&self) -> MbvrPowerState {
+        self.state
+    }
+
+    pub fn vccin(&self) -> f64 {
+        self.vccin
+    }
+
+    /// SVID set-voltage command from the processor.
+    pub fn svid_set_voltage(&mut self, volts: f64) {
+        assert!((1.6..=2.0).contains(&volts), "VCCin range");
+        self.vccin = volts;
+    }
+
+    /// The processor updates the estimated power draw; the MBVR picks its
+    /// state with hysteresis.
+    pub fn update_estimated_power(&mut self, pkg_w: f64) {
+        self.state = match self.state {
+            MbvrPowerState::Ps0 => {
+                if pkg_w < PS2_BELOW_W {
+                    MbvrPowerState::Ps2
+                } else if pkg_w < PS1_BELOW_W {
+                    MbvrPowerState::Ps1
+                } else {
+                    MbvrPowerState::Ps0
+                }
+            }
+            MbvrPowerState::Ps1 => {
+                if pkg_w >= PS1_BELOW_W + HYSTERESIS_W {
+                    MbvrPowerState::Ps0
+                } else if pkg_w < PS2_BELOW_W {
+                    MbvrPowerState::Ps2
+                } else {
+                    MbvrPowerState::Ps1
+                }
+            }
+            MbvrPowerState::Ps2 => {
+                if pkg_w >= PS1_BELOW_W + HYSTERESIS_W {
+                    MbvrPowerState::Ps0
+                } else if pkg_w >= PS2_BELOW_W + HYSTERESIS_W {
+                    MbvrPowerState::Ps1
+                } else {
+                    MbvrPowerState::Ps2
+                }
+            }
+        };
+    }
+
+    /// Conversion efficiency at the given load in the current state.
+    /// Shapes follow multiphase-buck practice: PS0 peaks near full load,
+    /// the shed states near their own bands.
+    pub fn efficiency(&self, pkg_w: f64) -> f64 {
+        let x = pkg_w.max(0.5);
+        match self.state {
+            MbvrPowerState::Ps0 => 0.93 - 12.0 / x - 0.00008 * x,
+            MbvrPowerState::Ps1 => 0.92 - 3.5 / x - 0.0006 * x,
+            MbvrPowerState::Ps2 => 0.90 - 0.8 / x - 0.0025 * x,
+        }
+        .clamp(0.30, 0.95)
+    }
+
+    /// VR loss in W for a given package draw.
+    pub fn loss_w(&self, pkg_w: f64) -> f64 {
+        let eta = self.efficiency(pkg_w);
+        pkg_w / eta - pkg_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn three_lanes_only() {
+        // Paper Section II-B: three lanes vs. five on previous products.
+        assert_eq!(SupplyLane::ALL.len(), 3);
+    }
+
+    #[test]
+    fn state_follows_estimated_power() {
+        let mut vr = Mbvr::new();
+        assert_eq!(vr.state(), MbvrPowerState::Ps0);
+        vr.update_estimated_power(10.0); // deep idle
+        assert_eq!(vr.state(), MbvrPowerState::Ps2);
+        vr.update_estimated_power(30.0); // light load
+        assert_eq!(vr.state(), MbvrPowerState::Ps1);
+        vr.update_estimated_power(120.0); // TDP
+        assert_eq!(vr.state(), MbvrPowerState::Ps0);
+    }
+
+    #[test]
+    fn hysteresis_prevents_chatter_at_the_threshold() {
+        let mut vr = Mbvr::new();
+        vr.update_estimated_power(30.0);
+        assert_eq!(vr.state(), MbvrPowerState::Ps1);
+        // Oscillating just around the PS1 threshold must not flip back.
+        vr.update_estimated_power(PS1_BELOW_W + 1.0);
+        assert_eq!(vr.state(), MbvrPowerState::Ps1);
+        vr.update_estimated_power(PS1_BELOW_W - 1.0);
+        assert_eq!(vr.state(), MbvrPowerState::Ps1);
+        // Only a clear margin promotes.
+        vr.update_estimated_power(PS1_BELOW_W + HYSTERESIS_W + 1.0);
+        assert_eq!(vr.state(), MbvrPowerState::Ps0);
+    }
+
+    #[test]
+    fn each_state_wins_in_its_band() {
+        let ps0 = Mbvr {
+            state: MbvrPowerState::Ps0,
+            vccin: 1.8,
+        };
+        let ps1 = Mbvr {
+            state: MbvrPowerState::Ps1,
+            vccin: 1.8,
+        };
+        let ps2 = Mbvr {
+            state: MbvrPowerState::Ps2,
+            vccin: 1.8,
+        };
+        // Near idle PS2 is most efficient; mid-load PS1; full-load PS0.
+        assert!(ps2.efficiency(8.0) > ps1.efficiency(8.0));
+        assert!(ps1.efficiency(8.0) > ps0.efficiency(8.0));
+        assert!(ps1.efficiency(30.0) > ps0.efficiency(30.0));
+        assert!(ps0.efficiency(120.0) > ps1.efficiency(120.0));
+        assert!(ps0.efficiency(120.0) > ps2.efficiency(120.0));
+    }
+
+    #[test]
+    fn svid_commands_are_range_checked() {
+        let mut vr = Mbvr::new();
+        vr.svid_set_voltage(1.75);
+        assert!((vr.vccin() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_svid_is_rejected() {
+        Mbvr::new().svid_set_voltage(1.2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_efficiency_physical(p in 0.5f64..200.0, st in 0usize..3) {
+            let vr = Mbvr {
+                state: [MbvrPowerState::Ps0, MbvrPowerState::Ps1, MbvrPowerState::Ps2][st],
+                vccin: 1.8,
+            };
+            let eta = vr.efficiency(p);
+            prop_assert!((0.30..=0.95).contains(&eta));
+            prop_assert!(vr.loss_w(p) >= 0.0);
+        }
+
+        #[test]
+        fn prop_state_machine_never_sticks(powers in proptest::collection::vec(0.0f64..200.0, 1..100)) {
+            let mut vr = Mbvr::new();
+            for p in powers {
+                vr.update_estimated_power(p);
+                // Clear full-load always recovers PS0.
+            }
+            vr.update_estimated_power(150.0);
+            prop_assert_eq!(vr.state(), MbvrPowerState::Ps0);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! ZES ZIMMER LMG450 power meter model (paper Section III, \[19\]).
+//!
+//! The real instrument samples voltage and current at a high internal rate
+//! and emits calibrated AC power readings at 20 Sa/s with an accuracy of
+//! 0.07 % + 0.23 W. We model the reading as the true power plus a slowly
+//! varying gain error (within the relative accuracy) plus white noise
+//! (within the absolute accuracy).
+
+use rand::Rng;
+
+use hsw_hwspec::calib;
+
+/// A calibrated 4-channel AC power meter.
+#[derive(Debug, Clone)]
+pub struct Lmg450 {
+    /// Per-instrument gain error, fixed at "calibration" time, within the
+    /// relative accuracy band.
+    gain: f64,
+    sample_period_s: f64,
+}
+
+impl Lmg450 {
+    /// Create a meter with a deterministic per-instrument gain drawn from
+    /// the calibration band.
+    pub fn new<R: Rng>(rng: &mut R) -> Self {
+        let rel = calib::LMG450_REL_ACCURACY;
+        Lmg450 {
+            gain: 1.0 + rng.gen_range(-rel..=rel),
+            sample_period_s: 1.0 / calib::LMG450_SAMPLE_RATE_HZ,
+        }
+    }
+
+    /// An ideal meter (zero gain error) for deterministic tests.
+    pub fn ideal() -> Self {
+        Lmg450 {
+            gain: 1.0,
+            sample_period_s: 1.0 / calib::LMG450_SAMPLE_RATE_HZ,
+        }
+    }
+
+    /// Time between output samples (50 ms at 20 Sa/s).
+    pub fn sample_period_s(&self) -> f64 {
+        self.sample_period_s
+    }
+
+    /// One reading of a true AC power value.
+    pub fn sample<R: Rng>(&self, true_w: f64, rng: &mut R) -> f64 {
+        let abs = calib::LMG450_ABS_ACCURACY_W;
+        // White noise well inside the guaranteed absolute band (the spec is
+        // a bound, not a standard deviation).
+        let noise = rng.gen_range(-abs..=abs) * 0.5;
+        true_w * self.gain + noise
+    }
+
+    /// Average of consecutive readings over `duration_s` of constant load —
+    /// the paper's measurement primitive ("average power consumption of a
+    /// constant load during four seconds", Section IV).
+    pub fn average<R: Rng>(&self, true_w: f64, duration_s: f64, rng: &mut R) -> f64 {
+        let n = (duration_s / self.sample_period_s).round().max(1.0) as usize;
+        let sum: f64 = (0..n).map(|_| self.sample(true_w, rng)).sum();
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn readings_stay_within_accuracy_spec() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let meter = Lmg450::new(&mut rng);
+        for &p in &[50.0_f64, 261.5, 560.0] {
+            for _ in 0..200 {
+                let r = meter.sample(p, &mut rng);
+                let bound = p * calib::LMG450_REL_ACCURACY + calib::LMG450_ABS_ACCURACY_W;
+                assert!(
+                    (r - p).abs() <= bound,
+                    "reading {r} outside {p} ± {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn four_second_average_is_tighter_than_single_sample() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let meter = Lmg450::ideal();
+        let avg = meter.average(300.0, 4.0, &mut rng);
+        assert!((avg - 300.0).abs() < 0.05, "avg = {avg}");
+    }
+
+    #[test]
+    fn sample_rate_is_20_per_second() {
+        assert!((Lmg450::ideal().sample_period_s() - 0.05).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // A 4 s window must be built from 80 samples.
+        let n = (4.0 / Lmg450::ideal().sample_period_s()).round() as usize;
+        assert_eq!(n, 80);
+        let _ = Lmg450::ideal().average(100.0, 4.0, &mut rng);
+    }
+
+    #[test]
+    fn instrument_gain_is_stable_per_instrument() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let meter = Lmg450::new(&mut rng);
+        // With noise averaged out, repeated long averages agree closely.
+        let a = meter.average(500.0, 10.0, &mut rng);
+        let b = meter.average(500.0, 10.0, &mut rng);
+        assert!((a - b).abs() < 0.1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Node-level electrical model: constant DC loads and the nonlinear PSU.
+//!
+//! The survey's Figure 2 relies on the fact that the *reference* measurement
+//! happens at a different domain (AC) than RAPL (DC package + DRAM): fans,
+//! mainboard, VR losses, and the PSU's load-dependent conversion loss sit in
+//! between (paper Section IV: "The power supply losses are likely to be
+//! nonlinear").
+
+use hsw_hwspec::NodeSpec;
+
+/// Converts RAPL-domain power into the node's true AC power.
+#[derive(Debug, Clone)]
+pub struct NodePowerModel {
+    spec: NodeSpec,
+}
+
+impl NodePowerModel {
+    pub fn new(spec: NodeSpec) -> Self {
+        NodePowerModel { spec }
+    }
+
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Total DC power drawn from the PSU for a given total RAPL power
+    /// (all sockets, package + DRAM).
+    pub fn dc_power_w(&self, p_rapl_w: f64) -> f64 {
+        p_rapl_w + self.spec.rest_dc_w
+    }
+
+    /// PSU conversion loss at a given DC load.
+    pub fn psu_loss_w(&self, p_dc_w: f64) -> f64 {
+        let p = &self.spec.psu;
+        p.a2 * p_dc_w * p_dc_w + p.a1 * p_dc_w + p.a0_w
+    }
+
+    /// True AC power of the node (before meter noise).
+    pub fn ac_power_w(&self, p_rapl_w: f64) -> f64 {
+        let dc = self.dc_power_w(p_rapl_w);
+        dc + self.psu_loss_w(dc)
+    }
+
+    /// PSU efficiency at a given RAPL power.
+    pub fn psu_efficiency(&self, p_rapl_w: f64) -> f64 {
+        let dc = self.dc_power_w(p_rapl_w);
+        dc / (dc + self.psu_loss_w(dc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_hwspec::calib;
+    use proptest::prelude::*;
+
+    fn model() -> NodePowerModel {
+        NodePowerModel::new(NodeSpec::paper_test_node())
+    }
+
+    #[test]
+    fn ac_power_matches_design_quadratic() {
+        let m = model();
+        for p in [0.0, 80.0, 160.0, 240.0, 287.0] {
+            let expect =
+                calib::AC_FIT_A2 * p * p + calib::AC_FIT_A1 * p + calib::AC_FIT_A0_W;
+            assert!((m.ac_power_w(p) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn efficiency_is_physical() {
+        let m = model();
+        for p in [10.0, 100.0, 287.0] {
+            let eta = m.psu_efficiency(p);
+            assert!((0.5..1.0).contains(&eta), "eta = {eta} at {p} W");
+        }
+    }
+
+    #[test]
+    fn loss_is_nonlinear() {
+        // Marginal loss must grow with load (the "likely to be nonlinear"
+        // premise that makes the Haswell fit quadratic rather than linear).
+        let m = model();
+        let d1 = m.psu_loss_w(200.0) - m.psu_loss_w(150.0);
+        let d2 = m.psu_loss_w(450.0) - m.psu_loss_w(400.0);
+        assert!(d2 > d1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ac_monotone_in_rapl(p in 0.0f64..400.0) {
+            let m = model();
+            prop_assert!(m.ac_power_w(p + 1.0) > m.ac_power_w(p));
+        }
+
+        #[test]
+        fn prop_ac_exceeds_dc(p in 0.0f64..400.0) {
+            let m = model();
+            prop_assert!(m.ac_power_w(p) > m.dc_power_w(p));
+        }
+    }
+}

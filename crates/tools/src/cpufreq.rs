@@ -1,0 +1,125 @@
+//! A Linux-cpufreq-like view of the simulated hardware — and a
+//! demonstration of why the paper had to modify FTaLaT.
+//!
+//! The original FTaLaT read `scaling_cur_freq` from the cpufreq subsystem
+//! to verify frequency settings; the paper found these readings are "not
+//! \[a\] reliable indicator for an actual frequency switch in hardware" and
+//! switched to hardware cycle counters. This module implements both views:
+//! `scaling_cur_freq` (the *requested* p-state, updated instantly on the
+//! write) and the counter-based effective frequency — so the discrepancy
+//! during the ~500 µs transition window is directly observable.
+
+use hsw_hwspec::PState;
+use hsw_msr::{addresses as msra, fields};
+use hsw_node::{CpuId, Node};
+
+/// The userspace-governor style cpufreq interface of one logical CPU.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuFreq {
+    pub cpu: CpuId,
+}
+
+impl CpuFreq {
+    pub fn new(cpu: CpuId) -> Self {
+        CpuFreq { cpu }
+    }
+
+    /// `scaling_setspeed`: request a frequency (userspace governor).
+    pub fn set_speed(&self, node: &mut Node, khz: u64) {
+        let p = PState::from_mhz((khz / 1000) as u32);
+        node.wrmsr(self.cpu, msra::IA32_PERF_CTL, fields::encode_perf_ctl(p))
+            .expect("PERF_CTL");
+    }
+
+    /// `scaling_cur_freq` in kHz: what cpufreq *believes* — the last
+    /// requested p-state, read back from `IA32_PERF_CTL`. This updates
+    /// immediately on the request, long before the hardware switches.
+    pub fn scaling_cur_freq_khz(&self, node: &Node) -> u64 {
+        let v = node.rdmsr(self.cpu, msra::IA32_PERF_CTL).unwrap_or(0);
+        fields::decode_perf_ctl(v).mhz() as u64 * 1000
+    }
+
+    /// `cpuinfo_cur_freq` in kHz: the hardware's own report
+    /// (`IA32_PERF_STATUS`), which follows the actual transition.
+    pub fn cpuinfo_cur_freq_khz(&self, node: &Node) -> u64 {
+        let v = node.rdmsr(self.cpu, msra::IA32_PERF_STATUS).unwrap_or(0);
+        fields::decode_perf_status(v).mhz() as u64 * 1000
+    }
+
+    /// Effective frequency over a measurement window from APERF/MPERF —
+    /// the verification method the paper's modified FTaLaT uses.
+    pub fn effective_freq_khz(&self, node: &mut Node, window_us: u64) -> u64 {
+        let a0 = node.rdmsr(self.cpu, msra::IA32_APERF).unwrap_or(0);
+        let m0 = node.rdmsr(self.cpu, msra::IA32_MPERF).unwrap_or(0);
+        node.advance_us(window_us);
+        let a1 = node.rdmsr(self.cpu, msra::IA32_APERF).unwrap_or(0);
+        let m1 = node.rdmsr(self.cpu, msra::IA32_MPERF).unwrap_or(0);
+        let nominal_khz = node.config().spec.sku.freq.base_mhz as u64 * 1000;
+        let da = a1.wrapping_sub(a0) as f64;
+        let dm = m1.wrapping_sub(m0) as f64;
+        if dm <= 0.0 {
+            return 0;
+        }
+        (nominal_khz as f64 * da / dm) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_exec::WorkloadProfile;
+    use hsw_node::NodeConfig;
+
+    fn node() -> Node {
+        let mut node = Node::new(NodeConfig::paper_default().with_tick_us(2));
+        node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
+        node.advance_s(0.01);
+        node
+    }
+
+    #[test]
+    fn scaling_cur_freq_lies_during_the_transition_window() {
+        // The paper's rationale for modifying FTaLaT, reproduced: right
+        // after the request, cpufreq reports the new frequency while the
+        // hardware still runs the old one.
+        let mut n = node();
+        let cf = CpuFreq::new(CpuId::new(0, 0, 0));
+        cf.set_speed(&mut n, 1_200_000);
+        n.advance_us(1_200); // settle at 1.2 GHz
+        cf.set_speed(&mut n, 1_300_000);
+        // Immediately after the wrmsr:
+        assert_eq!(cf.scaling_cur_freq_khz(&n), 1_300_000, "cpufreq view");
+        let eff = cf.effective_freq_khz(&mut n, 10);
+        assert!(
+            eff < 1_250_000,
+            "hardware still at 1.2 GHz ({eff} kHz) while cpufreq claims 1.3"
+        );
+    }
+
+    #[test]
+    fn views_agree_after_the_transition_completes() {
+        let mut n = node();
+        let cf = CpuFreq::new(CpuId::new(0, 0, 0));
+        cf.set_speed(&mut n, 1_400_000);
+        n.advance_us(1_200);
+        assert_eq!(cf.scaling_cur_freq_khz(&n), 1_400_000);
+        assert_eq!(cf.cpuinfo_cur_freq_khz(&n), 1_400_000);
+        let eff = cf.effective_freq_khz(&mut n, 100);
+        assert!((eff as i64 - 1_400_000).unsigned_abs() < 30_000, "{eff}");
+    }
+
+    #[test]
+    fn perf_status_follows_the_hardware_not_the_request() {
+        let mut n = node();
+        let cf = CpuFreq::new(CpuId::new(0, 0, 0));
+        cf.set_speed(&mut n, 1_200_000);
+        n.advance_us(1_200);
+        cf.set_speed(&mut n, 1_300_000);
+        n.advance_us(4); // well inside the opportunity window
+        assert_eq!(
+            cf.cpuinfo_cur_freq_khz(&n),
+            1_200_000,
+            "PERF_STATUS must lag the request"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Run the complete survey — every table and every figure — and print the
+//! paper-style reports. With `--paper` the experiments use the paper's
+//! methodology durations (slower; use `--release`). With `--write-md FILE`
+//! a markdown summary (the basis of EXPERIMENTS.md) is written.
+//!
+//! Run with: `cargo run --release --example full_survey [-- --paper]`
+
+use std::fmt::Write as _;
+
+use haswell_survey_repro::survey::{experiments, Fidelity};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fidelity = if args.iter().any(|a| a == "--paper") {
+        Fidelity::Paper
+    } else {
+        Fidelity::Quick
+    };
+    let write_md = args
+        .iter()
+        .position(|a| a == "--write-md")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut md = String::new();
+    let mut emit = |title: &str, body: String| {
+        println!("================================================================");
+        println!("{title}");
+        println!("================================================================");
+        println!("{body}");
+        let _ = writeln!(md, "## {title}\n\n```text\n{body}\n```\n");
+    };
+
+    emit("Table I — microarchitecture comparison", experiments::table1::run().to_string());
+    emit("Table II — test system", experiments::table2::run(fidelity).to_string());
+    emit("Table III — uncore frequencies", experiments::table3::run(fidelity).to_string());
+    emit("Table IV — FIRESTARTER vs frequency settings", experiments::table4::run(fidelity).to_string());
+    emit("Table V — maximum power", experiments::table5::run(fidelity).to_string());
+    emit("Figure 2 — RAPL vs AC reference", experiments::fig2::run(fidelity).to_string());
+    emit("Figure 3 — p-state transition latencies", experiments::fig3::run(fidelity).to_string());
+    emit("Figure 4 — opportunity timeline", experiments::fig4::run().to_string());
+    emit("Figures 5/6 — c-state wake latencies", experiments::fig56::run(fidelity).to_string());
+    emit("Figure 7 — bandwidth vs frequency", experiments::fig7::run().to_string());
+    emit("Figure 8 — bandwidth heatmaps", experiments::fig8::run().to_string());
+    emit("Section VIII — FIRESTARTER", experiments::section8::run().to_string());
+    emit("Figure 1 — die topology", experiments::fig1::run().to_string());
+    emit("Section II-C — measured EPB mapping", experiments::section2c_epb::run().to_string());
+    emit("Section VI-B — governor vs ACPI tables", experiments::section6b_governor::run().to_string());
+    emit("Extension — product-line extrapolation", experiments::sku_extrapolation::run().to_string());
+
+    if let Some(path) = write_md {
+        std::fs::write(&path, md).expect("write markdown");
+        println!("wrote {path}");
+    }
+}

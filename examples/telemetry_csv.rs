@@ -1,0 +1,40 @@
+//! Record a ground-truth telemetry trace of a load ramp — idle → one
+//! spinning core → full FIRESTARTER — and dump it as CSV (for replotting
+//! the paper's time-series style figures with any plotting tool).
+//!
+//! Run with: `cargo run --release --example telemetry_csv > trace.csv`
+
+use haswell_survey_repro::exec::WorkloadProfile;
+use haswell_survey_repro::hwspec::freq::FreqSetting;
+use haswell_survey_repro::node::{Node, NodeConfig, Trace};
+
+fn main() {
+    let mut node = Node::new(NodeConfig::paper_default());
+    node.set_setting_all(FreqSetting::Turbo);
+
+    // Phase 1: idle.
+    node.idle_all();
+    let mut trace = Trace::record(&mut node, 1.0, 0.05);
+
+    // Phase 2: one spinning core (the Table III scenario).
+    node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
+    trace
+        .snapshots
+        .extend(Trace::record(&mut node, 1.0, 0.05).snapshots);
+
+    // Phase 3: FIRESTARTER everywhere (the Table IV scenario).
+    let fs = WorkloadProfile::firestarter();
+    for s in 0..2 {
+        node.run_on_socket(s, &fs, 12, 2);
+    }
+    trace
+        .snapshots
+        .extend(Trace::record(&mut node, 2.0, 0.05).snapshots);
+
+    print!("{}", trace.to_csv());
+
+    let (_, mean_ac, max_ac) = trace.stats(|s| s.ac_w);
+    eprintln!("# snapshots: {}", trace.snapshots.len());
+    eprintln!("# mean AC {mean_ac:.1} W, max AC {max_ac:.1} W");
+    eprintln!("# (idle ≈ 261.5 W and FIRESTARTER ≈ 560 W per the paper)");
+}

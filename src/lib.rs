@@ -1,0 +1,17 @@
+//! # haswell-survey-repro — root facade
+//!
+//! Re-exports the workspace crates under one roof for the examples and
+//! integration tests. See README.md for the architecture and
+//! `haswell_survey::experiments` for the per-table/figure reproduction
+//! entry points.
+
+pub use haswell_survey as survey;
+pub use hsw_cstates as cstates;
+pub use hsw_exec as exec;
+pub use hsw_hwspec as hwspec;
+pub use hsw_memhier as memhier;
+pub use hsw_msr as msr;
+pub use hsw_node as node;
+pub use hsw_pcu as pcu;
+pub use hsw_power as power;
+pub use hsw_tools as tools;

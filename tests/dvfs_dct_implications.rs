@@ -1,0 +1,123 @@
+//! The paper's energy-efficiency conclusions, verified end to end:
+//!
+//! * DVFS for memory-bound codes is viable again on Haswell-EP (DRAM
+//!   bandwidth is core-frequency independent, so downclocking saves power
+//!   at equal throughput) — Conclusions / Section VII.
+//! * DCT (dynamic concurrency throttling) is viable: 8 cores saturate the
+//!   memory bandwidth, so parking the rest saves power.
+//! * Per-core p-states allow saving power on one core while another stays
+//!   fast (Section II-D).
+
+use haswell_survey_repro::exec::WorkloadProfile;
+use haswell_survey_repro::hwspec::freq::FreqSetting;
+use haswell_survey_repro::hwspec::PState;
+use haswell_survey_repro::node::{Node, NodeConfig};
+
+fn memory_node(cores: usize, setting: FreqSetting) -> (f64, f64) {
+    let mut node = Node::new(NodeConfig::paper_default());
+    node.run_on_socket(0, &WorkloadProfile::memory_bound(), cores, 1);
+    node.set_setting_all(setting);
+    node.advance_s(0.8);
+    let mut bw = 0.0;
+    let mut pw = 0.0;
+    let n = 10;
+    for _ in 0..n {
+        node.advance_s(0.1);
+        bw += node.dram_bandwidth_gbs(0);
+        pw += node.true_pkg_power_w(0) + node.true_dram_power_w(0);
+    }
+    (bw / n as f64, pw / n as f64)
+}
+
+#[test]
+fn dvfs_saves_power_at_equal_bandwidth_for_memory_bound_codes() {
+    // "the core frequency can be reduced to save energy in memory-bound
+    // applications" (Section VII).
+    let (bw_fast, p_fast) = memory_node(12, FreqSetting::from_mhz(2500));
+    let (bw_slow, p_slow) = memory_node(12, FreqSetting::from_mhz(1200));
+    assert!(
+        (bw_slow / bw_fast) > 0.97,
+        "bandwidth must be frequency independent: {bw_slow:.1} vs {bw_fast:.1} GB/s"
+    );
+    assert!(
+        p_slow < p_fast * 0.80,
+        "downclocking must save power: {p_slow:.1} vs {p_fast:.1} W"
+    );
+}
+
+#[test]
+fn dct_saves_power_at_equal_bandwidth_beyond_saturation() {
+    // Fig. 8: DRAM saturates at 8 cores → running 8 instead of 12 is free
+    // in throughput and cheaper in power.
+    let (bw_12, p_12) = memory_node(12, FreqSetting::from_mhz(2500));
+    let (bw_8, p_8) = memory_node(8, FreqSetting::from_mhz(2500));
+    assert!(
+        bw_8 / bw_12 > 0.95,
+        "8 cores must sustain the bandwidth: {bw_8:.1} vs {bw_12:.1} GB/s"
+    );
+    assert!(
+        p_8 < p_12 - 3.0,
+        "parking 4 cores must save power: {p_8:.1} vs {p_12:.1} W"
+    );
+}
+
+#[test]
+fn per_core_pstates_keep_one_core_fast_while_others_downclock() {
+    // PCPS (Section II-D): an energy-aware runtime lowers some cores while
+    // keeping the performance of others.
+    let mut node = Node::new(NodeConfig::paper_default());
+    node.run_on_socket(0, &WorkloadProfile::compute(), 4, 1);
+    // Core 0 stays at nominal; cores 1–3 are downclocked individually.
+    node.set_setting(0, 0, FreqSetting::from_mhz(2500));
+    for c in 1..4 {
+        node.set_setting(0, c, FreqSetting::from_mhz(1200));
+    }
+    node.advance_s(0.5);
+    let s = &node.sockets()[0];
+    assert!(
+        (s.true_core_mhz(0) - 2500.0).abs() < 20.0,
+        "fast core at {:.0} MHz",
+        s.true_core_mhz(0)
+    );
+    for c in 1..4 {
+        assert!(
+            (s.true_core_mhz(c) - 1200.0).abs() < 20.0,
+            "slow core {c} at {:.0} MHz",
+            s.true_core_mhz(c)
+        );
+    }
+}
+
+#[test]
+fn per_core_pstates_reduce_power_vs_chip_wide_fast() {
+    let run = |slow_cores: bool| {
+        let mut node = Node::new(NodeConfig::paper_default());
+        node.run_on_socket(0, &WorkloadProfile::compute(), 4, 1);
+        node.set_setting(0, 0, FreqSetting::from_mhz(2500));
+        let others = if slow_cores { 1200 } else { 2500 };
+        for c in 1..4 {
+            node.set_setting(0, c, FreqSetting::from_mhz(others));
+        }
+        node.advance_s(0.6);
+        node.true_pkg_power_w(0)
+    };
+    let mixed = run(true);
+    let all_fast = run(false);
+    assert!(
+        mixed < all_fast - 5.0,
+        "PCPS mixed {mixed:.1} W vs all-fast {all_fast:.1} W"
+    );
+}
+
+#[test]
+fn pstate_requests_on_one_core_do_not_move_siblings() {
+    // The PCPS domain granularity, observable through ground truth.
+    let mut node = Node::new(NodeConfig::paper_default().with_tick_us(10));
+    node.run_on_socket(0, &WorkloadProfile::busy_wait(), 2, 1);
+    node.set_setting(0, 0, FreqSetting::Fixed(PState::from_mhz(1400)));
+    node.set_setting(0, 1, FreqSetting::Fixed(PState::from_mhz(2200)));
+    node.advance_s(0.1);
+    let s = &node.sockets()[0];
+    assert!((s.true_core_mhz(0) - 1400.0).abs() < 10.0);
+    assert!((s.true_core_mhz(1) - 2200.0).abs() < 10.0);
+}

@@ -1,0 +1,129 @@
+//! Energy-efficient turbo under phase-changing workloads — the paper's
+//! caveat quantified end to end (Section II-E: the stall data is polled
+//! only sporadically, "therefore, EET may impair performance and energy
+//! efficiency of workloads that change their characteristics at an
+//! unfavorable rate").
+
+use haswell_survey_repro::exec::{DutyCycle, IpcModel, WorkloadProfile};
+use haswell_survey_repro::hwspec::freq::FreqSetting;
+use haswell_survey_repro::node::{CpuId, Node, NodeConfig};
+use haswell_survey_repro::tools::perfctr::{median_of, PerfCtr};
+
+/// A workload flipping between memory-bound and compute-bound character.
+/// `phase_s` controls the flip rate relative to EET's 1 ms poll.
+fn phase_flipper(phase_s: f64) -> WorkloadProfile {
+    let mut p = WorkloadProfile::memory_bound();
+    p.name = "phase flipper";
+    // Duty modulates the *effective* stall signal EET samples: high-duty
+    // phases look memory-bound, low-duty phases compute-bound.
+    p.duty = DutyCycle::Phases(vec![(phase_s, 1.0), (phase_s, 0.12)]);
+    p.ipc_smt = IpcModel::Constant(1.2);
+    p.ipc_single = IpcModel::Constant(1.4);
+    p
+}
+
+fn measure_gips(eet: bool, phase_s: f64, seed: u64) -> f64 {
+    let mut node = Node::new(
+        NodeConfig::paper_default()
+            .with_eet(eet)
+            .with_seed(seed)
+            .with_tick_us(50),
+    );
+    node.run_on_socket(0, &phase_flipper(phase_s), 12, 1);
+    node.set_setting_all(FreqSetting::Turbo);
+    node.advance_s(0.4);
+    let pc = PerfCtr::new(&node, CpuId::new(0, 0, 0));
+    let samples = pc.monitor(&mut node, 12, 0.25);
+    median_of(&samples, |d| d.gips)
+}
+
+#[test]
+fn eet_caps_turbo_for_truly_stalled_phases() {
+    // Sanity: for a *steadily* memory-bound workload EET's cap is correct
+    // behavior — frequency drops, throughput barely moves.
+    let mut with_eet = Node::new(NodeConfig::paper_default().with_eet(true));
+    with_eet.run_on_socket(0, &WorkloadProfile::memory_bound(), 12, 1);
+    with_eet.set_setting_all(FreqSetting::Turbo);
+    with_eet.advance_s(0.5);
+    let mut without = Node::new(NodeConfig::paper_default().with_eet(false));
+    without.run_on_socket(0, &WorkloadProfile::memory_bound(), 12, 1);
+    without.set_setting_all(FreqSetting::Turbo);
+    without.advance_s(0.5);
+    let f_eet = with_eet.sockets()[0].true_core_mhz(0);
+    let f_no = without.sockets()[0].true_core_mhz(0);
+    assert!(
+        f_eet <= f_no,
+        "EET must not raise frequency: {f_eet:.0} vs {f_no:.0}"
+    );
+    // And it saves package power.
+    assert!(with_eet.true_pkg_power_w(0) <= without.true_pkg_power_w(0) + 0.5);
+}
+
+/// Fraction of samples where EET's frequency decision contradicts the
+/// workload's *instantaneous* character: capped (≤ base) during a
+/// compute-bound phase, or uncapped (> base) during a memory-bound phase.
+fn misprediction_rate(phase_s: f64, seed: u64) -> f64 {
+    let mut node = Node::new(
+        NodeConfig::paper_default()
+            .with_eet(true)
+            .with_seed(seed)
+            .with_tick_us(50),
+    );
+    node.run_on_socket(0, &phase_flipper(phase_s), 12, 1);
+    node.set_setting_all(FreqSetting::Turbo);
+    node.advance_s(0.4);
+    let mut wrong = 0usize;
+    let mut total = 0usize;
+    let step_s = phase_s / 4.0;
+    for _ in 0..400 {
+        node.advance_s(step_s);
+        // Which phase is the duty cycle in right now?
+        let in_memory_phase = node.now_s() % (2.0 * phase_s) < phase_s;
+        let capped = node.sockets()[0].true_core_mhz(0) <= 2500.0 + 1.0;
+        if in_memory_phase != capped {
+            wrong += 1;
+        }
+        total += 1;
+    }
+    wrong as f64 / total as f64
+}
+
+#[test]
+fn unfavorable_phase_rate_mispredicts_more_than_favorable() {
+    // Flip every 0.8 ms (just under the 1 ms poll → chronically stale
+    // samples) vs every 50 ms (the poll tracks phases fine): the paper's
+    // "unfavorable rate" caveat as a misprediction rate.
+    let unfavorable = misprediction_rate(0.0008, 100);
+    let favorable = misprediction_rate(0.050, 200);
+    assert!(
+        unfavorable > favorable + 0.15,
+        "unfavorable {unfavorable:.2} vs favorable {favorable:.2}"
+    );
+}
+
+#[test]
+fn eet_penalty_is_measurable_through_counters() {
+    // Whatever the phase rate, disabling EET must never *reduce*
+    // throughput for this flipper (EET only ever caps).
+    for (phase_s, seed) in [(0.0008, 300u64), (0.050, 400)] {
+        let on = measure_gips(true, phase_s, seed);
+        let off = measure_gips(false, phase_s, seed + 1);
+        assert!(
+            off >= on - 0.02,
+            "phase {phase_s}: EET off {off:.3} vs on {on:.3} GIPS"
+        );
+    }
+}
+
+#[test]
+fn eet_never_throttles_below_base() {
+    let mut node = Node::new(NodeConfig::paper_default().with_eet(true));
+    node.run_on_socket(0, &WorkloadProfile::memory_bound(), 12, 2);
+    node.set_setting_all(FreqSetting::Turbo);
+    node.advance_s(0.6);
+    let f = node.sockets()[0].true_core_mhz(0);
+    assert!(
+        f >= 2500.0 - 1.0,
+        "EET caps at nominal, never below: {f:.0} MHz"
+    );
+}

@@ -1,0 +1,101 @@
+//! Heterogeneous per-core workloads: the PCPS scenario the paper motivates
+//! (Section II-D — "energy-aware runtimes ... lower the power consumption
+//! of single cores while keeping the performance of other cores at a high
+//! level") with *different programs* on different cores.
+
+use haswell_survey_repro::exec::WorkloadProfile;
+use haswell_survey_repro::hwspec::freq::FreqSetting;
+use haswell_survey_repro::node::{CpuId, Node, NodeConfig};
+use haswell_survey_repro::tools::perfctr::PerfCtr;
+
+/// dgemm on cores 0–3, a memory streamer on cores 4–7, the rest idle.
+fn mixed_node() -> Node {
+    let mut node = Node::new(NodeConfig::paper_default());
+    node.idle_all();
+    for c in 0..4 {
+        node.assign(CpuId::new(0, c, 0), Some(WorkloadProfile::dgemm()));
+    }
+    for c in 4..8 {
+        node.assign(CpuId::new(0, c, 0), Some(WorkloadProfile::memory_bound()));
+    }
+    node.set_setting_all(FreqSetting::from_mhz(2500));
+    node.advance_s(0.5);
+    node
+}
+
+#[test]
+fn mixed_profiles_run_concurrently_with_distinct_ipc() {
+    let mut node = mixed_node();
+    let pc_gemm = PerfCtr::new(&node, CpuId::new(0, 0, 0));
+    let pc_mem = PerfCtr::new(&node, CpuId::new(0, 5, 0));
+    let (a, b) = (pc_gemm.sample(&node), pc_mem.sample(&node));
+    node.advance_s(1.0);
+    let (a2, b2) = (pc_gemm.sample(&node), pc_mem.sample(&node));
+    let gemm = pc_gemm.derive(&a, &a2);
+    let mem = pc_mem.derive(&b, &b2);
+    // dgemm retires ~2 IPC; the streamer well below 1.
+    assert!(gemm.gips > 2.0 * mem.gips, "{} vs {}", gemm.gips, mem.gips);
+}
+
+#[test]
+fn memory_cores_drive_the_uncore_up_for_everyone() {
+    // The hungriest core's stalls dominate the UFS decision: with the
+    // streamer present the uncore rises toward 3.0 GHz although dgemm alone
+    // would sit near the schedule value.
+    let mut dgemm_only = Node::new(NodeConfig::paper_default());
+    dgemm_only.idle_all();
+    for c in 0..4 {
+        dgemm_only.assign(CpuId::new(0, c, 0), Some(WorkloadProfile::dgemm()));
+    }
+    dgemm_only.set_setting_all(FreqSetting::from_mhz(2500));
+    dgemm_only.advance_s(0.5);
+    let unc_dgemm = dgemm_only.sockets()[0].true_uncore_mhz();
+
+    let mixed = mixed_node();
+    let unc_mixed = mixed.sockets()[0].true_uncore_mhz();
+    assert!(
+        unc_mixed > unc_dgemm + 300.0,
+        "mixed {unc_mixed:.0} MHz vs dgemm-only {unc_dgemm:.0} MHz"
+    );
+}
+
+#[test]
+fn dram_demand_sums_across_profile_groups() {
+    let node = mixed_node();
+    let bw = node.dram_bandwidth_gbs(0);
+    // 4 streamer cores ≈ 55·(4/8) = 27.5 GB/s plus dgemm's 8·(4/12) ≈ 2.7.
+    assert!(
+        (24.0..36.0).contains(&bw),
+        "mixed DRAM bandwidth {bw:.1} GB/s"
+    );
+}
+
+#[test]
+fn avx_license_is_per_core() {
+    // dgemm cores carry the AVX license; busy-wait cores do not. The AVX
+    // frequency ceiling must still bind the socket (licenses are per core,
+    // the clock domain fallout is shared via the PCU).
+    let mut node = Node::new(NodeConfig::paper_default());
+    node.idle_all();
+    node.assign(CpuId::new(0, 0, 0), Some(WorkloadProfile::dgemm()));
+    node.assign(CpuId::new(0, 1, 0), Some(WorkloadProfile::busy_wait()));
+    node.set_setting_all(FreqSetting::Turbo);
+    node.advance_s(0.3);
+    // With two active cores the non-AVX turbo bin is 3.3 GHz but the AVX
+    // ceiling is 3.1 GHz — the dgemm license caps the grant.
+    let f0 = node.sockets()[0].true_core_mhz(0);
+    assert!(f0 <= 3100.0 + 1.0, "AVX ceiling must bind: {f0:.0} MHz");
+}
+
+#[test]
+fn idle_cores_next_to_busy_ones_stay_gated() {
+    let node = mixed_node();
+    let s = &node.sockets()[0];
+    for c in 8..12 {
+        assert!(
+            s.core_cstate(c).power_gated(),
+            "core {c} should sit in C6 beside the busy cores"
+        );
+    }
+    assert_eq!(s.package_cstate().name(), "PC0");
+}

@@ -1,0 +1,157 @@
+//! Property-based invariants of the full simulated node under randomized
+//! workload placements and settings. Each case runs a real simulation, so
+//! the case count is kept small; the assertions are the physical laws any
+//! configuration must obey.
+
+use haswell_survey_repro::exec::WorkloadProfile;
+use haswell_survey_repro::hwspec::freq::FreqSetting;
+use haswell_survey_repro::msr::addresses as msra;
+use haswell_survey_repro::node::{CpuId, Node, NodeConfig};
+use proptest::prelude::*;
+
+fn profile_for(idx: usize) -> WorkloadProfile {
+    match idx % 6 {
+        0 => WorkloadProfile::busy_wait(),
+        1 => WorkloadProfile::memory_bound(),
+        2 => WorkloadProfile::compute(),
+        3 => WorkloadProfile::dgemm(),
+        4 => WorkloadProfile::firestarter(),
+        _ => WorkloadProfile::mprime(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_node_invariants_hold_under_random_load(
+        seed in 0u64..1000,
+        profile_idx in 0usize..6,
+        cores0 in 0usize..=12,
+        cores1 in 0usize..=12,
+        ht in any::<bool>(),
+        setting_ratio in 12u32..=25,
+        turbo in any::<bool>(),
+    ) {
+        let mut node = Node::new(NodeConfig::paper_default().with_seed(seed));
+        let p = profile_for(profile_idx);
+        let tpc = if ht { 2 } else { 1 };
+        node.run_on_socket(0, &p, cores0, tpc);
+        node.run_on_socket(1, &p, cores1, tpc);
+        let setting = if turbo {
+            FreqSetting::Turbo
+        } else {
+            FreqSetting::from_mhz(setting_ratio * 100)
+        };
+        node.set_setting_all(setting);
+        node.advance_s(0.4);
+
+        let cpu0 = CpuId::new(0, 0, 0);
+        let pkg_before = node.rdmsr(cpu0, msra::MSR_PKG_ENERGY_STATUS).unwrap() as u32;
+        node.advance_s(0.4);
+        let pkg_after = node.rdmsr(cpu0, msra::MSR_PKG_ENERGY_STATUS).unwrap() as u32;
+
+        // 1. Energy counters advance whenever the socket draws power.
+        prop_assert!(pkg_after.wrapping_sub(pkg_before) > 0);
+
+        for s in 0..2 {
+            let sock = &node.sockets()[s];
+            // 2. Package power within physical bounds: positive, and under
+            //    TDP once the limiter settled (small tolerance).
+            let pw = node.true_pkg_power_w(s);
+            prop_assert!(pw > 0.0, "socket {s} pkg {pw}");
+            prop_assert!(pw < 120.0 * 1.05, "socket {s} pkg {pw}");
+
+            // 3. Core frequencies within [min, single-core turbo].
+            for c in 0..12 {
+                let f = sock.true_core_mhz(c);
+                prop_assert!((1200.0..=3300.0).contains(&f), "S{s}C{c}: {f}");
+            }
+
+            // 4. Uncore within its bounds (or halted in deep package sleep).
+            let u = sock.true_uncore_mhz();
+            prop_assert!(
+                u == 0.0 || (1200.0..=3000.0).contains(&u),
+                "S{s} uncore {u}"
+            );
+            if u == 0.0 {
+                prop_assert!(sock.package_cstate().uncore_halted());
+            }
+
+            // 5. Fixed settings are never exceeded (turbo aside).
+            if let FreqSetting::Fixed(ps) = setting {
+                let busy = (0..12).filter(|c| {
+                    sock.core_cstate(*c) == haswell_survey_repro::cstates::CoreCState::C0
+                });
+                for c in busy {
+                    prop_assert!(
+                        sock.true_core_mhz(c) <= ps.mhz() as f64 + 1.0,
+                        "S{s}C{c} exceeds the fixed setting"
+                    );
+                }
+            }
+        }
+
+        // 6. AC power is consistent with the electrical design.
+        let ac = node.true_ac_power_w();
+        let rapl = node.true_rapl_power_w();
+        prop_assert!(ac > rapl, "AC {ac} must exceed RAPL {rapl}");
+        prop_assert!(ac < 700.0, "AC {ac} out of range");
+    }
+
+    #[test]
+    fn prop_counters_are_monotone_across_random_advances(
+        seed in 0u64..1000,
+        steps in proptest::collection::vec(1u64..200_000, 1..6),
+    ) {
+        let mut node = Node::new(NodeConfig::paper_default().with_seed(seed));
+        node.run_on_socket(0, &WorkloadProfile::compute(), 6, 1);
+        node.advance_s(0.05);
+        let cpu = CpuId::new(0, 0, 0);
+        let mut prev_tsc = node.rdmsr(cpu, msra::IA32_TIME_STAMP_COUNTER).unwrap();
+        let mut prev_aperf = node.rdmsr(cpu, msra::IA32_APERF).unwrap();
+        let mut prev_instr = node.rdmsr(cpu, msra::IA32_FIXED_CTR0_INST_RETIRED).unwrap();
+        for us in steps {
+            node.advance_us(us);
+            let tsc = node.rdmsr(cpu, msra::IA32_TIME_STAMP_COUNTER).unwrap();
+            let aperf = node.rdmsr(cpu, msra::IA32_APERF).unwrap();
+            let instr = node.rdmsr(cpu, msra::IA32_FIXED_CTR0_INST_RETIRED).unwrap();
+            prop_assert!(tsc > prev_tsc, "TSC must always advance");
+            prop_assert!(aperf >= prev_aperf);
+            prop_assert!(instr >= prev_instr);
+            // TSC runs at nominal: counts ≈ 2.5 GHz × Δt.
+            let expect = us as f64 * 2500.0;
+            let got = (tsc - prev_tsc) as f64;
+            prop_assert!((got / expect - 1.0).abs() < 0.01, "TSC rate {got} vs {expect}");
+            prev_tsc = tsc;
+            prev_aperf = aperf;
+            prev_instr = instr;
+        }
+    }
+
+    #[test]
+    fn prop_determinism_same_seed_same_trajectory(
+        seed in 0u64..500,
+        profile_idx in 0usize..6,
+    ) {
+        let run = |seed: u64| {
+            let mut node = Node::new(NodeConfig::paper_default().with_seed(seed));
+            node.run_on_socket(0, &profile_for(profile_idx), 12, 2);
+            node.set_setting_all(FreqSetting::Turbo);
+            node.advance_s(0.5);
+            (
+                node.true_rapl_power_w(),
+                node.sockets()[0].true_core_mhz(0),
+                node.rdmsr(CpuId::new(0, 0, 0), msra::MSR_PKG_ENERGY_STATUS).unwrap(),
+            )
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+        prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        prop_assert_eq!(a.2, b.2);
+    }
+}
