@@ -61,7 +61,12 @@ fn ablation_ufs(c: &mut Criterion) {
         )
     });
     c.bench_function("ablation_ufs", |b| {
-        b.iter(|| black_box((run_ufs_case(EpbClass::Balanced), run_ufs_case(EpbClass::Performance))))
+        b.iter(|| {
+            black_box((
+                run_ufs_case(EpbClass::Balanced),
+                run_ufs_case(EpbClass::Performance),
+            ))
+        })
     });
 }
 
@@ -99,7 +104,11 @@ fn ablation_pcps(c: &mut Criterion) {
 
 /// RAPL DRAM mode 0 vs mode 1 readings (paper Section IV).
 fn run_dram_mode(mode: DramRaplMode) -> f64 {
-    let mut node = Node::new(NodeConfig::paper_default().with_dram_mode(mode).with_seed(4));
+    let mut node = Node::new(
+        NodeConfig::paper_default()
+            .with_dram_mode(mode)
+            .with_seed(4),
+    );
     node.run_on_socket(0, &WorkloadProfile::memory_bound(), 12, 1);
     node.advance_s(0.4);
     let addr = hsw_msr::addresses::MSR_DRAM_ENERGY_STATUS;
@@ -119,7 +128,12 @@ fn ablation_dram_mode(c: &mut Criterion) {
         )
     });
     c.bench_function("ablation_dram_mode", |b| {
-        b.iter(|| black_box((run_dram_mode(DramRaplMode::Mode1), run_dram_mode(DramRaplMode::Mode0))))
+        b.iter(|| {
+            black_box((
+                run_dram_mode(DramRaplMode::Mode1),
+                run_dram_mode(DramRaplMode::Mode0),
+            ))
+        })
     });
 }
 

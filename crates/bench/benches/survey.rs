@@ -1,0 +1,59 @@
+//! Serial vs. parallel full-survey benchmark: the runner's scaling story.
+//!
+//! The survey runner fans the registry across worker threads with seeds
+//! derived from `(root seed, experiment id)` only, so parallelism is free
+//! of result drift — this bench measures what it buys in wall-clock. A
+//! cut-down `--only` subset keeps iteration times in bench territory;
+//! the full 16-experiment survey is what `survey --jobs N` exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use haswell_survey::survey::{run_survey, SurveyConfig};
+use haswell_survey::Fidelity;
+
+/// A subset of experiments with enough per-experiment cost to show the
+/// scheduler's effect without minute-long bench iterations.
+fn subset() -> Vec<String> {
+    [
+        "fig1",
+        "fig4",
+        "fig7",
+        "fig8",
+        "section8",
+        "sku_extrapolation",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+fn bench_survey_jobs(c: &mut Criterion) {
+    for jobs in [
+        1,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    ] {
+        let cfg = SurveyConfig {
+            fidelity: Fidelity::Quick,
+            seed: 42,
+            jobs,
+            only: Some(subset()),
+        };
+        c.bench_function(&format!("survey_subset_jobs_{jobs}"), |b| {
+            b.iter(|| black_box(run_survey(black_box(&cfg)).unwrap()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_survey_jobs
+}
+criterion_main!(benches);

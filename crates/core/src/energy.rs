@@ -62,7 +62,12 @@ impl EnergySweep {
     }
 }
 
-fn measure(profile: &WorkloadProfile, setting: FreqSetting, cores: usize, seed: u64) -> OperatingPoint {
+fn measure(
+    profile: &WorkloadProfile,
+    setting: FreqSetting,
+    cores: usize,
+    seed: u64,
+) -> OperatingPoint {
     let mut node = Node::new(
         NodeConfig::paper_default()
             .with_seed(seed)
@@ -76,8 +81,7 @@ fn measure(profile: &WorkloadProfile, setting: FreqSetting, cores: usize, seed: 
     let samples = pc.monitor(&mut node, 6, 0.2);
     let gips = median_of(&samples, |d| d.gips);
     let power = median_of(&samples, |d| d.pkg_w + d.dram_w);
-    let bandwidth_bound =
-        profile.stall_fraction > hsw_hwspec::calib::UFS_STALL_THRESHOLD;
+    let bandwidth_bound = profile.stall_fraction > hsw_hwspec::calib::UFS_STALL_THRESHOLD;
     let throughput = if bandwidth_bound {
         node.dram_bandwidth_gbs(0)
     } else {
@@ -166,13 +170,11 @@ mod tests {
 
     #[test]
     fn dct_beyond_saturation_wastes_energy() {
-        let s = dct_sweep(&WorkloadProfile::memory_bound(), FreqSetting::from_mhz(2500));
-        let at = |n: usize| {
-            s.points
-                .iter()
-                .find(|p| p.cores == n)
-                .expect("point")
-        };
+        let s = dct_sweep(
+            &WorkloadProfile::memory_bound(),
+            FreqSetting::from_mhz(2500),
+        );
+        let at = |n: usize| s.points.iter().find(|p| p.cores == n).expect("point");
         // Same bandwidth at 8 and 12 cores, lower energy per byte at 8.
         assert!(at(8).throughput / at(12).throughput > 0.95);
         assert!(at(8).energy_per_work() < at(12).energy_per_work());

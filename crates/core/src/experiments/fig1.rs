@@ -92,6 +92,49 @@ pub fn run() -> Fig1 {
     Fig1 { dies, table: t }
 }
 
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+    fn anchor(&self) -> &'static str {
+        "Figure 1"
+    }
+    fn title(&self) -> &'static str {
+        "Partitioned ring-interconnect die layouts"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run();
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let largest = r.dies.last().expect("dies");
+        let cross_fraction = largest.cross_partition_pairs as f64 / largest.total_pairs as f64;
+        out.metric("die_layouts", r.dies.len() as f64);
+        out.metric("largest_die_cross_pair_fraction", cross_fraction);
+        out.check(
+            "three die layouts analyzed",
+            r.dies.len() == 3,
+            format!("{} dies", r.dies.len()),
+        );
+        out.check(
+            "largest die is ring-partitioned",
+            largest.partitions.len() >= 2 && largest.cross_partition_pairs > 0,
+            format!(
+                "{}: {} partitions, {}/{} cross-partition pairs",
+                largest.name,
+                largest.partitions.len(),
+                largest.cross_partition_pairs,
+                largest.total_pairs
+            ),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

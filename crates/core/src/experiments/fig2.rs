@@ -209,6 +209,66 @@ pub fn run(fidelity: Fidelity) -> Fig2 {
     }
 }
 
+/// Like [`run`] but with both panels' seed bases derived from `seed` (the
+/// survey runner's determinism contract).
+pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig2 {
+    Fig2 {
+        sandy_bridge: run_panel(
+            NodeSpec::sandy_bridge_node(),
+            fidelity,
+            crate::survey::mix_seed(seed, 0),
+        ),
+        haswell: run_panel(
+            NodeSpec::paper_test_node(),
+            fidelity,
+            crate::survey::mix_seed(seed, 1),
+        ),
+    }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+    fn anchor(&self) -> &'static str {
+        "Figure 2"
+    }
+    fn title(&self) -> &'static str {
+        "RAPL measurement quality vs. AC reference"
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let hsw_r2 = r
+            .haswell
+            .quadratic
+            .as_ref()
+            .map(|q| q.r_squared)
+            .unwrap_or(0.0);
+        out.metric("haswell_quadratic_r2", hsw_r2);
+        out.metric("snb_bias_spread_w", r.sandy_bridge.bias_spread_w());
+        out.metric("hsw_bias_spread_w", r.haswell.bias_spread_w());
+        out.check(
+            "Haswell RAPL follows a single quadratic (R² > 0.9995)",
+            hsw_r2 > 0.9995,
+            format!("R² = {hsw_r2:.5}"),
+        );
+        out.check(
+            "Sandy Bridge shows the per-workload bias Haswell lacks",
+            r.sandy_bridge.bias_spread_w() > r.haswell.bias_spread_w(),
+            format!(
+                "bias spread SNB {:.1} W vs HSW {:.1} W",
+                r.sandy_bridge.bias_spread_w(),
+                r.haswell.bias_spread_w()
+            ),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,9 +296,21 @@ mod tests {
     fn haswell_fit_recovers_the_published_coefficients() {
         let f = fig2();
         let q = f.haswell.quadratic.expect("fit");
-        assert!((q.coeffs[2] - calib::AC_FIT_A2).abs() < 2e-4, "{:?}", q.coeffs);
-        assert!((q.coeffs[1] - calib::AC_FIT_A1).abs() < 0.12, "{:?}", q.coeffs);
-        assert!((q.coeffs[0] - calib::AC_FIT_A0_W).abs() < 8.0, "{:?}", q.coeffs);
+        assert!(
+            (q.coeffs[2] - calib::AC_FIT_A2).abs() < 2e-4,
+            "{:?}",
+            q.coeffs
+        );
+        assert!(
+            (q.coeffs[1] - calib::AC_FIT_A1).abs() < 0.12,
+            "{:?}",
+            q.coeffs
+        );
+        assert!(
+            (q.coeffs[0] - calib::AC_FIT_A0_W).abs() < 8.0,
+            "{:?}",
+            q.coeffs
+        );
     }
 
     #[test]

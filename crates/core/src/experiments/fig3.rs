@@ -6,9 +6,9 @@
 //! after 400 µs, and around 500 µs (bimodal).
 
 use hsw_exec::WorkloadProfile;
+use hsw_hwspec::PState;
 use hsw_node::{CpuId, Node, NodeConfig};
 use hsw_tools::{DelayRegime, FtaLat};
-use hsw_hwspec::PState;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -66,7 +66,9 @@ impl std::fmt::Display for Fig3 {
                 .iter()
                 .map(|&n| {
                     const RAMP: [char; 6] = [' ', '.', ':', '+', '#', '@'];
-                    RAMP[(n * (RAMP.len() - 1)).div_ceil(max_count).min(RAMP.len() - 1)]
+                    RAMP[(n * (RAMP.len() - 1))
+                        .div_ceil(max_count)
+                        .min(RAMP.len() - 1)]
                 })
                 .collect();
             writeln!(f, "    0µs |{bars}| 550µs")?;
@@ -89,19 +91,36 @@ pub fn regimes() -> Vec<DelayRegime> {
 }
 
 pub fn run(fidelity: Fidelity) -> Fig3 {
+    run_impl(fidelity, None)
+}
+
+/// Like [`run`] but with node and request-timing seeds derived from
+/// `seed` (the survey runner's determinism contract).
+pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig3 {
+    run_impl(fidelity, Some(seed))
+}
+
+fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Fig3 {
     let n = fidelity.fig3_samples();
     let campaigns: Vec<Fig3Campaign> = regimes()
         .par_iter()
         .enumerate()
         .map(|(i, regime)| {
+            let (node_seed, rng_seed) = match seed {
+                None => (7_700 + i as u64, 555 + i as u64),
+                Some(root) => (
+                    crate::survey::mix_seed(root, 2 * i as u64),
+                    crate::survey::mix_seed(root, 2 * i as u64 + 1),
+                ),
+            };
             let mut node = Node::new(
                 NodeConfig::paper_default()
                     .with_tick_us(2)
-                    .with_seed(7_700 + i as u64),
+                    .with_seed(node_seed),
             );
             node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
             node.advance_s(0.01);
-            let mut rng = SmallRng::seed_from_u64(555 + i as u64);
+            let mut rng = SmallRng::seed_from_u64(rng_seed);
             let tool = FtaLat::new(CpuId::new(0, 0, 0));
             let samples = tool.campaign(
                 &mut node,
@@ -120,6 +139,49 @@ pub fn run(fidelity: Fidelity) -> Fig3 {
         })
         .collect();
     Fig3 { campaigns }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+    fn anchor(&self) -> &'static str {
+        "Figure 3"
+    }
+    fn title(&self) -> &'static str {
+        "P-state transition latency histograms"
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let random = &r.campaigns[0];
+        let immediate = &r.campaigns[1];
+        out.metric("random_min_us", random.min_us());
+        out.metric("random_max_us", random.max_us());
+        out.metric("immediate_mean_us", immediate.mean_us());
+        out.check(
+            "random requests span roughly 21-524 us",
+            random.min_us() < 60.0 && (440.0..560.0).contains(&random.max_us()),
+            format!(
+                "min {:.1} us, max {:.1} us",
+                random.min_us(),
+                random.max_us()
+            ),
+        );
+        out.check(
+            "immediate re-requests wait out the full ~500 us opportunity period",
+            immediate.mean_us() > random.mean_us(),
+            format!(
+                "immediate mean {:.1} us vs random mean {:.1} us",
+                immediate.mean_us(),
+                random.mean_us()
+            ),
+        );
+        out
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,42 @@ pub fn run() -> Fig4 {
     }
 }
 
+/// Registry adapter. The timeline is fully deterministic (fixed request
+/// offsets, default node seed), so the survey seed is not consumed.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+    fn anchor(&self) -> &'static str {
+        "Figure 4"
+    }
+    fn title(&self) -> &'static str {
+        "P-state opportunity timeline"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run();
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        out.metric("estimated_period_us", r.estimated_period_us);
+        out.metric("timeline_entries", r.entries.len() as f64);
+        out.check(
+            "opportunity period is about 500 us",
+            (r.estimated_period_us - 500.0).abs() < 35.0,
+            format!("estimated {:.0} us", r.estimated_period_us),
+        );
+        out.check(
+            "timeline captured enough transitions to estimate the grid",
+            r.entries.len() >= 12,
+            format!("{} entries", r.entries.len()),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,7 +165,8 @@ mod tests {
     fn estimated_period_is_about_500_us() {
         let f = cached();
         assert!(
-            (f.estimated_period_us - hsw_hwspec::calib::PSTATE_OPPORTUNITY_PERIOD_US as f64).abs() < 30.0,
+            (f.estimated_period_us - hsw_hwspec::calib::PSTATE_OPPORTUNITY_PERIOD_US as f64).abs()
+                < 30.0,
             "period {:.0} µs",
             f.estimated_period_us
         );

@@ -34,15 +34,18 @@ impl Fig56 {
         state: &str,
         scenario: &str,
     ) -> Option<&Fig56Series> {
-        self.series.iter().find(|s| {
-            s.generation == generation && s.state == state && s.scenario == scenario
-        })
+        self.series
+            .iter()
+            .find(|s| s.generation == generation && s.state == state && s.scenario == scenario)
     }
 }
 
 impl std::fmt::Display for Fig56 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figures 5/6: wake-up latencies [µs] by core frequency [GHz]")?;
+        writeln!(
+            f,
+            "Figures 5/6: wake-up latencies [µs] by core frequency [GHz]"
+        )?;
         for s in &self.series {
             write!(
                 f,
@@ -59,14 +62,24 @@ impl std::fmt::Display for Fig56 {
 }
 
 pub fn run(fidelity: Fidelity) -> Fig56 {
+    run_impl(fidelity, None)
+}
+
+/// Like [`run`] but with node and wake-timing seeds derived from `seed`
+/// (the survey runner's determinism contract).
+pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig56 {
+    run_impl(fidelity, Some(seed))
+}
+
+fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Fig56 {
     let iterations = fidelity.fig56_iterations();
     let jobs: Vec<(CpuGeneration, CoreCState, WakeScenario)> =
         [CpuGeneration::HaswellEp, CpuGeneration::SandyBridgeEp]
             .into_iter()
             .flat_map(|g| {
-                [CoreCState::C3, CoreCState::C6].into_iter().flat_map(move |st| {
-                    WakeScenario::ALL.into_iter().map(move |sc| (g, st, sc))
-                })
+                [CoreCState::C3, CoreCState::C6]
+                    .into_iter()
+                    .flat_map(move |st| WakeScenario::ALL.into_iter().map(move |sc| (g, st, sc)))
             })
             .collect();
 
@@ -77,8 +90,15 @@ pub fn run(fidelity: Fidelity) -> Fig56 {
             // All scenarios are staged on the paper's Haswell-EP node; the
             // SNB generation parameter selects the grey reference latency
             // model (its frequency range is mapped onto the same axis).
-            let mut node = Node::new(NodeConfig::paper_default().with_seed(61_000 + i as u64));
-            let mut rng = SmallRng::seed_from_u64(88 + i as u64);
+            let (node_seed, rng_seed) = match seed {
+                None => (61_000 + i as u64, 88 + i as u64),
+                Some(root) => (
+                    crate::survey::mix_seed(root, 2 * i as u64),
+                    crate::survey::mix_seed(root, 2 * i as u64 + 1),
+                ),
+            };
+            let mut node = Node::new(NodeConfig::paper_default().with_seed(node_seed));
+            let mut rng = SmallRng::seed_from_u64(rng_seed);
             let pts: Vec<CStateLatencyPoint> = sweep_series(
                 &mut node,
                 *generation,
@@ -96,6 +116,61 @@ pub fn run(fidelity: Fidelity) -> Fig56 {
         })
         .collect();
     Fig56 { series }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "fig56"
+    }
+    fn anchor(&self) -> &'static str {
+        "Figures 5 and 6"
+    }
+    fn title(&self) -> &'static str {
+        "C-state wake-up latencies vs. Sandy Bridge-EP"
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let nearest = |s: &Fig56Series, ghz: f64| -> f64 {
+            s.points
+                .iter()
+                .min_by(|a, b| (a.0 - ghz).abs().total_cmp(&(b.0 - ghz).abs()))
+                .map(|p| p.1)
+                .unwrap_or(f64::NAN)
+        };
+        let hsw_c3 = r.series_for("Haswell-EP", "C3", "local");
+        let hsw_c6 = r.series_for("Haswell-EP", "C6", "local");
+        let snb_c6 = r.series_for("Sandy Bridge-EP", "C6", "local");
+        if let (Some(c3), Some(c6)) = (hsw_c3, hsw_c6) {
+            let c3_us = nearest(c3, 2.0);
+            let c6_us = nearest(c6, 2.0);
+            out.metric("hsw_c3_local_us_at_2ghz", c3_us);
+            out.metric("hsw_c6_local_us_at_2ghz", c6_us);
+            out.check(
+                "C6 wakes are slower than C3 wakes (local, 2.0 GHz)",
+                c6_us > c3_us,
+                format!("C6 {c6_us:.1} us vs C3 {c3_us:.1} us"),
+            );
+        }
+        if let (Some(hsw), Some(snb)) = (hsw_c6, snb_c6) {
+            let h = nearest(hsw, 2.0);
+            let s = nearest(snb, 2.0);
+            out.check(
+                "Haswell improves on Sandy Bridge for deep c-states",
+                h < s,
+                format!("HSW {h:.1} us vs SNB {s:.1} us"),
+            );
+        }
+        out.check(
+            "all twelve generation x state x scenario series were swept",
+            r.series.len() == 12,
+            format!("{} series", r.series.len()),
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +197,10 @@ mod tests {
         let s = f.series_for("Haswell-EP", "C3", "local").unwrap();
         let low = latency_at(s, 1.3);
         let high = latency_at(s, 2.3);
-        assert!((high - low - cal::C3_HIGHFREQ_STEP_US).abs() < 0.3, "{low} vs {high}");
+        assert!(
+            (high - low - cal::C3_HIGHFREQ_STEP_US).abs() < 0.3,
+            "{low} vs {high}"
+        );
     }
 
     #[test]
@@ -145,8 +223,14 @@ mod tests {
     #[test]
     fn package_c6_costs_8us_over_package_c3() {
         let f = fig();
-        let c3 = latency_at(f.series_for("Haswell-EP", "C3", "remote idle").unwrap(), 2.0);
-        let c6 = latency_at(f.series_for("Haswell-EP", "C6", "remote idle").unwrap(), 2.0);
+        let c3 = latency_at(
+            f.series_for("Haswell-EP", "C3", "remote idle").unwrap(),
+            2.0,
+        );
+        let c6 = latency_at(
+            f.series_for("Haswell-EP", "C6", "remote idle").unwrap(),
+            2.0,
+        );
         // The delta also contains the frequency-dependent C6 restore.
         assert!(c6 - c3 > cal::PKG_C6_EXTRA_US, "{}", c6 - c3);
     }
@@ -170,8 +254,18 @@ mod tests {
         let f = fig();
         for s in &f.series {
             for (ghz, us) in &s.points {
-                let bound = if s.state == "C3" { cal::ACPI_C3_US } else { cal::ACPI_C6_US };
-                assert!(us < &bound, "{}/{}/{} at {ghz}: {us}", s.generation, s.state, s.scenario);
+                let bound = if s.state == "C3" {
+                    cal::ACPI_C3_US
+                } else {
+                    cal::ACPI_C6_US
+                };
+                assert!(
+                    us < &bound,
+                    "{}/{}/{} at {ghz}: {us}",
+                    s.generation,
+                    s.state,
+                    s.scenario
+                );
             }
         }
     }

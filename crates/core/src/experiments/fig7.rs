@@ -48,11 +48,16 @@ impl Fig7 {
 
 impl std::fmt::Display for Fig7 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for (name, panel) in [("(a) relative L3 read bandwidth", &self.l3),
-                              ("(b) relative DRAM read bandwidth", &self.dram)] {
+        for (name, panel) in [
+            ("(a) relative L3 read bandwidth", &self.l3),
+            ("(b) relative DRAM read bandwidth", &self.dram),
+        ] {
             let mut t = Table::new(
                 format!("Figure 7 {name} vs relative core frequency"),
-                vec!["generation".to_string(), "points (f/f0 -> bw/bw0)".to_string()],
+                vec![
+                    "generation".to_string(),
+                    "points (f/f0 -> bw/bw0)".to_string(),
+                ],
             );
             for s in panel {
                 let pts: Vec<String> = s
@@ -130,6 +135,51 @@ pub fn run() -> Fig7 {
     }
 }
 
+/// Registry adapter. The bandwidth model is analytic, so the survey seed
+/// is not consumed.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+    fn anchor(&self) -> &'static str {
+        "Figure 7"
+    }
+    fn title(&self) -> &'static str {
+        "Bandwidth scaling with core frequency across generations"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run();
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let hsw_dram = r.low_end(false, "Haswell-EP");
+        let snb_dram = r.low_end(false, "Sandy Bridge-EP");
+        let hsw_l3 = r.low_end(true, "Haswell-EP");
+        out.metric("hsw_dram_low_end_rel_bw", hsw_dram);
+        out.metric("snb_dram_low_end_rel_bw", snb_dram);
+        out.metric("hsw_l3_low_end_rel_bw", hsw_l3);
+        out.check(
+            "Haswell DRAM bandwidth is core-frequency independent",
+            hsw_dram > 0.97,
+            format!("relative bandwidth {hsw_dram:.2} at the lowest frequency"),
+        );
+        out.check(
+            "Sandy Bridge DRAM bandwidth tracks core frequency",
+            snb_dram < 0.6,
+            format!("relative bandwidth {snb_dram:.2} at the lowest frequency"),
+        );
+        out.check(
+            "Haswell L3 bandwidth strongly correlates with core frequency",
+            hsw_l3 < 0.7,
+            format!("relative bandwidth {hsw_l3:.2} at the lowest frequency"),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +194,11 @@ mod tests {
         // "On the Haswell-EP architecture, DRAM performance at maximal
         // concurrency does not depend on the core frequency."
         let f = fig();
-        assert!(f.low_end(false, "Haswell-EP") > 0.98, "{}", f.low_end(false, "Haswell-EP"));
+        assert!(
+            f.low_end(false, "Haswell-EP") > 0.98,
+            "{}",
+            f.low_end(false, "Haswell-EP")
+        );
     }
 
     #[test]
@@ -159,7 +213,11 @@ mod tests {
         // "On Sandy Bridge-EP ... DRAM bandwidth highly dependent on core
         // frequency."
         let f = fig();
-        assert!(f.low_end(false, "Sandy Bridge-EP") < 0.55, "{}", f.low_end(false, "Sandy Bridge-EP"));
+        assert!(
+            f.low_end(false, "Sandy Bridge-EP") < 0.55,
+            "{}",
+            f.low_end(false, "Sandy Bridge-EP")
+        );
     }
 
     #[test]

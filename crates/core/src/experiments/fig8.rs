@@ -128,6 +128,51 @@ pub fn run() -> Fig8 {
     }
 }
 
+/// Registry adapter. The sweep is analytic, so the survey seed is not
+/// consumed.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+    fn anchor(&self) -> &'static str {
+        "Figure 8"
+    }
+    fn title(&self) -> &'static str {
+        "L3/DRAM bandwidth vs. concurrency and frequency"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run();
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let dram12 = r.at(12, 2.5).map(|c| c.dram_gbs).unwrap_or(f64::NAN);
+        let dram24 = r.at(24, 2.5).map(|c| c.dram_gbs).unwrap_or(f64::NAN);
+        let l3_12 = r.at(12, 2.5).map(|c| c.l3_gbs).unwrap_or(f64::NAN);
+        let l3_6 = r.at(6, 2.5).map(|c| c.l3_gbs).unwrap_or(f64::NAN);
+        out.metric("dram_gbs_12t_2p5ghz", dram12);
+        out.metric("l3_gbs_12t_2p5ghz", l3_12);
+        out.check(
+            "DRAM bandwidth saturates before full SMT concurrency",
+            (dram24 / dram12 - 1.0).abs() < 0.05,
+            format!("12t {dram12:.0} GB/s vs 24t {dram24:.0} GB/s"),
+        );
+        out.check(
+            "L3 bandwidth scales with active cores",
+            l3_12 > 1.6 * l3_6,
+            format!("6t {l3_6:.0} GB/s vs 12t {l3_12:.0} GB/s"),
+        );
+        out.check(
+            "the full threads x frequency grid was swept",
+            r.cells.len() == r.freqs_ghz.len() * r.thread_counts.len(),
+            format!("{} cells", r.cells.len()),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,7 +208,10 @@ mod tests {
         for threads in [10usize, 12] {
             let lo = f.at(threads, 1.2).unwrap().dram_gbs;
             let hi = f.at(threads, 2.5).unwrap().dram_gbs;
-            assert!((lo / hi - 1.0).abs() < 0.02, "{threads} threads: {lo} vs {hi}");
+            assert!(
+                (lo / hi - 1.0).abs() < 0.02,
+                "{threads} threads: {lo} vs {hi}"
+            );
         }
         // But a single core does show some dependence.
         let lo1 = f.at(1, 1.2).unwrap().dram_gbs;

@@ -46,7 +46,11 @@ impl std::fmt::Display for Section2cEpb {
 /// the energy-saving class shows the small downward frequency bias under
 /// TDP pressure.
 fn observe(raw: u8, seed: u64) -> EpbObservation {
-    let mut node = Node::new(NodeConfig::paper_default().with_seed(seed).with_tick_us(100));
+    let mut node = Node::new(
+        NodeConfig::paper_default()
+            .with_seed(seed)
+            .with_tick_us(100),
+    );
     node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
     // Program the raw value on every thread (tools use wrmsr; we poke the
     // registers the same way).
@@ -72,12 +76,20 @@ fn observe(raw: u8, seed: u64) -> EpbObservation {
 
     // TDP-pressure probe for distinguishing balanced vs energy saving:
     // FIRESTARTER's equilibrium frequency carries the EPB budget bias.
-    let mut node2 = Node::new(NodeConfig::paper_default().with_seed(seed + 1).with_tick_us(100));
+    let mut node2 = Node::new(
+        NodeConfig::paper_default()
+            .with_seed(seed + 1)
+            .with_tick_us(100),
+    );
     let fs = WorkloadProfile::firestarter();
     node2.run_on_socket(0, &fs, 12, 2);
     for t in 0..node2.config().spec.sku.hw_threads() {
         node2
-            .wrmsr(CpuId::new(0, t / 2, t % 2), msra::IA32_ENERGY_PERF_BIAS, raw as u64)
+            .wrmsr(
+                CpuId::new(0, t / 2, t % 2),
+                msra::IA32_ENERGY_PERF_BIAS,
+                raw as u64,
+            )
             .unwrap();
     }
     node2.set_setting_all(FreqSetting::Turbo);
@@ -99,10 +111,26 @@ fn observe(raw: u8, seed: u64) -> EpbObservation {
 }
 
 pub fn run() -> Section2cEpb {
+    run_impl(None)
+}
+
+/// Like [`run`] but with per-value observation seeds derived from `seed`
+/// (the survey runner's determinism contract).
+pub fn run_seeded(seed: u64) -> Section2cEpb {
+    run_impl(Some(seed))
+}
+
+fn run_impl(seed: Option<u64>) -> Section2cEpb {
     let observations: Vec<EpbObservation> = (0u8..16)
         .collect::<Vec<_>>()
         .par_iter()
-        .map(|raw| observe(*raw, 77_000 + *raw as u64 * 3))
+        .map(|raw| {
+            let obs_seed = match seed {
+                None => 77_000 + *raw as u64 * 3,
+                Some(root) => crate::survey::mix_seed(root, *raw as u64),
+            };
+            observe(*raw, obs_seed)
+        })
         .collect();
     let mut t = Table::new(
         "Section II-C: measured EPB mapping (raw register value -> behavior)",
@@ -124,6 +152,51 @@ pub fn run() -> Section2cEpb {
     Section2cEpb {
         observations,
         table: t,
+    }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "section2c_epb"
+    }
+    fn anchor(&self) -> &'static str {
+        "Section II-C"
+    }
+    fn title(&self) -> &'static str {
+        "Measured EPB register mapping"
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run_seeded(ctx.seed);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let matches = r
+            .observations
+            .iter()
+            .filter(|o| {
+                let paper = match o.raw {
+                    0 => "performance",
+                    1..=7 => "balanced",
+                    _ => "energy saving",
+                };
+                o.observed_class == paper
+            })
+            .count();
+        out.metric("mapping_matches", matches as f64);
+        out.check(
+            "all 16 raw values classify as the paper's mapping",
+            matches == 16,
+            format!("{matches}/16 matched"),
+        );
+        out.check(
+            "only raw value 0 pins the uncore at 3.0 GHz",
+            r.observations
+                .iter()
+                .all(|o| (o.raw == 0) == (o.uncore_ghz > 2.8)),
+            "uncore pin is the performance-class signature".to_string(),
+        );
+        out
     }
 }
 

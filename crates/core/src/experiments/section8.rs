@@ -90,6 +90,51 @@ pub fn run() -> Section8 {
     }
 }
 
+/// Registry adapter. The kernel analysis is analytic, so the survey seed
+/// is not consumed.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "section8"
+    }
+    fn anchor(&self) -> &'static str {
+        "Section VIII"
+    }
+    fn title(&self) -> &'static str {
+        "FIRESTARTER kernel structure and IPC"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run();
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        out.metric("ipc_ht", r.ipc_ht);
+        out.metric("ipc_no_ht", r.ipc_no_ht);
+        out.metric("avx_fraction", r.avx_fraction);
+        out.check(
+            "IPC with Hyper-Threading is about 3.1",
+            (r.ipc_ht - 3.1).abs() < 0.15,
+            format!("{:.2}", r.ipc_ht),
+        );
+        out.check(
+            "IPC without Hyper-Threading is about 2.8",
+            (r.ipc_no_ht - 2.8).abs() < 0.15,
+            format!("{:.2}", r.ipc_no_ht),
+        );
+        out.check(
+            "loop exceeds the uop cache but fits L1I",
+            r.uop_count > r.uop_cache_uops && r.code_bytes < r.l1i_bytes,
+            format!(
+                "{} uops (cache {}), {} B (L1I {} B)",
+                r.uop_count, r.uop_cache_uops, r.code_bytes, r.l1i_bytes
+            ),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,7 +148,11 @@ mod tests {
         }
         assert!(s.uop_count > s.uop_cache_uops);
         assert!(s.code_bytes < s.l1i_bytes);
-        assert!((s.ipc_ht - calib::FIRESTARTER_IPC_HT).abs() < 0.1, "{}", s.ipc_ht);
+        assert!(
+            (s.ipc_ht - calib::FIRESTARTER_IPC_HT).abs() < 0.1,
+            "{}",
+            s.ipc_ht
+        );
         assert!(
             (s.ipc_no_ht - calib::FIRESTARTER_IPC_NO_HT).abs() < 0.1,
             "{}",

@@ -105,6 +105,44 @@ pub fn run() -> SkuExtrapolation {
     }
 }
 
+/// Registry adapter. The PCU equilibrium solve is analytic, so the survey
+/// seed is not consumed.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "sku_extrapolation"
+    }
+    fn anchor(&self) -> &'static str {
+        "Extension (beyond the paper)"
+    }
+    fn title(&self) -> &'static str {
+        "Table IV protocol extrapolated across the E5-2600 v3 line"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run();
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        if let Some(p) = r.predictions.iter().find(|p| p.model.contains("2680")) {
+            out.metric("e5_2680v3_core_ghz", p.core_ghz);
+            out.metric("e5_2680v3_power_w", p.power_w);
+            out.check(
+                "the measured SKU's prediction matches Table IV",
+                (2.2..=2.4).contains(&p.core_ghz) && p.tdp_limited,
+                format!("{:.2} GHz, TDP limited: {}", p.core_ghz, p.tdp_limited),
+            );
+        }
+        out.check(
+            "every SKU respects its TDP",
+            r.predictions.iter().all(|p| p.power_w <= p.tdp_w * 1.01),
+            format!("{} SKUs predicted", r.predictions.len()),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,9 +202,7 @@ mod tests {
                 assert!(
                     p.tdp_limited,
                     "{} should be TDP limited ({:.1}/{:.0} W)",
-                    p.model,
-                    p.power_w,
-                    p.tdp_w
+                    p.model, p.power_w, p.tdp_w
                 );
             } else {
                 assert!(!p.tdp_limited, "{}", p.model);

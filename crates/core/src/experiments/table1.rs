@@ -33,7 +33,13 @@ fn peak_kernel(arch: &MicroArch) -> Vec<Instr> {
         vec![Instr::fma_reg(); 8]
     } else {
         (0..8)
-            .map(|i| if i % 2 == 0 { Instr::add_reg() } else { Instr::mul_reg() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Instr::add_reg()
+                } else {
+                    Instr::mul_reg()
+                }
+            })
             .collect()
     }
 }
@@ -85,7 +91,11 @@ pub fn run() -> Table1 {
         format!("{}/{}", snb.int_regfile, snb.fp_regfile),
         format!("{}/{}", hsw.int_regfile, hsw.fp_regfile),
     ));
-    t.row(fmt_row("SIMD ISA", snb.simd_isa.into(), hsw.simd_isa.into()));
+    t.row(fmt_row(
+        "SIMD ISA",
+        snb.simd_isa.into(),
+        hsw.simd_isa.into(),
+    ));
     t.row(fmt_row(
         "FPU width",
         "2x256 bit (1 add, 1 mul)".into(),
@@ -93,8 +103,14 @@ pub fn run() -> Table1 {
     ));
     t.row(fmt_row(
         "FLOPS/cycle (double)",
-        format!("{} (measured {:.1})", snb.flops_per_cycle_f64, measured_flops_snb),
-        format!("{} (measured {:.1})", hsw.flops_per_cycle_f64, measured_flops_hsw),
+        format!(
+            "{} (measured {:.1})",
+            snb.flops_per_cycle_f64, measured_flops_snb
+        ),
+        format!(
+            "{} (measured {:.1})",
+            hsw.flops_per_cycle_f64, measured_flops_hsw
+        ),
     ));
     t.row(fmt_row(
         "Load/store buffers",
@@ -105,12 +121,16 @@ pub fn run() -> Table1 {
         "L1D accesses per cycle",
         format!(
             "{}x{} B load + {}x{} B store",
-            snb.l1d_loads_per_cycle, snb.l1d_load_bytes, snb.l1d_stores_per_cycle,
+            snb.l1d_loads_per_cycle,
+            snb.l1d_load_bytes,
+            snb.l1d_stores_per_cycle,
             snb.l1d_store_bytes
         ),
         format!(
             "{}x{} B load + {}x{} B store",
-            hsw.l1d_loads_per_cycle, hsw.l1d_load_bytes, hsw.l1d_stores_per_cycle,
+            hsw.l1d_loads_per_cycle,
+            hsw.l1d_load_bytes,
+            hsw.l1d_stores_per_cycle,
             hsw.l1d_store_bytes
         ),
     ));
@@ -133,14 +153,57 @@ pub fn run() -> Table1 {
     ));
     t.row(fmt_row(
         "QPI speed",
-        format!("{} GT/s ({:.0} GB/s)", snb_mem.qpi_gts, snb_mem.qpi_bandwidth_gbs()),
-        format!("{} GT/s ({:.1} GB/s)", hsw_mem.qpi_gts, hsw_mem.qpi_bandwidth_gbs()),
+        format!(
+            "{} GT/s ({:.0} GB/s)",
+            snb_mem.qpi_gts,
+            snb_mem.qpi_bandwidth_gbs()
+        ),
+        format!(
+            "{} GT/s ({:.1} GB/s)",
+            hsw_mem.qpi_gts,
+            hsw_mem.qpi_bandwidth_gbs()
+        ),
     ));
 
     Table1 {
         table: t,
         measured_flops_snb,
         measured_flops_hsw,
+    }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+    fn anchor(&self) -> &'static str {
+        "Table I"
+    }
+    fn title(&self) -> &'static str {
+        "Sandy Bridge-EP vs. Haswell-EP microarchitecture"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run();
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        out.metric("flops_per_cycle_snb", r.measured_flops_snb);
+        out.metric("flops_per_cycle_hsw", r.measured_flops_hsw);
+        out.check(
+            "Haswell FMA peak is 16 FLOPS/cycle",
+            (r.measured_flops_hsw - 16.0).abs() < 0.5,
+            format!("measured {:.2}", r.measured_flops_hsw),
+        );
+        out.check(
+            "Sandy Bridge add+mul peak is 8 FLOPS/cycle",
+            (r.measured_flops_snb - 8.0).abs() < 0.5,
+            format!("measured {:.2}", r.measured_flops_snb),
+        );
+        out
     }
 }
 
@@ -151,8 +214,16 @@ mod tests {
     #[test]
     fn measured_peaks_match_table1_claims() {
         let t1 = run();
-        assert!((t1.measured_flops_snb - 8.0).abs() < 0.3, "{}", t1.measured_flops_snb);
-        assert!((t1.measured_flops_hsw - 16.0).abs() < 0.3, "{}", t1.measured_flops_hsw);
+        assert!(
+            (t1.measured_flops_snb - 8.0).abs() < 0.3,
+            "{}",
+            t1.measured_flops_snb
+        );
+        assert!(
+            (t1.measured_flops_hsw - 16.0).abs() < 0.3,
+            "{}",
+            t1.measured_flops_hsw
+        );
     }
 
     #[test]

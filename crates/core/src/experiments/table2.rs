@@ -53,12 +53,23 @@ pub fn run(fidelity: Fidelity) -> Table2 {
     ]);
     t.row(vec![
         "AVX base frequency".to_string(),
-        format!("{:.1} GHz", sku.freq.avx_base_mhz.unwrap_or(0) as f64 / 1000.0),
+        format!(
+            "{:.1} GHz",
+            sku.freq.avx_base_mhz.unwrap_or(0) as f64 / 1000.0
+        ),
     ]);
-    t.row(vec!["Energy perf. bias".to_string(), "balanced".to_string()]);
+    t.row(vec![
+        "Energy perf. bias".to_string(),
+        "balanced".to_string(),
+    ]);
     t.row(vec![
         "Energy-efficient turbo (EET)".to_string(),
-        if cfg.eet_enabled { "enabled" } else { "disabled" }.to_string(),
+        if cfg.eet_enabled {
+            "enabled"
+        } else {
+            "disabled"
+        }
+        .to_string(),
     ]);
     t.row(vec![
         "Uncore frequency scaling (UFS)".to_string(),
@@ -76,14 +87,40 @@ pub fn run(fidelity: Fidelity) -> Table2 {
         "Power meter".to_string(),
         "ZES LMG450 (simulated)".to_string(),
     ]);
-    t.row(vec![
-        "Accuracy".to_string(),
-        "0.07 % + 0.23 W".to_string(),
-    ]);
+    t.row(vec!["Accuracy".to_string(), "0.07 % + 0.23 W".to_string()]);
 
     Table2 {
         table: t,
         idle_power_w,
+    }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+    fn anchor(&self) -> &'static str {
+        "Table II"
+    }
+    fn title(&self) -> &'static str {
+        "Test-system details with measured idle power"
+    }
+    fn seeded(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run(ctx.fidelity);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        out.metric("idle_power_w", r.idle_power_w);
+        out.check(
+            "idle power matches the paper's 261.5 W",
+            (r.idle_power_w - 261.5).abs() < 8.0,
+            format!("measured {:.1} W", r.idle_power_w),
+        );
+        out
     }
 }
 

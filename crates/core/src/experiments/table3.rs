@@ -41,7 +41,11 @@ impl std::fmt::Display for Table3 {
 
 /// Measure the uncore frequency of both sockets under one setting/EPB.
 fn measure(setting: FreqSetting, epb: EpbClass, measure_s: f64, seed: u64) -> (f64, f64) {
-    let mut node = Node::new(NodeConfig::paper_default().with_seed(seed).with_tick_us(100));
+    let mut node = Node::new(
+        NodeConfig::paper_default()
+            .with_seed(seed)
+            .with_tick_us(100),
+    );
     // One spinning thread on socket 0, the rest of the system idle.
     node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
     node.set_epb_all(epb);
@@ -62,6 +66,17 @@ fn measure(setting: FreqSetting, epb: EpbClass, measure_s: f64, seed: u64) -> (f
 }
 
 pub fn run(fidelity: Fidelity) -> Table3 {
+    run_impl(fidelity, None)
+}
+
+/// Like [`run`] but with all measurement seeds derived from `seed` (the
+/// survey runner's determinism contract). `run` keeps the legacy literal
+/// seeds so standalone outputs stay stable.
+pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table3 {
+    run_impl(fidelity, Some(seed))
+}
+
+fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table3 {
     let sku = NodeConfig::paper_default().spec.sku;
     let settings = sku.freq.all_settings();
     let secs = fidelity.table3_measure_s();
@@ -70,8 +85,15 @@ pub fn run(fidelity: Fidelity) -> Table3 {
         .par_iter()
         .enumerate()
         .map(|(i, s)| {
-            let (active, passive) = measure(*s, EpbClass::Balanced, secs, 100 + i as u64);
-            let (active_perf, _) = measure(*s, EpbClass::Performance, secs, 200 + i as u64);
+            let (bal_seed, perf_seed) = match seed {
+                None => (100 + i as u64, 200 + i as u64),
+                Some(root) => (
+                    crate::survey::mix_seed(root, i as u64),
+                    crate::survey::mix_seed(root, 1000 + i as u64),
+                ),
+            };
+            let (active, passive) = measure(*s, EpbClass::Balanced, secs, bal_seed);
+            let (active_perf, _) = measure(*s, EpbClass::Performance, secs, perf_seed);
             Table3Point {
                 setting_mhz: match s {
                     FreqSetting::Turbo => None,
@@ -99,6 +121,50 @@ pub fn run(fidelity: Fidelity) -> Table3 {
         ]);
     }
     Table3 { points, table: t }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+    fn anchor(&self) -> &'static str {
+        "Table III"
+    }
+    fn title(&self) -> &'static str {
+        "Uncore frequency vs. core frequency setting"
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let worst_gap = r
+            .points
+            .iter()
+            .map(|p| p.passive_uncore_ghz - p.active_uncore_ghz)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max_perf = r
+            .points
+            .iter()
+            .map(|p| p.active_uncore_perf_epb_ghz)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if let Some(turbo) = r.points.iter().find(|p| p.setting_mhz.is_none()) {
+            out.metric("turbo_active_uncore_ghz", turbo.active_uncore_ghz);
+        }
+        out.metric("max_perf_epb_uncore_ghz", max_perf);
+        out.check(
+            "active socket clocks uncore at or above the passive one",
+            worst_gap < 0.05,
+            format!("worst passive-minus-active gap {worst_gap:.3} GHz"),
+        );
+        out.check(
+            "performance EPB pins the uncore near 3.0 GHz",
+            max_perf > 2.8,
+            format!("max active uncore with EPB=performance {max_perf:.2} GHz"),
+        );
+        out
+    }
 }
 
 #[cfg(test)]

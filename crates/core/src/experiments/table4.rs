@@ -91,11 +91,25 @@ pub fn table4_settings() -> Vec<FreqSetting> {
 }
 
 pub fn run(fidelity: Fidelity) -> Table4 {
+    run_impl(fidelity, None)
+}
+
+/// Like [`run`] but with measurement seeds derived from `seed` (the
+/// survey runner's determinism contract).
+pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table4 {
+    run_impl(fidelity, Some(seed))
+}
+
+fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table4 {
     let points: Vec<Table4Point> = table4_settings()
         .par_iter()
         .enumerate()
         .map(|(i, s)| {
-            let (s0, s1) = measure(*s, fidelity, 4242 + i as u64);
+            let point_seed = match seed {
+                None => 4242 + i as u64,
+                Some(root) => crate::survey::mix_seed(root, i as u64),
+            };
+            let (s0, s1) = measure(*s, fidelity, point_seed);
             Table4Point {
                 setting_mhz: match s {
                     FreqSetting::Turbo => None,
@@ -135,6 +149,46 @@ pub fn run(fidelity: Fidelity) -> Table4 {
     Table4 { points, table: t }
 }
 
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+    fn anchor(&self) -> &'static str {
+        "Table IV"
+    }
+    fn title(&self) -> &'static str {
+        "FIRESTARTER under reduced frequency settings"
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let turbo = r.points.iter().find(|p| p.setting_mhz.is_none());
+        if let Some(t) = turbo {
+            out.metric("turbo_core_ghz_socket0", t.socket0.core_ghz);
+            out.metric("turbo_pkg_w_socket0", t.socket0.pkg_w);
+            out.check(
+                "Turbo equilibrium is TDP-limited near 2.2-2.4 GHz",
+                (2.1..=2.5).contains(&t.socket0.core_ghz),
+                format!("socket 0 median {:.2} GHz", t.socket0.core_ghz),
+            );
+        }
+        let worst_asym = r
+            .points
+            .iter()
+            .map(|p| (p.socket0.core_ghz - p.socket1.core_ghz).abs())
+            .fold(0.0f64, f64::max);
+        out.check(
+            "both sockets behave symmetrically",
+            worst_asym < 0.15,
+            format!("worst core-clock asymmetry {worst_asym:.3} GHz"),
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,7 +204,11 @@ mod tests {
         let p = &t4().points[0];
         for s in [p.socket0, p.socket1] {
             assert!((2.2..=2.4).contains(&s.core_ghz), "core {:.3}", s.core_ghz);
-            assert!((2.25..=2.5).contains(&s.uncore_ghz), "uncore {:.3}", s.uncore_ghz);
+            assert!(
+                (2.25..=2.5).contains(&s.uncore_ghz),
+                "uncore {:.3}",
+                s.uncore_ghz
+            );
             assert!((3.45..=3.7).contains(&s.gips), "gips {:.3}", s.gips);
         }
     }
@@ -158,15 +216,31 @@ mod tests {
     #[test]
     fn headroom_flows_to_uncore_at_2_2_ghz() {
         let t = t4();
-        let p22 = t.points.iter().find(|p| p.setting_mhz == Some(2200)).unwrap();
-        assert!((p22.socket0.core_ghz - 2.2).abs() < 0.06, "{:.3}", p22.socket0.core_ghz);
-        assert!(p22.socket0.uncore_ghz > 2.55, "{:.3}", p22.socket0.uncore_ghz);
+        let p22 = t
+            .points
+            .iter()
+            .find(|p| p.setting_mhz == Some(2200))
+            .unwrap();
+        assert!(
+            (p22.socket0.core_ghz - 2.2).abs() < 0.06,
+            "{:.3}",
+            p22.socket0.core_ghz
+        );
+        assert!(
+            p22.socket0.uncore_ghz > 2.55,
+            "{:.3}",
+            p22.socket0.uncore_ghz
+        );
     }
 
     #[test]
     fn at_2_1_ghz_nothing_throttles() {
         let t = t4();
-        let p21 = t.points.iter().find(|p| p.setting_mhz == Some(2100)).unwrap();
+        let p21 = t
+            .points
+            .iter()
+            .find(|p| p.setting_mhz == Some(2100))
+            .unwrap();
         assert!((p21.socket0.core_ghz - 2.1).abs() < 0.04);
         assert!((p21.socket0.uncore_ghz - 3.0).abs() < 0.06);
         assert!(p21.socket0.pkg_w < 120.0, "{:.1} W", p21.socket0.pkg_w);

@@ -49,6 +49,16 @@ impl std::fmt::Display for Table5 {
 }
 
 pub fn run(fidelity: Fidelity) -> Table5 {
+    run_impl(fidelity, None)
+}
+
+/// Like [`run`] but with per-cell node seeds derived from `seed` (the
+/// survey runner's determinism contract).
+pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table5 {
+    run_impl(fidelity, Some(seed))
+}
+
+fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table5 {
     let benchmarks = WorkloadProfile::table5_benchmarks();
     let configs: Vec<(WorkloadProfile, bool, EpbClass)> = benchmarks
         .iter()
@@ -65,9 +75,13 @@ pub fn run(fidelity: Fidelity) -> Table5 {
         .par_iter()
         .enumerate()
         .map(|(i, (profile, turbo_setting, epb))| {
+            let cell_seed = match seed {
+                None => 9000 + i as u64,
+                Some(root) => crate::survey::mix_seed(root, i as u64),
+            };
             let mut node = Node::new(
                 NodeConfig::paper_default()
-                    .with_seed(9000 + i as u64)
+                    .with_seed(cell_seed)
                     .with_tick_us(100),
             );
             let setting = if *turbo_setting {
@@ -109,10 +123,7 @@ pub fn run(fidelity: Fidelity) -> Table5 {
         "Table V: average power over the hottest window in W (HT off)",
         headers.clone(),
     );
-    let mut freq_table = Table::new(
-        "Table V: measured core frequency in GHz (HT off)",
-        headers,
-    );
+    let mut freq_table = Table::new("Table V: measured core frequency in GHz (HT off)", headers);
     for b in &benchmarks {
         let mut prow = vec![b.name.to_string()];
         let mut frow = vec![b.name.to_string()];
@@ -137,6 +148,47 @@ pub fn run(fidelity: Fidelity) -> Table5 {
         cells,
         power_table,
         freq_table,
+    }
+}
+
+/// Registry adapter.
+pub struct Experiment;
+
+impl crate::survey::SurveyExperiment for Experiment {
+    fn id(&self) -> &'static str {
+        "table5"
+    }
+    fn anchor(&self) -> &'static str {
+        "Table V"
+    }
+    fn title(&self) -> &'static str {
+        "Maximum power: FIRESTARTER / LINPACK / mprime"
+    }
+    fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+        let max_power = r.cells.iter().map(|c| c.power_w).fold(0.0f64, f64::max);
+        out.metric("max_window_power_w", max_power);
+        // Turbo + performance EPB must never draw less than the fixed
+        // 2500 MHz setting with power-saving EPB for the same benchmark.
+        let monotone = r.cells.iter().all(|lo| {
+            r.cells
+                .iter()
+                .find(|hi| hi.benchmark == lo.benchmark && hi.turbo_setting && hi.epb == "perf")
+                .map(|hi| hi.power_w >= lo.power_w - 1.0)
+                .unwrap_or(true)
+        });
+        out.check(
+            "Turbo/perf is the hottest configuration per benchmark",
+            monotone,
+            format!("max window power {max_power:.1} W"),
+        );
+        out.check(
+            "every configuration produced a positive power reading",
+            r.cells.iter().all(|c| c.power_w > 0.0),
+            format!("{} cells", r.cells.len()),
+        );
+        out
     }
 }
 

@@ -76,6 +76,28 @@ impl Fidelity {
             Fidelity::Paper => 200,
         }
     }
+
+    /// Stable lowercase label (`quick` / `paper`), the inverse of
+    /// [`FromStr`](std::str::FromStr). Used by the survey binary and in
+    /// `survey.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Quick => "quick",
+            Fidelity::Paper => "paper",
+        }
+    }
+}
+
+impl std::str::FromStr for Fidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Ok(Fidelity::Quick),
+            "paper" => Ok(Fidelity::Paper),
+            other => Err(format!("unknown fidelity '{other}' (expected quick|paper)")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +112,15 @@ mod tests {
         assert_eq!(Fidelity::Paper.table5_window_s(), 60.0);
         assert_eq!(Fidelity::Paper.fig2_avg_s(), 4.0);
         assert_eq!(Fidelity::Paper.fig3_samples(), 1000);
+    }
+
+    #[test]
+    fn labels_round_trip_through_fromstr() {
+        for f in [Fidelity::Quick, Fidelity::Paper] {
+            assert_eq!(f.label().parse::<Fidelity>().unwrap(), f);
+        }
+        assert_eq!("PAPER".parse::<Fidelity>().unwrap(), Fidelity::Paper);
+        assert!("fast".parse::<Fidelity>().is_err());
     }
 
     #[test]

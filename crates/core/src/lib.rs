@@ -24,6 +24,8 @@ pub mod experiments;
 pub mod fidelity;
 pub mod report;
 pub mod stats;
+pub mod survey;
 
 pub use fidelity::Fidelity;
 pub use report::{Report, Table};
+pub use survey::{run_survey, ExperimentResult, RunCtx, SurveyConfig, SurveyExperiment, SurveyRun};

@@ -116,6 +116,15 @@ impl fmt::Display for Report {
     }
 }
 
+/// PASS/FAIL cell text (survey scoreboard and check lines).
+pub fn pass_fail(passed: bool) -> &'static str {
+    if passed {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}
+
 /// Format a frequency in GHz with the paper's precision.
 pub fn ghz(v: f64) -> String {
     format!("{v:.2}")
@@ -140,7 +149,9 @@ mod tests {
         assert!(s.contains("|   Turbo | 3.0 |"));
         // Every data line has the same width.
         let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1] || w[0] == 4 /* title */));
+        assert!(widths
+            .windows(2)
+            .all(|w| w[0] == w[1] || w[0] == 4 /* title */));
     }
 
     #[test]
@@ -170,5 +181,7 @@ mod tests {
     fn formatters_match_paper_precision() {
         assert_eq!(ghz(2.345), "2.35");
         assert_eq!(watts(560.44), "560.4");
+        assert_eq!(pass_fail(true), "PASS");
+        assert_eq!(pass_fail(false), "FAIL");
     }
 }

@@ -90,7 +90,11 @@ fn polyfit(points: &[(f64, f64)], degree: usize) -> Option<Fit> {
     }
     Some(Fit {
         coeffs,
-        r_squared: if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 },
+        r_squared: if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        },
         max_residual: max_res,
     })
 }

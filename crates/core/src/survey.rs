@@ -1,0 +1,418 @@
+//! The experiment registry and concurrent survey runner.
+//!
+//! Every table/figure module exposes an [`SurveyExperiment`] adapter; the
+//! registry enumerates them in paper order and [`run_survey`] fans them
+//! out across worker threads. Determinism contract: each experiment's RNG
+//! seed is derived from the root seed and the experiment id only
+//! ([`experiment_seed`]), never from scheduling, so the same `--seed`
+//! yields bit-identical results for any `--jobs` value. Wall-clock
+//! timings are reported separately ([`SurveyRun::timings_s`]) and are
+//! deliberately excluded from the JSON document.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+use crate::experiments;
+use crate::report::Table;
+use crate::Fidelity;
+
+/// Everything an experiment gets from the runner.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCtx {
+    pub fidelity: Fidelity,
+    /// Per-experiment seed, already derived from the survey root seed and
+    /// the experiment id. Fully deterministic experiments ignore it.
+    pub seed: u64,
+}
+
+/// One fidelity check: a paper claim the result either reproduces or not.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Check {
+    pub name: String,
+    pub passed: bool,
+    pub detail: String,
+}
+
+/// What one experiment hands back to the runner.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    pub id: &'static str,
+    /// Where in the paper this comes from ("Table III", "Section VI-B", …).
+    pub anchor: &'static str,
+    pub title: &'static str,
+    /// The seed the experiment ran with (0 for deterministic experiments).
+    pub seed: u64,
+    /// The paper-style text rendering (the module's `Display`).
+    pub text: String,
+    /// Key scalar metrics, in declaration order.
+    pub metrics: Vec<(&'static str, f64)>,
+    /// Fidelity checks against the paper's claims.
+    pub checks: Vec<Check>,
+    /// The full result structure, serialized.
+    pub artifact: Value,
+}
+
+impl ExperimentResult {
+    /// Capture an experiment's result structure: text via `Display`,
+    /// artifact via `Serialize`.
+    pub fn capture<T: Serialize + std::fmt::Display>(
+        exp: &dyn SurveyExperiment,
+        ctx: &RunCtx,
+        result: &T,
+    ) -> ExperimentResult {
+        ExperimentResult {
+            id: exp.id(),
+            anchor: exp.anchor(),
+            title: exp.title(),
+            seed: if exp.seeded() { ctx.seed } else { 0 },
+            text: result.to_string(),
+            metrics: Vec::new(),
+            checks: Vec::new(),
+            artifact: result.to_value(),
+        }
+    }
+
+    pub fn metric(&mut self, name: &'static str, value: f64) -> &mut Self {
+        self.metrics.push((name, value));
+        self
+    }
+
+    pub fn check(&mut self, name: &str, passed: bool, detail: String) -> &mut Self {
+        self.checks.push(Check {
+            name: name.to_string(),
+            passed,
+            detail,
+        });
+        self
+    }
+
+    pub fn checks_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+}
+
+/// A registry entry: one paper table/figure reproduction.
+pub trait SurveyExperiment: Send + Sync {
+    /// Stable identifier (the module name).
+    fn id(&self) -> &'static str;
+    /// Paper anchor ("Table III", "Figure 7", "Section VI-B", …).
+    fn anchor(&self) -> &'static str;
+    /// One-line description.
+    fn title(&self) -> &'static str;
+    /// Whether the experiment consumes the per-experiment seed. Purely
+    /// analytic experiments return false and always produce identical
+    /// output.
+    fn seeded(&self) -> bool {
+        true
+    }
+    fn run(&self, ctx: &RunCtx) -> ExperimentResult;
+}
+
+/// SplitMix64 step — the mixer behind [`experiment_seed`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for one experiment from the survey root seed: FNV-1a
+/// over the id, folded into a SplitMix64-whitened root. Depends on
+/// `(root_seed, id)` only — never on scheduling order or thread count.
+pub fn experiment_seed(root_seed: u64, id: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut s = root_seed ^ h;
+    splitmix64(&mut s)
+}
+
+/// Derive a sub-stream seed inside an experiment (e.g. one per campaign).
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut s = seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+    splitmix64(&mut s)
+}
+
+/// All 16 experiments, in paper order.
+pub fn registry() -> Vec<Box<dyn SurveyExperiment>> {
+    vec![
+        Box::new(experiments::fig1::Experiment),
+        Box::new(experiments::section2c_epb::Experiment),
+        Box::new(experiments::table1::Experiment),
+        Box::new(experiments::table2::Experiment),
+        Box::new(experiments::table3::Experiment),
+        Box::new(experiments::fig2::Experiment),
+        Box::new(experiments::table4::Experiment),
+        Box::new(experiments::table5::Experiment),
+        Box::new(experiments::fig3::Experiment),
+        Box::new(experiments::fig4::Experiment),
+        Box::new(experiments::fig56::Experiment),
+        Box::new(experiments::section6b_governor::Experiment),
+        Box::new(experiments::fig7::Experiment),
+        Box::new(experiments::fig8::Experiment),
+        Box::new(experiments::section8::Experiment),
+        Box::new(experiments::sku_extrapolation::Experiment),
+    ]
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct SurveyConfig {
+    pub fidelity: Fidelity,
+    /// Root seed; per-experiment seeds derive from it and the id.
+    pub seed: u64,
+    /// Worker threads (clamped to [1, #experiments]).
+    pub jobs: usize,
+    /// Run only these ids (registry order is kept); `None` = all.
+    pub only: Option<Vec<String>>,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig {
+            fidelity: Fidelity::Quick,
+            seed: 42,
+            jobs: 1,
+            only: None,
+        }
+    }
+}
+
+/// A completed survey.
+#[derive(Debug, Clone)]
+pub struct SurveyRun {
+    pub fidelity: Fidelity,
+    pub seed: u64,
+    /// Results in registry order, independent of scheduling.
+    pub results: Vec<ExperimentResult>,
+    /// Wall-clock seconds per experiment, parallel to `results`. Kept out
+    /// of the JSON document so it stays byte-identical across runs.
+    pub timings_s: Vec<f64>,
+}
+
+/// Run the survey: fan the selected experiments across `jobs` worker
+/// threads. Returns results in registry order. Fails on unknown `only`
+/// ids.
+pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
+    let all = registry();
+    let selected: Vec<Box<dyn SurveyExperiment>> = match &cfg.only {
+        None => all,
+        Some(ids) => {
+            let known: Vec<&str> = all.iter().map(|e| e.id()).collect();
+            if let Some(bad) = ids.iter().find(|id| !known.contains(&id.as_str())) {
+                return Err(format!(
+                    "unknown experiment id `{bad}` (known: {})",
+                    known.join(", ")
+                ));
+            }
+            all.into_iter()
+                .filter(|e| ids.iter().any(|id| id == e.id()))
+                .collect()
+        }
+    };
+    if selected.is_empty() {
+        return Err("no experiments selected".to_string());
+    }
+
+    let jobs = cfg.jobs.clamp(1, selected.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(ExperimentResult, f64)>>> =
+        Mutex::new((0..selected.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= selected.len() {
+                    break;
+                }
+                let exp = &selected[i];
+                let ctx = RunCtx {
+                    fidelity: cfg.fidelity,
+                    seed: experiment_seed(cfg.seed, exp.id()),
+                };
+                let t0 = Instant::now();
+                let result = exp.run(&ctx);
+                let wall_s = t0.elapsed().as_secs_f64();
+                slots.lock().unwrap()[i] = Some((result, wall_s));
+            });
+        }
+    });
+
+    let mut results = Vec::with_capacity(selected.len());
+    let mut timings_s = Vec::with_capacity(selected.len());
+    for slot in slots.into_inner().unwrap() {
+        let (r, t) = slot.expect("worker left a slot unfilled");
+        results.push(r);
+        timings_s.push(t);
+    }
+    Ok(SurveyRun {
+        fidelity: cfg.fidelity,
+        seed: cfg.seed,
+        results,
+        timings_s,
+    })
+}
+
+impl SurveyRun {
+    /// The deterministic JSON document (the content of `survey.json`).
+    /// Contains no wall-clock data: identical config → identical bytes.
+    pub fn to_json_value(&self) -> Value {
+        let experiments: Vec<Value> = self
+            .results
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("id".to_string(), Value::Str(r.id.to_string())),
+                    ("anchor".to_string(), Value::Str(r.anchor.to_string())),
+                    ("title".to_string(), Value::Str(r.title.to_string())),
+                    ("seed".to_string(), Value::UInt(r.seed)),
+                    (
+                        "metrics".to_string(),
+                        Value::Object(
+                            r.metrics
+                                .iter()
+                                .map(|(k, v)| (k.to_string(), Value::Float(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    ("checks".to_string(), r.checks.to_value()),
+                    ("artifact".to_string(), r.artifact.clone()),
+                ])
+            })
+            .collect();
+        let total: usize = self.results.iter().map(|r| r.checks.len()).sum();
+        let passed: usize = self
+            .results
+            .iter()
+            .map(|r| r.checks.iter().filter(|c| c.passed).count())
+            .sum();
+        Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::Str("haswell-survey/v1".to_string()),
+            ),
+            (
+                "paper".to_string(),
+                Value::Str(
+                    "An Energy Efficiency Feature Survey of the Intel Haswell Processor"
+                        .to_string(),
+                ),
+            ),
+            ("seed".to_string(), Value::UInt(self.seed)),
+            ("fidelity".to_string(), self.fidelity.to_value()),
+            (
+                "summary".to_string(),
+                Value::Object(vec![
+                    (
+                        "experiments".to_string(),
+                        Value::UInt(self.results.len() as u64),
+                    ),
+                    ("checks_total".to_string(), Value::UInt(total as u64)),
+                    ("checks_passed".to_string(), Value::UInt(passed as u64)),
+                ]),
+            ),
+            ("experiments".to_string(), Value::Array(experiments)),
+        ])
+    }
+
+    /// Pretty-printed deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(&self.to_json_value())
+            .expect("survey JSON serialization cannot fail");
+        s.push('\n');
+        s
+    }
+
+    /// Per-experiment check scoreboard as a paper-style [`Table`].
+    pub fn scoreboard(&self) -> Table {
+        let mut t = Table::new(
+            "Survey scoreboard: paper fidelity checks per experiment",
+            vec!["experiment", "anchor", "checks", "status"],
+        );
+        for r in &self.results {
+            let passed = r.checks.iter().filter(|c| c.passed).count();
+            t.row(vec![
+                r.id.to_string(),
+                r.anchor.to_string(),
+                format!("{passed}/{}", r.checks.len()),
+                crate::report::pass_fail(r.checks_passed()).to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The human-readable survey report (paper-style text per experiment
+    /// plus the check scoreboard).
+    pub fn text_report(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&format!(
+                "================================================================\n\
+                 {} — {} [{}]\n\
+                 ================================================================\n\
+                 {}\n",
+                r.anchor, r.title, r.id, r.text
+            ));
+            for c in &r.checks {
+                out.push_str(&format!(
+                    "  [{}] {}: {}\n",
+                    crate::report::pass_fail(c.passed),
+                    c.name,
+                    c.detail
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{}\n", self.scoreboard()));
+        let total: usize = self.results.iter().map(|r| r.checks.len()).sum();
+        let passed: usize = self
+            .results
+            .iter()
+            .map(|r| r.checks.iter().filter(|c| c.passed).count())
+            .sum();
+        out.push_str(&format!(
+            "survey: {} experiments, {passed}/{total} checks passed\n",
+            self.results.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_16_unique_ids() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), 16);
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16, "duplicate ids: {ids:?}");
+    }
+
+    #[test]
+    fn experiment_seeds_depend_on_root_and_id() {
+        assert_eq!(experiment_seed(1, "fig3"), experiment_seed(1, "fig3"));
+        assert_ne!(experiment_seed(1, "fig3"), experiment_seed(2, "fig3"));
+        assert_ne!(experiment_seed(1, "fig3"), experiment_seed(1, "fig56"));
+    }
+
+    #[test]
+    fn unknown_only_id_is_rejected() {
+        let cfg = SurveyConfig {
+            only: Some(vec!["tableX".to_string()]),
+            ..SurveyConfig::default()
+        };
+        let err = run_survey(&cfg).unwrap_err();
+        assert!(err.contains("tableX"), "{err}");
+    }
+}

@@ -95,12 +95,7 @@ pub fn wake_latency_us(
             }
         }
         CoreCState::C6 => {
-            let c3 = wake_latency_us(
-                CpuGeneration::HaswellEp,
-                CoreCState::C3,
-                scenario,
-                freq_ghz,
-            );
+            let c3 = wake_latency_us(CpuGeneration::HaswellEp, CoreCState::C3, scenario, freq_ghz);
             let extra = c6_extra_us(freq_ghz);
             match scenario {
                 WakeScenario::Local | WakeScenario::RemoteActive => c3 + extra,

@@ -15,7 +15,7 @@ pub mod residency;
 pub mod state;
 
 pub use governor::{resolve_package_state, select_core_state};
+pub use latency::{wake_latency_us, WakeScenario};
 pub use predictor::IdlePredictor;
 pub use residency::{GovernorStats, IdleEpisode, Residency};
-pub use latency::{wake_latency_us, WakeScenario};
 pub use state::{CoreCState, PkgCState};

@@ -97,7 +97,8 @@ impl GovernorStats {
         let mut stats = GovernorStats::default();
         for e in episodes {
             stats.episodes += 1;
-            let optimal = hindsight_optimal(e.actual_idle_us, measured_c3_exit_us, measured_c6_exit_us);
+            let optimal =
+                hindsight_optimal(e.actual_idle_us, measured_c3_exit_us, measured_c6_exit_us);
             if e.selected < optimal {
                 stats.too_shallow += 1;
             } else if e.selected > optimal {
@@ -119,8 +120,8 @@ impl GovernorStats {
 mod tests {
     use super::*;
     use crate::governor::select_core_state;
-    use hsw_hwspec::AcpiLatencyTable;
     use crate::latency::{wake_latency_us, WakeScenario};
+    use hsw_hwspec::AcpiLatencyTable;
     use hsw_hwspec::CpuGeneration;
     use proptest::prelude::*;
 
@@ -140,10 +141,18 @@ mod tests {
         // but an ACPI claim of 133 µs, mid-length idles (100–390 µs) get C3
         // (or shallower) although C6 would pay off.
         let table = AcpiLatencyTable::haswell_ep();
-        let measured_c3 =
-            wake_latency_us(CpuGeneration::HaswellEp, CoreCState::C3, WakeScenario::Local, 2.5);
-        let measured_c6 =
-            wake_latency_us(CpuGeneration::HaswellEp, CoreCState::C6, WakeScenario::Local, 2.5);
+        let measured_c3 = wake_latency_us(
+            CpuGeneration::HaswellEp,
+            CoreCState::C3,
+            WakeScenario::Local,
+            2.5,
+        );
+        let measured_c6 = wake_latency_us(
+            CpuGeneration::HaswellEp,
+            CoreCState::C6,
+            WakeScenario::Local,
+            2.5,
+        );
         let episodes: Vec<IdleEpisode> = (0..50)
             .map(|i| {
                 let idle = 60 + i * 6; // 60–354 µs

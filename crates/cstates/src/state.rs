@@ -17,8 +17,7 @@ pub enum CoreCState {
 
 impl CoreCState {
     /// All idle states, shallowest first.
-    pub const IDLE_STATES: [CoreCState; 3] =
-        [CoreCState::C1, CoreCState::C3, CoreCState::C6];
+    pub const IDLE_STATES: [CoreCState; 3] = [CoreCState::C1, CoreCState::C3, CoreCState::C6];
 
     pub fn is_idle(self) -> bool {
         self != CoreCState::C0

@@ -265,7 +265,6 @@ pub fn model_vs_encoded_delta(instr: &Instr) -> i64 {
     enc.bytes.len() as i64 - instr.bytes as i64
 }
 
-
 /// Convenience: the memory level has no effect on encoding length (the
 /// level is a cache-residency property of the *address*, not the
 /// instruction), which the type system documents here.

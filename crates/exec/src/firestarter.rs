@@ -84,8 +84,7 @@ impl FirestarterKernel {
                 if emitted[i] >= c {
                     continue;
                 }
-                let deficit =
-                    c as f64 * step as f64 / total_groups as f64 - emitted[i] as f64;
+                let deficit = c as f64 * step as f64 / total_groups as f64 - emitted[i] as f64;
                 if deficit > best_deficit {
                     best_deficit = deficit;
                     best = i;
@@ -126,12 +125,7 @@ impl FirestarterKernel {
     }
 
     /// Analyze the loop's throughput on a microarchitecture.
-    pub fn analyze(
-        &self,
-        arch: &MicroArch,
-        smt: bool,
-        core_uncore_ratio: f64,
-    ) -> ThroughputResult {
+    pub fn analyze(&self, arch: &MicroArch, smt: bool, core_uncore_ratio: f64) -> ThroughputResult {
         throughput(arch, &self.instrs, smt, core_uncore_ratio)
     }
 }

@@ -88,10 +88,7 @@ mod tests {
         let r = analyze_haswell(&sqrt_loop(), false);
         // One 16-cycle sqrt per 4 instructions → IPC = 0.25.
         assert!(r.ipc_core < 0.3, "sqrt ipc {:.2}", r.ipc_core);
-        assert!(matches!(
-            r.bottleneck,
-            crate::pipeline::Bottleneck::Port(_)
-        ));
+        assert!(matches!(r.bottleneck, crate::pipeline::Bottleneck::Port(_)));
     }
 
     #[test]

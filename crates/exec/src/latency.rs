@@ -48,12 +48,7 @@ pub fn chain_ipc(kernel: &[Instr]) -> f64 {
 /// (independent stream, port model) and the latency-bound IPC (serial
 /// chain). FIRESTARTER's generator keeps this ratio high by construction.
 pub fn ilp_headroom(kernel: &[Instr]) -> f64 {
-    let tp = crate::pipeline::throughput(
-        &hsw_hwspec::MicroArch::haswell_ep(),
-        kernel,
-        false,
-        1.0,
-    );
+    let tp = crate::pipeline::throughput(&hsw_hwspec::MicroArch::haswell_ep(), kernel, false, 1.0);
     tp.ipc_core / chain_ipc(kernel).max(1e-9)
 }
 

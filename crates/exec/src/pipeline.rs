@@ -216,10 +216,20 @@ mod tests {
     fn sandy_bridge_add_mul_mix_reaches_8_flops_per_cycle() {
         // Table I: SNB peak = 1 add + 1 mul per cycle = 8 FLOPs.
         let kernel: Vec<Instr> = (0..8)
-            .map(|i| if i % 2 == 0 { Instr::add_reg() } else { Instr::mul_reg() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Instr::add_reg()
+                } else {
+                    Instr::mul_reg()
+                }
+            })
             .collect();
         let r = throughput(&snb(), &kernel, false, 1.0);
-        assert!((r.flops_per_cycle - 8.0).abs() < 0.3, "{}", r.flops_per_cycle);
+        assert!(
+            (r.flops_per_cycle - 8.0).abs() < 0.3,
+            "{}",
+            r.flops_per_cycle
+        );
     }
 
     #[test]
@@ -229,11 +239,21 @@ mod tests {
         // one per cycle (port 1), i.e. 4 FLOPs/cycle.
         let kernel = vec![Instr::add_reg(); 8];
         let r = throughput(&hsw(), &kernel, false, 1.0);
-        assert!((r.flops_per_cycle - 4.0).abs() < 0.2, "{}", r.flops_per_cycle);
+        assert!(
+            (r.flops_per_cycle - 4.0).abs() < 0.2,
+            "{}",
+            r.flops_per_cycle
+        );
         assert_eq!(r.bottleneck, Bottleneck::Port(1));
         // Mixing adds into FMAs restores dual issue.
         let mixed: Vec<Instr> = (0..8)
-            .map(|i| if i % 2 == 0 { Instr::fma_reg() } else { Instr::add_reg() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Instr::fma_reg()
+                } else {
+                    Instr::add_reg()
+                }
+            })
             .collect();
         let r2 = throughput(&hsw(), &mixed, false, 1.0);
         assert!(r2.flops_per_cycle > 10.0, "{}", r2.flops_per_cycle);

@@ -442,7 +442,15 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["idle", "sinus", "busy wait", "memory", "compute", "dgemm", "sqrt"]
+            vec![
+                "idle",
+                "sinus",
+                "busy wait",
+                "memory",
+                "compute",
+                "dgemm",
+                "sqrt"
+            ]
         );
     }
 

@@ -68,11 +68,7 @@ mod tests {
     #[test]
     fn residency_grows_with_state_depth() {
         let t = AcpiLatencyTable::haswell_ep();
-        assert!(
-            t.target_residency_us(AcpiCState::C1) < t.target_residency_us(AcpiCState::C3)
-        );
-        assert!(
-            t.target_residency_us(AcpiCState::C3) < t.target_residency_us(AcpiCState::C6)
-        );
+        assert!(t.target_residency_us(AcpiCState::C1) < t.target_residency_us(AcpiCState::C3));
+        assert!(t.target_residency_us(AcpiCState::C3) < t.target_residency_us(AcpiCState::C6));
     }
 }

@@ -115,7 +115,11 @@ impl FrequencyTable {
     /// p-states, highest first.
     pub fn all_settings(&self) -> Vec<FreqSetting> {
         let mut v = vec![FreqSetting::Turbo];
-        v.extend(self.selectable_pstates().into_iter().map(FreqSetting::Fixed));
+        v.extend(
+            self.selectable_pstates()
+                .into_iter()
+                .map(FreqSetting::Fixed),
+        );
         v
     }
 

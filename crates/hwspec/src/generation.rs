@@ -95,9 +95,7 @@ impl CpuGeneration {
             CpuGeneration::SandyBridgeEp | CpuGeneration::IvyBridgeEp => {
                 UncoreClockSource::CoreCoupled
             }
-            CpuGeneration::HaswellEp | CpuGeneration::HaswellHe => {
-                UncoreClockSource::Independent
-            }
+            CpuGeneration::HaswellEp | CpuGeneration::HaswellHe => UncoreClockSource::Independent,
         }
     }
 
@@ -208,10 +206,7 @@ mod tests {
     fn rapl_modes_follow_the_paper() {
         assert_eq!(CpuGeneration::SandyBridgeEp.rapl_mode(), RaplMode::Modeled);
         assert_eq!(CpuGeneration::HaswellEp.rapl_mode(), RaplMode::Measured);
-        assert_eq!(
-            CpuGeneration::WestmereEp.rapl_mode(),
-            RaplMode::Unavailable
-        );
+        assert_eq!(CpuGeneration::WestmereEp.rapl_mode(), RaplMode::Unavailable);
     }
 
     #[test]

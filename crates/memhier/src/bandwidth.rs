@@ -180,11 +180,9 @@ pub fn dram_read_bandwidth_gbs(
     }
     let p = BwParams::for_generation(spec.generation);
     let cores = cores.min(spec.cores);
-    let latency_ns = p.dram_device_ns
-        + p.dram_core_cycles / f_core_ghz
-        + p.dram_uncore_cycles / f_unc_ghz;
-    let per_core =
-        p.dram_outstanding * 64.0 / latency_ns * ht_factor(&p, threads_per_core);
+    let latency_ns =
+        p.dram_device_ns + p.dram_core_cycles / f_core_ghz + p.dram_uncore_cycles / f_unc_ghz;
+    let per_core = p.dram_outstanding * 64.0 / latency_ns * ht_factor(&p, threads_per_core);
     let demand = cores as f64 * per_core;
     let cap = p
         .dram_peak_gbs
@@ -331,7 +329,12 @@ mod tests {
         // 8 cores".
         let sku = hsw();
         let at = |n| dram_read_bandwidth_gbs(&sku, n, 1, 2.5, 3.0);
-        assert!(at(8) > 0.99 * at(12), "8 cores: {} vs 12: {}", at(8), at(12));
+        assert!(
+            at(8) > 0.99 * at(12),
+            "8 cores: {} vs 12: {}",
+            at(8),
+            at(12)
+        );
         assert!(at(4) < 0.95 * at(8), "4 cores: {} vs 8: {}", at(4), at(8));
         assert!((at(12) - hsw_hwspec::calib::bandwidth::HSW_DRAM_PEAK_GBS).abs() < 1.0);
     }
@@ -344,7 +347,10 @@ mod tests {
         let gain_high = dram_read_bandwidth_gbs(&sku, 12, 2, 2.5, 3.0)
             / dram_read_bandwidth_gbs(&sku, 12, 1, 2.5, 3.0);
         assert!(gain_low > 1.1, "low-concurrency HT gain {gain_low}");
-        assert!((gain_high - 1.0).abs() < 0.01, "saturated HT gain {gain_high}");
+        assert!(
+            (gain_high - 1.0).abs() < 0.01,
+            "saturated HT gain {gain_high}"
+        );
     }
 
     #[test]

@@ -116,12 +116,9 @@ impl CoherenceDirectory {
     pub fn access(&mut self, core: usize, line: u64, access: Access) -> CoherenceResult {
         assert!(core < self.cores);
         let cores = self.cores;
-        let entry = self
-            .lines
-            .entry(line)
-            .or_insert_with(|| LineState {
-                states: vec![Mesi::Invalid; cores],
-            });
+        let entry = self.lines.entry(line).or_insert_with(|| LineState {
+            states: vec![Mesi::Invalid; cores],
+        });
         let my_state = entry.states[core];
 
         // Hits that need no bus action.

@@ -34,7 +34,9 @@ const IMC_CYCLES: f64 = 12.0;
 
 /// Average L3 hit latency in ns for a core in `partition` of the SKU's die.
 pub fn l3_latency_ns(spec: &SkuSpec, partition: usize, f_core_ghz: f64, f_unc_ghz: f64) -> f64 {
-    let hops = spec.die.mean_ring_hops(partition.min(spec.die.partitions.len() - 1));
+    let hops = spec
+        .die
+        .mean_ring_hops(partition.min(spec.die.partitions.len() - 1));
     let uncore_cycles = L3_UNCORE_BASE_CYCLES + 2.0 * RING_HOP_CYCLES * hops;
     L3_CORE_CYCLES / f_core_ghz.max(0.1) + uncore_cycles / f_unc_ghz.max(0.1)
 }

@@ -179,7 +179,11 @@ mod tests {
             }
             addr -= 64;
         }
-        assert!(h.demand_dram_fraction() < 0.4, "{}", h.demand_dram_fraction());
+        assert!(
+            h.demand_dram_fraction() < 0.4,
+            "{}",
+            h.demand_dram_fraction()
+        );
     }
 
     #[test]

@@ -159,8 +159,7 @@ impl RingNetwork {
                 continue;
             }
             // Crossing partitions at the queue stop?
-            if m.at.partition != m.dest.partition
-                && m.at.index == self.queue_stops[m.at.partition]
+            if m.at.partition != m.dest.partition && m.at.index == self.queue_stops[m.at.partition]
             {
                 m.queued += 1;
                 if m.queued >= QUEUE_DELAY_CYCLES {
@@ -215,7 +214,16 @@ mod tests {
     #[test]
     fn same_partition_delivery_takes_ring_distance() {
         let mut net = net12();
-        let id = net.inject(Stop { partition: 0, index: 1 }, Stop { partition: 0, index: 4 });
+        let id = net.inject(
+            Stop {
+                partition: 0,
+                index: 1,
+            },
+            Stop {
+                partition: 0,
+                index: 4,
+            },
+        );
         let deliveries = net.drain(100);
         let d = deliveries.iter().find(|d| d.id == id).unwrap();
         assert_eq!(d.latency_cycles, 3); // distance 3 on the 8-ring
@@ -226,17 +234,32 @@ mod tests {
         let net = net12();
         // 1 → 7 on an 8-stop ring: 2 hops backwards, not 6 forwards.
         assert_eq!(net.ring_distance(0, 1, 7), 2);
-        assert_eq!(net.min_latency(
-            Stop { partition: 0, index: 1 },
-            Stop { partition: 0, index: 7 }
-        ), 2);
+        assert_eq!(
+            net.min_latency(
+                Stop {
+                    partition: 0,
+                    index: 1
+                },
+                Stop {
+                    partition: 0,
+                    index: 7
+                }
+            ),
+            2
+        );
     }
 
     #[test]
     fn cross_partition_pays_the_queue_delay() {
         let mut net = net12();
-        let from = Stop { partition: 0, index: 0 };
-        let to = Stop { partition: 1, index: 0 };
+        let from = Stop {
+            partition: 0,
+            index: 0,
+        };
+        let to = Stop {
+            partition: 1,
+            index: 0,
+        };
         let expect = net.min_latency(from, to);
         assert_eq!(expect, QUEUE_DELAY_CYCLES as u64); // both at queue stops
         let id = net.inject(from, to);
@@ -256,18 +279,42 @@ mod tests {
                 }
                 let mut net = net12();
                 let id = net.inject(
-                    Stop { partition: 0, index: src },
-                    Stop { partition: 0, index: dst },
+                    Stop {
+                        partition: 0,
+                        index: src,
+                    },
+                    Stop {
+                        partition: 0,
+                        index: dst,
+                    },
                 );
-                local.push(net.drain(100).iter().find(|d| d.id == id).unwrap().latency_cycles);
+                local.push(
+                    net.drain(100)
+                        .iter()
+                        .find(|d| d.id == id)
+                        .unwrap()
+                        .latency_cycles,
+                );
             }
             for dst in 0..4 {
                 let mut net = net12();
                 let id = net.inject(
-                    Stop { partition: 0, index: src },
-                    Stop { partition: 1, index: dst },
+                    Stop {
+                        partition: 0,
+                        index: src,
+                    },
+                    Stop {
+                        partition: 1,
+                        index: dst,
+                    },
                 );
-                cross.push(net.drain(100).iter().find(|d| d.id == id).unwrap().latency_cycles);
+                cross.push(
+                    net.drain(100)
+                        .iter()
+                        .find(|d| d.id == id)
+                        .unwrap()
+                        .latency_cycles,
+                );
             }
         }
         let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
@@ -315,16 +362,28 @@ mod tests {
         for i in 0..24 {
             // Everyone goes from stop (i % 4) to stop 5: shared links.
             ids.push(net.inject(
-                Stop { partition: 0, index: i % 4 },
-                Stop { partition: 0, index: 5 },
+                Stop {
+                    partition: 0,
+                    index: i % 4,
+                },
+                Stop {
+                    partition: 0,
+                    index: 5,
+                },
             ));
         }
         let deliveries = net.drain(10_000);
         assert_eq!(deliveries.len(), 24, "all must deliver");
         let max = deliveries.iter().map(|d| d.latency_cycles).max().unwrap();
         let base = net12().min_latency(
-            Stop { partition: 0, index: 4 },
-            Stop { partition: 0, index: 5 },
+            Stop {
+                partition: 0,
+                index: 4,
+            },
+            Stop {
+                partition: 0,
+                index: 5,
+            },
         );
         assert!(max > base + 3, "congested max {max} vs base {base}");
     }
@@ -337,8 +396,14 @@ mod tests {
         for src in 0..8 {
             for dst in 0..10 {
                 net.inject(
-                    Stop { partition: 0, index: src },
-                    Stop { partition: 1, index: dst },
+                    Stop {
+                        partition: 0,
+                        index: src,
+                    },
+                    Stop {
+                        partition: 1,
+                        index: dst,
+                    },
                 );
                 n += 1;
             }

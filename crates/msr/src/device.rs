@@ -291,7 +291,11 @@ mod tests {
     #[test]
     fn westmere_has_no_rapl_at_all() {
         let bank = MsrBank::new(CpuGeneration::WestmereEp, 12);
-        for addr in [MSR_RAPL_POWER_UNIT, MSR_PKG_ENERGY_STATUS, MSR_DRAM_ENERGY_STATUS] {
+        for addr in [
+            MSR_RAPL_POWER_UNIT,
+            MSR_PKG_ENERGY_STATUS,
+            MSR_DRAM_ENERGY_STATUS,
+        ] {
             assert_eq!(bank.read(0, addr), Err(MsrError::Unsupported(addr)));
         }
     }
@@ -343,10 +347,7 @@ mod tests {
     #[test]
     fn out_of_range_thread_is_rejected() {
         let bank = hsw_bank();
-        assert_eq!(
-            bank.read(24, IA32_APERF),
-            Err(MsrError::NoSuchThread(24))
-        );
+        assert_eq!(bank.read(24, IA32_APERF), Err(MsrError::NoSuchThread(24)));
     }
 
     #[test]

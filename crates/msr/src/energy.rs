@@ -96,6 +96,42 @@ mod tests {
         let _ = EnergyCounter::new(0.0);
     }
 
+    #[test]
+    fn single_add_spanning_multiple_wraps_keeps_mod_2_32_semantics() {
+        // counts = 5·2^32 + 7 is exactly representable in f64 (< 2^53), so
+        // `counts as u64 as u32` must land on exactly counts mod 2^32 = 7.
+        // This is the hardware-faithful behavior: the 32-bit register wraps
+        // five whole times and ends 7 counts past where it started.
+        let mut c = EnergyCounter::new(1.0);
+        c.add_joules(5.0 * 4_294_967_296.0 + 7.0);
+        assert_eq!(c.raw(), 7);
+    }
+
+    #[test]
+    fn delta_across_the_wrap_boundary() {
+        let c = EnergyCounter::new(61e-6);
+        // before near the top, after past the wrap: 10 counts consumed.
+        let before = u32::MAX - 4;
+        let after = 5u32;
+        assert!((c.delta_joules(before, after) - 10.0 * 61e-6).abs() < 1e-12);
+        // Degenerate full-period delta reads as zero — the documented
+        // limitation of a 32-bit counter, not a bug to paper over.
+        assert_eq!(c.delta_joules(42, 42), 0.0);
+    }
+
+    #[test]
+    fn residue_survives_wraparound() {
+        // Half-unit residue present before the wrap must still be there
+        // after: wrapping affects `raw` only, never the fractional store.
+        let unit = 2.0;
+        let mut c = EnergyCounter::new(unit);
+        c.raw = u32::MAX;
+        c.add_joules(unit * 1.5); // one count (wraps MAX -> 0) + half-unit residue
+        assert_eq!(c.raw(), 0);
+        c.add_joules(unit * 0.5); // residue completes a second count
+        assert_eq!(c.raw(), 1);
+    }
+
     proptest! {
         #[test]
         fn prop_counter_tracks_total_within_one_unit(
@@ -120,6 +156,21 @@ mod tests {
             let after = before.wrapping_add(steps);
             let d = c.delta_joules(before, after);
             prop_assert!((d - steps as f64 * 15.3e-6).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_multi_wrap_adds_match_mod_2_32(
+            start in any::<u32>(),
+            whole_wraps in 0u64..64,
+            extra in 0u64..1_000_000,
+        ) {
+            // An add worth whole_wraps·2^32 + extra counts must advance the
+            // register by exactly extra (mod 2^32), whatever the start value.
+            let counts = whole_wraps * (1u64 << 32) + extra;
+            let mut c = EnergyCounter::new(1.0);
+            c.raw = start;
+            c.add_joules(counts as f64);
+            prop_assert_eq!(c.raw(), start.wrapping_add(extra as u32));
         }
     }
 }

@@ -74,7 +74,10 @@ pub fn survey_allowlist() -> HashMap<u32, Permission> {
     // Controls with confined write masks.
     m.insert(a::IA32_PERF_CTL, Permission::read_write(0xFF00)); // ratio bits
     m.insert(a::IA32_ENERGY_PERF_BIAS, Permission::read_write(0xF));
-    m.insert(a::MSR_U_PMON_UCLK_FIXED_CTL, Permission::read_write(0x40_0000));
+    m.insert(
+        a::MSR_U_PMON_UCLK_FIXED_CTL,
+        Permission::read_write(0x40_0000),
+    );
     m
 }
 
@@ -96,10 +99,7 @@ impl<'a> MsrGate<'a> {
 
     pub fn read(&self, thread: usize, addr: u32) -> Result<u64, GateError> {
         match self.allowlist.get(&addr) {
-            Some(p) if p.read => self
-                .bank
-                .read(thread, addr)
-                .map_err(GateError::Hardware),
+            Some(p) if p.read => self.bank.read(thread, addr).map_err(GateError::Hardware),
             _ => Err(GateError::NotAllowed(addr)),
         }
     }
@@ -118,7 +118,11 @@ impl<'a> MsrGate<'a> {
             return Err(GateError::WriteDenied(addr));
         }
         self.bank
-            .write(thread, addr, (current & !p.write_mask) | (value & p.write_mask))
+            .write(
+                thread,
+                addr,
+                (current & !p.write_mask) | (value & p.write_mask),
+            )
             .map_err(GateError::Hardware)
     }
 }

@@ -196,29 +196,25 @@ impl Node {
             .iter()
             .filter(|s| s.any_core_active())
             .map(|s| {
-                (0..s.spec().cores)
-                    .map(|c| s.requested_setting(c))
-                    .fold(FreqSetting::from_mhz(1200), |a, b| match (a, b) {
+                (0..s.spec().cores).map(|c| s.requested_setting(c)).fold(
+                    FreqSetting::from_mhz(1200),
+                    |a, b| match (a, b) {
                         (FreqSetting::Turbo, _) | (_, FreqSetting::Turbo) => FreqSetting::Turbo,
                         (FreqSetting::Fixed(x), FreqSetting::Fixed(y)) => {
                             FreqSetting::Fixed(x.max(y))
                         }
-                    })
+                    },
+                )
             })
             .fold(None, |acc: Option<FreqSetting>, s| match (acc, s) {
                 (None, s) => Some(s),
-                (Some(FreqSetting::Turbo), _) | (_, FreqSetting::Turbo) => {
-                    Some(FreqSetting::Turbo)
-                }
+                (Some(FreqSetting::Turbo), _) | (_, FreqSetting::Turbo) => Some(FreqSetting::Turbo),
                 (Some(FreqSetting::Fixed(a)), FreqSetting::Fixed(b)) => {
                     Some(FreqSetting::Fixed(a.max(b)))
                 }
             });
         for (i, socket) in self.sockets.iter_mut().enumerate() {
-            let other_active = actives
-                .iter()
-                .enumerate()
-                .any(|(j, a)| j != i && *a);
+            let other_active = actives.iter().enumerate().any(|(j, a)| j != i && *a);
             self.last[i] = socket.tick(now, dt, t_s, other_active, fastest, &mut self.rng);
         }
     }
@@ -517,9 +513,6 @@ mod pl2_tests {
         // After a second the limiter has clamped to the sustained budget.
         node.advance_s(1.0);
         let settled = node.true_pkg_power_w(0);
-        assert!(
-            (settled - 120.0).abs() < 3.0,
-            "settled at {settled:.1} W"
-        );
+        assert!((settled - 120.0).abs() < 3.0, "settled at {settled:.1} W");
     }
 }

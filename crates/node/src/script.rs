@@ -66,8 +66,7 @@ impl WorkloadScript {
         sample_every_s: f64,
         mut sample: impl FnMut(&mut Node),
     ) {
-        self.events
-            .sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.events.sort_by(|a, b| a.0.total_cmp(&b.0));
         let t0 = node.now_s();
         let mut next_event = 0usize;
         let mut next_sample = t0 + sample_every_s;
@@ -120,12 +119,15 @@ mod tests {
     fn script_fires_actions_in_time_order() {
         let mut node = Node::new(NodeConfig::paper_default());
         let script = WorkloadScript::new()
-            .at(0.2, Action::Run {
-                socket: 0,
-                profile: WorkloadProfile::compute(),
-                cores: 4,
-                threads_per_core: 1,
-            })
+            .at(
+                0.2,
+                Action::Run {
+                    socket: 0,
+                    profile: WorkloadProfile::compute(),
+                    cores: 4,
+                    threads_per_core: 1,
+                },
+            )
             .at(0.0, Action::SetSettingAll(FreqSetting::from_mhz(2000)));
         let mut samples = Vec::new();
         script.play(&mut node, 0.5, 0.1, |n| {
@@ -140,12 +142,15 @@ mod tests {
     fn idle_action_quiesces_the_socket() {
         let mut node = Node::new(NodeConfig::paper_default());
         let script = WorkloadScript::new()
-            .at(0.0, Action::Run {
-                socket: 0,
-                profile: WorkloadProfile::compute(),
-                cores: 12,
-                threads_per_core: 2,
-            })
+            .at(
+                0.0,
+                Action::Run {
+                    socket: 0,
+                    profile: WorkloadProfile::compute(),
+                    cores: 12,
+                    threads_per_core: 2,
+                },
+            )
             .at(0.3, Action::IdleSocket(0));
         let mut last = 0.0;
         script.play(&mut node, 0.6, 0.05, |n| last = n.true_pkg_power_w(0));

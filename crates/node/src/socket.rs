@@ -6,11 +6,11 @@ use hsw_hwspec::freq::FreqSetting;
 use hsw_hwspec::{EpbClass, PState, SkuSpec};
 use hsw_msr::{addresses as msra, fields, MsrBank};
 use hsw_pcu::{
-    AvxLicense, EetController, PStateEngine, PcuController, PcuInputs, PcuGrant, TransitionEvent,
+    AvxLicense, EetController, PStateEngine, PcuController, PcuGrant, PcuInputs, TransitionEvent,
 };
 use hsw_power::{
-    dram_power_w, package_power_w, CoreElecState, DramRaplMode, Mbvr, MbvrPowerState,
-    ModelBias, RaplEngine, ThermalParams, ThermalState,
+    dram_power_w, package_power_w, CoreElecState, DramRaplMode, Mbvr, MbvrPowerState, ModelBias,
+    RaplEngine, ThermalParams, ThermalState,
 };
 use rand::Rng;
 
@@ -72,7 +72,11 @@ impl Socket {
         let mut msr = MsrBank::new(spec.generation, threads);
         // The firmware default EPB is balanced (paper Table II).
         for t in 0..threads {
-            msr.store(t, msra::IA32_ENERGY_PERF_BIAS, fields::encode_epb(EpbClass::Balanced));
+            msr.store(
+                t,
+                msra::IA32_ENERGY_PERF_BIAS,
+                fields::encode_epb(EpbClass::Balanced),
+            );
             msr.store(t, msra::IA32_PERF_CTL, fields::encode_perf_ctl(base));
         }
         Socket {
@@ -149,17 +153,12 @@ impl Socket {
 
     /// Whether turbo is enabled (inverted `IA32_MISC_ENABLE\[38\]`).
     pub fn turbo_enabled(&self) -> bool {
-        let v = self
-            .msr
-            .read_package(msra::IA32_MISC_ENABLE)
-            .unwrap_or(0);
+        let v = self.msr.read_package(msra::IA32_MISC_ENABLE).unwrap_or(0);
         v & msra::MISC_ENABLE_TURBO_DISABLE_BIT == 0
     }
 
     fn active_cores(&self) -> usize {
-        (0..self.spec.cores)
-            .filter(|c| self.core_busy(*c))
-            .count()
+        (0..self.spec.cores).filter(|c| self.core_busy(*c)).count()
     }
 
     fn core_busy(&self, core: usize) -> bool {
@@ -214,7 +213,9 @@ impl Socket {
                 }
             });
         }
-        best.unwrap_or(FreqSetting::Fixed(PState::from_mhz(self.spec.freq.base_mhz)))
+        best.unwrap_or(FreqSetting::Fixed(PState::from_mhz(
+            self.spec.freq.base_mhz,
+        )))
     }
 
     /// Advance this socket by `dt` ending at `now`.
@@ -254,7 +255,11 @@ impl Socket {
                 stall = stall.max(p.stall_fraction);
             }
         }
-        let duty = if active > 0 { duty_sum / active as f64 } else { 0.0 };
+        let duty = if active > 0 {
+            duty_sum / active as f64
+        } else {
+            0.0
+        };
 
         // 3. AVX licenses (per core, driven by its own instruction stream).
         for c in 0..spec.cores {
@@ -329,8 +334,7 @@ impl Socket {
             if let Ok(v) = self.msr.read_package(msra::MSR_UNCORE_RATIO_LIMIT) {
                 if v != 0 {
                     let (min_ratio, max_ratio) = fields::decode_uncore_ratio_limit(v);
-                    let lo = (min_ratio as f64 * 100.0)
-                        .max(spec.freq.uncore_min_mhz as f64);
+                    let lo = (min_ratio as f64 * 100.0).max(spec.freq.uncore_min_mhz as f64);
                     let hi = (max_ratio as f64 * 100.0)
                         .min(spec.freq.uncore_max_mhz as f64)
                         .max(lo);
@@ -480,8 +484,7 @@ impl Socket {
         debug_assert!(!self.thermal.prochot(), "max-fan node must not PROCHOT");
         let readout = (96.0 - self.thermal.t_die_c).clamp(0.0, 127.0) as u64;
         for t in 0..spec.hw_threads() {
-            self.msr
-                .store(t, msra::IA32_THERM_STATUS, readout << 16);
+            self.msr.store(t, msra::IA32_THERM_STATUS, readout << 16);
         }
 
         // 11. RAPL (modeled bias on pre-Haswell generations).
@@ -501,8 +504,11 @@ impl Socket {
             .store_package(msra::MSR_DRAM_ENERGY_STATUS, self.rapl.dram_raw() as u64);
         let nominal_ghz = spec.freq.base_mhz as f64 / 1000.0;
         let dt_ns = dt as f64;
-        self.msr
-            .accumulate(0, msra::MSR_U_PMON_UCLK_FIXED_CTR, uncore_mhz / 1000.0 * dt_ns);
+        self.msr.accumulate(
+            0,
+            msra::MSR_U_PMON_UCLK_FIXED_CTR,
+            uncore_mhz / 1000.0 * dt_ns,
+        );
         for c in 0..spec.cores {
             let fc_ghz = self.core_mhz[c] / 1000.0;
             let fu_ghz = (uncore_mhz / 1000.0).max(0.1);
@@ -512,14 +518,15 @@ impl Socket {
                     .accumulate(idx, msra::IA32_TIME_STAMP_COUNTER, nominal_ghz * dt_ns);
                 if self.cstates[c] == CoreCState::C0 {
                     self.msr.accumulate(idx, msra::IA32_APERF, fc_ghz * dt_ns);
-                    self.msr.accumulate(idx, msra::IA32_MPERF, nominal_ghz * dt_ns);
                     self.msr
-                        .accumulate(idx, msra::IA32_FIXED_CTR1_CPU_CLK_UNHALTED, fc_ghz * dt_ns);
+                        .accumulate(idx, msra::IA32_MPERF, nominal_ghz * dt_ns);
                     self.msr.accumulate(
                         idx,
-                        msra::IA32_FIXED_CTR2_REF_CYCLES,
-                        nominal_ghz * dt_ns,
+                        msra::IA32_FIXED_CTR1_CPU_CLK_UNHALTED,
+                        fc_ghz * dt_ns,
                     );
+                    self.msr
+                        .accumulate(idx, msra::IA32_FIXED_CTR2_REF_CYCLES, nominal_ghz * dt_ns);
                     if let Some(p) = self.threads[idx].as_ref() {
                         let ipc = p.ipc(self.core_smt(c), fc_ghz, fu_ghz)
                             * self.avx[c].throughput_factor();
@@ -531,8 +538,11 @@ impl Socket {
                     }
                 }
                 let ratio = PState((self.core_mhz[c] / 100.0).round() as u8);
-                self.msr
-                    .store(idx, msra::IA32_PERF_STATUS, fields::encode_perf_status(ratio));
+                self.msr.store(
+                    idx,
+                    msra::IA32_PERF_STATUS,
+                    fields::encode_perf_status(ratio),
+                );
             }
             // Core c-state residency counters (TSC-rate units).
             if self.cstates[c] == CoreCState::C3 {

@@ -32,19 +32,37 @@ pub struct Trace {
 
 impl Trace {
     /// Record a trace: advance the node for `total_s`, snapshotting every
-    /// `interval_s`.
+    /// `interval_s`. The full window is always covered: when `total_s` is
+    /// not an integer multiple of `interval_s`, a final shorter step takes
+    /// the trace exactly to `total_s` (the old `round()` cadence silently
+    /// over- or under-ran the window by up to half an interval).
     pub fn record(node: &mut Node, total_s: f64, interval_s: f64) -> Trace {
-        let n = (total_s / interval_s).round().max(1.0) as usize;
-        let mut snapshots = Vec::with_capacity(n);
-        for _ in 0..n {
-            node.advance_s(interval_s);
+        assert!(interval_s > 0.0, "record: interval must be positive");
+        // Tolerate float ratios like 0.5/0.05 = 10.000000000000002.
+        let full = ((total_s / interval_s) + 1e-9).floor().max(0.0) as usize;
+        let remainder_s = total_s - full as f64 * interval_s;
+        let tail = remainder_s > interval_s * 1e-6;
+        let mut snapshots = Vec::with_capacity(full + tail as usize);
+        for step in 0..full + tail as usize {
+            let dt = if step < full { interval_s } else { remainder_s };
+            node.advance_s(dt);
             let sockets = node.sockets();
             snapshots.push(Snapshot {
                 t_s: node.now_s(),
-                pkg_w: (0..sockets.len()).map(|s| node.true_pkg_power_w(s)).collect(),
-                dram_w: (0..sockets.len()).map(|s| node.true_dram_power_w(s)).collect(),
-                uncore_ghz: sockets.iter().map(|s| s.true_uncore_mhz() / 1000.0).collect(),
-                core0_ghz: sockets.iter().map(|s| s.true_core_mhz(0) / 1000.0).collect(),
+                pkg_w: (0..sockets.len())
+                    .map(|s| node.true_pkg_power_w(s))
+                    .collect(),
+                dram_w: (0..sockets.len())
+                    .map(|s| node.true_dram_power_w(s))
+                    .collect(),
+                uncore_ghz: sockets
+                    .iter()
+                    .map(|s| s.true_uncore_mhz() / 1000.0)
+                    .collect(),
+                core0_ghz: sockets
+                    .iter()
+                    .map(|s| s.true_core_mhz(0) / 1000.0)
+                    .collect(),
                 pkg_cstate: sockets.iter().map(|s| s.package_cstate().name()).collect(),
                 ac_w: node.true_ac_power_w(),
             });
@@ -80,13 +98,21 @@ impl Trace {
     }
 
     /// Column statistics helper: (min, mean, max) of a per-snapshot value.
+    ///
+    /// A NaN in any snapshot yields `(NaN, NaN, NaN)`: `f64::min`/`f64::max`
+    /// skip NaN operands, so the old fold silently dropped corrupt samples
+    /// from min/max while the mean went NaN — an inconsistent triple that
+    /// let bad sensor values pass range assertions.
     pub fn stats(&self, f: impl Fn(&Snapshot) -> f64) -> (f64, f64, f64) {
         if self.snapshots.is_empty() {
             return (f64::NAN, f64::NAN, f64::NAN);
         }
         let vals: Vec<f64> = self.snapshots.iter().map(f).collect();
-        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
-        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        if vals.iter().any(|v| v.is_nan()) {
+            return (f64::NAN, f64::NAN, f64::NAN);
+        }
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         (min, mean, max)
     }
@@ -107,6 +133,45 @@ mod tests {
         assert_eq!(trace.snapshots.len(), 10);
         let dt = trace.snapshots[1].t_s - trace.snapshots[0].t_s;
         assert!((dt - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_covers_non_divisible_windows() {
+        // 0.25 s at 0.1 s intervals: two full steps plus a 0.05 s tail.
+        let mut node = Node::new(NodeConfig::paper_default());
+        node.run_on_socket(0, &WorkloadProfile::compute(), 4, 1);
+        let start = node.now_s();
+        let trace = Trace::record(&mut node, 0.25, 0.1);
+        assert_eq!(trace.snapshots.len(), 3);
+        let times: Vec<f64> = trace.snapshots.iter().map(|s| s.t_s - start).collect();
+        for (got, want) in times.iter().zip([0.1, 0.2, 0.25]) {
+            assert!((got - want).abs() < 1e-9, "times {times:?}");
+        }
+        assert!(
+            (node.now_s() - start - 0.25).abs() < 1e-9,
+            "window not fully covered"
+        );
+    }
+
+    #[test]
+    fn trace_shorter_than_one_interval_still_covers_the_window() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        let start = node.now_s();
+        let trace = Trace::record(&mut node, 0.03, 0.05);
+        assert_eq!(trace.snapshots.len(), 1);
+        assert!((node.now_s() - start - 0.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_propagates_nan_instead_of_dropping_it() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        let mut trace = Trace::record(&mut node, 0.2, 0.05);
+        let (min, mean, max) = trace.stats(|s| s.ac_w);
+        assert!(min.is_finite() && mean.is_finite() && max.is_finite());
+        // Corrupt one sample: every statistic must go NaN, not just mean.
+        trace.snapshots[1].ac_w = f64::NAN;
+        let (min, mean, max) = trace.stats(|s| s.ac_w);
+        assert!(min.is_nan() && mean.is_nan() && max.is_nan());
     }
 
     #[test]

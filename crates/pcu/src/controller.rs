@@ -241,8 +241,10 @@ impl PcuController {
         // exactly PL1), capped by the short-term PL2 limit. EPB further
         // biases the budget by under a percent (Table V shows sub-1 %
         // frequency differences across EPB settings).
-        let pl_base = (2.0 * spec.tdp_w - inputs.avg_pkg_w)
-            .clamp(spec.tdp_w * 0.9, spec.tdp_w * hsw_hwspec::calib::PL2_TDP_MULT);
+        let pl_base = (2.0 * spec.tdp_w - inputs.avg_pkg_w).clamp(
+            spec.tdp_w * 0.9,
+            spec.tdp_w * hsw_hwspec::calib::PL2_TDP_MULT,
+        );
         let budget = pl_base
             * match inputs.epb {
                 EpbClass::Performance => 1.005,
@@ -357,7 +359,11 @@ mod tests {
             "uncore = {:.3} GHz",
             g.uncore_mhz / 1000.0
         );
-        assert!((g.power_w - spec.tdp_w).abs() < 2.0, "power = {:.1}", g.power_w);
+        assert!(
+            (g.power_w - spec.tdp_w).abs() < 2.0,
+            "power = {:.1}",
+            g.power_w
+        );
         let gips = fs_gips(&g);
         assert!((gips - 3.56).abs() < 0.08, "GIPS = {gips:.3}");
     }
@@ -368,10 +374,7 @@ mod tests {
         // (both TDP limited well below 2.5 GHz).
         let spec = sku();
         let turbo = PcuController::solve(&firestarter_inputs(&spec, FreqSetting::Turbo));
-        let fixed = PcuController::solve(&firestarter_inputs(
-            &spec,
-            FreqSetting::from_mhz(2500),
-        ));
+        let fixed = PcuController::solve(&firestarter_inputs(&spec, FreqSetting::from_mhz(2500)));
         assert!((turbo.core_mhz - fixed.core_mhz).abs() < 60.0);
         assert!((turbo.uncore_mhz - fixed.uncore_mhz).abs() < 80.0);
     }
@@ -543,7 +546,11 @@ mod tests {
         // The passive socket's uncore follows the Table III passive
         // schedule for the system's 2.5 GHz setting (2.1 GHz), so the
         // package draws uncore power but nothing core-side.
-        assert!((g.uncore_mhz - 2100.0).abs() < 1.0, "uncore {:.0}", g.uncore_mhz);
+        assert!(
+            (g.uncore_mhz - 2100.0).abs() < 1.0,
+            "uncore {:.0}",
+            g.uncore_mhz
+        );
         assert!(g.power_w < 26.0, "idle pkg = {:.1} W", g.power_w);
     }
 }

@@ -108,7 +108,7 @@ mod tests {
         // paper's "unfavorable rate" remark.
         let mut eet = EetController::new(true);
         eet.tick(0, 0.9); // poll sees a stalled phase
-        // The workload turns compute-bound right after the poll …
+                          // The workload turns compute-bound right after the poll …
         eet.tick(400 * US, 0.05); // no poll boundary crossed: stale 0.9
         assert!(
             eet.limit_mhz(&sku(), EpbClass::Balanced, 2900) == 2500,

@@ -27,7 +27,7 @@ pub mod pstate;
 pub mod ufs;
 
 pub use avx::AvxLicense;
-pub use controller::{PcuController, PcuInputs, PcuGrant};
+pub use controller::{PcuController, PcuGrant, PcuInputs};
 pub use eet::EetController;
 pub use pstate::{PStateEngine, TransitionEvent};
 pub use ufs::{ufs_target_mhz, UfsInputs};

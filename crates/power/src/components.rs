@@ -69,7 +69,11 @@ pub fn package_power_w(
         }
         let v = spec.core_vf.voltage_at(core.mhz.max(spec.freq.min_mhz));
         leak += c.core_leak_w_per_v2 * v * v;
-        let avx = if core.avx_active { c.avx_power_mult } else { 1.0 };
+        let avx = if core.avx_active {
+            c.avx_power_mult
+        } else {
+            1.0
+        };
         dyn_w += c.core_dyn_w_per_v2ghz * v * v * (core.mhz as f64 / 1000.0) * core.activity * avx;
     }
     let vu = spec.uncore_vf.voltage_at(uncore_mhz);
@@ -177,12 +181,7 @@ mod tests {
     #[test]
     fn gated_cores_draw_nothing() {
         let spec = hsw();
-        let active = package_power_w(
-            &spec,
-            1.0,
-            &firestarter_cores(&spec, 2500),
-            2000,
-        );
+        let active = package_power_w(&spec, 1.0, &firestarter_cores(&spec, 2500), 2000);
         let gated = package_power_w(&spec, 1.0, &[CoreElecState::gated(); 12], 2000);
         assert_eq!(gated.core_leakage_w, 0.0);
         assert_eq!(gated.core_dynamic_w, 0.0);

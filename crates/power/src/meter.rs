@@ -76,10 +76,7 @@ mod tests {
             for _ in 0..200 {
                 let r = meter.sample(p, &mut rng);
                 let bound = p * calib::LMG450_REL_ACCURACY + calib::LMG450_ABS_ACCURACY_W;
-                assert!(
-                    (r - p).abs() <= bound,
-                    "reading {r} outside {p} ± {bound}"
-                );
+                assert!((r - p).abs() <= bound, "reading {r} outside {p} ± {bound}");
             }
         }
     }

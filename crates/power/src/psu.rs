@@ -62,8 +62,7 @@ mod tests {
     fn ac_power_matches_design_quadratic() {
         let m = model();
         for p in [0.0, 80.0, 160.0, 240.0, 287.0] {
-            let expect =
-                calib::AC_FIT_A2 * p * p + calib::AC_FIT_A1 * p + calib::AC_FIT_A0_W;
+            let expect = calib::AC_FIT_A2 * p * p + calib::AC_FIT_A1 * p + calib::AC_FIT_A0_W;
             assert!((m.ac_power_w(p) - expect).abs() < 1e-6);
         }
     }

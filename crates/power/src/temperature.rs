@@ -101,8 +101,7 @@ mod tests {
         // And one time constant reaches ~63 %.
         let mut t2 = ThermalState::new(ThermalParams::server_max_fans());
         t2.advance(6.0, 120.0);
-        let frac =
-            (t2.t_die_c - 26.0) / (t2.steady_state_c(120.0) - 26.0);
+        let frac = (t2.t_die_c - 26.0) / (t2.steady_state_c(120.0) - 26.0);
         assert!((frac - 0.632).abs() < 0.02, "frac {frac:.3}");
     }
 

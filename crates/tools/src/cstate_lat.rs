@@ -67,9 +67,7 @@ pub fn measure_wake_latency_us<R: Rng>(
     }
 
     let f_ghz = match freq {
-        FreqSetting::Turbo => {
-            node.config().spec.sku.freq.turbo_mhz(1) as f64 / 1000.0
-        }
+        FreqSetting::Turbo => node.config().spec.sku.freq.turbo_mhz(1) as f64 / 1000.0,
         FreqSetting::Fixed(p) => p.ghz(),
     };
     let ideal = wake_latency_us(generation, state, scenario, f_ghz);

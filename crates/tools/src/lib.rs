@@ -25,9 +25,9 @@ pub mod stress;
 pub mod x86_adapt;
 
 pub use cpufreq::CpuFreq;
-pub use groups::{measure_group, EventGroup, GroupReport};
 pub use cstate_lat::{measure_wake_latency_us, CStateLatencyPoint};
 pub use ftalat::{DelayRegime, FtaLat, LatencySample};
+pub use groups::{measure_group, EventGroup, GroupReport};
 pub use perfctr::{CounterSample, Derived, PerfCtr};
 pub use stress::{run_stress, StressResult};
 pub use x86_adapt::{Knob, KnobError};

@@ -60,18 +60,16 @@ pub fn get(node: &Node, socket: usize, knob: Knob) -> Result<u64, KnobError> {
             .map_err(|e| KnobError::Hardware(e.to_string()))
     };
     match knob {
-        Knob::UncoreMinRatio => Ok(fields::decode_uncore_ratio_limit(rd(
-            msra::MSR_UNCORE_RATIO_LIMIT,
-        )?)
-        .0 as u64),
-        Knob::UncoreMaxRatio => Ok(fields::decode_uncore_ratio_limit(rd(
-            msra::MSR_UNCORE_RATIO_LIMIT,
-        )?)
-        .1 as u64),
-        Knob::EnergyPerfBias => Ok(rd(msra::IA32_ENERGY_PERF_BIAS)? & 0xF),
-        Knob::TurboDisable => {
-            Ok(u64::from(rd(msra::IA32_MISC_ENABLE)? & msra::MISC_ENABLE_TURBO_DISABLE_BIT != 0))
+        Knob::UncoreMinRatio => {
+            Ok(fields::decode_uncore_ratio_limit(rd(msra::MSR_UNCORE_RATIO_LIMIT)?).0 as u64)
         }
+        Knob::UncoreMaxRatio => {
+            Ok(fields::decode_uncore_ratio_limit(rd(msra::MSR_UNCORE_RATIO_LIMIT)?).1 as u64)
+        }
+        Knob::EnergyPerfBias => Ok(rd(msra::IA32_ENERGY_PERF_BIAS)? & 0xF),
+        Knob::TurboDisable => Ok(u64::from(
+            rd(msra::IA32_MISC_ENABLE)? & msra::MISC_ENABLE_TURBO_DISABLE_BIT != 0,
+        )),
     }
 }
 

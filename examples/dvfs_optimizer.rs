@@ -39,7 +39,10 @@ fn main() {
     );
 
     println!("== DCT sweep: memory-bound streamer at 2.5 GHz ==\n");
-    let sweep = dct_sweep(&WorkloadProfile::memory_bound(), FreqSetting::from_mhz(2500));
+    let sweep = dct_sweep(
+        &WorkloadProfile::memory_bound(),
+        FreqSetting::from_mhz(2500),
+    );
     for p in &sweep.points {
         println!(
             "  {:>2} cores: {:>5.1} GB/s at {:>5.1} W -> {:>5.2} J/GB",

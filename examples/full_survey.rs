@@ -31,22 +31,70 @@ fn main() {
         let _ = writeln!(md, "## {title}\n\n```text\n{body}\n```\n");
     };
 
-    emit("Table I — microarchitecture comparison", experiments::table1::run().to_string());
-    emit("Table II — test system", experiments::table2::run(fidelity).to_string());
-    emit("Table III — uncore frequencies", experiments::table3::run(fidelity).to_string());
-    emit("Table IV — FIRESTARTER vs frequency settings", experiments::table4::run(fidelity).to_string());
-    emit("Table V — maximum power", experiments::table5::run(fidelity).to_string());
-    emit("Figure 2 — RAPL vs AC reference", experiments::fig2::run(fidelity).to_string());
-    emit("Figure 3 — p-state transition latencies", experiments::fig3::run(fidelity).to_string());
-    emit("Figure 4 — opportunity timeline", experiments::fig4::run().to_string());
-    emit("Figures 5/6 — c-state wake latencies", experiments::fig56::run(fidelity).to_string());
-    emit("Figure 7 — bandwidth vs frequency", experiments::fig7::run().to_string());
-    emit("Figure 8 — bandwidth heatmaps", experiments::fig8::run().to_string());
-    emit("Section VIII — FIRESTARTER", experiments::section8::run().to_string());
-    emit("Figure 1 — die topology", experiments::fig1::run().to_string());
-    emit("Section II-C — measured EPB mapping", experiments::section2c_epb::run().to_string());
-    emit("Section VI-B — governor vs ACPI tables", experiments::section6b_governor::run().to_string());
-    emit("Extension — product-line extrapolation", experiments::sku_extrapolation::run().to_string());
+    emit(
+        "Table I — microarchitecture comparison",
+        experiments::table1::run().to_string(),
+    );
+    emit(
+        "Table II — test system",
+        experiments::table2::run(fidelity).to_string(),
+    );
+    emit(
+        "Table III — uncore frequencies",
+        experiments::table3::run(fidelity).to_string(),
+    );
+    emit(
+        "Table IV — FIRESTARTER vs frequency settings",
+        experiments::table4::run(fidelity).to_string(),
+    );
+    emit(
+        "Table V — maximum power",
+        experiments::table5::run(fidelity).to_string(),
+    );
+    emit(
+        "Figure 2 — RAPL vs AC reference",
+        experiments::fig2::run(fidelity).to_string(),
+    );
+    emit(
+        "Figure 3 — p-state transition latencies",
+        experiments::fig3::run(fidelity).to_string(),
+    );
+    emit(
+        "Figure 4 — opportunity timeline",
+        experiments::fig4::run().to_string(),
+    );
+    emit(
+        "Figures 5/6 — c-state wake latencies",
+        experiments::fig56::run(fidelity).to_string(),
+    );
+    emit(
+        "Figure 7 — bandwidth vs frequency",
+        experiments::fig7::run().to_string(),
+    );
+    emit(
+        "Figure 8 — bandwidth heatmaps",
+        experiments::fig8::run().to_string(),
+    );
+    emit(
+        "Section VIII — FIRESTARTER",
+        experiments::section8::run().to_string(),
+    );
+    emit(
+        "Figure 1 — die topology",
+        experiments::fig1::run().to_string(),
+    );
+    emit(
+        "Section II-C — measured EPB mapping",
+        experiments::section2c_epb::run().to_string(),
+    );
+    emit(
+        "Section VI-B — governor vs ACPI tables",
+        experiments::section6b_governor::run().to_string(),
+    );
+    emit(
+        "Extension — product-line extrapolation",
+        experiments::sku_extrapolation::run().to_string(),
+    );
 
     if let Some(path) = write_md {
         std::fs::write(&path, md).expect("write markdown");

@@ -17,10 +17,7 @@ fn main() {
     );
     println!("paper footnote 2:               AC = 0.0003*P^2 + 1.097*P + 225.7");
     println!("R^2 = {:.5} (paper: > 0.9998)", q.r_squared);
-    println!(
-        "max residual = {:.2} W (paper: below 3 W)",
-        q.max_residual
-    );
+    println!("max residual = {:.2} W (paper: below 3 W)", q.max_residual);
     println!(
         "\nworkload bias spread: SNB {:.1} W vs HSW {:.1} W — the Fig. 2a/2b contrast",
         fig2.sandy_bridge.bias_spread_w(),

@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: `Criterion::default()` with the builder knobs, `bench_function`
+//! with `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Methodology (simplified from criterion): warm up for `warm_up_time`,
+//! then run `sample_size` samples, each timing a batch sized so one batch
+//! lasts roughly `measurement_time / sample_size`, and report
+//! min/mean/max per-iteration time. No statistics beyond that, no
+//! baseline persistence, no plots — just honest wall-clock numbers on
+//! stdout, which is what the survey's perf-trajectory points need.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also yields a per-iteration estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_iter_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / est_iter_ns).round() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// `iter` with a per-iteration setup whose cost is excluded from the
+    /// timing (real criterion times setup+routine per element and
+    /// subtracts; here the setup simply runs outside the timed section).
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut est_iter_ns = 1.0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            est_iter_ns += t.elapsed().as_nanos() as f64;
+            warm_iters += 1;
+        }
+        est_iter_ns = (est_iter_ns / warm_iters.max(1) as f64).max(1.0);
+
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / est_iter_ns).round() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let mut elapsed_ns = 0u128;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed_ns += start.elapsed().as_nanos();
+            }
+            self.samples_ns.push(elapsed_ns as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples — Bencher::iter never called)");
+            return;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 3, "routine should run many times, ran {calls}");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.0), "12.00 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.00 ms");
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses
+//! (`slice.par_iter().enumerate().map(..).collect()`).
+//!
+//! `par_iter()` here returns the *sequential* slice iterator: every
+//! standard `Iterator` adapter keeps working, results keep their input
+//! order, and per-experiment determinism is trivial. Actual parallelism in
+//! this workspace lives one level up, in the survey runner
+//! (`haswell_survey::runner`), which fans whole experiments out across
+//! OS threads with a controllable `--jobs` count — a better fit than
+//! intra-experiment data parallelism when every experiment owns a
+//! heavyweight simulated `Node`.
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// The `rayon::prelude::IntoParallelRefIterator` role: `.par_iter()` on
+/// slices and vectors.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order_and_adapters() {
+        let xs = vec![10, 20, 30];
+        let ys: Vec<(usize, i32)> = xs.par_iter().enumerate().map(|(i, v)| (i, v * 2)).collect();
+        assert_eq!(ys, vec![(0, 20), (1, 40), (2, 60)]);
+        let arr = [1, 2, 3];
+        let sum: i32 = arr[..].par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

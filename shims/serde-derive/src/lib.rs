@@ -1,0 +1,394 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are not
+//! available; the item is parsed directly from the `proc_macro` token
+//! stream. Supported shapes — which cover every derive in this workspace:
+//! non-generic named-field structs, tuple structs, unit structs, and enums
+//! whose variants are unit, tuple, or struct-like. `#[serde(...)]`
+//! attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: named (`Some(name)`) or positional (`None`).
+struct Field {
+    name: Option<String>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Outer attributes and visibility.
+    loop {
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tts.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tts.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tts.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tts.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Split a field-list token stream on commas, honoring `<...>` nesting
+/// (angle brackets are punctuation, not groups, in token streams).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut j = 0;
+            loop {
+                match tokens.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        j += 1;
+                        if let Some(TokenTree::Group(g)) = tokens.get(j) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                j += 1;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            match tokens.get(j) {
+                Some(TokenTree::Ident(id)) => Field {
+                    name: Some(id.to_string()),
+                },
+                other => panic!("serde derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut j = 0;
+            while let Some(TokenTree::Punct(p)) = tokens.get(j) {
+                if p.as_char() == '#' {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match tokens.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected variant name, got {other:?}"),
+            };
+            j += 1;
+            let shape = match tokens.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(
+                        parse_named_fields(g.stream())
+                            .into_iter()
+                            .map(|f| f.name.expect("named variant field"))
+                            .collect(),
+                    )
+                }
+                // Unit variant, possibly with an explicit `= discriminant`
+                // (already split at commas, so just ignore the tail).
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_ref().unwrap();
+                    format!(
+                        "__fields.push((::std::string::String::from(\"{fname}\"), \
+                         ::serde::Serialize::to_value(&self.{fname})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields = ::std::vec::Vec::new();\n{pushes}\
+                 ::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::variant(\
+                             \"{vname}\", ::serde::Serialize::to_value(__f0)),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::variant(\
+                                 \"{vname}\", ::serde::Value::Array(vec![{}])),\n",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::variant(\
+                                 \"{vname}\", ::serde::Value::Object(vec![{}])),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_ref().unwrap();
+                    format!(
+                        "{fname}: ::serde::Deserialize::from_value(\
+                         ::serde::object_field(__obj, \"{fname}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"array of {n}\", \"{name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(_inner)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __arr = _inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"array of {n}\", \"{name}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::object_field(__obj, \"{f}\", \"{name}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __obj = _inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}}\n",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"known unit variant\", \"{name}\")),\n}},\n\
+                 _ => {{\n\
+                 let (_tag, _inner) = __v.as_variant().ok_or_else(|| \
+                 ::serde::DeError::expected(\"variant object\", \"{name}\"))?;\n\
+                 match _tag {{\n{data_arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"known variant\", \"{name}\")),\n}}\n}}\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl must parse")
+}

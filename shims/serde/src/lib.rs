@@ -1,0 +1,417 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace renames
+//! this crate to `serde` via `[workspace.dependencies]`. Instead of serde's
+//! visitor architecture, serialization goes through an owned JSON-like
+//! [`Value`] tree: `Serialize` renders a type into a `Value`,
+//! `Deserialize` rebuilds the type from one. The companion `serde_json`
+//! stand-in prints and parses that tree. The derive macros
+//! (`hsw-serde-derive`) generate externally-tagged representations
+//! compatible with real serde's defaults for the shapes used here.
+
+// The derive macros emit `::serde::...` paths (dependents rename this
+// crate to `serde`); alias ourselves so they also resolve in this crate's
+// own tests.
+extern crate self as serde;
+
+pub use hsw_serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like document tree.
+///
+/// Object fields are an ordered `Vec` (not a map): field order is exactly
+/// insertion order, which keeps serialized output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build the externally-tagged enum-variant representation
+    /// `{"Variant": inner}`.
+    pub fn variant(tag: &str, inner: Value) -> Value {
+        Value::Object(vec![(tag.to_string(), inner)])
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret a single-field object as an externally-tagged enum variant.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(fields) if fields.len() == 1 => {
+                Some((fields[0].0.as_str(), &fields[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: any numeric `Value` as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: any integral `Value` as `i128`.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Value::Int(v) => Some(v as i128),
+            Value::UInt(v) => Some(v as i128),
+            // Parsers may hand back integral floats (e.g. "1e3").
+            Value::Float(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected, for which type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look up a required field of an object (derive-macro helper).
+pub fn object_field<'v>(
+    obj: &'v [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'v Value, DeError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+/// Render into a [`Value`] tree (the shim's `serde::Serialize` role).
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild from a [`Value`] tree (the shim's `serde::Deserialize` role).
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $cast)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i128().ok_or_else(|| {
+                    DeError::expected("integer", stringify!($t))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_int!(
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64,
+    u64 => UInt as u64, usize => UInt as u64,
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64,
+    i64 => Int as i64, isize => Int as i64
+);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::expected("number", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Several hwspec types hold `&'static str` names and derive
+/// `Deserialize`. Real serde borrows from the input document; this shim's
+/// [`Value`] tree is owned, so the string is leaked instead. These types
+/// are deserialized rarely (test round-trips, registry artifacts), and the
+/// leaked names are small interned-style constants, so this is acceptable.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| DeError::expected("string", "&str"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "[T; N]"))?;
+        if items.len() != N {
+            return Err(DeError::expected("array of exact length", "[T; N]"));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::expected("array of exact length", "[T; N]"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple"))?;
+                if arr.len() != $len {
+                    return Err(DeError::expected("tuple-sized array", "tuple"));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Named {
+        a: u32,
+        b: Vec<(f64, f64)>,
+        c: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u8);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Plain,
+        One(Newtype),
+        Pair(u32, u32),
+        Rec { x: f64 },
+    }
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let back = T::from_value(&v.to_value()).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn derived_struct_roundtrips() {
+        roundtrip(&Named {
+            a: 7,
+            b: vec![(0.5, 1.0), (1.0, 1.0)],
+            c: "hi".to_string(),
+        });
+    }
+
+    #[test]
+    fn derived_newtype_is_transparent() {
+        assert_eq!(Newtype(25).to_value(), Value::UInt(25));
+        roundtrip(&Newtype(25));
+    }
+
+    #[test]
+    fn derived_enum_matches_external_tagging() {
+        assert_eq!(Mixed::Plain.to_value(), Value::Str("Plain".to_string()));
+        assert_eq!(
+            Mixed::One(Newtype(3)).to_value(),
+            Value::variant("One", Value::UInt(3))
+        );
+        for v in [
+            Mixed::Plain,
+            Mixed::One(Newtype(1)),
+            Mixed::Pair(4, 5),
+            Mixed::Rec { x: 0.25 },
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        roundtrip(&Some(3u32));
+        roundtrip(&None::<u32>);
+    }
+}

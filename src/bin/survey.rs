@@ -1,0 +1,150 @@
+//! `survey` — run the full paper reproduction and write `survey.json`.
+//!
+//! ```text
+//! survey [--list] [--only <id>[,<id>...]] [--seed <u64>] [--jobs <n>]
+//!        [--fidelity quick|paper] [--out <path>]
+//! ```
+//!
+//! Determinism contract: the JSON document depends only on
+//! `(--fidelity, --seed, --only)` — the same flags produce byte-identical
+//! `survey.json` for any `--jobs` value. Wall-clock timings go to stderr
+//! only.
+
+use std::process::ExitCode;
+
+use haswell_survey::survey::{registry, run_survey, SurveyConfig};
+use haswell_survey::Fidelity;
+
+const USAGE: &str = "\
+usage: survey [options]
+
+Run the Haswell energy-efficiency survey reproduction and write the
+machine-readable results to survey.json.
+
+options:
+  --list              list experiment ids and exit
+  --only <ids>        run only these comma-separated ids (repeatable)
+  --seed <u64>        root RNG seed (default 42)
+  --jobs <n>          worker threads (default: available parallelism)
+  --fidelity <f>      quick | paper (default quick)
+  --out <path>        output path (default survey.json, `-` for stdout)
+  -h, --help          show this help
+";
+
+struct Args {
+    list: bool,
+    cfg: SurveyConfig,
+    out: String,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        cfg: SurveyConfig {
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ..SurveyConfig::default()
+        },
+        out: "survey.json".to_string(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--only" => {
+                let ids = args.cfg.only.get_or_insert_with(Vec::new);
+                ids.extend(value("--only")?.split(',').map(|s| s.trim().to_string()));
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.cfg.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: `{v}` is not a u64"))?;
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                args.cfg.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: `{v}` is not a thread count"))?;
+                if args.cfg.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--fidelity" => {
+                args.cfg.fidelity = value("--fidelity")?.parse::<Fidelity>()?;
+            }
+            "--out" => args.out = value("--out")?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("survey: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for exp in registry() {
+            println!(
+                "{:<20} {:<28} {}{}",
+                exp.id(),
+                exp.anchor(),
+                exp.title(),
+                if exp.seeded() { "" } else { " (deterministic)" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "survey: fidelity={} seed={} jobs={}",
+        args.cfg.fidelity.label(),
+        args.cfg.seed,
+        args.cfg.jobs
+    );
+    let run = match run_survey(&args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("survey: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", run.text_report());
+    for (r, wall_s) in run.results.iter().zip(&run.timings_s) {
+        eprintln!("survey: {:<20} {wall_s:>7.2} s", r.id);
+    }
+
+    let json = run.to_json();
+    if args.out == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("survey: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("survey: wrote {}", args.out);
+    }
+
+    if run.results.iter().all(|r| r.checks_passed()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

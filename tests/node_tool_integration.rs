@@ -98,7 +98,10 @@ fn epb_programming_changes_uncore_behavior_end_to_end() {
     node.advance_s(0.5);
     let s1 = pc.sample(&node);
     let balanced_unc = pc.derive(&s0, &s1).uncore_ghz;
-    assert!((balanced_unc - 1.6).abs() < 0.1, "balanced: {balanced_unc:.2}");
+    assert!(
+        (balanced_unc - 1.6).abs() < 0.1,
+        "balanced: {balanced_unc:.2}"
+    );
 
     node.set_epb_all(EpbClass::Performance);
     node.advance_s(0.3);
