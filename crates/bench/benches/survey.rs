@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use haswell_survey::survey::{run_survey, SurveyConfig};
 use haswell_survey::Fidelity;
+use hsw_node::EngineMode;
 
 /// A subset of experiments with enough per-experiment cost to show the
 /// scheduler's effect without minute-long bench iterations.
@@ -41,6 +42,7 @@ fn bench_survey_jobs(c: &mut Criterion) {
             seed: 42,
             jobs,
             only: Some(subset()),
+            engine: EngineMode::default(),
         };
         c.bench_function(&format!("survey_subset_jobs_{jobs}"), |b| {
             b.iter(|| black_box(run_survey(black_box(&cfg)).unwrap()))

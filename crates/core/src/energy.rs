@@ -10,7 +10,7 @@
 
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
-use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_node::{CpuId, Platform, Resolution};
 use hsw_tools::perfctr::{median_of, PerfCtr};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -68,11 +68,11 @@ fn measure(
     cores: usize,
     seed: u64,
 ) -> OperatingPoint {
-    let mut node = Node::new(
-        NodeConfig::paper_default()
-            .with_seed(seed)
-            .with_tick_us(100),
-    );
+    let mut node = Platform::paper()
+        .session()
+        .seed(seed)
+        .resolution(Resolution::Custom(100))
+        .build();
     node.idle_all();
     node.run_on_socket(0, profile, cores, 1);
     node.set_setting_all(setting);
@@ -100,7 +100,7 @@ fn measure(
 
 /// DVFS sweep: all settings at fixed concurrency.
 pub fn dvfs_sweep(profile: &WorkloadProfile, cores: usize) -> EnergySweep {
-    let sku = NodeConfig::paper_default().spec.sku;
+    let sku = Platform::paper().spec.sku;
     let points: Vec<OperatingPoint> = sku
         .freq
         .all_settings()
@@ -116,7 +116,7 @@ pub fn dvfs_sweep(profile: &WorkloadProfile, cores: usize) -> EnergySweep {
 
 /// DCT sweep: concurrency 1..=cores at a fixed setting.
 pub fn dct_sweep(profile: &WorkloadProfile, setting: FreqSetting) -> EnergySweep {
-    let sku = NodeConfig::paper_default().spec.sku;
+    let sku = Platform::paper().spec.sku;
     let points: Vec<OperatingPoint> = (1..=sku.cores)
         .collect::<Vec<_>>()
         .par_iter()

@@ -10,11 +10,12 @@
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::{calib, NodeSpec};
 use hsw_msr::addresses as msra;
-use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_node::{CpuId, EngineMode, Node, Resolution};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::stats::{linear_fit, quadratic_fit, Fit};
+use crate::survey::RunCtx;
 use crate::{Fidelity, Table};
 
 /// One measurement point.
@@ -40,8 +41,13 @@ pub struct Fig2Panel {
 
 impl Fig2Panel {
     /// Spread between the most over- and under-estimating workload class.
+    /// A panel with no bias data (e.g. the quadratic fit failed) has zero
+    /// spread, not `MIN - MAX = -inf`.
     pub fn bias_spread_w(&self) -> f64 {
         let vals: Vec<f64> = self.workload_bias_w.iter().map(|(_, b)| *b).collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
         let lo = vals.iter().cloned().fold(f64::MAX, f64::min);
         let hi = vals.iter().cloned().fold(f64::MIN, f64::max);
         hi - lo
@@ -128,10 +134,10 @@ fn measure_point(node: &mut Node, avg_s: f64) -> (f64, f64) {
     (ac, joules / avg_s)
 }
 
-fn run_panel(spec: NodeSpec, fidelity: Fidelity, seed_base: u64) -> Fig2Panel {
+fn run_panel(ctx: &RunCtx, spec: NodeSpec, seed_base: u64) -> Fig2Panel {
     let generation = spec.sku.generation.name().to_string();
     let max_cores = spec.sku.cores;
-    let avg_s = fidelity.fig2_avg_s();
+    let avg_s = ctx.fidelity.fig2_avg_s();
     let benches = WorkloadProfile::fig2_benchmarks();
 
     let jobs: Vec<(WorkloadProfile, (usize, usize, usize))> = benches
@@ -150,12 +156,12 @@ fn run_panel(spec: NodeSpec, fidelity: Fidelity, seed_base: u64) -> Fig2Panel {
         .par_iter()
         .enumerate()
         .map(|(i, (profile, (cores, sockets, tpc)))| {
-            let mut node = Node::new(
-                NodeConfig::paper_default()
-                    .with_spec(spec.clone())
-                    .with_seed(seed_base + i as u64)
-                    .with_tick_us(100),
-            );
+            let mut node = ctx
+                .session()
+                .spec(spec.clone())
+                .seed(seed_base + i as u64)
+                .resolution(Resolution::Custom(100))
+                .build();
             node.idle_all();
             for s in 0..*sockets {
                 node.run_on_socket(s, profile, *cores, *tpc);
@@ -203,25 +209,31 @@ fn run_panel(spec: NodeSpec, fidelity: Fidelity, seed_base: u64) -> Fig2Panel {
 }
 
 pub fn run(fidelity: Fidelity) -> Fig2 {
+    let ctx = RunCtx::new(fidelity, 0, EngineMode::default());
     Fig2 {
-        sandy_bridge: run_panel(NodeSpec::sandy_bridge_node(), fidelity, 31_000),
-        haswell: run_panel(NodeSpec::paper_test_node(), fidelity, 32_000),
+        sandy_bridge: run_panel(&ctx, NodeSpec::sandy_bridge_node(), 31_000),
+        haswell: run_panel(&ctx, NodeSpec::paper_test_node(), 32_000),
     }
 }
 
 /// Like [`run`] but with both panels' seed bases derived from `seed` (the
 /// survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig2 {
+    let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
+    run_ctx(&ctx)
+}
+
+fn run_ctx(ctx: &RunCtx) -> Fig2 {
     Fig2 {
         sandy_bridge: run_panel(
+            ctx,
             NodeSpec::sandy_bridge_node(),
-            fidelity,
-            crate::survey::mix_seed(seed, 0),
+            crate::survey::mix_seed(ctx.seed, 0),
         ),
         haswell: run_panel(
+            ctx,
             NodeSpec::paper_test_node(),
-            fidelity,
-            crate::survey::mix_seed(seed, 1),
+            crate::survey::mix_seed(ctx.seed, 1),
         ),
     }
 }
@@ -240,7 +252,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "RAPL measurement quality vs. AC reference"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let r = run_ctx(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let hsw_r2 = r
             .haswell
@@ -341,6 +353,21 @@ mod tests {
             idle.ac_w
         );
         assert!(idle.rapl_w < 45.0, "idle RAPL {:.1}", idle.rapl_w);
+    }
+
+    #[test]
+    fn bias_spread_of_an_empty_panel_is_zero() {
+        // Regression: MAX/MIN fold seeds made this -inf when the quadratic
+        // fit failed and no workload bias could be computed.
+        let empty = Fig2Panel {
+            generation: "Haswell-EP".to_string(),
+            points: Vec::new(),
+            linear: None,
+            quadratic: None,
+            workload_bias_w: Vec::new(),
+        };
+        assert_eq!(empty.bias_spread_w(), 0.0);
+        assert!(empty.bias_spread_w().is_finite());
     }
 
     #[test]

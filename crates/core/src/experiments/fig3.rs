@@ -7,7 +7,7 @@
 
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::PState;
-use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_node::{CpuId, EngineMode, Resolution};
 use hsw_tools::{DelayRegime, FtaLat};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -15,6 +15,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::stats::Histogram;
+use crate::survey::RunCtx;
 use crate::Fidelity;
 
 /// One campaign's results.
@@ -91,17 +92,18 @@ pub fn regimes() -> Vec<DelayRegime> {
 }
 
 pub fn run(fidelity: Fidelity) -> Fig3 {
-    run_impl(fidelity, None)
+    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()), None)
 }
 
 /// Like [`run`] but with node and request-timing seeds derived from
 /// `seed` (the survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig3 {
-    run_impl(fidelity, Some(seed))
+    let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
+    run_impl(&ctx, Some(seed))
 }
 
-fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Fig3 {
-    let n = fidelity.fig3_samples();
+fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Fig3 {
+    let n = ctx.fidelity.fig3_samples();
     let campaigns: Vec<Fig3Campaign> = regimes()
         .par_iter()
         .enumerate()
@@ -113,11 +115,11 @@ fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Fig3 {
                     crate::survey::mix_seed(root, 2 * i as u64 + 1),
                 ),
             };
-            let mut node = Node::new(
-                NodeConfig::paper_default()
-                    .with_tick_us(2)
-                    .with_seed(node_seed),
-            );
+            let mut node = ctx
+                .session()
+                .seed(node_seed)
+                .resolution(Resolution::Latency)
+                .build();
             node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
             node.advance_s(0.01);
             let mut rng = SmallRng::seed_from_u64(rng_seed);
@@ -155,7 +157,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "P-state transition latency histograms"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let r = run_impl(ctx, Some(ctx.seed));
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let random = &r.campaigns[0];
         let immediate = &r.campaigns[1];

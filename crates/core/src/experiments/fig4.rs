@@ -10,8 +10,10 @@
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::PState;
 use hsw_msr::{addresses as msra, fields};
-use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_node::{CpuId, EngineMode, Platform, Resolution};
 use serde::{Deserialize, Serialize};
+
+use crate::survey::RunCtx;
 
 /// One request → completion record.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -59,7 +61,21 @@ impl std::fmt::Display for Fig4 {
 }
 
 pub fn run() -> Fig4 {
-    let mut node = Node::new(NodeConfig::paper_default().with_tick_us(2));
+    run_impl(&RunCtx::new(
+        crate::Fidelity::Quick,
+        0,
+        EngineMode::default(),
+    ))
+}
+
+fn run_impl(ctx: &RunCtx) -> Fig4 {
+    // Deterministic experiment (`seeded() == false`): pinned to the
+    // platform default seed regardless of the survey root.
+    let mut node = ctx
+        .session()
+        .seed(Platform::paper().seed)
+        .resolution(Resolution::Latency)
+        .build();
     // Busy threads on two cores per socket so requests have visible effect.
     for s in 0..2 {
         node.run_on_socket(s, &WorkloadProfile::busy_wait(), 2, 1);
@@ -134,7 +150,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         false
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run();
+        let r = run_impl(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         out.metric("estimated_period_us", r.estimated_period_us);
         out.metric("timeline_entries", r.entries.len() as f64);

@@ -4,13 +4,14 @@
 
 use hsw_cstates::{CoreCState, WakeScenario};
 use hsw_hwspec::CpuGeneration;
-use hsw_node::{Node, NodeConfig};
+use hsw_node::EngineMode;
 use hsw_tools::cstate_lat::{sweep_series, CStateLatencyPoint};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::survey::RunCtx;
 use crate::Fidelity;
 
 /// One plotted series: a generation × state × scenario sweep over frequency.
@@ -62,17 +63,18 @@ impl std::fmt::Display for Fig56 {
 }
 
 pub fn run(fidelity: Fidelity) -> Fig56 {
-    run_impl(fidelity, None)
+    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()), None)
 }
 
 /// Like [`run`] but with node and wake-timing seeds derived from `seed`
 /// (the survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig56 {
-    run_impl(fidelity, Some(seed))
+    let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
+    run_impl(&ctx, Some(seed))
 }
 
-fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Fig56 {
-    let iterations = fidelity.fig56_iterations();
+fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Fig56 {
+    let iterations = ctx.fidelity.fig56_iterations();
     let jobs: Vec<(CpuGeneration, CoreCState, WakeScenario)> =
         [CpuGeneration::HaswellEp, CpuGeneration::SandyBridgeEp]
             .into_iter()
@@ -97,7 +99,7 @@ fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Fig56 {
                     crate::survey::mix_seed(root, 2 * i as u64 + 1),
                 ),
             };
-            let mut node = Node::new(NodeConfig::paper_default().with_seed(node_seed));
+            let mut node = ctx.session().seed(node_seed).build();
             let mut rng = SmallRng::seed_from_u64(rng_seed);
             let pts: Vec<CStateLatencyPoint> = sweep_series(
                 &mut node,
@@ -132,7 +134,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "C-state wake-up latencies vs. Sandy Bridge-EP"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let r = run_impl(ctx, Some(ctx.seed));
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let nearest = |s: &Fig56Series, ghz: f64| -> f64 {
             s.points

@@ -13,11 +13,12 @@
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
 use hsw_msr::addresses as msra;
-use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_node::{CpuId, EngineMode, Resolution};
 use hsw_tools::PerfCtr;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::survey::RunCtx;
 use crate::Table;
 
 /// Observed behavior class for one raw EPB value.
@@ -45,12 +46,12 @@ impl std::fmt::Display for Section2cEpb {
 /// a fixed setting exposes the UFS response (performance pins 3.0 GHz), and
 /// the energy-saving class shows the small downward frequency bias under
 /// TDP pressure.
-fn observe(raw: u8, seed: u64) -> EpbObservation {
-    let mut node = Node::new(
-        NodeConfig::paper_default()
-            .with_seed(seed)
-            .with_tick_us(100),
-    );
+fn observe(ctx: &RunCtx, raw: u8, seed: u64) -> EpbObservation {
+    let mut node = ctx
+        .session()
+        .seed(seed)
+        .resolution(Resolution::Custom(100))
+        .build();
     node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
     // Program the raw value on every thread (tools use wrmsr; we poke the
     // registers the same way).
@@ -76,11 +77,11 @@ fn observe(raw: u8, seed: u64) -> EpbObservation {
 
     // TDP-pressure probe for distinguishing balanced vs energy saving:
     // FIRESTARTER's equilibrium frequency carries the EPB budget bias.
-    let mut node2 = Node::new(
-        NodeConfig::paper_default()
-            .with_seed(seed + 1)
-            .with_tick_us(100),
-    );
+    let mut node2 = ctx
+        .session()
+        .seed(seed + 1)
+        .resolution(Resolution::Custom(100))
+        .build();
     let fs = WorkloadProfile::firestarter();
     node2.run_on_socket(0, &fs, 12, 2);
     for t in 0..node2.config().spec.sku.hw_threads() {
@@ -111,16 +112,18 @@ fn observe(raw: u8, seed: u64) -> EpbObservation {
 }
 
 pub fn run() -> Section2cEpb {
-    run_impl(None)
+    let ctx = RunCtx::new(crate::Fidelity::Quick, 0, EngineMode::default());
+    run_impl(&ctx, None)
 }
 
 /// Like [`run`] but with per-value observation seeds derived from `seed`
 /// (the survey runner's determinism contract).
 pub fn run_seeded(seed: u64) -> Section2cEpb {
-    run_impl(Some(seed))
+    let ctx = RunCtx::new(crate::Fidelity::Quick, seed, EngineMode::default());
+    run_impl(&ctx, Some(seed))
 }
 
-fn run_impl(seed: Option<u64>) -> Section2cEpb {
+fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Section2cEpb {
     let observations: Vec<EpbObservation> = (0u8..16)
         .collect::<Vec<_>>()
         .par_iter()
@@ -129,7 +132,7 @@ fn run_impl(seed: Option<u64>) -> Section2cEpb {
                 None => 77_000 + *raw as u64 * 3,
                 Some(root) => crate::survey::mix_seed(root, *raw as u64),
             };
-            observe(*raw, obs_seed)
+            observe(ctx, *raw, obs_seed)
         })
         .collect();
     let mut t = Table::new(
@@ -169,7 +172,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "Measured EPB register mapping"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_seeded(ctx.seed);
+        let r = run_impl(ctx, Some(ctx.seed));
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let matches = r
             .observations

@@ -3,10 +3,11 @@
 
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
-use hsw_node::{Node, NodeConfig};
+use hsw_node::{EngineMode, Platform};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{watts, Table};
+use crate::survey::RunCtx;
 use crate::Fidelity;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,12 +23,20 @@ impl std::fmt::Display for Table2 {
 }
 
 pub fn run(fidelity: Fidelity) -> Table2 {
-    let cfg = NodeConfig::paper_default();
-    let sku = cfg.spec.sku.clone();
+    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()))
+}
+
+fn run_impl(ctx: &RunCtx) -> Table2 {
+    let fidelity = ctx.fidelity;
+    let platform = Platform::paper();
+    let sku = platform.spec.sku.clone();
+    let eet_enabled = platform.eet_enabled;
 
     // Measure idle AC power the paper's way: idle system, fans at maximum
-    // (the node model's constant rest load), LMG450 averaging.
-    let mut node = Node::new(cfg.clone());
+    // (the node model's constant rest load), LMG450 averaging. This
+    // experiment is deterministic (`seeded() == false`), so the session is
+    // pinned to the platform default seed regardless of the survey root.
+    let mut node = ctx.session().seed(platform.seed).build();
     node.idle_all();
     node.set_setting_all(FreqSetting::Turbo);
     let _ = WorkloadProfile::idle();
@@ -64,12 +73,7 @@ pub fn run(fidelity: Fidelity) -> Table2 {
     ]);
     t.row(vec![
         "Energy-efficient turbo (EET)".to_string(),
-        if cfg.eet_enabled {
-            "enabled"
-        } else {
-            "disabled"
-        }
-        .to_string(),
+        if eet_enabled { "enabled" } else { "disabled" }.to_string(),
     ]);
     t.row(vec![
         "Uncore frequency scaling (UFS)".to_string(),
@@ -112,7 +116,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         false
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run(ctx.fidelity);
+        let r = run_impl(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         out.metric("idle_power_w", r.idle_power_w);
         out.check(

@@ -9,12 +9,13 @@
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
 use hsw_hwspec::EpbClass;
-use hsw_node::{CpuId, Node, NodeConfig};
+use hsw_node::{CpuId, EngineMode, Platform, Resolution};
 use hsw_tools::PerfCtr;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
+use crate::survey::RunCtx;
 use crate::Fidelity;
 
 /// One measured column of Table III.
@@ -40,12 +41,18 @@ impl std::fmt::Display for Table3 {
 }
 
 /// Measure the uncore frequency of both sockets under one setting/EPB.
-fn measure(setting: FreqSetting, epb: EpbClass, measure_s: f64, seed: u64) -> (f64, f64) {
-    let mut node = Node::new(
-        NodeConfig::paper_default()
-            .with_seed(seed)
-            .with_tick_us(100),
-    );
+fn measure(
+    ctx: &RunCtx,
+    setting: FreqSetting,
+    epb: EpbClass,
+    measure_s: f64,
+    seed: u64,
+) -> (f64, f64) {
+    let mut node = ctx
+        .session()
+        .seed(seed)
+        .resolution(Resolution::Custom(100))
+        .build();
     // One spinning thread on socket 0, the rest of the system idle.
     node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
     node.set_epb_all(epb);
@@ -66,20 +73,21 @@ fn measure(setting: FreqSetting, epb: EpbClass, measure_s: f64, seed: u64) -> (f
 }
 
 pub fn run(fidelity: Fidelity) -> Table3 {
-    run_impl(fidelity, None)
+    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()), None)
 }
 
 /// Like [`run`] but with all measurement seeds derived from `seed` (the
 /// survey runner's determinism contract). `run` keeps the legacy literal
 /// seeds so standalone outputs stay stable.
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table3 {
-    run_impl(fidelity, Some(seed))
+    let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
+    run_impl(&ctx, Some(seed))
 }
 
-fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table3 {
-    let sku = NodeConfig::paper_default().spec.sku;
+fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Table3 {
+    let sku = Platform::paper().spec.sku;
     let settings = sku.freq.all_settings();
-    let secs = fidelity.table3_measure_s();
+    let secs = ctx.fidelity.table3_measure_s();
 
     let points: Vec<Table3Point> = settings
         .par_iter()
@@ -92,8 +100,8 @@ fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table3 {
                     crate::survey::mix_seed(root, 1000 + i as u64),
                 ),
             };
-            let (active, passive) = measure(*s, EpbClass::Balanced, secs, bal_seed);
-            let (active_perf, _) = measure(*s, EpbClass::Performance, secs, perf_seed);
+            let (active, passive) = measure(ctx, *s, EpbClass::Balanced, secs, bal_seed);
+            let (active_perf, _) = measure(ctx, *s, EpbClass::Performance, secs, perf_seed);
             Table3Point {
                 setting_mhz: match s {
                     FreqSetting::Turbo => None,
@@ -137,7 +145,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "Uncore frequency vs. core frequency setting"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let r = run_impl(ctx, Some(ctx.seed));
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let worst_gap = r
             .points

@@ -8,12 +8,13 @@
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
 use hsw_hwspec::EpbClass;
-use hsw_node::{Node, NodeConfig};
+use hsw_node::{EngineMode, Resolution};
 use hsw_tools::{run_stress, StressResult};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
+use crate::survey::RunCtx;
 use crate::Fidelity;
 
 /// One cell (benchmark × setting × EPB) of Table V.
@@ -49,16 +50,17 @@ impl std::fmt::Display for Table5 {
 }
 
 pub fn run(fidelity: Fidelity) -> Table5 {
-    run_impl(fidelity, None)
+    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()), None)
 }
 
 /// Like [`run`] but with per-cell node seeds derived from `seed` (the
 /// survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table5 {
-    run_impl(fidelity, Some(seed))
+    let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
+    run_impl(&ctx, Some(seed))
 }
 
-fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table5 {
+fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Table5 {
     let benchmarks = WorkloadProfile::table5_benchmarks();
     let configs: Vec<(WorkloadProfile, bool, EpbClass)> = benchmarks
         .iter()
@@ -79,11 +81,11 @@ fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table5 {
                 None => 9000 + i as u64,
                 Some(root) => crate::survey::mix_seed(root, i as u64),
             };
-            let mut node = Node::new(
-                NodeConfig::paper_default()
-                    .with_seed(cell_seed)
-                    .with_tick_us(100),
-            );
+            let mut node = ctx
+                .session()
+                .seed(cell_seed)
+                .resolution(Resolution::Custom(100))
+                .build();
             let setting = if *turbo_setting {
                 FreqSetting::Turbo
             } else {
@@ -96,8 +98,8 @@ fn run_impl(fidelity: Fidelity, seed: Option<u64>) -> Table5 {
                 *epb,
                 true,  // turbo mode active (the *setting* selects its use)
                 false, // Hyper-Threading not active (paper Table V caption)
-                fidelity.table5_run_s(),
-                fidelity.table5_window_s(),
+                ctx.fidelity.table5_run_s(),
+                ctx.fidelity.table5_window_s(),
             );
             Table5Cell {
                 benchmark: profile.name.to_string(),
@@ -165,7 +167,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "Maximum power: FIRESTARTER / LINPACK / mprime"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_seeded(ctx.fidelity, ctx.seed);
+        let r = run_impl(ctx, Some(ctx.seed));
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let max_power = r.cells.iter().map(|c| c.power_w).fold(0.0f64, f64::max);
         out.metric("max_window_power_w", max_power);

@@ -9,10 +9,11 @@
 //! timings are reported separately ([`SurveyRun::timings_s`]) and are
 //! deliberately excluded from the JSON document.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use hsw_node::{EngineMode, Platform, SessionBuilder};
 use serde::{Serialize, Value};
 
 use crate::experiments;
@@ -20,12 +21,47 @@ use crate::report::Table;
 use crate::Fidelity;
 
 /// Everything an experiment gets from the runner.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunCtx {
     pub fidelity: Fidelity,
     /// Per-experiment seed, already derived from the survey root seed and
     /// the experiment id. Fully deterministic experiments ignore it.
     pub seed: u64,
+    /// Time-advance engine every session of this experiment runs under.
+    pub engine: EngineMode,
+    /// Simulated-time ledger: every session built through [`RunCtx::session`]
+    /// credits its total simulated nanoseconds here on drop.
+    sim_ns: Arc<AtomicU64>,
+}
+
+impl RunCtx {
+    pub fn new(fidelity: Fidelity, seed: u64, engine: EngineMode) -> Self {
+        RunCtx {
+            fidelity,
+            seed,
+            engine,
+            sim_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The paper platform under this experiment's seed and engine.
+    pub fn platform(&self) -> Platform {
+        Platform::paper()
+            .with_seed(self.seed)
+            .with_engine(self.engine)
+    }
+
+    /// Start a session on [`RunCtx::platform`], wired to the simulated-time
+    /// ledger. Experiments derive per-sweep-point seeds from it with
+    /// [`SessionBuilder::derive_seed`].
+    pub fn session(&self) -> SessionBuilder {
+        self.platform().session().time_ledger(self.sim_ns.clone())
+    }
+
+    /// Total simulated seconds advanced by sessions dropped so far.
+    pub fn sim_time_s(&self) -> f64 {
+        self.sim_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
 }
 
 /// One fidelity check: a paper claim the result either reproduces or not.
@@ -171,6 +207,9 @@ pub struct SurveyConfig {
     pub jobs: usize,
     /// Run only these ids (registry order is kept); `None` = all.
     pub only: Option<Vec<String>>,
+    /// Time-advance engine for every experiment session. Both modes are
+    /// bit-identical; `Fixed` is the escape hatch for validating `Event`.
+    pub engine: EngineMode,
 }
 
 impl Default for SurveyConfig {
@@ -180,6 +219,7 @@ impl Default for SurveyConfig {
             seed: 42,
             jobs: 1,
             only: None,
+            engine: EngineMode::default(),
         }
     }
 }
@@ -189,11 +229,16 @@ impl Default for SurveyConfig {
 pub struct SurveyRun {
     pub fidelity: Fidelity,
     pub seed: u64,
+    pub engine: EngineMode,
     /// Results in registry order, independent of scheduling.
     pub results: Vec<ExperimentResult>,
     /// Wall-clock seconds per experiment, parallel to `results`. Kept out
     /// of the JSON document so it stays byte-identical across runs.
     pub timings_s: Vec<f64>,
+    /// Simulated seconds per experiment, parallel to `results`. Fully
+    /// deterministic (a function of fidelity only), so it does go into
+    /// the JSON document.
+    pub sim_times_s: Vec<f64>,
 }
 
 /// Run the survey: fan the selected experiments across `jobs` worker
@@ -222,7 +267,7 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
 
     let jobs = cfg.jobs.clamp(1, selected.len());
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<(ExperimentResult, f64)>>> =
+    let slots: Mutex<Vec<Option<(ExperimentResult, f64, f64)>>> =
         Mutex::new((0..selected.len()).map(|_| None).collect());
 
     std::thread::scope(|scope| {
@@ -233,46 +278,56 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
                     break;
                 }
                 let exp = &selected[i];
-                let ctx = RunCtx {
-                    fidelity: cfg.fidelity,
-                    seed: experiment_seed(cfg.seed, exp.id()),
-                };
+                let ctx = RunCtx::new(
+                    cfg.fidelity,
+                    experiment_seed(cfg.seed, exp.id()),
+                    cfg.engine,
+                );
                 let t0 = Instant::now();
                 let result = exp.run(&ctx);
                 let wall_s = t0.elapsed().as_secs_f64();
-                slots.lock().unwrap()[i] = Some((result, wall_s));
+                slots.lock().unwrap()[i] = Some((result, wall_s, ctx.sim_time_s()));
             });
         }
     });
 
     let mut results = Vec::with_capacity(selected.len());
     let mut timings_s = Vec::with_capacity(selected.len());
+    let mut sim_times_s = Vec::with_capacity(selected.len());
     for slot in slots.into_inner().unwrap() {
-        let (r, t) = slot.expect("worker left a slot unfilled");
+        let (r, wall, sim) = slot.expect("worker left a slot unfilled");
         results.push(r);
-        timings_s.push(t);
+        timings_s.push(wall);
+        sim_times_s.push(sim);
     }
     Ok(SurveyRun {
         fidelity: cfg.fidelity,
         seed: cfg.seed,
+        engine: cfg.engine,
         results,
         timings_s,
+        sim_times_s,
     })
 }
 
 impl SurveyRun {
     /// The deterministic JSON document (the content of `survey.json`).
-    /// Contains no wall-clock data: identical config → identical bytes.
+    /// Contains no wall-clock data and no engine tag: identical
+    /// `(--fidelity, --seed, --only)` → identical bytes, for any `--jobs`
+    /// value and either `--engine` mode. Simulated time per experiment IS
+    /// included — it is a pure function of the fidelity.
     pub fn to_json_value(&self) -> Value {
         let experiments: Vec<Value> = self
             .results
             .iter()
-            .map(|r| {
+            .zip(&self.sim_times_s)
+            .map(|(r, sim_s)| {
                 Value::Object(vec![
                     ("id".to_string(), Value::Str(r.id.to_string())),
                     ("anchor".to_string(), Value::Str(r.anchor.to_string())),
                     ("title".to_string(), Value::Str(r.title.to_string())),
                     ("seed".to_string(), Value::UInt(r.seed)),
+                    ("sim_time_s".to_string(), Value::Float(*sim_s)),
                     (
                         "metrics".to_string(),
                         Value::Object(
@@ -330,19 +385,35 @@ impl SurveyRun {
         s
     }
 
-    /// Per-experiment check scoreboard as a paper-style [`Table`].
+    /// Per-experiment check scoreboard as a paper-style [`Table`], with
+    /// wall-clock and simulated time per experiment. Wall time lives here
+    /// (and on stderr) only — never in the JSON document.
     pub fn scoreboard(&self) -> Table {
         let mut t = Table::new(
             "Survey scoreboard: paper fidelity checks per experiment",
-            vec!["experiment", "anchor", "checks", "status"],
+            vec![
+                "experiment",
+                "anchor",
+                "checks",
+                "status",
+                "wall s",
+                "sim s",
+            ],
         );
-        for r in &self.results {
+        for ((r, wall_s), sim_s) in self
+            .results
+            .iter()
+            .zip(&self.timings_s)
+            .zip(&self.sim_times_s)
+        {
             let passed = r.checks.iter().filter(|c| c.passed).count();
             t.row(vec![
                 r.id.to_string(),
                 r.anchor.to_string(),
                 format!("{passed}/{}", r.checks.len()),
                 crate::report::pass_fail(r.checks_passed()).to_string(),
+                format!("{wall_s:.2}"),
+                format!("{sim_s:.2}"),
             ]);
         }
         t

@@ -13,6 +13,7 @@
 
 pub mod acpi;
 pub mod calib;
+pub mod clock;
 pub mod die;
 pub mod epb;
 pub mod freq;
@@ -24,6 +25,7 @@ pub mod sku;
 pub mod vf;
 
 pub use acpi::{AcpiCState, AcpiLatencyTable};
+pub use clock::{mix_seed, ClockDomain, DomainNoise, Ns};
 pub use die::{DieLayout, RingPartition};
 pub use epb::EpbClass;
 pub use freq::{FrequencyTable, PState, MHZ_PER_RATIO};

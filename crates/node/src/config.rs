@@ -3,6 +3,8 @@
 use hsw_hwspec::NodeSpec;
 use hsw_power::DramRaplMode;
 
+use crate::engine::EngineMode;
+
 /// Simulation configuration of a node.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -15,8 +17,12 @@ pub struct NodeConfig {
     /// Simulation step in µs. 20 µs suffices for power/frequency work;
     /// latency experiments use 1 µs.
     pub tick_us: u64,
-    /// RNG seed (all simulation noise is deterministic per seed).
+    /// Noise seed (all simulation noise is keyed to the instant, so a seed
+    /// fully determines a run in either engine mode).
     pub seed: u64,
+    /// Time-advance engine (see [`EngineMode`]); both modes produce
+    /// bit-identical results, `Event` skips provably quiescent model work.
+    pub engine: EngineMode,
 }
 
 impl NodeConfig {
@@ -28,6 +34,7 @@ impl NodeConfig {
             eet_enabled: true,
             tick_us: 20,
             seed: 0x4A57_0001,
+            engine: EngineMode::default(),
         }
     }
 
@@ -55,6 +62,11 @@ impl NodeConfig {
 
     pub fn with_eet(mut self, enabled: bool) -> Self {
         self.eet_enabled = enabled;
+        self
+    }
+
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 }

@@ -6,20 +6,32 @@
 //! governor with cross-socket package-state coupling, the DRAM/bandwidth
 //! model, and the node-level electrical path (PSU, fans, LMG450 meter).
 //!
-//! The simulator advances in fixed ticks (configurable, default 20 µs,
-//! 1 µs for latency experiments). Workloads are assigned per hardware
+//! Time advances through a clock-domain engine (see [`engine`]): both
+//! engine modes subdivide time into identical micro-steps, but the default
+//! [`EngineMode::Event`] replaces the full model evaluation with a cheap
+//! replay of the continuous integrators whenever every clock domain is
+//! provably quiescent — bit-identical to [`EngineMode::Fixed`], typically
+//! several times faster on steady-state experiments.
+//!
+//! Experiments wire nodes through the [`session`] layer: a [`Platform`]
+//! describes the machine once, and [`SessionBuilder`] derives seeded,
+//! resolution-classed sessions from it. Workloads are assigned per hardware
 //! thread as [`hsw_exec::WorkloadProfile`]s; measurement tools interact
 //! with the hardware through [`Node::rdmsr`]/[`Node::wrmsr`] exactly like
 //! their real counterparts.
 
 pub mod config;
+pub mod engine;
 pub mod node;
 pub mod script;
+pub mod session;
 pub mod socket;
 pub mod telemetry;
 
 pub use config::{CpuId, NodeConfig};
+pub use engine::{EngineMode, EngineStats};
 pub use node::Node;
 pub use script::{Action, WorkloadScript};
+pub use session::{Platform, Resolution, Session, SessionBuilder};
 pub use socket::Socket;
 pub use telemetry::{Snapshot, Trace};

@@ -1,32 +1,40 @@
 //! The node: two sockets, shared electrical path, and the OS/tool surface.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use hsw_exec::WorkloadProfile;
+use hsw_hwspec::clock::{domain, DomainNoise};
 use hsw_hwspec::freq::FreqSetting;
 use hsw_hwspec::EpbClass;
 use hsw_msr::{addresses as msra, MsrError};
 use hsw_pcu::TransitionEvent;
 use hsw_power::{Lmg450, NodePowerModel};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::config::{CpuId, NodeConfig};
+use crate::engine::{EngineMode, EngineStats};
 use crate::socket::{Ns, Socket, SocketTick};
 
 /// The simulated compute node (paper Table II).
 pub struct Node {
     cfg: NodeConfig,
     time_ns: Ns,
-    rng: SmallRng,
     sockets: Vec<Socket>,
     power_model: NodePowerModel,
     meter: Lmg450,
     last: Vec<SocketTick>,
+    /// Event engine: whether the last full step proved every socket
+    /// quiescent. Any mutator call clears it.
+    all_quiet: bool,
+    stats: EngineStats,
+    /// Optional shared ledger credited with this node's simulated time on
+    /// drop (the survey's simulated-time accounting).
+    time_ledger: Option<Arc<AtomicU64>>,
 }
 
 impl Node {
     pub fn new(cfg: NodeConfig) -> Self {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let meter = Lmg450::new(&mut rng);
+        let meter = Lmg450::calibrated(DomainNoise::new(cfg.seed, domain::METER));
         let mut sockets = Vec::with_capacity(cfg.spec.sockets);
         for s in 0..cfg.spec.sockets {
             // Independent PCU phases per socket (paper Section VI-A).
@@ -38,6 +46,7 @@ impl Node {
                 cfg.dram_rapl_mode,
                 cfg.eet_enabled,
                 phase,
+                cfg.seed,
             ));
         }
         let power_model = NodePowerModel::new(cfg.spec.clone());
@@ -45,11 +54,13 @@ impl Node {
         Node {
             cfg,
             time_ns: 0,
-            rng,
             sockets,
             power_model,
             meter,
             last,
+            all_quiet: false,
+            stats: EngineStats::default(),
+            time_ledger: None,
         }
     }
 
@@ -70,13 +81,25 @@ impl Node {
     }
 
     pub fn socket_mut(&mut self, s: usize) -> &mut Socket {
+        self.all_quiet = false;
         &mut self.sockets[s]
+    }
+
+    /// Step counters of the time-advance engine.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Credit this node's total simulated time to `ledger` when it drops.
+    pub fn set_time_ledger(&mut self, ledger: Arc<AtomicU64>) {
+        self.time_ledger = Some(ledger);
     }
 
     // --- Workload and OS control surface ---
 
     /// Assign a workload to one hardware thread (`None` idles it).
     pub fn assign(&mut self, cpu: CpuId, w: Option<WorkloadProfile>) {
+        self.all_quiet = false;
         self.sockets[cpu.socket].set_thread(cpu.core, cpu.thread, w);
     }
 
@@ -89,6 +112,7 @@ impl Node {
         cores: usize,
         threads_per_core: usize,
     ) {
+        self.all_quiet = false;
         let tpc = self.cfg.spec.sku.threads_per_core;
         for c in 0..self.cfg.spec.sku.cores {
             for t in 0..tpc {
@@ -108,6 +132,7 @@ impl Node {
     /// Set the frequency setting on every core of every socket (the
     /// cpufreq/userspace-governor equivalent).
     pub fn set_setting_all(&mut self, setting: FreqSetting) {
+        self.all_quiet = false;
         let now = self.time_ns;
         for s in &mut self.sockets {
             for c in 0..s.spec().cores {
@@ -118,12 +143,14 @@ impl Node {
 
     /// Set the frequency setting of one core.
     pub fn set_setting(&mut self, socket: usize, core: usize, setting: FreqSetting) {
+        self.all_quiet = false;
         let now = self.time_ns;
         self.sockets[socket].set_core_setting(core, setting, now);
     }
 
     /// Program the EPB on all hardware threads (paper Section II-C).
     pub fn set_epb_all(&mut self, epb: EpbClass) {
+        self.all_quiet = false;
         for s in &mut self.sockets {
             for t in 0..s.spec().hw_threads() {
                 s.msr
@@ -134,6 +161,7 @@ impl Node {
 
     /// Enable/disable turbo via `IA32_MISC_ENABLE\[38\]`.
     pub fn set_turbo(&mut self, enabled: bool) {
+        self.all_quiet = false;
         for s in &mut self.sockets {
             let mut v = s.msr.read_package(msra::IA32_MISC_ENABLE).unwrap_or(0);
             if enabled {
@@ -160,6 +188,10 @@ impl Node {
         let now = self.time_ns;
         let socket = &mut self.sockets[cpu.socket];
         socket.msr.write(thread, addr, value)?;
+        // Any successful write may steer the model (EPB, turbo disengage,
+        // uncore limits, p-state requests) — drop back to full stepping
+        // until the next full tick re-proves quiescence.
+        self.all_quiet = false;
         if addr == msra::IA32_PERF_CTL {
             socket.perf_ctl_written(thread, value, now);
         }
@@ -168,7 +200,9 @@ impl Node {
 
     // --- Simulation ---
 
-    /// Advance the simulation by `us` microseconds.
+    /// Advance the simulation by `us` microseconds. Counters flush at the
+    /// end of every advance, so MSR reads between advances always see
+    /// current values (in either engine mode).
     pub fn advance_us(&mut self, us: u64) {
         let tick = self.cfg.tick_us.max(1);
         let mut remaining = us;
@@ -176,6 +210,9 @@ impl Node {
             let step = tick.min(remaining);
             self.step(step * 1_000);
             remaining -= step;
+        }
+        for s in &mut self.sockets {
+            s.flush_counters();
         }
     }
 
@@ -185,6 +222,18 @@ impl Node {
     }
 
     fn step(&mut self, dt: Ns) {
+        let event = self.cfg.engine == EngineMode::Event;
+        if event && self.all_quiet && !self.sockets.iter().any(|s| s.light_wake()) {
+            // Every domain is provably steady: replay only the continuous
+            // integrators. State evolves bit-identically to a full step.
+            self.time_ns += dt;
+            let now = self.time_ns;
+            for (i, socket) in self.sockets.iter_mut().enumerate() {
+                self.last[i] = socket.light_tick(now, dt);
+            }
+            self.stats.light_steps += 1;
+            return;
+        }
         self.time_ns += dt;
         let now = self.time_ns;
         let t_s = self.now_s();
@@ -215,8 +264,10 @@ impl Node {
             });
         for (i, socket) in self.sockets.iter_mut().enumerate() {
             let other_active = actives.iter().enumerate().any(|(j, a)| j != i && *a);
-            self.last[i] = socket.tick(now, dt, t_s, other_active, fastest, &mut self.rng);
+            self.last[i] = socket.tick(now, dt, t_s, other_active, fastest, event);
         }
+        self.stats.full_steps += 1;
+        self.all_quiet = event && self.sockets.iter().all(|s| s.quiescent_now());
     }
 
     // --- Power ground truth and metering ---
@@ -256,7 +307,7 @@ impl Node {
         for _ in 0..n {
             self.advance_us(period_us);
             let truth = self.true_ac_power_w();
-            sum += self.meter.sample(truth, &mut self.rng);
+            sum += self.meter.sample(truth, self.time_ns);
         }
         sum / n as f64
     }
@@ -270,7 +321,7 @@ impl Node {
         for _ in 0..n {
             self.advance_us(period_us);
             let truth = self.true_ac_power_w();
-            out.push(self.meter.sample(truth, &mut self.rng));
+            out.push(self.meter.sample(truth, self.time_ns));
         }
         out
     }
@@ -278,6 +329,14 @@ impl Node {
     /// Drain p-state transition events of one socket.
     pub fn drain_transitions(&mut self, socket: usize) -> Vec<TransitionEvent> {
         self.sockets[socket].drain_transitions()
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        if let Some(ledger) = &self.time_ledger {
+            ledger.fetch_add(self.time_ns, Ordering::Relaxed);
+        }
     }
 }
 
@@ -459,6 +518,113 @@ mod tests {
             hi = hi.max(p);
         }
         assert!(hi - lo > 15.0, "sinus swing {lo:.1}..{hi:.1} W too small");
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use hsw_exec::WorkloadProfile;
+
+    /// Drive one node through a representative scenario: settle idle, run a
+    /// fixed-frequency load, poke an MSR, then idle again.
+    fn scenario(mut node: Node) -> Node {
+        node.idle_all();
+        node.set_setting_all(FreqSetting::Turbo);
+        node.advance_s(0.3);
+        node.run_on_socket(0, &WorkloadProfile::compute(), 8, 1);
+        node.set_setting_all(FreqSetting::from_mhz(2000));
+        node.advance_s(0.4);
+        node.set_epb_all(EpbClass::EnergySaving);
+        node.advance_s(0.2);
+        node.idle_all();
+        node.advance_s(0.3);
+        node
+    }
+
+    fn fingerprint(node: &mut Node) -> Vec<u64> {
+        let mut out = Vec::new();
+        for s in 0..2 {
+            out.push(node.true_pkg_power_w(s).to_bits());
+            out.push(node.true_dram_power_w(s).to_bits());
+            out.push(node.sockets()[s].rapl().running_avg_pkg_w().to_bits());
+            out.push(node.sockets()[s].die_temperature_c().to_bits());
+            for addr in [
+                msra::MSR_PKG_ENERGY_STATUS,
+                msra::MSR_DRAM_ENERGY_STATUS,
+                msra::MSR_U_PMON_UCLK_FIXED_CTR,
+                msra::MSR_PKG_C6_RESIDENCY,
+            ] {
+                out.push(node.rdmsr(CpuId::new(s, 0, 0), addr).unwrap());
+            }
+            for addr in [
+                msra::IA32_TIME_STAMP_COUNTER,
+                msra::IA32_APERF,
+                msra::IA32_MPERF,
+                msra::IA32_FIXED_CTR0_INST_RETIRED,
+                msra::MSR_CORE_C6_RESIDENCY,
+                msra::IA32_THERM_STATUS,
+            ] {
+                out.push(node.rdmsr(CpuId::new(s, 3, 0), addr).unwrap());
+            }
+        }
+        out.push(node.measure_ac_average(0.5).to_bits());
+        out.push(node.now_ns());
+        out
+    }
+
+    #[test]
+    fn fixed_and_event_engines_are_bit_identical() {
+        let mut fixed = scenario(Node::new(
+            NodeConfig::paper_default().with_engine(EngineMode::Fixed),
+        ));
+        let mut event = scenario(Node::new(
+            NodeConfig::paper_default().with_engine(EngineMode::Event),
+        ));
+        assert!(
+            event.engine_stats().light_steps > 0,
+            "event engine never took the light path"
+        );
+        assert_eq!(fingerprint(&mut fixed), fingerprint(&mut event));
+    }
+
+    #[test]
+    fn event_engine_coalesces_idle_spans() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        node.idle_all();
+        node.set_setting_all(FreqSetting::Turbo);
+        node.advance_s(2.0);
+        let stats = node.engine_stats();
+        assert!(
+            stats.light_fraction() > 0.5,
+            "idle node must step mostly lightly, got {:.2} ({} full / {} light)",
+            stats.light_fraction(),
+            stats.full_steps,
+            stats.light_steps
+        );
+    }
+
+    #[test]
+    fn mutators_invalidate_quiescence() {
+        let mut node = Node::new(NodeConfig::paper_default());
+        node.idle_all();
+        node.advance_s(0.5);
+        let full_before = node.engine_stats().full_steps;
+        // A workload change must force at least one full step.
+        node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
+        node.advance_us(40);
+        assert!(node.engine_stats().full_steps > full_before);
+    }
+
+    #[test]
+    fn time_ledger_credits_simulated_time_on_drop() {
+        let ledger = Arc::new(AtomicU64::new(0));
+        {
+            let mut node = Node::new(NodeConfig::paper_default());
+            node.set_time_ledger(ledger.clone());
+            node.advance_s(0.25);
+        }
+        assert_eq!(ledger.load(Ordering::Relaxed), 250_000_000);
     }
 }
 

@@ -1,0 +1,283 @@
+//! The platform/session layer: declarative wiring for experiments.
+//!
+//! Every experiment used to hand-assemble its node as
+//! `Node::new(NodeConfig::paper_default().with_seed(..).with_tick_us(..))`,
+//! scattering seed derivation and tick choices across sixteen modules. A
+//! [`Platform`] describes the machine under test once (spec, DRAM RAPL
+//! mode, EET, engine, root seed); [`SessionBuilder`] then derives concrete
+//! simulation sessions from it — sub-seeds for sweep points, a named
+//! [`Resolution`] class instead of magic tick numbers, and optional
+//! telemetry sinks such as the survey's simulated-time ledger. A
+//! [`Session`] dereferences to [`Node`], so the whole existing node surface
+//! works unchanged.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use hsw_hwspec::clock::mix_seed;
+use hsw_hwspec::NodeSpec;
+use hsw_power::DramRaplMode;
+
+use crate::config::NodeConfig;
+use crate::engine::EngineMode;
+use crate::node::Node;
+
+/// Simulation time resolution class. The tick is the micro-step both
+/// engines subdivide time into; it bounds how sharply transitions resolve,
+/// so latency experiments need finer classes than power averages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// 2 µs — p-state/c-state transition latency measurements (Fig. 3/4).
+    Latency,
+    /// 5 µs — fine-grained counter work.
+    Fine,
+    /// 20 µs — the default for power and frequency experiments.
+    Standard,
+    /// 50 µs — multi-second steady-state sweeps (Table IV/V).
+    Coarse,
+    /// Explicit tick in µs.
+    Custom(u64),
+}
+
+impl Resolution {
+    pub fn tick_us(&self) -> u64 {
+        match self {
+            Resolution::Latency => 2,
+            Resolution::Fine => 5,
+            Resolution::Standard => 20,
+            Resolution::Coarse => 50,
+            Resolution::Custom(us) => (*us).max(1),
+        }
+    }
+}
+
+/// The machine under test plus simulation-wide policy, described once and
+/// shared by every session an experiment derives from it.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    pub spec: NodeSpec,
+    pub dram_rapl_mode: DramRaplMode,
+    pub eet_enabled: bool,
+    pub engine: EngineMode,
+    /// Root seed; sessions derive sub-seeds from it (see
+    /// [`SessionBuilder::derive_seed`]).
+    pub seed: u64,
+}
+
+impl Platform {
+    /// The paper's test system (Table II).
+    pub fn paper() -> Self {
+        let cfg = NodeConfig::paper_default();
+        Platform {
+            spec: cfg.spec,
+            dram_rapl_mode: cfg.dram_rapl_mode,
+            eet_enabled: cfg.eet_enabled,
+            engine: cfg.engine,
+            seed: cfg.seed,
+        }
+    }
+
+    pub fn with_spec(mut self, spec: NodeSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    pub fn with_dram_mode(mut self, mode: DramRaplMode) -> Self {
+        self.dram_rapl_mode = mode;
+        self
+    }
+
+    pub fn with_eet(mut self, enabled: bool) -> Self {
+        self.eet_enabled = enabled;
+        self
+    }
+
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Start describing one simulation session on this platform.
+    pub fn session(&self) -> SessionBuilder {
+        SessionBuilder {
+            cfg: NodeConfig {
+                spec: self.spec.clone(),
+                dram_rapl_mode: self.dram_rapl_mode,
+                eet_enabled: self.eet_enabled,
+                tick_us: Resolution::Standard.tick_us(),
+                seed: self.seed,
+                engine: self.engine,
+            },
+            root_seed: self.seed,
+            time_ledger: None,
+        }
+    }
+}
+
+/// Builder for one simulation session.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    cfg: NodeConfig,
+    root_seed: u64,
+    time_ledger: Option<Arc<AtomicU64>>,
+}
+
+impl SessionBuilder {
+    /// Use an explicit seed for this session.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Derive this session's seed from the platform root seed and a salt
+    /// (sweep index, repetition number, …). Order-free: point `k` of a
+    /// sweep gets the same seed whether the sweep runs forward, backward,
+    /// or in parallel.
+    pub fn derive_seed(mut self, salt: u64) -> Self {
+        self.cfg.seed = mix_seed(self.root_seed, salt);
+        self
+    }
+
+    /// Select the time-resolution class.
+    pub fn resolution(mut self, r: Resolution) -> Self {
+        self.cfg.tick_us = r.tick_us();
+        self
+    }
+
+    /// Override the platform's engine mode for this session.
+    pub fn engine(mut self, engine: EngineMode) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Override EET for this session (ablations).
+    pub fn eet(mut self, enabled: bool) -> Self {
+        self.cfg.eet_enabled = enabled;
+        self
+    }
+
+    /// Override the DRAM RAPL mode for this session.
+    pub fn dram_mode(mut self, mode: DramRaplMode) -> Self {
+        self.cfg.dram_rapl_mode = mode;
+        self
+    }
+
+    /// Override the node spec for this session (SKU extrapolation).
+    pub fn spec(mut self, spec: NodeSpec) -> Self {
+        self.cfg.spec = spec;
+        self
+    }
+
+    /// Attach a telemetry sink: the node's total simulated time is credited
+    /// to `ledger` when the session drops (the survey's per-experiment
+    /// simulated-time accounting).
+    pub fn time_ledger(mut self, ledger: Arc<AtomicU64>) -> Self {
+        self.time_ledger = Some(ledger);
+        self
+    }
+
+    /// Materialize the session.
+    pub fn build(self) -> Session {
+        let mut node = Node::new(self.cfg);
+        if let Some(ledger) = self.time_ledger {
+            node.set_time_ledger(ledger);
+        }
+        Session { node }
+    }
+}
+
+/// A running simulation session. Dereferences to [`Node`], so the full
+/// node surface (workload assignment, MSRs, advance, metering) applies.
+pub struct Session {
+    node: Node,
+}
+
+impl Session {
+    pub fn into_node(self) -> Node {
+        self.node
+    }
+}
+
+impl std::ops::Deref for Session {
+    type Target = Node;
+
+    fn deref(&self) -> &Node {
+        &self.node
+    }
+}
+
+impl std::ops::DerefMut for Session {
+    fn deref_mut(&mut self) -> &mut Node {
+        &mut self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn paper_platform_matches_the_legacy_default_config() {
+        let legacy = NodeConfig::paper_default();
+        let session = Platform::paper().session().build();
+        let cfg = session.config();
+        assert_eq!(cfg.seed, legacy.seed);
+        assert_eq!(cfg.tick_us, legacy.tick_us);
+        assert_eq!(cfg.eet_enabled, legacy.eet_enabled);
+        assert_eq!(cfg.dram_rapl_mode, legacy.dram_rapl_mode);
+        assert_eq!(cfg.engine, legacy.engine);
+    }
+
+    #[test]
+    fn derived_seeds_are_order_free_and_salt_sensitive() {
+        let platform = Platform::paper().with_seed(7);
+        let a = platform.session().derive_seed(3).build().config().seed;
+        let b = platform.session().derive_seed(4).build().config().seed;
+        let a2 = platform.session().derive_seed(3).build().config().seed;
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(a, 7, "derived seed must not be the root seed itself");
+    }
+
+    #[test]
+    fn resolution_classes_map_to_documented_ticks() {
+        assert_eq!(Resolution::Latency.tick_us(), 2);
+        assert_eq!(Resolution::Fine.tick_us(), 5);
+        assert_eq!(Resolution::Standard.tick_us(), 20);
+        assert_eq!(Resolution::Coarse.tick_us(), 50);
+        assert_eq!(Resolution::Custom(7).tick_us(), 7);
+        assert_eq!(Resolution::Custom(0).tick_us(), 1, "tick floor is 1 µs");
+    }
+
+    #[test]
+    fn session_derefs_to_a_working_node() {
+        let mut s = Platform::paper()
+            .session()
+            .resolution(Resolution::Coarse)
+            .build();
+        s.idle_all();
+        s.advance_s(0.05);
+        assert!(s.now_s() > 0.049);
+        assert_eq!(s.config().tick_us, 50);
+    }
+
+    #[test]
+    fn time_ledger_sink_accumulates_across_sessions() {
+        let ledger = Arc::new(AtomicU64::new(0));
+        for salt in 0..2u64 {
+            let mut s = Platform::paper()
+                .session()
+                .derive_seed(salt)
+                .time_ledger(ledger.clone())
+                .build();
+            s.advance_us(1_000);
+        }
+        assert_eq!(ledger.load(Ordering::Relaxed), 2_000_000);
+    }
+}

@@ -1,8 +1,22 @@
 //! One simulated processor package.
+//!
+//! The socket exposes two step paths. The **full tick** runs every model
+//! stage — p-state engine, workload aggregation, AVX licenses, EET, the PCU
+//! equilibrium solve, c-states, DRAM, power, thermal, RAPL and the counter
+//! plane. The **light tick** is the event engine's fast path over a
+//! provably quiescent interval: it replays only the continuous integrators
+//! (RAPL, thermal, MBVR) and the periodic controllers whose outcome cannot
+//! change (EET polls, AVX relax checks, the PCU timer), using cached
+//! inputs. Because the light tick performs the *identical* floating-point
+//! operations in the identical order, a quiet span stepped lightly ends in
+//! bit-identical state to the same span stepped fully — the property the
+//! `--engine fixed|event` equivalence tests pin down.
 
 use hsw_cstates::{resolve_package_state, select_core_state, CoreCState, PkgCState};
-use hsw_exec::WorkloadProfile;
+use hsw_exec::{DutyCycle, WorkloadProfile};
+use hsw_hwspec::clock::{domain, DomainNoise};
 use hsw_hwspec::freq::FreqSetting;
+use hsw_hwspec::ClockDomain;
 use hsw_hwspec::{EpbClass, PState, SkuSpec};
 use hsw_msr::{addresses as msra, fields, MsrBank};
 use hsw_pcu::{
@@ -12,7 +26,6 @@ use hsw_power::{
     dram_power_w, package_power_w, CoreElecState, DramRaplMode, Mbvr, MbvrPowerState, ModelBias,
     RaplEngine, ThermalParams, ThermalState,
 };
-use rand::Rng;
 
 /// Nanoseconds.
 pub type Ns = u64;
@@ -24,6 +37,55 @@ pub struct SocketTick {
     pub pkg_w: f64,
     pub dram_w: f64,
     pub dram_bw_gbs: f64,
+}
+
+/// Counting rates of the MSR counter plane. Between the full ticks that
+/// change them the rates are constant, so elapsed time accumulates as a
+/// pending span and flushes in one `rate × span` step. Both engine modes
+/// flush at identical instants with identical spans — the MSR residue
+/// arithmetic is order-sensitive, so this is what keeps counters
+/// bit-identical across `--engine fixed|event`.
+#[derive(Debug, Clone, PartialEq)]
+struct CounterRates {
+    uncore_ghz: f64,
+    threads: Vec<ThreadRates>,
+    core_cstates: Vec<CoreCState>,
+    pkg_cstate: PkgCState,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ThreadRates {
+    c0: bool,
+    fc_ghz: f64,
+    /// `None` when no workload is assigned (the counter is never touched,
+    /// matching the per-tick accumulation it replaces).
+    instret_per_ns: Option<f64>,
+}
+
+/// Inputs and outputs of the last full tick, replayed by light ticks.
+#[derive(Debug, Clone)]
+struct QuietCache {
+    tick: SocketTick,
+    eet_input: f64,
+    avx_input: Vec<bool>,
+    bias: ModelBias,
+    /// The limiter-average bucket hashed into the last PCU key; a light
+    /// phase must end (wake) on the step where the live average leaves it.
+    avg_bucket: u64,
+    therm_readout: u64,
+}
+
+impl QuietCache {
+    fn new(cores: usize) -> Self {
+        QuietCache {
+            tick: SocketTick::default(),
+            eet_input: 0.0,
+            avx_input: vec![false; cores],
+            bias: ModelBias::NONE,
+            avg_bucket: 0,
+            therm_readout: 0,
+        }
+    }
 }
 
 /// One processor package with its PCU, MSRs, RAPL, and c-state machinery.
@@ -55,9 +117,20 @@ pub struct Socket {
     thermal: ThermalState,
     mbvr: Mbvr,
     transition_log: Vec<TransitionEvent>,
+    /// Keyed noise streams: draws are pure functions of the simulation
+    /// instant, never of how many times the engine stepped.
+    noise_pstate: DomainNoise,
+    noise_rapl: DomainNoise,
+    /// Whether the last full tick proved every domain steady (see
+    /// [`Socket::light_tick`]).
+    quiet: bool,
+    cached: QuietCache,
+    rates: Option<CounterRates>,
+    pending_ns: Ns,
 }
 
 impl Socket {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: usize,
         spec: SkuSpec,
@@ -65,6 +138,7 @@ impl Socket {
         dram_mode: DramRaplMode,
         eet_enabled: bool,
         pcu_phase_ns: Ns,
+        seed: u64,
     ) -> Self {
         let threads = spec.hw_threads();
         let cores = spec.cores;
@@ -79,6 +153,9 @@ impl Socket {
             );
             msr.store(t, msra::IA32_PERF_CTL, fields::encode_perf_ctl(base));
         }
+        // Per-socket noise keys: golden-ratio mix so socket 0 and 1 draw
+        // independent streams from the same node seed.
+        let socket_seed = seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Socket {
             id,
             power_mult,
@@ -104,6 +181,12 @@ impl Socket {
             thermal: ThermalState::new(ThermalParams::server_max_fans()),
             mbvr: Mbvr::new(),
             msr,
+            noise_pstate: DomainNoise::new(socket_seed, domain::PSTATE),
+            noise_rapl: DomainNoise::new(socket_seed, domain::RAPL),
+            quiet: false,
+            cached: QuietCache::new(cores),
+            rates: None,
+            pending_ns: 0,
             spec,
             transition_log: Vec::new(),
         }
@@ -117,10 +200,12 @@ impl Socket {
     pub fn set_thread(&mut self, core: usize, thread: usize, w: Option<WorkloadProfile>) {
         let idx = core * self.spec.threads_per_core + thread;
         self.threads[idx] = w;
+        self.quiet = false;
     }
 
     /// OS request: set the frequency setting of one core.
     pub fn set_core_setting(&mut self, core: usize, setting: FreqSetting, now: Ns) {
+        self.quiet = false;
         self.requested[core] = setting;
         let target = match setting {
             FreqSetting::Fixed(p) => p,
@@ -139,6 +224,7 @@ impl Socket {
     /// A `wrmsr` to `IA32_PERF_CTL` from a tool: translate into a p-state
     /// request (per-core domain on Haswell-EP).
     pub fn perf_ctl_written(&mut self, thread: usize, value: u64, now: Ns) {
+        self.quiet = false;
         let core = thread / self.spec.threads_per_core;
         let target = fields::decode_perf_ctl(value);
         self.requested[core] = FreqSetting::Fixed(target);
@@ -218,23 +304,24 @@ impl Socket {
         )))
     }
 
-    /// Advance this socket by `dt` ending at `now`.
-    #[allow(clippy::too_many_arguments)]
-    pub fn tick<R: Rng>(
+    /// Advance this socket by `dt` ending at `now` (the full model). With
+    /// `track_quiescence` (the event engine), the tick additionally proves
+    /// or refutes that subsequent steps may take the light path.
+    pub fn tick(
         &mut self,
         now: Ns,
         dt: Ns,
         t_s: f64,
         other_socket_active: bool,
         fastest_setting_in_system: Option<FreqSetting>,
-        rng: &mut R,
+        track_quiescence: bool,
     ) -> SocketTick {
         let dt_s = dt as f64 * 1e-9;
         let spec = self.spec.clone();
         let tpc = spec.threads_per_core;
 
         // 1. P-state engine (transition latencies).
-        self.pstate.tick(now, rng);
+        self.pstate.tick(now, &self.noise_pstate);
         self.transition_log.extend(self.pstate.drain_events());
 
         // 2. Workload aggregation — heterogeneous per core: each core
@@ -245,6 +332,7 @@ impl Socket {
         let mut duty_sum = 0.0;
         let mut activity_sum = 0.0;
         let mut stall = 0.0f64;
+        let mut all_const_duty = true;
         let smt_any = (0..spec.cores).any(|c| self.core_smt(c));
         for c in 0..spec.cores {
             if let Some(p) = self.core_profile(c) {
@@ -253,6 +341,9 @@ impl Socket {
                 activity_sum += p.activity(self.core_smt(c)) * d;
                 // Stalls drive UFS up: the hungriest core dominates.
                 stall = stall.max(p.stall_fraction);
+                if !matches!(p.duty, DutyCycle::Constant) {
+                    all_const_duty = false;
+                }
             }
         }
         let duty = if active > 0 {
@@ -265,12 +356,14 @@ impl Socket {
         for c in 0..spec.cores {
             let avx_stream = self.core_profile(c).map(|p| p.avx_heavy).unwrap_or(false);
             let busy = self.core_busy(c);
+            self.cached.avx_input[c] = busy && avx_stream;
             self.avx[c].observe(busy && avx_stream, now);
         }
         let avx_engaged = (0..spec.cores).any(|c| self.core_busy(c) && self.avx[c].engaged());
 
         // 4. EET (1 ms sporadic stall polling).
-        self.eet.tick(now, stall * duty.min(1.0));
+        let eet_input = stall * duty.min(1.0);
+        self.eet.tick(now, eet_input);
 
         // 5. PCU equilibrium: re-solved at the 500 µs cadence (power drift)
         //    and immediately whenever an input changes — e.g. a p-state
@@ -295,38 +388,38 @@ impl Socket {
             ((self.eet.sampled_stall() * 100.0) as u64).hash(&mut h);
             h.finish()
         };
+        let epb = self.epb();
+        let eet_limit = if self.eet_enabled {
+            self.eet
+                .limit_mhz(&spec, epb, spec.freq.turbo_mhz(active.max(1)))
+        } else {
+            u32::MAX
+        };
+        let _ = smt_any;
+        let activity = if active > 0 {
+            activity_sum / active as f64
+        } else {
+            0.0
+        };
+        let inputs = PcuInputs {
+            spec: &spec,
+            socket_power_mult: self.power_mult,
+            setting,
+            epb,
+            turbo_enabled: self.turbo_enabled(),
+            active_cores: active,
+            gated_idle_cores: (0..spec.cores)
+                .filter(|c| !self.core_busy(*c) && self.cstates[*c].power_gated())
+                .count(),
+            activity,
+            avx_engaged,
+            stall_fraction: stall,
+            eet_limit_mhz: eet_limit,
+            avg_pkg_w: self.rapl.running_avg_pkg_w(),
+        };
         if key != self.last_pcu_key || self.next_pcu <= now {
             self.last_pcu_key = key;
             self.next_pcu = now + hsw_hwspec::calib::PSTATE_OPPORTUNITY_PERIOD_US as Ns * US;
-            let epb = self.epb();
-            let eet_limit = if self.eet_enabled {
-                self.eet
-                    .limit_mhz(&spec, epb, spec.freq.turbo_mhz(active.max(1)))
-            } else {
-                u32::MAX
-            };
-            let _ = smt_any;
-            let activity = if active > 0 {
-                activity_sum / active as f64
-            } else {
-                0.0
-            };
-            let inputs = PcuInputs {
-                spec: &spec,
-                socket_power_mult: self.power_mult,
-                setting,
-                epb,
-                turbo_enabled: self.turbo_enabled(),
-                active_cores: active,
-                gated_idle_cores: (0..spec.cores)
-                    .filter(|c| !self.core_busy(*c) && self.cstates[*c].power_gated())
-                    .count(),
-                activity,
-                avx_engaged,
-                stall_fraction: stall,
-                eet_limit_mhz: eet_limit,
-                avg_pkg_w: self.rapl.running_avg_pkg_w(),
-            };
             self.grant = PcuController::solve(&inputs);
             // Software-imposed uncore bounds (paper Section II-D: "it can
             // be specified via the MSR UNCORE_RATIO_LIMIT"): clamp the UFS
@@ -483,11 +576,13 @@ impl Socket {
         self.thermal.advance(dt_s, pkg_w);
         debug_assert!(!self.thermal.prochot(), "max-fan node must not PROCHOT");
         let readout = (96.0 - self.thermal.t_die_c).clamp(0.0, 127.0) as u64;
+        self.cached.therm_readout = readout;
         for t in 0..spec.hw_threads() {
             self.msr.store(t, msra::IA32_THERM_STATUS, readout << 16);
         }
 
-        // 11. RAPL (modeled bias on pre-Haswell generations).
+        // 11. RAPL (modeled bias on pre-Haswell generations). The error
+        //     draw is keyed to the interval's end instant.
         let bias = profile
             .as_ref()
             .map(|p| ModelBias {
@@ -495,48 +590,33 @@ impl Socket {
                 offset_w: p.snb_rapl_bias.1,
             })
             .unwrap_or(ModelBias::NONE);
-        self.rapl.advance(dt_s, pkg_w, dram_w, bias, rng);
+        self.rapl
+            .advance(dt_s, pkg_w, dram_w, bias, self.noise_rapl.symmetric(now, 0));
 
-        // 12. Mirror counters into the MSR bank.
+        // 12. Counter plane: refresh the rate set, flushing the pending
+        //     span under the old rates first if anything changed.
         self.msr
             .store_package(msra::MSR_PKG_ENERGY_STATUS, self.rapl.pkg_raw() as u64);
         self.msr
             .store_package(msra::MSR_DRAM_ENERGY_STATUS, self.rapl.dram_raw() as u64);
-        let nominal_ghz = spec.freq.base_mhz as f64 / 1000.0;
-        let dt_ns = dt as f64;
-        self.msr.accumulate(
-            0,
-            msra::MSR_U_PMON_UCLK_FIXED_CTR,
-            uncore_mhz / 1000.0 * dt_ns,
-        );
+        let fu_ghz = (uncore_mhz / 1000.0).max(0.1);
+        let mut thread_rates = Vec::with_capacity(spec.hw_threads());
         for c in 0..spec.cores {
             let fc_ghz = self.core_mhz[c] / 1000.0;
-            let fu_ghz = (uncore_mhz / 1000.0).max(0.1);
+            let c0 = self.cstates[c] == CoreCState::C0;
             for t in 0..tpc {
                 let idx = c * tpc + t;
-                self.msr
-                    .accumulate(idx, msra::IA32_TIME_STAMP_COUNTER, nominal_ghz * dt_ns);
-                if self.cstates[c] == CoreCState::C0 {
-                    self.msr.accumulate(idx, msra::IA32_APERF, fc_ghz * dt_ns);
-                    self.msr
-                        .accumulate(idx, msra::IA32_MPERF, nominal_ghz * dt_ns);
-                    self.msr.accumulate(
-                        idx,
-                        msra::IA32_FIXED_CTR1_CPU_CLK_UNHALTED,
-                        fc_ghz * dt_ns,
-                    );
-                    self.msr
-                        .accumulate(idx, msra::IA32_FIXED_CTR2_REF_CYCLES, nominal_ghz * dt_ns);
-                    if let Some(p) = self.threads[idx].as_ref() {
-                        let ipc = p.ipc(self.core_smt(c), fc_ghz, fu_ghz)
-                            * self.avx[c].throughput_factor();
-                        self.msr.accumulate(
-                            idx,
-                            msra::IA32_FIXED_CTR0_INST_RETIRED,
-                            ipc * fc_ghz * dt_ns * duty.max(0.0),
-                        );
-                    }
-                }
+                let instret_per_ns = self.threads[idx].as_ref().map(|p| {
+                    p.ipc(self.core_smt(c), fc_ghz, fu_ghz)
+                        * self.avx[c].throughput_factor()
+                        * fc_ghz
+                        * duty.max(0.0)
+                });
+                thread_rates.push(ThreadRates {
+                    c0,
+                    fc_ghz,
+                    instret_per_ns,
+                });
                 let ratio = PState((self.core_mhz[c] / 100.0).round() as u8);
                 self.msr.store(
                     idx,
@@ -544,30 +624,159 @@ impl Socket {
                     fields::encode_perf_status(ratio),
                 );
             }
-            // Core c-state residency counters (TSC-rate units).
-            if self.cstates[c] == CoreCState::C3 {
-                self.msr
-                    .accumulate(c * tpc, msra::MSR_CORE_C3_RESIDENCY, nominal_ghz * dt_ns);
-            }
-            if self.cstates[c] == CoreCState::C6 {
-                self.msr
-                    .accumulate(c * tpc, msra::MSR_CORE_C6_RESIDENCY, nominal_ghz * dt_ns);
-            }
         }
-        if self.pkg_cstate == PkgCState::PC3 {
-            self.msr
-                .accumulate(0, msra::MSR_PKG_C3_RESIDENCY, nominal_ghz * dt_ns);
+        let rates = CounterRates {
+            uncore_ghz: uncore_mhz / 1000.0,
+            threads: thread_rates,
+            core_cstates: self.cstates.clone(),
+            pkg_cstate: self.pkg_cstate,
+        };
+        if self.rates.as_ref() != Some(&rates) {
+            self.flush_counters();
+            self.rates = Some(rates);
         }
-        if self.pkg_cstate == PkgCState::PC6 {
-            self.msr
-                .accumulate(0, msra::MSR_PKG_C6_RESIDENCY, nominal_ghz * dt_ns);
-        }
+        self.pending_ns += dt;
 
-        SocketTick {
+        let out = SocketTick {
             pkg_w,
             dram_w,
             dram_bw_gbs: dram_bw,
+        };
+
+        // 13. Quiescence: the event engine may replace subsequent steps
+        //     with light ticks only when every discrete domain is provably
+        //     steady *and* the PCU solve is independent of the one input
+        //     that keeps moving (the limiter's running average).
+        self.cached.tick = out;
+        self.cached.eet_input = eet_input;
+        self.cached.bias = bias;
+        self.cached.avg_bucket = avg_bucket;
+        self.quiet = track_quiescence
+            && all_const_duty
+            && self.pstate.quiescent()
+            && (0..spec.cores).all(|c| self.avx[c].stable_under(self.cached.avx_input[c]))
+            && self.eet.sampled_stall().to_bits() == eet_input.to_bits()
+            && PcuController::avg_insensitive(&inputs);
+
+        out
+    }
+
+    /// Pre-step wake test: must the next step be a full tick even though
+    /// the socket is quiet? The limiter's running average is the one input
+    /// that keeps moving over a steady workload; the full tick re-solves
+    /// when it crosses a 2 W hash bucket, so the step where that happens
+    /// must run the full body (the fixed engine re-solves on exactly that
+    /// step — the grant is unchanged by `avg_insensitive`, but the key
+    /// bookkeeping must be replayed faithfully).
+    pub fn light_wake(&self) -> bool {
+        (self.rapl.running_avg_pkg_w() / 2.0) as u64 != self.cached.avg_bucket
+    }
+
+    /// Whether the last full tick proved this socket quiescent.
+    pub fn quiescent_now(&self) -> bool {
+        self.quiet
+    }
+
+    /// Quiescent step: replays only the continuous integrators (RAPL,
+    /// thermal, MBVR) and the periodic controllers whose outcome is
+    /// provably unchanged (EET poll, AVX relax, PCU timer), using the
+    /// inputs cached by the last full tick. Floating-point operations and
+    /// their order match the full tick exactly, so the state after a quiet
+    /// span is bit-identical no matter which path stepped it.
+    pub fn light_tick(&mut self, now: Ns, dt: Ns) -> SocketTick {
+        debug_assert!(self.quiet, "light_tick on a non-quiescent socket");
+        let dt_s = dt as f64 * 1e-9;
+        for c in 0..self.spec.cores {
+            let on = self.cached.avx_input[c];
+            self.avx[c].observe(on, now);
         }
+        self.eet.tick(now, self.cached.eet_input);
+        if self.next_pcu <= now {
+            // Inputs unchanged and the grant avg-independent: the periodic
+            // re-solve would reproduce the same grant, so only the schedule
+            // advances (mirroring the fixed engine's bookkeeping).
+            self.next_pcu = now + hsw_hwspec::calib::PSTATE_OPPORTUNITY_PERIOD_US as Ns * US;
+        }
+        let out = self.cached.tick;
+        self.mbvr.update_estimated_power(out.pkg_w);
+        self.thermal.advance(dt_s, out.pkg_w);
+        debug_assert!(!self.thermal.prochot(), "max-fan node must not PROCHOT");
+        let readout = (96.0 - self.thermal.t_die_c).clamp(0.0, 127.0) as u64;
+        if readout != self.cached.therm_readout {
+            self.cached.therm_readout = readout;
+            for t in 0..self.spec.hw_threads() {
+                self.msr.store(t, msra::IA32_THERM_STATUS, readout << 16);
+            }
+        }
+        self.rapl.advance(
+            dt_s,
+            out.pkg_w,
+            out.dram_w,
+            self.cached.bias,
+            self.noise_rapl.symmetric(now, 0),
+        );
+        self.pending_ns += dt;
+        out
+    }
+
+    /// Apply the pending counter span under the current rates and refresh
+    /// the energy-status mirrors. Called on rate changes and at the end of
+    /// every `Node::advance_us`, so software reads between advances always
+    /// see current counters.
+    pub(crate) fn flush_counters(&mut self) {
+        let span = std::mem::replace(&mut self.pending_ns, 0) as f64;
+        let Some(rates) = self.rates.take() else {
+            return;
+        };
+        if span > 0.0 {
+            let nominal_ghz = self.spec.freq.base_mhz as f64 / 1000.0;
+            let tpc = self.spec.threads_per_core;
+            self.msr
+                .accumulate(0, msra::MSR_U_PMON_UCLK_FIXED_CTR, rates.uncore_ghz * span);
+            for (idx, t) in rates.threads.iter().enumerate() {
+                self.msr
+                    .accumulate(idx, msra::IA32_TIME_STAMP_COUNTER, nominal_ghz * span);
+                if t.c0 {
+                    self.msr.accumulate(idx, msra::IA32_APERF, t.fc_ghz * span);
+                    self.msr
+                        .accumulate(idx, msra::IA32_MPERF, nominal_ghz * span);
+                    self.msr.accumulate(
+                        idx,
+                        msra::IA32_FIXED_CTR1_CPU_CLK_UNHALTED,
+                        t.fc_ghz * span,
+                    );
+                    self.msr
+                        .accumulate(idx, msra::IA32_FIXED_CTR2_REF_CYCLES, nominal_ghz * span);
+                    if let Some(r) = t.instret_per_ns {
+                        self.msr
+                            .accumulate(idx, msra::IA32_FIXED_CTR0_INST_RETIRED, r * span);
+                    }
+                }
+            }
+            for (c, cs) in rates.core_cstates.iter().enumerate() {
+                if *cs == CoreCState::C3 {
+                    self.msr
+                        .accumulate(c * tpc, msra::MSR_CORE_C3_RESIDENCY, nominal_ghz * span);
+                }
+                if *cs == CoreCState::C6 {
+                    self.msr
+                        .accumulate(c * tpc, msra::MSR_CORE_C6_RESIDENCY, nominal_ghz * span);
+                }
+            }
+            if rates.pkg_cstate == PkgCState::PC3 {
+                self.msr
+                    .accumulate(0, msra::MSR_PKG_C3_RESIDENCY, nominal_ghz * span);
+            }
+            if rates.pkg_cstate == PkgCState::PC6 {
+                self.msr
+                    .accumulate(0, msra::MSR_PKG_C6_RESIDENCY, nominal_ghz * span);
+            }
+            self.msr
+                .store_package(msra::MSR_PKG_ENERGY_STATUS, self.rapl.pkg_raw() as u64);
+            self.msr
+                .store_package(msra::MSR_DRAM_ENERGY_STATUS, self.rapl.dram_raw() as u64);
+        }
+        self.rates = Some(rates);
     }
 
     // --- Ground-truth accessors (simulation-internal; tests and traces) ---

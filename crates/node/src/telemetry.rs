@@ -122,6 +122,8 @@ impl Trace {
 mod tests {
     use super::*;
     use crate::config::NodeConfig;
+    use crate::engine::EngineMode;
+    use crate::session::Platform;
     use hsw_exec::WorkloadProfile;
     use hsw_hwspec::freq::FreqSetting;
 
@@ -187,6 +189,46 @@ mod tests {
             assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
         }
         assert!(lines[0].starts_with("t_s,pkg0_w"));
+    }
+
+    #[test]
+    fn trace_cadence_is_exact_under_the_event_engine() {
+        // Coalesced advances must not skid snapshot instants: the event
+        // engine may skip micro-step bodies inside one `advance_s`, but
+        // every `Trace::record` boundary is still an exact stop.
+        let mut node = Platform::paper()
+            .with_engine(EngineMode::Event)
+            .session()
+            .seed(21)
+            .build()
+            .into_node();
+        node.idle_all(); // idle node: maximal coalescing opportunity
+        let start = node.now_s();
+        let trace = Trace::record(&mut node, 0.25, 0.1);
+        assert_eq!(trace.snapshots.len(), 3);
+        let times: Vec<f64> = trace.snapshots.iter().map(|s| s.t_s - start).collect();
+        for (got, want) in times.iter().zip([0.1, 0.2, 0.25]) {
+            assert!((got - want).abs() < 1e-9, "times {times:?}");
+        }
+    }
+
+    #[test]
+    fn traces_agree_bit_for_bit_across_engines() {
+        let run = |engine| {
+            let mut node = Platform::paper()
+                .with_engine(engine)
+                .session()
+                .seed(22)
+                .build()
+                .into_node();
+            node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
+            node.set_setting_all(FreqSetting::from_mhz(2000));
+            node.advance_s(0.05);
+            Trace::record(&mut node, 0.35, 0.1)
+        };
+        let fixed = run(EngineMode::Fixed);
+        let event = run(EngineMode::Event);
+        assert_eq!(fixed, event, "engine choice altered recorded telemetry");
     }
 
     #[test]

@@ -6,11 +6,10 @@
 //! (AVX base … AVX max-all-core turbo). The PCU returns to the regular
 //! operating mode 1 ms after the last AVX instruction completes.
 
+use hsw_hwspec::clock::{ClockDomain, US};
 use hsw_hwspec::{calib, SkuSpec};
 
 use crate::pstate::Ns;
-
-const US: Ns = 1_000;
 
 /// License state of one core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +109,42 @@ impl AvxLicense {
     /// The guaranteed minimum under AVX load (AVX base frequency).
     pub fn guaranteed_mhz(spec: &SkuSpec) -> u32 {
         spec.freq.avx_base_mhz.unwrap_or(spec.freq.min_mhz)
+    }
+
+    /// Whether the license state is stable under a *constant* AVX input:
+    /// replaying `observe(avx_active, _)` at any cadence leaves the observable
+    /// state (engaged, throughput factor) unchanged. False while the voltage
+    /// ramps or while a relax countdown is pending.
+    pub fn stable_under(&self, avx_active: bool) -> bool {
+        match self.state {
+            LicenseState::Ramping { .. } => false,
+            LicenseState::Normal => !avx_active,
+            LicenseState::Active => avx_active,
+        }
+    }
+}
+
+impl ClockDomain for AvxLicense {
+    fn name(&self) -> &'static str {
+        "avx"
+    }
+
+    fn native_period_ns(&self) -> Ns {
+        calib::AVX_RELAX_PERIOD_US as Ns * US
+    }
+
+    fn next_event_ns(&self, _now: Ns) -> Option<Ns> {
+        match self.state {
+            LicenseState::Ramping { until } => Some(until),
+            LicenseState::Active => self
+                .last_avx
+                .map(|last| last + calib::AVX_RELAX_PERIOD_US as Ns * US),
+            LicenseState::Normal => None,
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        matches!(self.state, LicenseState::Normal)
     }
 }
 

@@ -208,6 +208,29 @@ impl PcuController {
         lo
     }
 
+    /// Whether [`PcuController::solve`] returns bit-identical grants for
+    /// *any* value of `inputs.avg_pkg_w`: either the socket is passive (the
+    /// idle branch never reads the average), or the most power-hungry point
+    /// the solver can consider — the pre-limit ceiling with the uncore at
+    /// its maximum — fits under the smallest budget the two-level limiter
+    /// can hand out. Power is monotone in both frequencies, so every
+    /// in-budget comparison inside the bisections then resolves the same
+    /// way regardless of where the running average sits, and the solver
+    /// walks an identical path. The event engine uses this to prove that
+    /// skipping periodic re-solves over a steady workload cannot change the
+    /// grant.
+    pub fn avg_insensitive(inputs: &PcuInputs<'_>) -> bool {
+        if inputs.active_cores == 0 {
+            return true;
+        }
+        let spec = inputs.spec;
+        // Smallest possible budget: pl_base clamped at 0.9·TDP, scaled by
+        // the most frugal EPB factor.
+        let min_budget = spec.tdp_w * 0.9 * 0.995;
+        let ceiling = Self::core_ceiling_mhz(inputs) as f64;
+        Self::power_at(inputs, ceiling, spec.freq.uncore_max_mhz as f64) <= min_budget
+    }
+
     /// Solve the steady-state operating point.
     pub fn solve(inputs: &PcuInputs<'_>) -> PcuGrant {
         let spec = inputs.spec;

@@ -7,11 +7,10 @@
 //! paper's caveat ("EET may impair performance and energy efficiency of
 //! workloads that change their characteristics at an unfavorable rate").
 
+use hsw_hwspec::clock::{ClockDomain, US};
 use hsw_hwspec::{calib, EpbClass, SkuSpec};
 
 use crate::pstate::Ns;
-
-const US: Ns = 1_000;
 
 /// Stall fraction above which turbo stops paying off and EET caps the grant.
 pub const EET_STALL_CAP_THRESHOLD: f64 = 0.60;
@@ -62,6 +61,34 @@ impl EetController {
         } else {
             unconstrained_mhz
         }
+    }
+
+    /// The next poll boundary (the only instant this controller acts).
+    pub fn next_poll(&self) -> Ns {
+        self.next_poll
+    }
+
+    /// Whether a poll at the given stall level would change the sampled
+    /// state — i.e. whether replaying this controller over a constant
+    /// workload can alter anything downstream.
+    pub fn settled_at(&self, instantaneous_stall: f64) -> bool {
+        let before = self.sampled_stall > EET_STALL_CAP_THRESHOLD;
+        let after = instantaneous_stall > EET_STALL_CAP_THRESHOLD;
+        before == after
+    }
+}
+
+impl ClockDomain for EetController {
+    fn name(&self) -> &'static str {
+        "eet"
+    }
+
+    fn native_period_ns(&self) -> Ns {
+        calib::EET_POLL_PERIOD_US as Ns * US
+    }
+
+    fn next_event_ns(&self, _now: Ns) -> Option<Ns> {
+        self.enabled.then_some(self.next_poll)
     }
 }
 

@@ -8,13 +8,11 @@
 //! independent. Earlier generations (and Haswell-HE) service requests
 //! immediately, paying only the switching time.
 
+use hsw_hwspec::clock::{ClockDomain, DomainNoise, US};
 use hsw_hwspec::{calib, CpuGeneration, PState, PStateTransitionMode};
-use rand::Rng;
 
-/// Simulation time in nanoseconds.
-pub type Ns = u64;
-
-const US: Ns = 1_000;
+/// Simulation time in nanoseconds (re-exported engine-wide clock unit).
+pub use hsw_hwspec::clock::Ns;
 
 /// A completed transition, for tracing/experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,9 +109,11 @@ impl PStateEngine {
         }
     }
 
-    /// Advance the engine to time `now`. `rng` drives the opportunity-period
-    /// jitter. Completed transitions are queued for [`Self::drain_events`].
-    pub fn tick<R: Rng>(&mut self, now: Ns, rng: &mut R) {
+    /// Advance the engine to time `now`. `noise` drives the opportunity-period
+    /// jitter, keyed by each opportunity instant so the walk is the same no
+    /// matter how sparsely the engine is ticked. Completed transitions are
+    /// queued for [`Self::drain_events`].
+    pub fn tick(&mut self, now: Ns, noise: &DomainNoise) {
         // Latch pending requests at every opportunity boundary passed.
         if let PStateTransitionMode::OpportunityWindow { period_us } = self.mode {
             while self.next_opportunity <= now {
@@ -131,7 +131,7 @@ impl PStateEngine {
                     }
                 }
                 let jitter_us = calib::PSTATE_OPPORTUNITY_JITTER_US as i64;
-                let jitter = rng.gen_range(-jitter_us..=jitter_us);
+                let jitter = noise.range_i64(opp, 0, -jitter_us, jitter_us);
                 let period = (period_us as i64 + jitter).max(1) as Ns * US;
                 self.next_opportunity = opp + period;
             }
@@ -174,30 +174,82 @@ impl PStateEngine {
     pub fn next_opportunity(&self) -> Ns {
         self.next_opportunity
     }
+
+    /// Earliest instant at which the engine changes state on its own:
+    /// the soonest in-flight completion, or — with requests waiting — the
+    /// next latch opportunity.
+    pub fn next_event(&self) -> Option<Ns> {
+        let completion = self
+            .switching
+            .iter()
+            .filter_map(|s| s.map(|(_, completes, _)| completes))
+            .min();
+        let latch = if self.pending.iter().any(Option::is_some) {
+            match self.mode {
+                PStateTransitionMode::OpportunityWindow { .. } => Some(self.next_opportunity),
+                PStateTransitionMode::Immediate => None, // switch already began
+            }
+        } else {
+            None
+        };
+        match (completion, latch) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+impl ClockDomain for PStateEngine {
+    fn name(&self) -> &'static str {
+        "pstate"
+    }
+
+    fn native_period_ns(&self) -> Ns {
+        match self.mode {
+            PStateTransitionMode::OpportunityWindow { period_us } => period_us as Ns * US,
+            PStateTransitionMode::Immediate => calib::PSTATE_SWITCHING_TIME_US as Ns * US,
+        }
+    }
+
+    fn next_event_ns(&self, _now: Ns) -> Option<Ns> {
+        self.next_event()
+    }
+
+    /// Quiescent iff no request is pending and no switch is in flight. The
+    /// opportunity clock itself keeps running, but with keyed jitter its
+    /// catch-up is path-independent, so it never forces fine stepping.
+    fn quiescent(&self) -> bool {
+        self.pending.iter().all(Option::is_none) && self.switching.iter().all(Option::is_none)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hsw_hwspec::clock::domain;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     const HSW: CpuGeneration = CpuGeneration::HaswellEp;
+
+    fn noise() -> DomainNoise {
+        DomainNoise::new(1, domain::PSTATE)
+    }
 
     fn engine(gen: CpuGeneration) -> PStateEngine {
         PStateEngine::new(gen, 12, PState::from_mhz(1200), 0)
     }
 
-    fn run_until(e: &mut PStateEngine, rng: &mut SmallRng, from: Ns, to: Ns) {
+    fn run_until(e: &mut PStateEngine, noise: &DomainNoise, from: Ns, to: Ns) {
         let mut t = from;
         while t <= to {
-            e.tick(t, rng);
+            e.tick(t, noise);
             t += US; // 1 µs steps
         }
     }
 
     /// Measure one request→completion latency in µs.
-    fn measure(e: &mut PStateEngine, rng: &mut SmallRng, t_req: Ns) -> f64 {
+    fn measure(e: &mut PStateEngine, noise: &DomainNoise, t_req: Ns) -> f64 {
         let target = if e.current(0) == PState::from_mhz(1200) {
             PState::from_mhz(1300)
         } else {
@@ -206,7 +258,7 @@ mod tests {
         e.request(0, target, t_req);
         let mut t = t_req;
         loop {
-            e.tick(t, rng);
+            e.tick(t, noise);
             if let Some(ev) = e.drain_events().into_iter().find(|ev| ev.core == 0) {
                 return ev.latency_us();
             }
@@ -215,17 +267,36 @@ mod tests {
     }
 
     #[test]
+    fn sparse_and_dense_ticking_agree() {
+        // The keyed jitter makes catch-up path-independent: ticking every
+        // microsecond and ticking once per millisecond walk the same
+        // opportunity-clock sequence.
+        let n = noise();
+        let mut dense = engine(HSW);
+        let mut sparse = engine(HSW);
+        run_until(&mut dense, &n, 0, 50_000 * US);
+        let mut t = 0;
+        while t <= 50_000 * US {
+            sparse.tick(t, &n);
+            t += 1_000 * US;
+        }
+        sparse.tick(50_000 * US, &n);
+        assert_eq!(dense.next_opportunity(), sparse.next_opportunity());
+    }
+
+    #[test]
     fn latency_bounds_match_figure3() {
         // Random request times → latencies between ~21 µs and ~524 µs.
         let mut rng = SmallRng::seed_from_u64(1);
+        let n = noise();
         let mut e = engine(HSW);
-        run_until(&mut e, &mut rng, 0, 10_000 * US);
+        run_until(&mut e, &n, 0, 10_000 * US);
         let mut lo = f64::MAX;
         let mut hi: f64 = 0.0;
         let mut t = 10_000 * US;
         for _ in 0..300 {
             t += US * rng.gen_range(1..997); // random offset vs. the 500 µs clock
-            let lat = measure(&mut e, &mut rng, t);
+            let lat = measure(&mut e, &n, t);
             lo = lo.min(lat);
             hi = hi.max(lat);
             t += 2_000 * US;
@@ -238,14 +309,14 @@ mod tests {
     fn request_right_after_change_takes_a_full_period() {
         // Figure 3: "Requesting a frequency transition instantly after a
         // frequency change has been detected leads to around 500 µs".
-        let mut rng = SmallRng::seed_from_u64(2);
+        let n = noise();
         let mut e = engine(HSW);
         let mut t = 0;
         for _ in 0..50 {
             // Wait for a change to complete, then request immediately.
-            let lat = measure(&mut e, &mut rng, t + US);
+            let lat = measure(&mut e, &n, t + US);
             t += (lat as Ns + 2) * US;
-            let lat2 = measure(&mut e, &mut rng, t);
+            let lat2 = measure(&mut e, &n, t);
             assert!(
                 (470.0..=540.0).contains(&lat2),
                 "instant re-request latency {lat2}"
@@ -256,15 +327,15 @@ mod tests {
 
     #[test]
     fn request_400us_after_change_takes_about_100us() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let n = noise();
         let mut e = engine(HSW);
         let mut t = 1_000 * US;
         let mut lats = Vec::new();
         for _ in 0..50 {
-            let lat = measure(&mut e, &mut rng, t);
+            let lat = measure(&mut e, &n, t);
             t += (lat as Ns) * US; // change completed here
             t += 400 * US - calib::PSTATE_SWITCHING_TIME_US as Ns * US;
-            let lat2 = measure(&mut e, &mut rng, t);
+            let lat2 = measure(&mut e, &n, t);
             lats.push(lat2);
             t += 1_700 * US + (t % 13) * US;
         }
@@ -282,13 +353,13 @@ mod tests {
     fn same_socket_cores_transition_at_the_same_opportunity() {
         // Paper Section VI-A: "cores on the same processor change their
         // frequency at the same time".
-        let mut rng = SmallRng::seed_from_u64(4);
+        let n = noise();
         let mut e = engine(HSW);
-        run_until(&mut e, &mut rng, 0, 3_000 * US);
+        run_until(&mut e, &n, 0, 3_000 * US);
         e.drain_events();
         e.request(2, PState::from_mhz(1300), 3_100 * US);
         e.request(9, PState::from_mhz(1400), 3_250 * US);
-        run_until(&mut e, &mut rng, 3_100 * US, 5_000 * US);
+        run_until(&mut e, &n, 3_100 * US, 5_000 * US);
         let events = e.drain_events();
         let e2 = events.iter().find(|ev| ev.core == 2).expect("core 2");
         let e9 = events.iter().find(|ev| ev.core == 9).expect("core 9");
@@ -300,17 +371,17 @@ mod tests {
 
     #[test]
     fn different_sockets_transition_independently() {
-        let mut rng = SmallRng::seed_from_u64(5);
+        let n = noise();
         let mut s0 = PStateEngine::new(HSW, 12, PState::from_mhz(1200), 0);
         let mut s1 = PStateEngine::new(HSW, 12, PState::from_mhz(1200), 237 * US);
-        run_until(&mut s0, &mut rng, 0, 3_000 * US);
-        run_until(&mut s1, &mut rng, 0, 3_000 * US);
+        run_until(&mut s0, &n, 0, 3_000 * US);
+        run_until(&mut s1, &n, 0, 3_000 * US);
         s0.drain_events();
         s1.drain_events();
         s0.request(0, PState::from_mhz(1300), 3_050 * US);
         s1.request(0, PState::from_mhz(1300), 3_050 * US);
-        run_until(&mut s0, &mut rng, 3_050 * US, 5_000 * US);
-        run_until(&mut s1, &mut rng, 3_050 * US, 5_000 * US);
+        run_until(&mut s0, &n, 3_050 * US, 5_000 * US);
+        run_until(&mut s1, &n, 3_050 * US, 5_000 * US);
         let t0 = s0.drain_events()[0].completed_at;
         let t1 = s1.drain_events()[0].completed_at;
         assert_ne!(t0, t1, "socket phase offsets must decouple transitions");
@@ -322,10 +393,10 @@ mod tests {
         // Haswell-HE), p-state transition requests are always carried out
         // immediately (requiring only the switching time)."
         for gen in [CpuGeneration::SandyBridgeEp, CpuGeneration::HaswellHe] {
-            let mut rng = SmallRng::seed_from_u64(6);
+            let n = noise();
             let mut e = PStateEngine::new(gen, 8, PState::from_mhz(1200), 0);
             for t_req in [123 * US, 7_777 * US, 31_415 * US] {
-                let lat = measure(&mut e, &mut rng, t_req);
+                let lat = measure(&mut e, &n, t_req);
                 assert!(
                     (lat - calib::PSTATE_SWITCHING_TIME_US as f64).abs() < 1.5,
                     "{}: latency {lat}",
@@ -337,10 +408,10 @@ mod tests {
 
     #[test]
     fn chip_wide_domain_moves_all_cores_before_haswell_ep() {
-        let mut rng = SmallRng::seed_from_u64(7);
+        let n = noise();
         let mut e = PStateEngine::new(CpuGeneration::SandyBridgeEp, 8, PState::from_mhz(1200), 0);
         e.request(3, PState::from_mhz(2500), 1000 * US);
-        run_until(&mut e, &mut rng, 1000 * US, 1100 * US);
+        run_until(&mut e, &n, 1000 * US, 1100 * US);
         for c in 0..8 {
             assert_eq!(e.current(c), PState::from_mhz(2500), "core {c}");
         }
@@ -348,10 +419,10 @@ mod tests {
 
     #[test]
     fn pcps_moves_only_the_requested_core() {
-        let mut rng = SmallRng::seed_from_u64(8);
+        let n = noise();
         let mut e = engine(HSW);
         e.request(3, PState::from_mhz(2500), 0);
-        run_until(&mut e, &mut rng, 0, 1_000 * US);
+        run_until(&mut e, &n, 0, 1_000 * US);
         assert_eq!(e.current(3), PState::from_mhz(2500));
         for c in (0..12).filter(|c| *c != 3) {
             assert_eq!(e.current(c), PState::from_mhz(1200), "core {c}");
@@ -363,13 +434,14 @@ mod tests {
         // Paper: "the ACPI tables report an estimated 10 µs ... not
         // supported by the measurements".
         let mut rng = SmallRng::seed_from_u64(9);
+        let n = noise();
         let mut e = engine(HSW);
-        run_until(&mut e, &mut rng, 0, 2_000 * US);
+        run_until(&mut e, &n, 0, 2_000 * US);
         let mut all_above = true;
         let mut t = 2_000 * US;
         for _ in 0..40 {
             t += US * rng.gen_range(1..991);
-            let lat = measure(&mut e, &mut rng, t);
+            let lat = measure(&mut e, &n, t);
             all_above &= lat > calib::ACPI_PSTATE_LATENCY_US as f64;
             t += 1_500 * US;
         }

@@ -8,6 +8,7 @@
 //! peak efficiency at high current for better efficiency at low current
 //! (phase shedding).
 
+use hsw_hwspec::clock::{ClockDomain, Ns};
 use serde::{Deserialize, Serialize};
 
 /// The three MBVR power states (full-phase, reduced-phase, light-load).
@@ -128,6 +129,21 @@ impl Mbvr {
     pub fn loss_w(&self, pkg_w: f64) -> f64 {
         let eta = self.efficiency(pkg_w);
         pkg_w / eta - pkg_w
+    }
+}
+
+impl ClockDomain for Mbvr {
+    fn name(&self) -> &'static str {
+        "mbvr"
+    }
+
+    /// Purely input-driven (no internal timers): continuous.
+    fn native_period_ns(&self) -> Ns {
+        0
+    }
+
+    fn next_event_ns(&self, _now: Ns) -> Option<Ns> {
+        None
     }
 }
 

@@ -1,8 +1,7 @@
 //! RAPL engines: measured (Haswell-EP) vs. modeled (Sandy Bridge-EP) energy
 //! accounting, and the DRAM mode 0 / mode 1 distinction (paper Section IV).
 
-use rand::Rng;
-
+use hsw_hwspec::clock::{ClockDomain, Ns};
 use hsw_hwspec::{calib, CpuGeneration, RaplMode};
 use hsw_msr::EnergyCounter;
 
@@ -68,26 +67,29 @@ impl RaplEngine {
 
     /// Advance the engine by `dt_s` with the given true component powers.
     /// `bias` is the modeled-RAPL workload bias (ignored by measured RAPL).
-    /// Measured RAPL carries a small unbiased quantization/measurement noise.
-    pub fn advance<R: Rng>(
+    /// `noise` is a uniform draw in [-1, 1] — keyed by the caller to the
+    /// simulation instant, not to how many times `advance` ran, so fixed-tick
+    /// and event stepping accumulate identical error sequences. Measured RAPL
+    /// scales it to its sub-percent quantization/measurement band.
+    pub fn advance(
         &mut self,
         dt_s: f64,
         true_pkg_w: f64,
         true_dram_w: f64,
         bias: ModelBias,
-        rng: &mut R,
+        noise: f64,
     ) {
         let (pkg_w, dram_w) = match self.mode {
             RaplMode::Unavailable => (0.0, 0.0),
             RaplMode::Measured => {
                 // FIVR-based measurement: sub-percent white error.
-                let e = 1.0 + rng.gen_range(-0.004..=0.004);
+                let e = 1.0 + noise * 0.004;
                 (true_pkg_w * e, true_dram_w * e)
             }
             RaplMode::Modeled => {
                 // Event-driven model: systematic per-workload bias plus a
                 // little model noise.
-                let e = 1.0 + rng.gen_range(-0.01..=0.01);
+                let e = 1.0 + noise * 0.01;
                 (
                     (true_pkg_w * bias.gain + bias.offset_w) * e,
                     true_dram_w * bias.gain * e,
@@ -143,11 +145,27 @@ impl RaplEngine {
     }
 }
 
+impl ClockDomain for RaplEngine {
+    fn name(&self) -> &'static str {
+        "rapl"
+    }
+
+    /// Continuous integrator: it accepts whatever step it is given (the
+    /// limiter average is an Euler EMA, so callers must keep the cadence
+    /// identical across engine modes).
+    fn native_period_ns(&self) -> Ns {
+        0
+    }
+
+    fn next_event_ns(&self, _now: Ns) -> Option<Ns> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hsw_hwspec::clock::{domain, DomainNoise};
 
     fn run_engine(
         generation: CpuGeneration,
@@ -157,13 +175,19 @@ mod tests {
         bias: ModelBias,
         secs: f64,
     ) -> (f64, f64) {
-        let mut rng = SmallRng::seed_from_u64(42);
+        let noise = DomainNoise::new(42, domain::RAPL);
         let mut eng = RaplEngine::new(generation, dram_mode);
         let (p0, d0) = (eng.pkg_raw(), eng.dram_raw());
         let dt = 0.001;
         let steps = (secs / dt) as usize;
-        for _ in 0..steps {
-            eng.advance(dt, pkg_w, dram_w, bias, &mut rng);
+        for i in 0..steps {
+            eng.advance(
+                dt,
+                pkg_w,
+                dram_w,
+                bias,
+                noise.symmetric(i as Ns * 1_000_000, 0),
+            );
         }
         (
             eng.pkg_delta_joules(p0, eng.pkg_raw()) / secs,
@@ -234,10 +258,10 @@ mod tests {
 
     #[test]
     fn running_average_settles_to_true_power() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let noise = DomainNoise::new(1, domain::RAPL);
         let mut eng = RaplEngine::new(CpuGeneration::HaswellEp, DramRaplMode::Mode1);
-        for _ in 0..5000 {
-            eng.advance(0.001, 130.0, 10.0, ModelBias::NONE, &mut rng);
+        for i in 0..5000 {
+            eng.advance(0.001, 130.0, 10.0, ModelBias::NONE, noise.symmetric(i, 0));
         }
         assert!((eng.running_avg_pkg_w() - 130.0).abs() < 2.0);
     }
@@ -246,12 +270,12 @@ mod tests {
     fn counters_survive_wraparound_measurement() {
         // 32-bit DRAM counter at 15.3 µJ wraps every ~65 kJ; a long window
         // at high power must still difference correctly.
-        let mut rng = SmallRng::seed_from_u64(9);
+        let noise = DomainNoise::new(9, domain::RAPL);
         let mut eng = RaplEngine::new(CpuGeneration::HaswellEp, DramRaplMode::Mode1);
         let before = eng.dram_raw();
         // 70 kJ in one step chain (7 kW·10 s equivalent).
-        for _ in 0..100 {
-            eng.advance(0.1, 0.0, 7000.0, ModelBias::NONE, &mut rng);
+        for i in 0..100 {
+            eng.advance(0.1, 0.0, 7000.0, ModelBias::NONE, noise.symmetric(i, 0));
         }
         let d = eng.dram_delta_joules(before, eng.dram_raw());
         // The wrap loses exactly one full counter period of 65.536 kJ.

@@ -68,10 +68,14 @@ impl CpuFreq {
 mod tests {
     use super::*;
     use hsw_exec::WorkloadProfile;
-    use hsw_node::NodeConfig;
+    use hsw_node::{Platform, Resolution};
 
     fn node() -> Node {
-        let mut node = Node::new(NodeConfig::paper_default().with_tick_us(2));
+        let mut node = Platform::paper()
+            .session()
+            .resolution(Resolution::Latency)
+            .build()
+            .into_node();
         node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
         node.advance_s(0.01);
         node

@@ -115,14 +115,14 @@ pub fn sweep_series<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hsw_node::NodeConfig;
+    use hsw_node::Platform;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     const HSW: CpuGeneration = CpuGeneration::HaswellEp;
 
     fn node() -> Node {
-        Node::new(NodeConfig::paper_default())
+        Platform::paper().session().build().into_node()
     }
 
     #[test]

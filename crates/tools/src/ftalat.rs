@@ -186,12 +186,16 @@ pub fn histogram(samples: &[f64], bin_us: f64, max_us: f64) -> Vec<(f64, usize)>
 mod tests {
     use super::*;
     use hsw_exec::WorkloadProfile;
-    use hsw_node::NodeConfig;
+    use hsw_node::{Platform, Resolution};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn latency_node() -> Node {
-        let mut node = Node::new(NodeConfig::paper_default().with_tick_us(2));
+        let mut node = Platform::paper()
+            .session()
+            .resolution(Resolution::Latency)
+            .build()
+            .into_node();
         // The FTaLaT busy loop keeps the measured core in C0.
         node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
         node.advance_s(0.01);

@@ -166,11 +166,11 @@ mod tests {
     use super::*;
     use hsw_exec::WorkloadProfile;
     use hsw_hwspec::freq::FreqSetting;
-    use hsw_node::NodeConfig;
+    use hsw_node::Platform;
 
     #[test]
     fn energy_group_reads_tdp_under_firestarter() {
-        let mut node = Node::new(NodeConfig::paper_default());
+        let mut node = Platform::paper().session().build().into_node();
         node.run_on_socket(0, &WorkloadProfile::firestarter(), 12, 2);
         node.set_setting_all(FreqSetting::Turbo);
         node.advance_s(0.6);
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn clock_group_shows_throttled_frequency_and_cpi() {
-        let mut node = Node::new(NodeConfig::paper_default());
+        let mut node = Platform::paper().session().build().into_node();
         node.run_on_socket(0, &WorkloadProfile::firestarter(), 12, 2);
         node.set_setting_all(FreqSetting::Turbo);
         node.advance_s(0.6);
@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn uncore_group_reproduces_the_table3_cell() {
-        let mut node = Node::new(NodeConfig::paper_default());
+        let mut node = Platform::paper().session().build().into_node();
         node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
         node.set_setting_all(FreqSetting::from_mhz(2500));
         node.advance_s(0.3);
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn cstates_group_shows_deep_idle() {
-        let mut node = Node::new(NodeConfig::paper_default());
+        let mut node = Platform::paper().session().build().into_node();
         node.idle_all();
         node.advance_s(0.3);
         let r = measure_group(&mut node, CpuId::new(0, 0, 0), EventGroup::CStates, 1.0);
@@ -217,7 +217,7 @@ mod tests {
 
     #[test]
     fn report_renders_likwid_style() {
-        let mut node = Node::new(NodeConfig::paper_default());
+        let mut node = Platform::paper().session().build().into_node();
         node.idle_all();
         node.advance_s(0.2);
         let r = measure_group(&mut node, CpuId::new(0, 0, 0), EventGroup::Energy, 0.5);

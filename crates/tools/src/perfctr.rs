@@ -131,10 +131,10 @@ mod tests {
     use super::*;
     use hsw_exec::WorkloadProfile;
     use hsw_hwspec::freq::FreqSetting;
-    use hsw_node::NodeConfig;
+    use hsw_node::Platform;
 
     fn loaded_node() -> Node {
-        let mut node = Node::new(NodeConfig::paper_default());
+        let mut node = Platform::paper().session().build().into_node();
         let fs = WorkloadProfile::firestarter();
         for s in 0..2 {
             node.run_on_socket(s, &fs, 12, 2);

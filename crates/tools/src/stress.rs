@@ -96,10 +96,14 @@ pub fn run_stress(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hsw_node::NodeConfig;
+    use hsw_node::{Platform, Resolution};
 
     fn node() -> Node {
-        Node::new(NodeConfig::paper_default().with_tick_us(50))
+        Platform::paper()
+            .session()
+            .resolution(Resolution::Coarse)
+            .build()
+            .into_node()
     }
 
     #[test]

@@ -135,7 +135,7 @@ mod tests {
     use super::*;
     use hsw_exec::WorkloadProfile;
     use hsw_hwspec::freq::FreqSetting;
-    use hsw_node::NodeConfig;
+    use hsw_node::Platform;
     use hsw_tools_test_helpers::uncore_ghz_of;
 
     // Local measurement helper shared by the knob tests.
@@ -153,7 +153,7 @@ mod tests {
     }
 
     fn busy_node() -> Node {
-        let mut node = Node::new(NodeConfig::paper_default());
+        let mut node = Platform::paper().session().build().into_node();
         node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
         node.set_setting_all(FreqSetting::from_mhz(2500));
         node.advance_s(0.3);

@@ -2,18 +2,19 @@
 //!
 //! ```text
 //! survey [--list] [--only <id>[,<id>...]] [--seed <u64>] [--jobs <n>]
-//!        [--fidelity quick|paper] [--out <path>]
+//!        [--fidelity quick|paper] [--engine fixed|event] [--out <path>]
 //! ```
 //!
 //! Determinism contract: the JSON document depends only on
 //! `(--fidelity, --seed, --only)` — the same flags produce byte-identical
-//! `survey.json` for any `--jobs` value. Wall-clock timings go to stderr
-//! only.
+//! `survey.json` for any `--jobs` value and either `--engine` mode.
+//! Wall-clock timings go to the scoreboard and stderr only.
 
 use std::process::ExitCode;
 
 use haswell_survey::survey::{registry, run_survey, SurveyConfig};
 use haswell_survey::Fidelity;
+use hsw_node::EngineMode;
 
 const USAGE: &str = "\
 usage: survey [options]
@@ -27,6 +28,8 @@ options:
   --seed <u64>        root RNG seed (default 42)
   --jobs <n>          worker threads (default: available parallelism)
   --fidelity <f>      quick | paper (default quick)
+  --engine <e>        fixed | event (default event; both are bit-identical,
+                      `fixed` is the validation escape hatch)
   --out <path>        output path (default survey.json, `-` for stdout)
   -h, --help          show this help
 ";
@@ -79,6 +82,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--fidelity" => {
                 args.cfg.fidelity = value("--fidelity")?.parse::<Fidelity>()?;
             }
+            "--engine" => {
+                args.cfg.engine = value("--engine")?.parse::<EngineMode>()?;
+            }
             "--out" => args.out = value("--out")?,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -114,10 +120,11 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "survey: fidelity={} seed={} jobs={}",
+        "survey: fidelity={} seed={} jobs={} engine={}",
         args.cfg.fidelity.label(),
         args.cfg.seed,
-        args.cfg.jobs
+        args.cfg.jobs,
+        args.cfg.engine
     );
     let run = match run_survey(&args.cfg) {
         Ok(r) => r,

@@ -1,0 +1,58 @@
+//! Golden engine-equivalence test: the survey must serialize to
+//! byte-identical JSON whether it runs on the fixed-tick engine or the
+//! coalescing event engine, and regardless of worker-thread count. This is
+//! the contract that makes `--engine event` a pure wall-time optimization.
+
+use haswell_survey::survey::{run_survey, SurveyConfig};
+use haswell_survey::Fidelity;
+use hsw_node::EngineMode;
+
+/// A fast subset that still exercises node construction, RAPL/meter noise,
+/// p-state transitions, and an analytic (node-free) experiment.
+fn subset() -> Vec<String> {
+    ["fig4", "fig7", "section6b_governor"]
+        .into_iter()
+        .map(String::from)
+        .collect()
+}
+
+fn survey_json(engine: EngineMode, jobs: usize, seed: u64) -> String {
+    let cfg = SurveyConfig {
+        fidelity: Fidelity::Quick,
+        seed,
+        jobs,
+        only: Some(subset()),
+        engine,
+    };
+    run_survey(&cfg).expect("survey subset runs").to_json()
+}
+
+#[test]
+fn fixed_and_event_surveys_are_byte_identical() {
+    let fixed = survey_json(EngineMode::Fixed, 1, 7);
+    let event = survey_json(EngineMode::Event, 1, 7);
+    assert_eq!(
+        fixed, event,
+        "fixed and event engines must serialize identically"
+    );
+}
+
+#[test]
+fn engine_identity_holds_across_jobs_and_seeds() {
+    for seed in [0, 42] {
+        let fixed = survey_json(EngineMode::Fixed, 1, seed);
+        let event = survey_json(EngineMode::Event, 4, seed);
+        assert_eq!(fixed, event, "divergence at seed {seed}");
+    }
+}
+
+#[test]
+fn survey_json_carries_no_engine_or_wall_time_fields() {
+    // The byte-identity contract depends on the JSON staying free of
+    // engine tags and wall-clock timings; only deterministic fields
+    // (including simulated time) may appear.
+    let json = survey_json(EngineMode::Event, 1, 7);
+    assert!(!json.contains("wall_time"), "wall time leaked into JSON");
+    assert!(!json.contains("\"engine\""), "engine tag leaked into JSON");
+    assert!(json.contains("sim_time_s"), "sim_time_s missing from JSON");
+}

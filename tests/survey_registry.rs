@@ -3,6 +3,7 @@
 
 use haswell_survey_repro::survey::survey::{experiment_seed, registry, run_survey, SurveyConfig};
 use haswell_survey_repro::survey::Fidelity;
+use hsw_node::EngineMode;
 
 #[test]
 fn registry_covers_all_16_experiments_with_unique_ids() {
@@ -50,6 +51,7 @@ fn json_is_identical_across_job_counts() {
         seed: 1234,
         jobs: 1,
         only: only.clone(),
+        engine: EngineMode::default(),
     })
     .unwrap();
     let parallel = run_survey(&SurveyConfig {
@@ -57,6 +59,7 @@ fn json_is_identical_across_job_counts() {
         seed: 1234,
         jobs: 4,
         only,
+        engine: EngineMode::default(),
     })
     .unwrap();
     assert_eq!(serial.to_json(), parallel.to_json());
