@@ -1,14 +1,14 @@
 //! Offline stand-in for the subset of the `rayon` API this workspace uses
 //! (`slice.par_iter().enumerate().map(..).collect()`).
 //!
-//! `par_iter()` here returns the *sequential* slice iterator: every
-//! standard `Iterator` adapter keeps working, results keep their input
-//! order, and per-experiment determinism is trivial. Actual parallelism in
-//! this workspace lives one level up, in the survey runner
-//! (`haswell_survey::runner`), which fans whole experiments out across
-//! OS threads with a controllable `--jobs` count — a better fit than
-//! intra-experiment data parallelism when every experiment owns a
-//! heavyweight simulated `Node`.
+//! **This shim is sequential.** `par_iter()` returns the plain slice
+//! iterator, so every standard `Iterator` adapter keeps working and results
+//! keep their input order — but nothing here ever uses a second core.
+//! The only parallelism in the workspace today is the survey runner
+//! (`haswell_survey::survey`), which fans whole *experiments* out across
+//! OS threads with a controllable `--jobs` count; each experiment's
+//! internal frequency/concurrency sweep still walks its points serially
+//! through this shim.
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
