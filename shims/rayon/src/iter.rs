@@ -1,0 +1,183 @@
+//! The `par_iter` adapter surface: indexed parallel iterators over slices
+//! with `map`/`enumerate`/`collect`/`sum`.
+//!
+//! Every adapter chain boils down to `(len, item(index))`: the terminal
+//! operations fan one task per index through the pool ([`crate::scope`])
+//! and then assemble the output **in index order**, so the result is
+//! bit-identical for any pool size and any steal schedule. The per-index
+//! task granularity fits this workspace: a sweep point is a heavyweight
+//! simulated node run, so task overhead is noise and per-point stealing
+//! gives the best balance.
+
+use std::sync::Mutex;
+
+use crate::pool::scope;
+
+/// The `rayon::prelude::IntoParallelRefIterator` role: `.par_iter()` on
+/// slices and vectors.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    type Iter: IndexedParallelIterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+/// A parallel iterator with a known length and random access by index.
+/// All adapters preserve indexing, so terminal operations can always
+/// restore input order.
+pub trait IndexedParallelIterator: Send + Sync + Sized {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `index`. Called exactly once per index, from
+    /// whichever worker claimed that index's task.
+    fn item(&self, index: usize) -> Self::Item;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Run the chain on the pool and collect in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIndexedParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Run the chain on the pool and sum in index order (additions are
+    /// performed in index order, so float sums are schedule-independent).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        to_ordered_vec(self).into_iter().sum()
+    }
+}
+
+/// `.par_iter()` over a slice.
+pub struct Iter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> IndexedParallelIterator for Iter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// Output of [`IndexedParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item(&self, index: usize) -> R {
+        (self.f)(self.base.item(index))
+    }
+}
+
+/// Output of [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.item(index))
+    }
+}
+
+/// The `rayon::iter::FromParallelIterator` role, restricted to indexed
+/// sources so order restoration is always possible.
+pub trait FromIndexedParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: IndexedParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromIndexedParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: IndexedParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        to_ordered_vec(iter)
+    }
+}
+
+/// The execution engine: one pool task per index, results reassembled in
+/// index order regardless of which worker computed what.
+fn to_ordered_vec<I: IndexedParallelIterator>(iter: I) -> Vec<I::Item> {
+    let n = iter.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![iter.item(0)];
+    }
+    let results: Mutex<Vec<(usize, I::Item)>> = Mutex::new(Vec::with_capacity(n));
+    scope(|s| {
+        let iter = &iter;
+        let results = &results;
+        for i in 0..n {
+            s.spawn(move |_| {
+                let value = iter.item(i);
+                results.lock().unwrap().push((i, value));
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    debug_assert_eq!(out.len(), n, "a sweep task vanished");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, v)| v).collect()
+}
