@@ -11,7 +11,6 @@ use hsw_exec::WorkloadProfile;
 use hsw_hwspec::{calib, NodeSpec};
 use hsw_msr::addresses as msra;
 use hsw_node::{CpuId, EngineMode, Node, Resolution};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::stats::{linear_fit, quadratic_fit, Fit};
@@ -134,7 +133,7 @@ fn measure_point(node: &mut Node, avg_s: f64) -> (f64, f64) {
     (ac, joules / avg_s)
 }
 
-fn run_panel(ctx: &RunCtx, spec: NodeSpec, seed_base: u64) -> Fig2Panel {
+fn run_panel(ctx: &RunCtx, spec: NodeSpec, salt: u64) -> Fig2Panel {
     let generation = spec.sku.generation.name().to_string();
     let max_cores = spec.sku.cores;
     let avg_s = ctx.fidelity.fig2_avg_s();
@@ -152,14 +151,12 @@ fn run_panel(ctx: &RunCtx, spec: NodeSpec, seed_base: u64) -> Fig2Panel {
         })
         .collect();
 
-    let points: Vec<Fig2Point> = jobs
-        .par_iter()
-        .enumerate()
-        .map(|(i, (profile, (cores, sockets, tpc)))| {
+    let points: Vec<Fig2Point> =
+        ctx.sweep_salted(salt, &jobs, |(profile, (cores, sockets, tpc)), seed| {
             let mut node = ctx
                 .session()
                 .spec(spec.clone())
-                .seed(seed_base + i as u64)
+                .seed(seed)
                 .resolution(Resolution::Custom(100))
                 .build();
             node.idle_all();
@@ -174,8 +171,7 @@ fn run_panel(ctx: &RunCtx, spec: NodeSpec, seed_base: u64) -> Fig2Panel {
                 ac_w: ac,
                 rapl_w: rapl,
             }
-        })
-        .collect();
+        });
 
     // Fits: AC as a function of RAPL, as plotted in the paper.
     let xy: Vec<(f64, f64)> = points.iter().map(|p| (p.rapl_w, p.ac_w)).collect();
@@ -209,15 +205,11 @@ fn run_panel(ctx: &RunCtx, spec: NodeSpec, seed_base: u64) -> Fig2Panel {
 }
 
 pub fn run(fidelity: Fidelity) -> Fig2 {
-    let ctx = RunCtx::new(fidelity, 0, EngineMode::default());
-    Fig2 {
-        sandy_bridge: run_panel(&ctx, NodeSpec::sandy_bridge_node(), 31_000),
-        haswell: run_panel(&ctx, NodeSpec::paper_test_node(), 32_000),
-    }
+    run_seeded(fidelity, 0)
 }
 
-/// Like [`run`] but with both panels' seed bases derived from `seed` (the
-/// survey runner's determinism contract).
+/// Like [`run`] but with both panels' point seeds derived from `seed` via
+/// the sweep executor (the survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig2 {
     let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
     run_ctx(&ctx)
@@ -225,16 +217,8 @@ pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig2 {
 
 fn run_ctx(ctx: &RunCtx) -> Fig2 {
     Fig2 {
-        sandy_bridge: run_panel(
-            ctx,
-            NodeSpec::sandy_bridge_node(),
-            crate::survey::mix_seed(ctx.seed, 0),
-        ),
-        haswell: run_panel(
-            ctx,
-            NodeSpec::paper_test_node(),
-            crate::survey::mix_seed(ctx.seed, 1),
-        ),
+        sandy_bridge: run_panel(ctx, NodeSpec::sandy_bridge_node(), 0),
+        haswell: run_panel(ctx, NodeSpec::paper_test_node(), 1),
     }
 }
 

@@ -8,10 +8,9 @@ use hsw_node::EngineMode;
 use hsw_tools::cstate_lat::{sweep_series, CStateLatencyPoint};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::survey::RunCtx;
+use crate::survey::{mix_seed, RunCtx};
 use crate::Fidelity;
 
 /// One plotted series: a generation × state × scenario sweep over frequency.
@@ -63,17 +62,17 @@ impl std::fmt::Display for Fig56 {
 }
 
 pub fn run(fidelity: Fidelity) -> Fig56 {
-    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()), None)
+    run_seeded(fidelity, 0)
 }
 
 /// Like [`run`] but with node and wake-timing seeds derived from `seed`
-/// (the survey runner's determinism contract).
+/// via the sweep executor (the survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Fig56 {
     let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
-    run_impl(&ctx, Some(seed))
+    run_ctx(&ctx)
 }
 
-fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Fig56 {
+fn run_ctx(ctx: &RunCtx) -> Fig56 {
     let iterations = ctx.fidelity.fig56_iterations();
     let jobs: Vec<(CpuGeneration, CoreCState, WakeScenario)> =
         [CpuGeneration::HaswellEp, CpuGeneration::SandyBridgeEp]
@@ -85,38 +84,28 @@ fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Fig56 {
             })
             .collect();
 
-    let series: Vec<Fig56Series> = jobs
-        .par_iter()
-        .enumerate()
-        .map(|(i, (generation, state, scenario))| {
-            // All scenarios are staged on the paper's Haswell-EP node; the
-            // SNB generation parameter selects the grey reference latency
-            // model (its frequency range is mapped onto the same axis).
-            let (node_seed, rng_seed) = match seed {
-                None => (61_000 + i as u64, 88 + i as u64),
-                Some(root) => (
-                    crate::survey::mix_seed(root, 2 * i as u64),
-                    crate::survey::mix_seed(root, 2 * i as u64 + 1),
-                ),
-            };
-            let mut node = ctx.session().seed(node_seed).build();
-            let mut rng = SmallRng::seed_from_u64(rng_seed);
-            let pts: Vec<CStateLatencyPoint> = sweep_series(
-                &mut node,
-                *generation,
-                *state,
-                *scenario,
-                iterations,
-                &mut rng,
-            );
-            Fig56Series {
-                generation: generation.name().to_string(),
-                state: state.name().to_string(),
-                scenario: scenario.name().to_string(),
-                points: pts.iter().map(|p| (p.freq_ghz, p.latency_us)).collect(),
-            }
-        })
-        .collect();
+    let series: Vec<Fig56Series> = ctx.sweep(&jobs, |(generation, state, scenario), seed| {
+        // All scenarios are staged on the paper's Haswell-EP node; the
+        // SNB generation parameter selects the grey reference latency
+        // model (its frequency range is mapped onto the same axis). The
+        // point seed splits into independent node and wake-timing streams.
+        let mut node = ctx.session().seed(mix_seed(seed, 0)).build();
+        let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 1));
+        let pts: Vec<CStateLatencyPoint> = sweep_series(
+            &mut node,
+            *generation,
+            *state,
+            *scenario,
+            iterations,
+            &mut rng,
+        );
+        Fig56Series {
+            generation: generation.name().to_string(),
+            state: state.name().to_string(),
+            scenario: scenario.name().to_string(),
+            points: pts.iter().map(|p| (p.freq_ghz, p.latency_us)).collect(),
+        }
+    });
     Fig56 { series }
 }
 
@@ -134,7 +123,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "C-state wake-up latencies vs. Sandy Bridge-EP"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_impl(ctx, Some(ctx.seed));
+        let r = run_ctx(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let nearest = |s: &Fig56Series, ghz: f64| -> f64 {
             s.points

@@ -123,16 +123,37 @@ fn series(generation: CpuGeneration, l3: bool) -> Fig7Series {
     }
 }
 
+const GENERATIONS: [CpuGeneration; 3] = [
+    CpuGeneration::WestmereEp,
+    CpuGeneration::SandyBridgeEp,
+    CpuGeneration::HaswellEp,
+];
+
 pub fn run() -> Fig7 {
-    let gens = [
-        CpuGeneration::WestmereEp,
-        CpuGeneration::SandyBridgeEp,
-        CpuGeneration::HaswellEp,
-    ];
     Fig7 {
-        l3: gens.iter().map(|g| series(*g, true)).collect(),
-        dram: gens.iter().map(|g| series(*g, false)).collect(),
+        l3: GENERATIONS.iter().map(|g| series(*g, true)).collect(),
+        dram: GENERATIONS.iter().map(|g| series(*g, false)).collect(),
     }
+}
+
+/// Like [`run`] but fanning the generation × panel grid through the sweep
+/// executor. The bandwidth model is analytic, so the derived point seeds
+/// are not consumed and the result is identical to the serial [`run`].
+fn run_ctx(ctx: &crate::survey::RunCtx) -> Fig7 {
+    let jobs: Vec<(CpuGeneration, bool)> = GENERATIONS
+        .iter()
+        .flat_map(|g| [true, false].into_iter().map(move |l3| (*g, l3)))
+        .collect();
+    let all = ctx.sweep(&jobs, |&(g, l3), _seed| series(g, l3));
+    let (mut l3, mut dram) = (Vec::new(), Vec::new());
+    for (&(_, is_l3), s) in jobs.iter().zip(all) {
+        if is_l3 {
+            l3.push(s);
+        } else {
+            dram.push(s);
+        }
+    }
+    Fig7 { l3, dram }
 }
 
 /// Registry adapter. The bandwidth model is analytic, so the survey seed
@@ -153,7 +174,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         false
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run();
+        let r = run_ctx(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let hsw_dram = r.low_end(false, "Haswell-EP");
         let snb_dram = r.low_end(false, "Sandy Bridge-EP");

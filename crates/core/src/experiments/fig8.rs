@@ -76,8 +76,9 @@ pub fn placement(threads: usize, cores: usize) -> (usize, usize) {
     }
 }
 
-pub fn run() -> Fig8 {
-    let sku = SkuSpec::xeon_e5_2680_v3();
+/// The sweep axes: thread counts 1–24 and the selectable p-states plus the
+/// all-core turbo bin under the bandwidth benchmark.
+fn grid(sku: &SkuSpec) -> (Vec<usize>, Vec<f64>) {
     let thread_counts: Vec<usize> = (1..=sku.cores * sku.threads_per_core).collect();
     let mut freqs_ghz: Vec<f64> = sku
         .freq
@@ -86,13 +87,16 @@ pub fn run() -> Fig8 {
         .rev()
         .map(|p| p.ghz())
         .collect();
-    // The Turbo row: the all-core turbo bin under the bandwidth benchmark.
     freqs_ghz.push(sku.freq.turbo_mhz(sku.cores) as f64 / 1000.0);
+    (thread_counts, freqs_ghz)
+}
 
-    let mut cells = Vec::new();
-    for &freq in &freqs_ghz {
-        let f_unc = benchmark_uncore_ghz(&sku, freq);
-        for &threads in &thread_counts {
+/// One frequency row of the heatmap: every thread count at `freq`.
+fn row(sku: &SkuSpec, freq: f64, thread_counts: &[usize]) -> Vec<Fig8Cell> {
+    let f_unc = benchmark_uncore_ghz(sku, freq);
+    thread_counts
+        .iter()
+        .map(|&threads| {
             let (cores, tpc) = placement(threads, sku.cores);
             // Above one thread per core the SMT gain phases in with the
             // number of doubly-occupied cores (threads 13–24 add siblings
@@ -104,25 +108,48 @@ pub fn run() -> Fig8 {
             };
             let mix = |single: f64, smt: f64| single + frac * (smt - single);
             let l3 = mix(
-                l3_read_bandwidth_gbs(&sku, cores, 1, freq, f_unc),
-                l3_read_bandwidth_gbs(&sku, cores, 2, freq, f_unc),
+                l3_read_bandwidth_gbs(sku, cores, 1, freq, f_unc),
+                l3_read_bandwidth_gbs(sku, cores, 2, freq, f_unc),
             );
             let dram = mix(
-                dram_read_bandwidth_gbs(&sku, cores, 1, freq, f_unc),
-                dram_read_bandwidth_gbs(&sku, cores, 2, freq, f_unc),
+                dram_read_bandwidth_gbs(sku, cores, 1, freq, f_unc),
+                dram_read_bandwidth_gbs(sku, cores, 2, freq, f_unc),
             );
-            cells.push(Fig8Cell {
+            Fig8Cell {
                 threads,
                 cores,
                 threads_per_core: tpc,
                 freq_ghz: freq,
                 l3_gbs: l3,
                 dram_gbs: dram,
-            });
-        }
-    }
+            }
+        })
+        .collect()
+}
+
+pub fn run() -> Fig8 {
+    let sku = SkuSpec::xeon_e5_2680_v3();
+    let (thread_counts, freqs_ghz) = grid(&sku);
+    let cells = freqs_ghz
+        .iter()
+        .flat_map(|&freq| row(&sku, freq, &thread_counts))
+        .collect();
     Fig8 {
         cells,
+        freqs_ghz,
+        thread_counts,
+    }
+}
+
+/// Like [`run`] but fanning one sweep point per frequency row through the
+/// sweep executor. The model is analytic, so the derived point seeds are
+/// not consumed and the result is identical to the serial [`run`].
+fn run_ctx(ctx: &crate::survey::RunCtx) -> Fig8 {
+    let sku = SkuSpec::xeon_e5_2680_v3();
+    let (thread_counts, freqs_ghz) = grid(&sku);
+    let rows = ctx.sweep(&freqs_ghz, |&freq, _seed| row(&sku, freq, &thread_counts));
+    Fig8 {
+        cells: rows.into_iter().flatten().collect(),
         freqs_ghz,
         thread_counts,
     }
@@ -146,7 +173,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         false
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run();
+        let r = run_ctx(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let dram12 = r.at(12, 2.5).map(|c| c.dram_gbs).unwrap_or(f64::NAN);
         let dram24 = r.at(24, 2.5).map(|c| c.dram_gbs).unwrap_or(f64::NAN);

@@ -11,7 +11,6 @@ use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
 use hsw_node::{CpuId, EngineMode, Resolution};
 use hsw_tools::perfctr::{median_of, PerfCtr};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
@@ -96,36 +95,29 @@ pub fn table4_settings() -> Vec<FreqSetting> {
 }
 
 pub fn run(fidelity: Fidelity) -> Table4 {
-    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()), None)
+    run_seeded(fidelity, 0)
 }
 
-/// Like [`run`] but with measurement seeds derived from `seed` (the
-/// survey runner's determinism contract).
+/// Like [`run`] but with measurement seeds derived from `seed` via the
+/// sweep executor (the survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table4 {
     let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
-    run_impl(&ctx, Some(seed))
+    run_ctx(&ctx)
 }
 
-fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Table4 {
-    let points: Vec<Table4Point> = table4_settings()
-        .par_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let point_seed = match seed {
-                None => 4242 + i as u64,
-                Some(root) => crate::survey::mix_seed(root, i as u64),
-            };
-            let (s0, s1) = measure(ctx, *s, point_seed);
-            Table4Point {
-                setting_mhz: match s {
-                    FreqSetting::Turbo => None,
-                    FreqSetting::Fixed(p) => Some(p.mhz()),
-                },
-                socket0: s0,
-                socket1: s1,
-            }
-        })
-        .collect();
+fn run_ctx(ctx: &RunCtx) -> Table4 {
+    let settings = table4_settings();
+    let points: Vec<Table4Point> = ctx.sweep(&settings, |s, seed| {
+        let (s0, s1) = measure(ctx, *s, seed);
+        Table4Point {
+            setting_mhz: match s {
+                FreqSetting::Turbo => None,
+                FreqSetting::Fixed(p) => Some(p.mhz()),
+            },
+            socket0: s0,
+            socket1: s1,
+        }
+    });
 
     let mut t = Table::new(
         "Table IV: FIRESTARTER with different frequency settings (HT on, medians of LIKWID samples)",
@@ -169,7 +161,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "FIRESTARTER under reduced frequency settings"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_impl(ctx, Some(ctx.seed));
+        let r = run_ctx(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let turbo = r.points.iter().find(|p| p.setting_mhz.is_none());
         if let Some(t) = turbo {

@@ -10,7 +10,6 @@ use hsw_hwspec::freq::FreqSetting;
 use hsw_hwspec::EpbClass;
 use hsw_node::{EngineMode, Resolution};
 use hsw_tools::{run_stress, StressResult};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
@@ -50,17 +49,17 @@ impl std::fmt::Display for Table5 {
 }
 
 pub fn run(fidelity: Fidelity) -> Table5 {
-    run_impl(&RunCtx::new(fidelity, 0, EngineMode::default()), None)
+    run_seeded(fidelity, 0)
 }
 
-/// Like [`run`] but with per-cell node seeds derived from `seed` (the
-/// survey runner's determinism contract).
+/// Like [`run`] but with per-cell node seeds derived from `seed` via the
+/// sweep executor (the survey runner's determinism contract).
 pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table5 {
     let ctx = RunCtx::new(fidelity, seed, EngineMode::default());
-    run_impl(&ctx, Some(seed))
+    run_ctx(&ctx)
 }
 
-fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Table5 {
+fn run_ctx(ctx: &RunCtx) -> Table5 {
     let benchmarks = WorkloadProfile::table5_benchmarks();
     let configs: Vec<(WorkloadProfile, bool, EpbClass)> = benchmarks
         .iter()
@@ -73,44 +72,36 @@ fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Table5 {
         })
         .collect();
 
-    let cells: Vec<Table5Cell> = configs
-        .par_iter()
-        .enumerate()
-        .map(|(i, (profile, turbo_setting, epb))| {
-            let cell_seed = match seed {
-                None => 9000 + i as u64,
-                Some(root) => crate::survey::mix_seed(root, i as u64),
-            };
-            let mut node = ctx
-                .session()
-                .seed(cell_seed)
-                .resolution(Resolution::Custom(100))
-                .build();
-            let setting = if *turbo_setting {
-                FreqSetting::Turbo
-            } else {
-                FreqSetting::from_mhz(2500)
-            };
-            let r: StressResult = run_stress(
-                &mut node,
-                profile,
-                setting,
-                *epb,
-                true,  // turbo mode active (the *setting* selects its use)
-                false, // Hyper-Threading not active (paper Table V caption)
-                ctx.fidelity.table5_run_s(),
-                ctx.fidelity.table5_window_s(),
-            );
-            Table5Cell {
-                benchmark: profile.name.to_string(),
-                turbo_setting: *turbo_setting,
-                epb: epb.short_label().to_string(),
-                power_w: r.max_window_power_w,
-                core_ghz: r.core_ghz,
-                power_stddev_w: r.power_stddev_w,
-            }
-        })
-        .collect();
+    let cells: Vec<Table5Cell> = ctx.sweep(&configs, |(profile, turbo_setting, epb), seed| {
+        let mut node = ctx
+            .session()
+            .seed(seed)
+            .resolution(Resolution::Custom(100))
+            .build();
+        let setting = if *turbo_setting {
+            FreqSetting::Turbo
+        } else {
+            FreqSetting::from_mhz(2500)
+        };
+        let r: StressResult = run_stress(
+            &mut node,
+            profile,
+            setting,
+            *epb,
+            true,  // turbo mode active (the *setting* selects its use)
+            false, // Hyper-Threading not active (paper Table V caption)
+            ctx.fidelity.table5_run_s(),
+            ctx.fidelity.table5_window_s(),
+        );
+        Table5Cell {
+            benchmark: profile.name.to_string(),
+            turbo_setting: *turbo_setting,
+            epb: epb.short_label().to_string(),
+            power_w: r.max_window_power_w,
+            core_ghz: r.core_ghz,
+            power_stddev_w: r.power_stddev_w,
+        }
+    });
 
     let headers = vec![
         "Benchmark",
@@ -167,7 +158,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "Maximum power: FIRESTARTER / LINPACK / mprime"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_impl(ctx, Some(ctx.seed));
+        let r = run_ctx(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let max_power = r.cells.iter().map(|c| c.power_w).fold(0.0f64, f64::max);
         out.metric("max_window_power_w", max_power);

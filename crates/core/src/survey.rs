@@ -14,6 +14,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hsw_node::{EngineMode, Platform, SessionBuilder};
+use rayon::prelude::*;
 use serde::{Serialize, Value};
 
 use crate::experiments;
@@ -32,6 +33,9 @@ pub struct RunCtx {
     /// Simulated-time ledger: every session built through [`RunCtx::session`]
     /// credits its total simulated nanoseconds here on drop.
     sim_ns: Arc<AtomicU64>,
+    /// Sweep points executed through [`RunCtx::sweep`]/[`RunCtx::sweep_salted`]
+    /// (the scoreboard's `pts` column).
+    points: Arc<AtomicU64>,
 }
 
 impl RunCtx {
@@ -41,6 +45,7 @@ impl RunCtx {
             seed,
             engine,
             sim_ns: Arc::new(AtomicU64::new(0)),
+            points: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -62,6 +67,66 @@ impl RunCtx {
     pub fn sim_time_s(&self) -> f64 {
         self.sim_ns.load(Ordering::Relaxed) as f64 / 1e9
     }
+
+    /// Sweep points executed so far through the sweep executor.
+    pub fn sweep_points(&self) -> u64 {
+        self.points.load(Ordering::Relaxed)
+    }
+
+    /// Fan `points` through the worker pool with this experiment's seed as
+    /// the derivation base: point `k` runs as `f(&points[k],
+    /// mix_seed(self.seed, k))`. See [`sweep`] for the determinism
+    /// contract.
+    pub fn sweep<P, R, F>(&self, points: &[P], f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, u64) -> R + Send + Sync,
+    {
+        self.points
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        sweep(self.seed, points, f)
+    }
+
+    /// Like [`RunCtx::sweep`] for experiments that run several sweeps:
+    /// `salt` separates the seed streams (panel index, campaign id, …).
+    pub fn sweep_salted<P, R, F>(&self, salt: u64, points: &[P], f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, u64) -> R + Send + Sync,
+    {
+        self.points
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        sweep(mix_seed(self.seed, salt), points, f)
+    }
+}
+
+/// The deterministic intra-experiment sweep executor: run `f` over every
+/// point on the worker pool and return the results in point order.
+///
+/// Point `k`'s seed is `mix_seed(base_seed, k)` — the same order-free
+/// derivation as [`SessionBuilder::derive_seed`] — so it depends on the
+/// sweep geometry only, never on scheduling. Combined with the pool's
+/// index-ordered collection this keeps results byte-identical for any
+/// pool size (`RAYON_NUM_THREADS`) and any `--jobs` value; only wall
+/// clock changes.
+pub fn sweep<P, R, F>(base_seed: u64, points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> R + Send + Sync,
+{
+    points
+        .par_iter()
+        .enumerate()
+        .map(|(k, p)| f(p, mix_seed(base_seed, k as u64)))
+        .collect()
+}
+
+/// Worker threads in the pool the sweep executor fans points across.
+pub fn pool_threads() -> usize {
+    rayon::current_num_threads()
 }
 
 /// One fidelity check: a paper claim the result either reproduces or not.
@@ -239,6 +304,10 @@ pub struct SurveyRun {
     /// deterministic (a function of fidelity only), so it does go into
     /// the JSON document.
     pub sim_times_s: Vec<f64>,
+    /// Sweep points each experiment fanned through the pool, parallel to
+    /// `results`. Deterministic, but a harness detail rather than a paper
+    /// result — scoreboard only, never in the JSON document.
+    pub sweep_points: Vec<u64>,
 }
 
 /// Run the survey: fan the selected experiments across `jobs` worker
@@ -265,10 +334,12 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
         return Err("no experiments selected".to_string());
     }
 
+    /// One worker's slot: (result, wall seconds, simulated seconds, points).
+    type Slot = (ExperimentResult, f64, f64, u64);
+
     let jobs = cfg.jobs.clamp(1, selected.len());
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<(ExperimentResult, f64, f64)>>> =
-        Mutex::new((0..selected.len()).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..selected.len()).map(|_| None).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -286,7 +357,8 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
                 let t0 = Instant::now();
                 let result = exp.run(&ctx);
                 let wall_s = t0.elapsed().as_secs_f64();
-                slots.lock().unwrap()[i] = Some((result, wall_s, ctx.sim_time_s()));
+                slots.lock().unwrap()[i] =
+                    Some((result, wall_s, ctx.sim_time_s(), ctx.sweep_points()));
             });
         }
     });
@@ -294,11 +366,13 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
     let mut results = Vec::with_capacity(selected.len());
     let mut timings_s = Vec::with_capacity(selected.len());
     let mut sim_times_s = Vec::with_capacity(selected.len());
+    let mut sweep_points = Vec::with_capacity(selected.len());
     for slot in slots.into_inner().unwrap() {
-        let (r, wall, sim) = slot.expect("worker left a slot unfilled");
+        let (r, wall, sim, pts) = slot.expect("worker left a slot unfilled");
         results.push(r);
         timings_s.push(wall);
         sim_times_s.push(sim);
+        sweep_points.push(pts);
     }
     Ok(SurveyRun {
         fidelity: cfg.fidelity,
@@ -307,6 +381,7 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
         results,
         timings_s,
         sim_times_s,
+        sweep_points,
     })
 }
 
@@ -386,25 +461,33 @@ impl SurveyRun {
     }
 
     /// Per-experiment check scoreboard as a paper-style [`Table`], with
-    /// wall-clock and simulated time per experiment. Wall time lives here
-    /// (and on stderr) only — never in the JSON document.
+    /// wall-clock and simulated time plus the sweep points each experiment
+    /// fanned through the `pool_threads()`-wide worker pool. Wall time and
+    /// pool width live here (and on stderr) only — never in the JSON
+    /// document.
     pub fn scoreboard(&self) -> Table {
         let mut t = Table::new(
-            "Survey scoreboard: paper fidelity checks per experiment",
+            format!(
+                "Survey scoreboard: paper fidelity checks per experiment \
+                 (sweep pool: {} threads)",
+                pool_threads()
+            ),
             vec![
                 "experiment",
                 "anchor",
                 "checks",
                 "status",
+                "pts",
                 "wall s",
                 "sim s",
             ],
         );
-        for ((r, wall_s), sim_s) in self
+        for (((r, wall_s), sim_s), pts) in self
             .results
             .iter()
             .zip(&self.timings_s)
             .zip(&self.sim_times_s)
+            .zip(&self.sweep_points)
         {
             let passed = r.checks.iter().filter(|c| c.passed).count();
             t.row(vec![
@@ -412,6 +495,7 @@ impl SurveyRun {
                 r.anchor.to_string(),
                 format!("{passed}/{}", r.checks.len()),
                 crate::report::pass_fail(r.checks_passed()).to_string(),
+                pts.to_string(),
                 format!("{wall_s:.2}"),
                 format!("{sim_s:.2}"),
             ]);

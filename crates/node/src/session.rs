@@ -280,4 +280,30 @@ mod tests {
         }
         assert_eq!(ledger.load(Ordering::Relaxed), 2_000_000);
     }
+
+    #[test]
+    fn time_ledger_is_exact_under_concurrent_session_drops() {
+        // Sweep workers drop their sessions from pool threads; the ledger
+        // credit on drop must not lose updates under contention.
+        let ledger = Arc::new(AtomicU64::new(0));
+        let platform = Platform::paper();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let ledger = ledger.clone();
+                let platform = &platform;
+                scope.spawn(move || {
+                    for i in 0..8u64 {
+                        let mut s = platform
+                            .session()
+                            .derive_seed(worker * 100 + i)
+                            .resolution(Resolution::Coarse)
+                            .time_ledger(ledger.clone())
+                            .build();
+                        s.advance_us(500);
+                    }
+                });
+            }
+        });
+        assert_eq!(ledger.load(Ordering::Relaxed), 4 * 8 * 500_000);
+    }
 }

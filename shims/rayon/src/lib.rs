@@ -17,8 +17,8 @@ mod iter;
 mod pool;
 
 pub use iter::{
-    Enumerate, FromIndexedParallelIterator, IndexedParallelIterator, IntoParallelRefIterator,
-    Iter, Map,
+    Enumerate, FromIndexedParallelIterator, IndexedParallelIterator, IntoParallelRefIterator, Iter,
+    Map,
 };
 pub use pool::{current_num_threads, join, scope, Scope, ThreadPool};
 
@@ -120,10 +120,12 @@ mod tests {
             });
         });
         let payload = result.expect_err("scope must rethrow the task panic");
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .unwrap_or_else(|| payload.downcast_ref::<String>().map(|s| s.as_str()).unwrap());
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_else(|| {
+            payload
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .unwrap()
+        });
         assert!(msg.contains("boom in task"), "{msg}");
     }
 

@@ -379,9 +379,7 @@ impl<'scope> Scope<'scope> {
         // SAFETY: `scope()` blocks until `pending` reaches zero before
         // returning (or unwinding), so every `'scope` borrow captured by
         // `f` strictly outlives the task.
-        let task = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
-        };
+        let task = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
         self.inner.registry.inject(task);
     }
 }

@@ -120,10 +120,11 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "survey: fidelity={} seed={} jobs={} engine={}",
+        "survey: fidelity={} seed={} jobs={} pool={} engine={}",
         args.cfg.fidelity.label(),
         args.cfg.seed,
         args.cfg.jobs,
+        haswell_survey::survey::pool_threads(),
         args.cfg.engine
     );
     let run = match run_survey(&args.cfg) {
