@@ -74,32 +74,38 @@ impl Cache {
     }
 
     /// Access `addr`; returns true on hit. On miss the line is filled,
-    /// evicting the LRU way.
+    /// evicting the LRU way. A single pass over the set serves both the tag
+    /// match and the victim choice (first empty way, else LRU) — this is
+    /// the hot loop of every streamed working-set classification.
     pub fn access(&mut self, addr: u64) -> bool {
         self.clock += 1;
         let (set, tag) = self.set_and_tag(addr);
         let base = set * self.ways;
-        for w in 0..self.ways {
-            if self.tags[base + w] == Some(tag) {
-                self.lru[base + w] = self.clock;
-                self.hits += 1;
-                return true;
-            }
-        }
-        self.misses += 1;
-        // Fill: pick an empty way or the least recently used one.
+        let mut first_empty = None;
         let mut victim = 0;
         let mut best = u64::MAX;
         for w in 0..self.ways {
-            if self.tags[base + w].is_none() {
-                victim = w;
-                break;
-            }
-            if self.lru[base + w] < best {
-                best = self.lru[base + w];
-                victim = w;
+            match self.tags[base + w] {
+                Some(t) if t == tag => {
+                    self.lru[base + w] = self.clock;
+                    self.hits += 1;
+                    return true;
+                }
+                Some(_) => {
+                    if self.lru[base + w] < best {
+                        best = self.lru[base + w];
+                        victim = w;
+                    }
+                }
+                None => {
+                    if first_empty.is_none() {
+                        first_empty = Some(w);
+                    }
+                }
             }
         }
+        self.misses += 1;
+        let victim = first_empty.unwrap_or(victim);
         self.tags[base + victim] = Some(tag);
         self.lru[base + victim] = self.clock;
         false
