@@ -354,6 +354,7 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
                     experiment_seed(cfg.seed, exp.id()),
                     cfg.engine,
                 );
+                // lint:allow(D1): wall time is stderr progress reporting only, never survey.json
                 let t0 = Instant::now();
                 let result = exp.run(&ctx);
                 let wall_s = t0.elapsed().as_secs_f64();

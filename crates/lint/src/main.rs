@@ -1,0 +1,106 @@
+//! The `hsw-lint` binary: lint the workspace (or a single file), print
+//! `path:line: rule: message` findings, exit nonzero on any.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hsw_lint::{find_workspace_root, findings_to_json, lint_workspace, rules, FileScope, Finding};
+
+const USAGE: &str = "\
+hsw-lint — determinism-contract and MSR-model static analysis
+
+USAGE:
+    hsw-lint [--root <dir>] [--json]
+    hsw-lint --check-file <file.rs> [--json]
+
+OPTIONS:
+    --root <dir>        Workspace root (default: walk up from cwd to the
+                        directory whose Cargo.toml declares [workspace])
+    --check-file <f>    Lint one file with the full tier-1 rule set
+                        (treated as a result-producing crate)
+    --json              Emit findings as a JSON array instead of text
+    -h, --help          This text
+
+RULES:
+    D1  no Instant::now/SystemTime/thread_rng/rand::random in result crates
+    D2  no HashMap/HashSet in result crates (use BTreeMap/BTreeSet)
+    S1  every `unsafe` needs a preceding `// SAFETY:` comment
+    A1  malformed `// lint:allow(rule): <justification>` suppression
+    M1  gate allowlist addresses are named in addresses.rs and unique
+    M2  fields.rs encode/decode shift/mask pairs consistent, within 64 bits
+    M3  every experiments/* module registered in the registry, ids unique
+
+Suppress a finding with `// lint:allow(rule): <why this is sound>` on the
+same line or the line above. Unjustified allows suppress nothing.
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut check_file: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--check-file" => check_file = args.next().map(PathBuf::from),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hsw-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings: Vec<Finding> = if let Some(file) = check_file {
+        let src = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hsw-lint: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        rules::scan_file(
+            &file.display().to_string(),
+            &src,
+            FileScope { result_crate: true },
+        )
+    } else {
+        let root = match root.or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| find_workspace_root(&d))
+        }) {
+            Some(r) => r,
+            None => {
+                eprintln!("hsw-lint: no workspace root found (pass --root)");
+                return ExitCode::from(2);
+            }
+        };
+        match lint_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("hsw-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if json {
+        print!("{}", findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("hsw-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hsw-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

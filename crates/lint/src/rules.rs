@@ -1,0 +1,384 @@
+//! Tier-1 (textual) rules and the `lint:allow` suppression machinery.
+//!
+//! | Rule | Meaning |
+//! |---|---|
+//! | D1 | no wall-clock or ambient randomness in result-producing crates |
+//! | D2 | no `HashMap`/`HashSet` in result-producing crates |
+//! | S1 | every `unsafe` must be preceded by a `// SAFETY:` comment |
+//! | A1 | malformed `lint:allow` (missing justification / unknown rule) |
+//!
+//! D1 and D2 guard the determinism contract: `survey.json` must be
+//! byte-identical for any `--jobs`, any `RAYON_NUM_THREADS` and either
+//! engine. `Instant::now`/`SystemTime` values and `HashMap` iteration
+//! order are exactly the two ways wall-clock and scheduling have leaked
+//! into output in practice. A finding is suppressed by a justified
+//! `// lint:allow(rule): <why>` comment on the same line or the line
+//! directly above; an allow *without* a justification suppresses nothing
+//! and is itself reported (A1).
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// Every rule the engine knows, for allow-directive validation.
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "S1", "A1", "M1", "M2", "M3"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id ("D1", "M2", …).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(path: &str, line: u32, rule: &'static str, message: String) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// The file belongs to a result-producing crate (D1/D2 apply).
+    pub result_crate: bool,
+}
+
+/// A parsed `lint:allow` directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: u32,
+    rule: String,
+    justified: bool,
+}
+
+/// Extract `lint:allow(rule): justification` directives from comments. The
+/// directive must start the comment (`// lint:allow(…)`) — prose that merely
+/// *mentions* the syntax mid-sentence is not a suppression attempt.
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        // Doc comments contribute a leading `/` or `!` to the text.
+        let t = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = t.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let justified = rest[close + 1..]
+            .strip_prefix(':')
+            .map(|j| !j.trim().is_empty())
+            .unwrap_or(false);
+        allows.push(Allow {
+            line: c.end_line,
+            rule,
+            justified,
+        });
+    }
+    allows
+}
+
+/// Run the tier-1 rules over one file.
+pub fn scan_file(path: &str, src: &str, scope: FileScope) -> Vec<Finding> {
+    let lexed = lex(src);
+    let allows = parse_allows(&lexed.comments);
+    let mut findings = Vec::new();
+
+    if scope.result_crate {
+        check_d1(path, &lexed.tokens, &mut findings);
+        check_d2(path, &lexed.tokens, &mut findings);
+    }
+    check_s1(path, &lexed, &mut findings);
+
+    // Apply suppressions: a justified allow covers findings of its rule on
+    // its own line (trailing comment) and on the line below (standalone
+    // comment above the code).
+    findings.retain(|f| {
+        !allows
+            .iter()
+            .any(|a| a.justified && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+    });
+
+    // Malformed allows are findings themselves — and never suppressible.
+    for a in &allows {
+        if !KNOWN_RULES.contains(&a.rule.as_str()) {
+            findings.push(Finding::new(
+                path,
+                a.line,
+                "A1",
+                format!(
+                    "lint:allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    KNOWN_RULES.join(", ")
+                ),
+            ));
+        } else if !a.justified {
+            findings.push(Finding::new(
+                path,
+                a.line,
+                "A1",
+                format!(
+                    "lint:allow({}) without a justification suppresses nothing; \
+                     write `// lint:allow({}): <why this is sound>`",
+                    a.rule, a.rule
+                ),
+            ));
+        }
+    }
+
+    findings.sort();
+    findings
+}
+
+/// Is token `i` the start of the identifier path `parts` (joined by `::`)?
+fn matches_path(tokens: &[Token], i: usize, parts: &[&str]) -> bool {
+    let mut k = i;
+    for (n, part) in parts.iter().enumerate() {
+        if n > 0 {
+            match tokens.get(k) {
+                Some(Token {
+                    kind: TokenKind::Punct("::"),
+                    ..
+                }) => k += 1,
+                _ => return false,
+            }
+        }
+        match tokens.get(k) {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) if s == part => k += 1,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// D1: wall-clock and ambient-randomness sources. Any value of
+/// `Instant::now()` or `SystemTime` differs run to run, and
+/// `thread_rng`/`rand::random` seed from the OS — none of them may feed a
+/// result path.
+fn check_d1(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let hit = if matches_path(tokens, i, &["Instant", "now"]) {
+            Some("Instant::now")
+        } else if matches_path(tokens, i, &["rand", "random"]) {
+            Some("rand::random")
+        } else {
+            match &t.kind {
+                TokenKind::Ident(s) if s == "SystemTime" => Some("SystemTime"),
+                TokenKind::Ident(s) if s == "thread_rng" => Some("thread_rng"),
+                _ => None,
+            }
+        };
+        if let Some(what) = hit {
+            findings.push(Finding::new(
+                path,
+                t.line,
+                "D1",
+                format!(
+                    "`{what}` in a result-producing crate: wall-clock/ambient entropy \
+                     breaks the byte-identical survey.json contract"
+                ),
+            ));
+        }
+    }
+}
+
+/// D2: unordered collections. `HashMap`/`HashSet` iteration order is
+/// randomized per process; iterating one into serialized output is exactly
+/// how nondeterminism leaks into `survey.json`. Use `BTreeMap`/`BTreeSet`.
+fn check_d2(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for t in tokens {
+        if let TokenKind::Ident(s) = &t.kind {
+            if s == "HashMap" || s == "HashSet" {
+                findings.push(Finding::new(
+                    path,
+                    t.line,
+                    "D2",
+                    format!(
+                        "`{s}` in a result-producing crate: unordered iteration leaks \
+                         scheduling into output; use BTree{} instead",
+                        &s[4..]
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// S1: every `unsafe` must be preceded by a `SAFETY:` comment — on the
+/// same line, or in the contiguous comment block ending on the line above.
+fn check_s1(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for t in &lexed.tokens {
+        let TokenKind::Ident(s) = &t.kind else {
+            continue;
+        };
+        if s != "unsafe" {
+            continue;
+        }
+        if !has_safety_comment(&lexed.comments, t.line) {
+            findings.push(Finding::new(
+                path,
+                t.line,
+                "S1",
+                "`unsafe` without a `// SAFETY:` comment explaining why the \
+                 invariants hold"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn has_safety_comment(comments: &[Comment], unsafe_line: u32) -> bool {
+    let covering = |line: u32| {
+        comments
+            .iter()
+            .filter(move |c| c.line <= line && line <= c.end_line)
+    };
+    // A comment on the `unsafe` line itself counts (trailing or inline).
+    if covering(unsafe_line).any(|c| c.text.contains("SAFETY:")) {
+        return true;
+    }
+    // Otherwise walk the contiguous run of commented lines directly above.
+    let mut line = unsafe_line.saturating_sub(1);
+    while line > 0 {
+        let mut any = false;
+        for c in covering(line) {
+            any = true;
+            if c.text.contains("SAFETY:") {
+                return true;
+            }
+        }
+        if !any {
+            return false;
+        }
+        line -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RESULT: FileScope = FileScope { result_crate: true };
+    const EXEMPT: FileScope = FileScope {
+        result_crate: false,
+    };
+
+    #[test]
+    fn d1_flags_instant_now_and_friends() {
+        let src = "fn f() { let t = Instant::now(); let r: u8 = rand::random(); }";
+        let f = scan_file("x.rs", src, RESULT);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "D1"));
+    }
+
+    #[test]
+    fn d1_ignores_the_import_line_and_strings() {
+        let src = "use std::time::Instant;\nlet s = \"Instant::now\"; // Instant::now";
+        assert!(scan_file("x.rs", src, RESULT).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_hash_collections_only_in_result_crates() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u32, u64> = HashMap::new();";
+        let f = scan_file("x.rs", src, RESULT);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|f| f.rule == "D2"));
+        assert!(scan_file("x.rs", src, EXEMPT).is_empty());
+    }
+
+    #[test]
+    fn d2_accepts_btreemap() {
+        let src = "use std::collections::BTreeMap;\nlet m: BTreeMap<u32, u64> = BTreeMap::new();";
+        assert!(scan_file("x.rs", src, RESULT).is_empty());
+    }
+
+    #[test]
+    fn s1_requires_a_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }";
+        let f = scan_file("x.rs", bad, EXEMPT);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "S1");
+
+        let good = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() }\n}";
+        assert!(scan_file("x.rs", good, EXEMPT).is_empty());
+    }
+
+    #[test]
+    fn s1_accepts_multiline_safety_blocks_ending_above() {
+        let good = "fn f() {\n    // SAFETY: the borrow is pinned by the caller\n    // and outlives the task.\n    unsafe { g() }\n}";
+        assert!(scan_file("x.rs", good, EXEMPT).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses_same_line_and_next_line() {
+        let same = "let m = HashMap::new(); // lint:allow(D2): test-only scratch map";
+        assert!(scan_file("x.rs", same, RESULT).is_empty());
+
+        let above =
+            "// lint:allow(D2): scratch map, never iterated into output\nlet m = HashMap::new();";
+        assert!(scan_file("x.rs", above, RESULT).is_empty());
+    }
+
+    #[test]
+    fn unjustified_allow_suppresses_nothing_and_is_flagged() {
+        let src = "let m = HashMap::new(); // lint:allow(D2)";
+        let f = scan_file("x.rs", src, RESULT);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "D2"));
+        assert!(f.iter().any(|f| f.rule == "A1"));
+
+        let colon_only = "let m = HashMap::new(); // lint:allow(D2):   ";
+        let f = scan_file("x.rs", colon_only, RESULT);
+        assert!(f.iter().any(|f| f.rule == "A1"));
+    }
+
+    #[test]
+    fn prose_mentioning_the_directive_is_not_an_allow() {
+        // Docs that *describe* the syntax (like this crate's own) must not
+        // parse as malformed suppression attempts.
+        let src = "// Suppress with `lint:allow(rule): <why>` on the line above.\nlet x = 1;";
+        assert!(scan_file("x.rs", src, RESULT).is_empty());
+    }
+
+    #[test]
+    fn allow_for_an_unknown_rule_is_flagged() {
+        let src = "// lint:allow(D9): no such rule\nlet x = 1;";
+        let f = scan_file("x.rs", src, RESULT);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "A1");
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_rules_or_distant_lines() {
+        let src = "// lint:allow(D1): wrong rule\nlet m = HashMap::new();";
+        let f = scan_file("x.rs", src, RESULT);
+        assert!(f.iter().any(|f| f.rule == "D2"), "{f:?}");
+
+        let far = "// lint:allow(D2): too far away\n\nlet m = HashMap::new();";
+        let f = scan_file("x.rs", far, RESULT);
+        assert!(f.iter().any(|f| f.rule == "D2"), "{f:?}");
+    }
+}

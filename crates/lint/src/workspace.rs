@@ -1,0 +1,231 @@
+//! Workspace discovery: which files to scan and under which rule scope,
+//! plus the tier-2 wiring to the MSR model's concrete files.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::model::{self, ExperimentModule};
+use crate::rules::{scan_file, FileScope, Finding};
+
+/// Crates whose output feeds `survey.json` (directly or through the node
+/// model); D1/D2 apply in full. `tools` drives interactive binaries,
+/// `bench` measures wall time by design, and `shims/` vendors external
+/// API surfaces — all exempt from D1/D2, but S1 still applies everywhere.
+pub const RESULT_CRATES: &[&str] = &[
+    "core", "cstates", "exec", "hwspec", "memhier", "msr", "node", "pcu", "power",
+];
+
+/// Directories whose `.rs` files are scanned, relative to the root.
+const SCAN_DIRS: &[&str] = &["crates", "shims", "src", "tests"];
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collect every `.rs` file to scan, sorted, as (relative path, absolute
+/// path). Skips `target/`, hidden directories, and lint-test `fixtures/`
+/// corpora (deliberately-bad sources).
+fn scan_targets(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    for dir in SCAN_DIRS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            walk(&abs, &mut files)?;
+        }
+    }
+    let mut out: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            (rel, p)
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The rule scope of one workspace-relative path.
+pub fn scope_of(rel_path: &str) -> FileScope {
+    let result_crate = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .map(|krate| RESULT_CRATES.contains(&krate))
+        .unwrap_or(false);
+    FileScope { result_crate }
+}
+
+/// Run every rule over the workspace at `root`; findings come back sorted
+/// by (path, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    // Tier 1: textual rules over every scanned file.
+    let mut scanned = 0usize;
+    for (rel, abs) in scan_targets(root)? {
+        let src = fs::read_to_string(&abs)?;
+        findings.extend(scan_file(&rel, &src, scope_of(&rel)));
+        scanned += 1;
+    }
+    if scanned == 0 {
+        findings.push(Finding::new(
+            ".",
+            1,
+            "M1",
+            "no Rust sources found under the workspace root — wrong --root?".to_string(),
+        ));
+    }
+
+    // Tier 2: the MSR model's declarative surface.
+    let read = |rel: &str| -> io::Result<String> { fs::read_to_string(root.join(rel)) };
+    match (
+        read("crates/msr/src/addresses.rs"),
+        read("crates/msr/src/gate.rs"),
+    ) {
+        (Ok(addr), Ok(gate)) => findings.extend(model::check_addresses_and_gate(
+            "crates/msr/src/addresses.rs",
+            &addr,
+            "crates/msr/src/gate.rs",
+            &gate,
+        )),
+        _ => findings.push(Finding::new(
+            "crates/msr/src",
+            1,
+            "M1",
+            "addresses.rs/gate.rs not found — MSR model moved without updating hsw-lint"
+                .to_string(),
+        )),
+    }
+    match read("crates/msr/src/fields.rs") {
+        Ok(fields) => findings.extend(model::check_fields("crates/msr/src/fields.rs", &fields)),
+        Err(_) => findings.push(Finding::new(
+            "crates/msr/src/fields.rs",
+            1,
+            "M2",
+            "fields.rs not found — MSR model moved without updating hsw-lint".to_string(),
+        )),
+    }
+
+    let exp_dir = root.join("crates/core/src/experiments");
+    match (
+        read("crates/core/src/experiments/mod.rs"),
+        read("crates/core/src/survey.rs"),
+        fs::read_dir(&exp_dir),
+    ) {
+        (Ok(mod_src), Ok(survey_src), Ok(dir)) => {
+            let mut modules: Vec<(String, String, String)> = Vec::new();
+            let mut names: Vec<String> = dir
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name().to_string_lossy().into_owned();
+                    name.strip_suffix(".rs")
+                        .filter(|stem| *stem != "mod")
+                        .map(str::to_string)
+                })
+                .collect();
+            names.sort();
+            for name in names {
+                let rel = format!("crates/core/src/experiments/{name}.rs");
+                let src = read(&rel)?;
+                modules.push((name, rel, src));
+            }
+            let mods: Vec<ExperimentModule<'_>> = modules
+                .iter()
+                .map(|(name, path, src)| ExperimentModule { name, path, src })
+                .collect();
+            findings.extend(model::check_registry(
+                "crates/core/src/experiments/mod.rs",
+                &mod_src,
+                "crates/core/src/survey.rs",
+                &survey_src,
+                &mods,
+            ));
+        }
+        _ => findings.push(Finding::new(
+            "crates/core/src/experiments",
+            1,
+            "M3",
+            "experiments/mod.rs or survey.rs not found — registry moved without updating hsw-lint"
+                .to_string(),
+        )),
+    }
+
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_crate_scoping() {
+        assert!(scope_of("crates/msr/src/gate.rs").result_crate);
+        assert!(scope_of("crates/core/src/survey.rs").result_crate);
+        assert!(!scope_of("crates/bench/src/lib.rs").result_crate);
+        assert!(!scope_of("crates/tools/src/stress.rs").result_crate);
+        assert!(!scope_of("shims/rayon/src/pool.rs").result_crate);
+        assert!(!scope_of("src/bin/survey.rs").result_crate);
+        assert!(!scope_of("tests/sweep_determinism.rs").result_crate);
+    }
+
+    #[test]
+    fn the_workspace_itself_is_lint_clean() {
+        // The acceptance gate of the whole rule set: the repo this crate
+        // lives in passes its own lint with zero findings. (Same check CI
+        // runs via `cargo run -p hsw-lint --release`.)
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("lint crate lives inside the workspace");
+        let findings = lint_workspace(&root).expect("workspace scan");
+        assert!(
+            findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end tests: the `hsw-lint` binary against the bad fixture (must
+//! flag and exit nonzero) and against the real workspace (must be clean).
+
+use std::path::Path;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+#[test]
+fn bad_fixture_is_flagged_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hsw-lint"))
+        .args(["--check-file", &fixture("bad.rs")])
+        .output()
+        .expect("run hsw-lint");
+    assert!(
+        !out.status.success(),
+        "hsw-lint accepted the bad fixture: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for (rule, needle) in [
+        ("D1", "Instant::now"),
+        ("D2", "HashMap"),
+        ("S1", "SAFETY"),
+        ("A1", "justification"),
+    ] {
+        assert!(
+            stdout
+                .lines()
+                .any(|l| l.contains(&format!(" {rule}: ")) && l.contains(needle)),
+            "missing {rule} finding mentioning {needle:?} in:\n{stdout}"
+        );
+    }
+    // The literal-bait function at the bottom (line 27 on) must not be
+    // flagged: its trigger words all live inside string/char literals.
+    for line in stdout.lines() {
+        let n: u32 = line
+            .split(':')
+            .nth(1)
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable finding line: {line}"));
+        assert!(n < 27, "flagged inside the literal-bait block:\n{stdout}");
+    }
+    // Findings are path:line: rule: message.
+    assert!(
+        stdout.lines().all(|l| l.contains("bad.rs:")),
+        "unexpected finding format:\n{stdout}"
+    );
+}
+
+#[test]
+fn bad_fixture_json_mode_lists_the_same_findings() {
+    let text = Command::new(env!("CARGO_BIN_EXE_hsw-lint"))
+        .args(["--check-file", &fixture("bad.rs")])
+        .output()
+        .expect("run hsw-lint");
+    let json = Command::new(env!("CARGO_BIN_EXE_hsw-lint"))
+        .args(["--check-file", &fixture("bad.rs"), "--json"])
+        .output()
+        .expect("run hsw-lint --json");
+    assert!(!json.status.success());
+    let text_count = String::from_utf8_lossy(&text.stdout).lines().count();
+    let json_str = String::from_utf8_lossy(&json.stdout);
+    let json_count = json_str.matches("\"rule\":").count();
+    assert_eq!(text_count, json_count, "{json_str}");
+    assert!(json_str.trim_start().starts_with('['));
+}
+
+#[test]
+fn the_real_workspace_exits_zero() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .display()
+        .to_string();
+    let out = Command::new(env!("CARGO_BIN_EXE_hsw-lint"))
+        .args(["--root", &root])
+        .output()
+        .expect("run hsw-lint");
+    assert!(
+        out.status.success(),
+        "workspace has findings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hsw-lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("run hsw-lint");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,32 @@
+//! Deliberately-bad fixture for the hsw-lint end-to-end test. This file is
+//! NOT compiled (it lives under tests/fixtures/, which the workspace scan
+//! skips) — it exists to be linted via `hsw-lint --check-file`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn nondeterministic_result() -> f64 {
+    // D1: wall clock in a result path.
+    let t0 = Instant::now();
+    // D2: unordered map iterated into output.
+    let mut m: HashMap<u32, f64> = HashMap::new();
+    m.insert(1, t0.elapsed().as_secs_f64());
+    m.values().sum()
+}
+
+pub fn undocumented_unsafe(bytes: &[u8]) -> &str {
+    // S1: undocumented unsafe block.
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+pub fn unjustified_allow() -> u32 {
+    let m: HashMap<u32, u32> = HashMap::new(); // lint:allow(D2)
+    m.len() as u32
+}
+
+pub fn false_positive_bait() {
+    // None of these may be flagged: the names live in literals.
+    let _s = "Instant::now HashMap unsafe";
+    let _r = r#"SystemTime // thread_rng"#;
+    let _c = 'H';
+}

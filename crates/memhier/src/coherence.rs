@@ -9,7 +9,7 @@
 //! Performance and Cache Coherency Effects on an Intel Nehalem
 //! Multiprocessor System*).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hsw_hwspec::DieLayout;
 
@@ -54,7 +54,7 @@ struct LineState {
 #[derive(Debug)]
 pub struct CoherenceDirectory {
     cores: usize,
-    lines: HashMap<u64, LineState>,
+    lines: BTreeMap<u64, LineState>,
     ring: RingNetwork,
     die: DieLayout,
 }
@@ -78,7 +78,7 @@ impl CoherenceDirectory {
     pub fn new(die: DieLayout) -> Self {
         CoherenceDirectory {
             cores: die.total_cores(),
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             ring: RingNetwork::new(&die),
             die,
         }
@@ -223,6 +223,21 @@ mod tests {
     use hsw_hwspec::DieLayout;
     use proptest::prelude::*;
 
+    #[test]
+    fn directory_lines_iterate_in_ascending_address_order() {
+        // Determinism regression: the line directory is a BTreeMap, so any
+        // walk over tracked lines is in address order, not hash order.
+        let mut d = dir();
+        for addr in [0x4C0u64, 0x40, 0x200, 0x100] {
+            d.access(0, addr, Access::Read);
+        }
+        let addrs: Vec<u64> = d.lines.keys().copied().collect();
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(addrs, sorted);
+        assert_eq!(addrs.len(), 4);
+    }
+
     fn dir() -> CoherenceDirectory {
         CoherenceDirectory::new(DieLayout::die12())
     }
@@ -334,7 +349,7 @@ mod tests {
             readers in proptest::collection::vec(0usize..12, 1..24),
         ) {
             let mut d = dir();
-            let mut valid = std::collections::HashSet::new();
+            let mut valid = std::collections::BTreeSet::new();
             for r in readers {
                 d.access(r, 0x200, Access::Read);
                 valid.insert(r);

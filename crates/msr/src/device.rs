@@ -1,7 +1,7 @@
 //! The per-socket MSR bank: scoped registers, read/write semantics, and
 //! counter accumulation with sub-count residue.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hsw_hwspec::{CpuGeneration, RaplMode};
 
@@ -144,9 +144,9 @@ fn implemented(addr: u32, generation: CpuGeneration) -> bool {
 pub struct MsrBank {
     generation: CpuGeneration,
     threads: usize,
-    package: HashMap<u32, u64>,
-    per_thread: Vec<HashMap<u32, u64>>,
-    residue: HashMap<(usize, u32), f64>,
+    package: BTreeMap<u32, u64>,
+    per_thread: Vec<BTreeMap<u32, u64>>,
+    residue: BTreeMap<(usize, u32), f64>,
 }
 
 /// Key used in the residue map for package-scoped counters.
@@ -157,9 +157,9 @@ impl MsrBank {
         let mut bank = MsrBank {
             generation,
             threads,
-            package: HashMap::new(),
-            per_thread: vec![HashMap::new(); threads],
-            residue: HashMap::new(),
+            package: BTreeMap::new(),
+            per_thread: vec![BTreeMap::new(); threads],
+            residue: BTreeMap::new(),
         };
         // Architectural reset values.
         if implemented(a::MSR_RAPL_POWER_UNIT, generation) {
@@ -269,6 +269,32 @@ mod tests {
 
     fn hsw_bank() -> MsrBank {
         MsrBank::new(CpuGeneration::HaswellEp, 24)
+    }
+
+    #[test]
+    fn bank_maps_iterate_in_ascending_address_order() {
+        // Determinism regression: the bank's maps are BTreeMaps, so
+        // iteration order is the address order no matter the store order.
+        let mut b = hsw_bank();
+        for addr in [
+            MSR_PKG_ENERGY_STATUS,
+            MSR_PKG_POWER_LIMIT,
+            MSR_DRAM_ENERGY_STATUS,
+        ] {
+            b.store_package(addr, 1);
+        }
+        let pkg: Vec<u32> = b.package.keys().copied().collect();
+        let mut sorted = pkg.clone();
+        sorted.sort_unstable();
+        assert_eq!(pkg, sorted);
+
+        for addr in [MSR_CORE_C6_RESIDENCY, IA32_APERF, IA32_MPERF] {
+            b.store(0, addr, 1);
+        }
+        let thr: Vec<u32> = b.per_thread[0].keys().copied().collect();
+        let mut sorted = thr.clone();
+        sorted.sort_unstable();
+        assert_eq!(thr, sorted);
     }
 
     #[test]

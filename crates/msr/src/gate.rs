@@ -8,7 +8,7 @@
 //! policy, including *write masks* (e.g. only the EPB bits of
 //! `IA32_ENERGY_PERF_BIAS` may change).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addresses as a;
 use crate::device::{MsrBank, MsrError};
@@ -48,8 +48,8 @@ pub enum GateError {
 
 /// The allowlist: the registers the survey's tools need, with the same
 /// policy msr-safe ships for them.
-pub fn survey_allowlist() -> HashMap<u32, Permission> {
-    let mut m = HashMap::new();
+pub fn survey_allowlist() -> BTreeMap<u32, Permission> {
+    let mut m = BTreeMap::new();
     // Counters and status: read-only.
     for addr in [
         a::IA32_TIME_STAMP_COUNTER,
@@ -84,11 +84,11 @@ pub fn survey_allowlist() -> HashMap<u32, Permission> {
 /// The gate itself.
 pub struct MsrGate<'a> {
     bank: &'a mut MsrBank,
-    allowlist: HashMap<u32, Permission>,
+    allowlist: BTreeMap<u32, Permission>,
 }
 
 impl<'a> MsrGate<'a> {
-    pub fn new(bank: &'a mut MsrBank, allowlist: HashMap<u32, Permission>) -> Self {
+    pub fn new(bank: &'a mut MsrBank, allowlist: BTreeMap<u32, Permission>) -> Self {
         MsrGate { bank, allowlist }
     }
 
@@ -134,6 +134,18 @@ mod tests {
 
     fn bank() -> MsrBank {
         MsrBank::new(CpuGeneration::HaswellEp, 24)
+    }
+
+    #[test]
+    fn allowlist_iterates_in_ascending_address_order() {
+        // Determinism regression: the allowlist is a BTreeMap, so any code
+        // that iterates it (snapshots, audits) sees the address order, not
+        // a per-process hash order.
+        let keys: Vec<u32> = survey_allowlist().keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert!(keys.len() >= 16, "allowlist unexpectedly small: {keys:?}");
     }
 
     #[test]

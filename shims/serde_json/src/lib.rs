@@ -304,9 +304,12 @@ impl<'s> Parser<'s> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
+                    // Consume one UTF-8 character.
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `bytes` came from a `&str`, and `pos` only
+                    // ever advances by whole escape sequences (ASCII) or
+                    // `len_utf8()` of a decoded char, so it is always on a
+                    // UTF-8 boundary and `rest` is valid UTF-8.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();
                     out.push(c);
