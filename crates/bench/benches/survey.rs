@@ -43,6 +43,7 @@ fn bench_survey_jobs(c: &mut Criterion) {
             jobs,
             only: Some(subset()),
             engine: EngineMode::default(),
+            warm_start: true,
         };
         c.bench_function(&format!("survey_subset_jobs_{jobs}"), |b| {
             b.iter(|| black_box(run_survey(black_box(&cfg)).unwrap()))

@@ -1,0 +1,180 @@
+//! Warm-start executor benches: cold (warmup re-run per point) vs. warm
+//! (one warmup, every point forked from its snapshot) wall time on the two
+//! sweep shapes where the shared settle phase dominates.
+//!
+//! - A Figure 2-class sweep: many short workload points behind one long
+//!   idle settle — the shape warm-start snapshot forking was built for.
+//! - A Table IV-class sweep: few frequency-setting points behind one
+//!   FIRESTARTER bring-up at turbo.
+//!
+//! Both shapes run the real node simulator through the real warm executor
+//! (`RunCtx::sweep_warm`) under both modes and assert the digests are
+//! bit-identical — the executor's byte-identity contract — before timing.
+//! The full run also asserts the headline claim: warm start cuts the
+//! fig2-class sweep's wall time by at least 2x. Set `HSW_BENCH_SMOKE=1` to
+//! run one cold+warm pass per shape (digest assertions included, criterion
+//! timing loops and the ratio assertion skipped) — the CI smoke mode.
+//!
+//! Results land in `BENCH_warmstart.json` at the repo root (bench id,
+//! variants, wall ms, digest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use haswell_survey::survey::RunCtx;
+use haswell_survey::Fidelity;
+use hsw_bench::BenchVariant;
+use hsw_exec::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_node::{EngineMode, Resolution};
+
+fn ctx(warm: bool) -> RunCtx {
+    RunCtx::new(Fidelity::Quick, 7, EngineMode::default()).with_warm_start(warm)
+}
+
+/// Figure 2-class sweep: a 0.8 s loaded settle (the thermal/RAPL bring-up
+/// every panel point shares) followed by a short per-point workload tail.
+/// Cold mode re-runs the loaded settle per point. An idle settle would be
+/// nearly free — the event engine skips quiet ticks — so the shared phase
+/// is a loaded one, as in the real Figure 2 methodology.
+fn run_fig2_class(warm: bool) -> f64 {
+    let points: Vec<(WorkloadProfile, usize)> = WorkloadProfile::fig2_benchmarks()
+        .iter()
+        .flat_map(|b| [1usize, 4, 12].into_iter().map(move |c| (b.clone(), c)))
+        .collect();
+    let values = ctx(warm).sweep_warm(
+        &points,
+        |builder| {
+            let mut session = builder.resolution(Resolution::Custom(100)).build();
+            session.run_on_socket(0, &WorkloadProfile::compute(), 12, 1);
+            session.advance_s(0.8); // shared loaded settle
+            session
+        },
+        |mut node, (profile, cores), _seed| {
+            node.idle_all();
+            node.run_on_socket(0, profile, *cores, 1);
+            node.advance_s(0.15);
+            node.true_pkg_power_w(0)
+        },
+    );
+    digest(&values)
+}
+
+/// Table IV-class sweep: one FIRESTARTER bring-up at turbo shared by every
+/// frequency-setting point.
+fn run_table4_class(warm: bool) -> f64 {
+    let settings: Vec<FreqSetting> = {
+        let mut v = vec![FreqSetting::Turbo];
+        for mhz in [2500u32, 2400, 2300, 2200, 2100] {
+            v.push(FreqSetting::from_mhz(mhz));
+        }
+        v
+    };
+    let values = ctx(warm).sweep_warm(
+        &settings,
+        |builder| {
+            let mut session = builder.resolution(Resolution::Coarse).build();
+            let fs = WorkloadProfile::firestarter();
+            for s in 0..2 {
+                session.run_on_socket(s, &fs, 12, 2);
+            }
+            session.set_turbo(true);
+            session.advance_s(1.0); // shared bring-up at turbo
+            session
+        },
+        |mut node, setting, _seed| {
+            node.set_setting_all(*setting);
+            node.advance_s(0.2);
+            node.true_pkg_power_w(0) + node.true_pkg_power_w(1)
+        },
+    );
+    digest(&values)
+}
+
+/// Order-sensitive digest: any schedule leak (point order, seed
+/// derivation, fork state) changes the bits.
+fn digest(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as f64 + 1.0) * v)
+        .sum()
+}
+
+fn wall_s(f: impl FnOnce() -> f64) -> (f64, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (t0.elapsed().as_secs_f64(), v)
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("HSW_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn warmstart_ratios(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    hsw_bench::print_once(
+        "Warm start: cold (warmup per point) vs warm (snapshot fork) wall time",
+        || {
+            let (cold_f2, a) = wall_s(|| run_fig2_class(false));
+            let (warm_f2, b) = wall_s(|| run_fig2_class(true));
+            assert_eq!(a.to_bits(), b.to_bits(), "fig2-class warm/cold diverged");
+            let (cold_t4, x) = wall_s(|| run_table4_class(false));
+            let (warm_t4, y) = wall_s(|| run_table4_class(true));
+            assert_eq!(x.to_bits(), y.to_bits(), "table4-class warm/cold diverged");
+            let ratio_f2 = cold_f2 / warm_f2.max(1e-9);
+            let ratio_t4 = cold_t4 / warm_t4.max(1e-9);
+            if !smoke {
+                // The headline acceptance claim: the settle-dominated sweep
+                // must be at least twice as fast with snapshot forking.
+                assert!(
+                    ratio_f2 >= 2.0,
+                    "fig2-class warm-start speedup {ratio_f2:.2}x < 2x \
+                     (cold {cold_f2:.2} s, warm {warm_f2:.2} s)"
+                );
+            }
+            hsw_bench::write_report(
+                "warmstart",
+                &[
+                    BenchVariant::new("fig2_class_cold", cold_f2, a),
+                    BenchVariant::new("fig2_class_warm", warm_f2, b),
+                    BenchVariant::new("table4_class_cold", cold_t4, x),
+                    BenchVariant::new("table4_class_warm", warm_t4, y),
+                ],
+            );
+            format!(
+                "Fig 2-class:   cold {cold_f2:.2} s, warm {warm_f2:.2} s -> {ratio_f2:.1}x\n\
+                 Table IV-class: cold {cold_t4:.2} s, warm {warm_t4:.2} s -> {ratio_t4:.1}x\n\
+                 (digests bit-identical across modes; report: BENCH_warmstart.json)"
+            )
+        },
+    );
+    if smoke {
+        return;
+    }
+    c.bench_function("warmstart_fig2_class_cold", |b| {
+        b.iter(|| black_box(run_fig2_class(false)))
+    });
+    c.bench_function("warmstart_fig2_class_warm", |b| {
+        b.iter(|| black_box(run_fig2_class(true)))
+    });
+    c.bench_function("warmstart_table4_class_cold", |b| {
+        b.iter(|| black_box(run_table4_class(false)))
+    });
+    c.bench_function("warmstart_table4_class_warm", |b| {
+        b.iter(|| black_box(run_table4_class(true)))
+    });
+}
+
+criterion_group! {
+    name = warmstart_benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15))
+        .warm_up_time(Duration::from_secs(1));
+    targets = warmstart_ratios
+}
+criterion_main!(warmstart_benches);

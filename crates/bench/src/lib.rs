@@ -11,6 +11,8 @@
 //!   chip-wide p-states, RAPL DRAM mode 0 vs. 1) and a simulator
 //!   throughput measurement.
 
+use serde::Value;
+
 /// Print a banner followed by a reproduced artifact exactly once per
 /// process (Criterion calls the closure many times).
 pub fn print_once(tag: &'static str, render: impl FnOnce() -> String) {
@@ -23,4 +25,57 @@ pub fn print_once(tag: &'static str, render: impl FnOnce() -> String) {
     if guard.insert(tag) {
         println!("\n===== {tag} =====\n{}", render());
     }
+}
+
+/// One timed variant of a bench: a label, its wall time, and the
+/// order-sensitive digest of the values it produced (so a report also
+/// records *what* was computed, not just how fast).
+#[derive(Debug, Clone)]
+pub struct BenchVariant {
+    pub name: String,
+    pub wall_ms: f64,
+    pub digest: f64,
+}
+
+impl BenchVariant {
+    pub fn new(name: impl Into<String>, wall_s: f64, digest: f64) -> Self {
+        BenchVariant {
+            name: name.into(),
+            wall_ms: wall_s * 1e3,
+            digest,
+        }
+    }
+}
+
+/// Write `BENCH_<name>.json` at the repository root: the bench id plus one
+/// entry per variant with wall milliseconds and result digest. Wall time
+/// is inherently non-deterministic — these reports are bench artifacts,
+/// deliberately separate from the byte-stable `survey.json`.
+pub fn write_report(name: &str, variants: &[BenchVariant]) -> std::path::PathBuf {
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str(name.to_string())),
+        (
+            "variants".to_string(),
+            Value::Array(
+                variants
+                    .iter()
+                    .map(|v| {
+                        Value::Object(vec![
+                            ("name".to_string(), Value::Str(v.name.clone())),
+                            ("wall_ms".to_string(), Value::Float(v.wall_ms)),
+                            ("digest".to_string(), Value::Float(v.digest)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut json = serde_json::to_string_pretty(&doc).expect("bench report serialization");
+    json.push('\n');
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json).expect("write bench report");
+    path
 }

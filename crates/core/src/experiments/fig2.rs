@@ -151,19 +151,26 @@ fn run_panel(ctx: &RunCtx, spec: NodeSpec, salt: u64) -> Fig2Panel {
         })
         .collect();
 
-    let points: Vec<Fig2Point> =
-        ctx.sweep_salted(salt, &jobs, |(profile, (cores, sockets, tpc)), seed| {
-            let mut node = ctx
-                .session()
+    // Warm-start split: the idle-settled node is identical for every point
+    // of a panel, so it is warmed up once and forked per point; only the
+    // workload assignment and its settle remain per point.
+    let points: Vec<Fig2Point> = ctx.sweep_warm_salted(
+        salt,
+        &jobs,
+        |builder| {
+            let mut session = builder
                 .spec(spec.clone())
-                .seed(seed)
                 .resolution(Resolution::Custom(100))
                 .build();
-            node.idle_all();
+            session.idle_all();
+            session.advance_s(0.4); // shared idle settle
+            session
+        },
+        |mut node, (profile, (cores, sockets, tpc)), _seed| {
             for s in 0..*sockets {
                 node.run_on_socket(s, profile, *cores, *tpc);
             }
-            node.advance_s(0.4); // settle
+            node.advance_s(0.4); // per-point settle under the new workload
             let (ac, rapl) = measure_point(&mut node, avg_s);
             Fig2Point {
                 workload: profile.name.to_string(),
@@ -171,7 +178,8 @@ fn run_panel(ctx: &RunCtx, spec: NodeSpec, salt: u64) -> Fig2Panel {
                 ac_w: ac,
                 rapl_w: rapl,
             }
-        });
+        },
+    );
 
     // Fits: AC as a function of RAPL, as plotted in the paper.
     let xy: Vec<(f64, f64)> = points.iter().map(|p| (p.rapl_w, p.ac_w)).collect();

@@ -86,7 +86,11 @@ pub const L3_WORKING_SET: usize = 17 * 1024 * 1024;
 pub const DRAM_WORKING_SET: usize = 350 * 1024 * 1024;
 
 fn series(generation: CpuGeneration, l3: bool) -> Fig7Series {
-    let sku = sku_for(generation);
+    series_with_sku(&sku_for(generation), generation, l3)
+}
+
+fn series_with_sku(sku: &SkuSpec, generation: CpuGeneration, l3: bool) -> Fig7Series {
+    let sku = sku.clone();
     debug_assert_eq!(
         MemoryLevel::classify(&sku, if l3 { L3_WORKING_SET } else { DRAM_WORKING_SET }),
         if l3 && sku.cache.l3_total_kib(sku.cores) * 1024 >= L3_WORKING_SET {
@@ -136,15 +140,27 @@ pub fn run() -> Fig7 {
     }
 }
 
-/// Like [`run`] but fanning the generation × panel grid through the sweep
-/// executor. The bandwidth model is analytic, so the derived point seeds
-/// are not consumed and the result is identical to the serial [`run`].
+/// Like [`run`] but fanning the generation × panel grid through the
+/// warm-start sweep executor, sharing the resolved SKU table across all
+/// points. The bandwidth model is analytic, so the derived point seeds are
+/// not consumed and the result is identical to the serial [`run`] in
+/// either warm-start mode.
 fn run_ctx(ctx: &crate::survey::RunCtx) -> Fig7 {
     let jobs: Vec<(CpuGeneration, bool)> = GENERATIONS
         .iter()
         .flat_map(|g| [true, false].into_iter().map(move |l3| (*g, l3)))
         .collect();
-    let all = ctx.sweep(&jobs, |&(g, l3), _seed| series(g, l3));
+    let all = ctx.sweep_warm_shared(
+        &jobs,
+        || -> Vec<SkuSpec> { GENERATIONS.iter().map(|g| sku_for(*g)).collect() },
+        |skus, &(g, l3), _seed| {
+            let idx = GENERATIONS
+                .iter()
+                .position(|x| *x == g)
+                .expect("generation");
+            series_with_sku(&skus[idx], g, l3)
+        },
+    );
     let (mut l3, mut dram) = (Vec::new(), Vec::new());
     for (&(_, is_l3), s) in jobs.iter().zip(all) {
         if is_l3 {

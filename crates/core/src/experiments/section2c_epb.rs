@@ -15,7 +15,6 @@ use hsw_hwspec::freq::FreqSetting;
 use hsw_msr::addresses as msra;
 use hsw_node::{CpuId, EngineMode, Resolution};
 use hsw_tools::PerfCtr;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::survey::RunCtx;
@@ -42,97 +41,99 @@ impl std::fmt::Display for Section2cEpb {
     }
 }
 
-/// Classify one raw EPB value by its measurable effect: a spinning core at
-/// a fixed setting exposes the UFS response (performance pins 3.0 GHz), and
-/// the energy-saving class shows the small downward frequency bias under
-/// TDP pressure.
-fn observe(ctx: &RunCtx, raw: u8, seed: u64) -> EpbObservation {
-    let mut node = ctx
-        .session()
-        .seed(seed)
-        .resolution(Resolution::Custom(100))
-        .build();
-    node.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
-    // Program the raw value on every thread (tools use wrmsr; we poke the
-    // registers the same way).
-    for s in 0..2 {
-        for t in 0..node.config().spec.sku.hw_threads() {
-            let core = t / 2;
-            let thread = t % 2;
+/// Program a raw EPB value on a range of hardware threads through the MSR
+/// interface (tools use wrmsr; we poke the registers the same way).
+fn program_epb(node: &mut hsw_node::Node, sockets: std::ops::Range<usize>, raw: u8) {
+    let threads = node.config().spec.sku.hw_threads();
+    for s in sockets {
+        for t in 0..threads {
             node.wrmsr(
-                CpuId::new(s, core, thread),
+                CpuId::new(s, t / 2, t % 2),
                 msra::IA32_ENERGY_PERF_BIAS,
                 raw as u64,
             )
             .unwrap();
         }
     }
-    node.set_setting_all(FreqSetting::from_mhz(2500));
-    node.advance_s(0.3);
-    let pc = PerfCtr::new(&node, CpuId::new(0, 0, 0));
-    let a = pc.sample(&node);
-    node.advance_s(0.4);
-    let b = pc.sample(&node);
-    let uncore_ghz = pc.derive(&a, &b).uncore_ghz;
-
-    // TDP-pressure probe for distinguishing balanced vs energy saving:
-    // FIRESTARTER's equilibrium frequency carries the EPB budget bias.
-    let mut node2 = ctx
-        .session()
-        .seed(seed + 1)
-        .resolution(Resolution::Custom(100))
-        .build();
-    let fs = WorkloadProfile::firestarter();
-    node2.run_on_socket(0, &fs, 12, 2);
-    for t in 0..node2.config().spec.sku.hw_threads() {
-        node2
-            .wrmsr(
-                CpuId::new(0, t / 2, t % 2),
-                msra::IA32_ENERGY_PERF_BIAS,
-                raw as u64,
-            )
-            .unwrap();
-    }
-    node2.set_setting_all(FreqSetting::Turbo);
-    node2.advance_s(0.6);
-    let eq_ghz = node2.sockets()[0].true_core_mhz(0) / 1000.0;
-
-    let observed_class = if uncore_ghz > 2.8 {
-        "performance"
-    } else if eq_ghz < 2.27 {
-        "energy saving"
-    } else {
-        "balanced"
-    };
-    EpbObservation {
-        raw,
-        uncore_ghz,
-        observed_class: observed_class.to_string(),
-    }
 }
 
 pub fn run() -> Section2cEpb {
     let ctx = RunCtx::new(crate::Fidelity::Quick, 0, EngineMode::default());
-    run_impl(&ctx, None)
+    run_impl(&ctx)
 }
 
 /// Like [`run`] but with per-value observation seeds derived from `seed`
 /// (the survey runner's determinism contract).
 pub fn run_seeded(seed: u64) -> Section2cEpb {
     let ctx = RunCtx::new(crate::Fidelity::Quick, seed, EngineMode::default());
-    run_impl(&ctx, Some(seed))
+    run_impl(&ctx)
 }
 
-fn run_impl(ctx: &RunCtx, seed: Option<u64>) -> Section2cEpb {
-    let observations: Vec<EpbObservation> = (0u8..16)
-        .collect::<Vec<_>>()
-        .par_iter()
-        .map(|raw| {
-            let obs_seed = match seed {
-                None => 77_000 + *raw as u64 * 3,
-                Some(root) => crate::survey::mix_seed(root, *raw as u64),
+fn run_impl(ctx: &RunCtx) -> Section2cEpb {
+    let raws: Vec<u8> = (0u8..16).collect();
+
+    // Classify each raw EPB value by its measurable effect, via two warm
+    // sweeps (salts 0 and 1) whose workload bring-up is shared across all
+    // 16 values; only the EPB write and its settle run per point.
+    //
+    // Probe 1: a spinning core at a fixed setting exposes the UFS response
+    // (performance pins the uncore at 3.0 GHz).
+    let uncore: Vec<f64> = ctx.sweep_warm_salted(
+        0,
+        &raws,
+        |builder| {
+            let mut session = builder.resolution(Resolution::Custom(100)).build();
+            session.run_on_socket(0, &WorkloadProfile::busy_wait(), 1, 1);
+            session.advance_s(0.2); // shared bring-up
+            session
+        },
+        |mut node, raw, _seed| {
+            program_epb(&mut node, 0..2, *raw);
+            node.set_setting_all(FreqSetting::from_mhz(2500));
+            node.advance_s(0.3);
+            let pc = PerfCtr::new(&node, CpuId::new(0, 0, 0));
+            let a = pc.sample(&node);
+            node.advance_s(0.4);
+            let b = pc.sample(&node);
+            pc.derive(&a, &b).uncore_ghz
+        },
+    );
+
+    // Probe 2: TDP pressure distinguishes balanced vs energy saving —
+    // FIRESTARTER's equilibrium frequency carries the EPB budget bias.
+    let eq: Vec<f64> = ctx.sweep_warm_salted(
+        1,
+        &raws,
+        |builder| {
+            let mut session = builder.resolution(Resolution::Custom(100)).build();
+            session.run_on_socket(0, &WorkloadProfile::firestarter(), 12, 2);
+            session.advance_s(0.2); // shared bring-up
+            session
+        },
+        |mut node, raw, _seed| {
+            program_epb(&mut node, 0..1, *raw);
+            node.set_setting_all(FreqSetting::Turbo);
+            node.advance_s(0.6);
+            node.sockets()[0].true_core_mhz(0) / 1000.0
+        },
+    );
+
+    let observations: Vec<EpbObservation> = raws
+        .iter()
+        .zip(uncore.iter().zip(&eq))
+        .map(|(raw, (&uncore_ghz, &eq_ghz))| {
+            let observed_class = if uncore_ghz > 2.8 {
+                "performance"
+            } else if eq_ghz < 2.27 {
+                "energy saving"
+            } else {
+                "balanced"
             };
-            observe(ctx, *raw, obs_seed)
+            EpbObservation {
+                raw: *raw,
+                uncore_ghz,
+                observed_class: observed_class.to_string(),
+            }
         })
         .collect();
     let mut t = Table::new(
@@ -172,7 +173,7 @@ impl crate::survey::SurveyExperiment for Experiment {
         "Measured EPB register mapping"
     }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
-        let r = run_impl(ctx, Some(ctx.seed));
+        let r = run_impl(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
         let matches = r
             .observations

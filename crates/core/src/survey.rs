@@ -13,13 +13,18 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use hsw_node::{EngineMode, Platform, SessionBuilder};
+use hsw_node::{EngineMode, Node, NodeSnapshot, Platform, Session, SessionBuilder};
 use rayon::prelude::*;
 use serde::{Serialize, Value};
 
 use crate::experiments;
 use crate::report::Table;
 use crate::Fidelity;
+
+/// Salt separating the shared-warmup seed stream from the per-point fork
+/// streams (`mix_seed(base, k)`, k small) inside one warm sweep. Any large
+/// fixed constant works; this one spells "WARMUP".
+const WARMUP_SALT: u64 = 0x5741_524D_5550_9E37;
 
 /// Everything an experiment gets from the runner.
 #[derive(Debug, Clone)]
@@ -36,6 +41,15 @@ pub struct RunCtx {
     /// Sweep points executed through [`RunCtx::sweep`]/[`RunCtx::sweep_salted`]
     /// (the scoreboard's `pts` column).
     points: Arc<AtomicU64>,
+    /// Warm-start mode: `true` runs each warm sweep's warmup once and forks
+    /// every point from the converged snapshot; `false` re-runs the warmup
+    /// per point. Both paths execute the identical fork code under the
+    /// identical seed schedule, so results are byte-identical — only wall
+    /// clock differs.
+    warm_start: bool,
+    /// Sweep points served from a shared warm-start snapshot instead of a
+    /// re-run warmup (the scoreboard's `reuse` column).
+    reuses: Arc<AtomicU64>,
 }
 
 impl RunCtx {
@@ -46,7 +60,16 @@ impl RunCtx {
             engine,
             sim_ns: Arc::new(AtomicU64::new(0)),
             points: Arc::new(AtomicU64::new(0)),
+            warm_start: true,
+            reuses: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Select cold (`false`) or warm (`true`, the default) execution of the
+    /// warm-sweep executors. Results are identical either way.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 
     /// The paper platform under this experiment's seed and engine.
@@ -100,6 +123,159 @@ impl RunCtx {
             .fetch_add(points.len() as u64, Ordering::Relaxed);
         sweep(mix_seed(self.seed, salt), points, f)
     }
+
+    /// Sweep points served from a shared warm-start snapshot so far.
+    pub fn snapshot_reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Warm-start sweep: amortize a shared settle phase across all points.
+    ///
+    /// `warmup` receives a session builder (already seeded with
+    /// `mix_seed(base, WARMUP_SALT)` and *not* wired to the time ledger) and
+    /// drives the node to its converged pre-point state. `point` receives a
+    /// fork of that state — a fresh `Node` rebuilt from the warmup's config
+    /// under the point seed `mix_seed(base, k)`, ledgered, then restored
+    /// from the snapshot — plus the point itself and the point seed.
+    ///
+    /// With warm start on, `warmup` runs once and every point forks the one
+    /// snapshot; with it off, `warmup` re-runs per point. Both paths feed
+    /// the *identical* fork construction, and [`hsw_node`]'s noise is keyed
+    /// by (seed, domain, sim-time) rather than step count, so results are
+    /// byte-identical by construction — only wall clock differs.
+    ///
+    /// Contract for `warmup`: configure the builder freely (spec,
+    /// resolution, EET, …) but never call [`SessionBuilder::seed`] /
+    /// [`SessionBuilder::derive_seed`] — the executor owns the seed
+    /// schedule.
+    pub fn sweep_warm<P, R, W, F>(&self, points: &[P], warmup: W, point: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(Node, &P, u64) -> R + Send + Sync,
+    {
+        self.sweep_warm_inner(self.seed, points, warmup, point)
+    }
+
+    /// Like [`RunCtx::sweep_warm`] for experiments that run several warm
+    /// sweeps: `salt` separates the seed streams (panel index, benchmark
+    /// id, …).
+    pub fn sweep_warm_salted<P, R, W, F>(
+        &self,
+        salt: u64,
+        points: &[P],
+        warmup: W,
+        point: F,
+    ) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(Node, &P, u64) -> R + Send + Sync,
+    {
+        self.sweep_warm_inner(mix_seed(self.seed, salt), points, warmup, point)
+    }
+
+    fn sweep_warm_inner<P, R, W, F>(&self, base: u64, points: &[P], warmup: W, point: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(Node, &P, u64) -> R + Send + Sync,
+    {
+        self.points
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        // The warmup session is deliberately unledgered: warm mode runs it
+        // once, cold mode N times, and `sim_time_s` must not depend on the
+        // mode. The fork *is* ledgered and its restored clock starts at the
+        // warmup's end time, so each point credits warmup + point time and
+        // the totals agree across modes.
+        let warm = |_: &P| {
+            let builder = self.platform().session().seed(mix_seed(base, WARMUP_SALT));
+            let node = warmup(builder).into_node();
+            WarmImage {
+                snap: node.snapshot(),
+                cfg: node.config().clone(),
+            }
+        };
+        let fork = |img: &WarmImage, k: usize| {
+            let seed = mix_seed(base, k as u64);
+            let mut node = Node::new(img.cfg.clone().with_seed(seed));
+            node.set_time_ledger(self.sim_ns.clone());
+            node.restore(&img.snap);
+            (node, seed)
+        };
+        if self.warm_start {
+            self.reuses
+                .fetch_add(points.len() as u64, Ordering::Relaxed);
+            let img = match points.first() {
+                Some(p) => warm(p),
+                None => return Vec::new(),
+            };
+            points
+                .par_iter()
+                .enumerate()
+                .map(|(k, p)| {
+                    let (node, seed) = fork(&img, k);
+                    point(node, p, seed)
+                })
+                .collect()
+        } else {
+            points
+                .par_iter()
+                .enumerate()
+                .map(|(k, p)| {
+                    let img = warm(p);
+                    let (node, seed) = fork(&img, k);
+                    point(node, p, seed)
+                })
+                .collect()
+        }
+    }
+
+    /// Warm-start sweep for analytic experiments: amortize a deterministic
+    /// shared precomputation instead of a simulated settle. `prep` builds
+    /// the shared value — once under warm start, per point under cold — and
+    /// `point` consumes a clone of it. Because `prep` takes no seed and is
+    /// deterministic, results are mode-independent by construction.
+    pub fn sweep_warm_shared<S, P, R, W, F>(&self, points: &[P], prep: W, point: F) -> Vec<R>
+    where
+        S: Clone + Send + Sync,
+        P: Sync,
+        R: Send,
+        W: Fn() -> S + Send + Sync,
+        F: Fn(S, &P, u64) -> R + Send + Sync,
+    {
+        self.points
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        if self.warm_start {
+            if points.is_empty() {
+                return Vec::new();
+            }
+            self.reuses
+                .fetch_add(points.len() as u64, Ordering::Relaxed);
+            let shared = prep();
+            points
+                .par_iter()
+                .enumerate()
+                .map(|(k, p)| point(shared.clone(), p, mix_seed(self.seed, k as u64)))
+                .collect()
+        } else {
+            points
+                .par_iter()
+                .enumerate()
+                .map(|(k, p)| point(prep(), p, mix_seed(self.seed, k as u64)))
+                .collect()
+        }
+    }
+}
+
+/// The converged pre-point state one warm sweep forks from: the warmup
+/// node's snapshot plus the config to rebuild an identical node around it.
+struct WarmImage {
+    snap: NodeSnapshot,
+    cfg: hsw_node::NodeConfig,
 }
 
 /// The deterministic intra-experiment sweep executor: run `f` over every
@@ -275,6 +451,10 @@ pub struct SurveyConfig {
     /// Time-advance engine for every experiment session. Both modes are
     /// bit-identical; `Fixed` is the escape hatch for validating `Event`.
     pub engine: EngineMode,
+    /// Warm-start snapshot forking for sweep settle phases. Both settings
+    /// are bit-identical; `false` is the escape hatch for validating the
+    /// snapshot fork path.
+    pub warm_start: bool,
 }
 
 impl Default for SurveyConfig {
@@ -285,6 +465,7 @@ impl Default for SurveyConfig {
             jobs: 1,
             only: None,
             engine: EngineMode::default(),
+            warm_start: true,
         }
     }
 }
@@ -308,6 +489,10 @@ pub struct SurveyRun {
     /// `results`. Deterministic, but a harness detail rather than a paper
     /// result — scoreboard only, never in the JSON document.
     pub sweep_points: Vec<u64>,
+    /// Sweep points each experiment served from a shared warm-start
+    /// snapshot, parallel to `results`. Zero under `--warm-start off`.
+    /// Like `sweep_points`: scoreboard only, never in the JSON document.
+    pub snapshot_reuses: Vec<u64>,
 }
 
 /// Run the survey: fan the selected experiments across `jobs` worker
@@ -334,8 +519,9 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
         return Err("no experiments selected".to_string());
     }
 
-    /// One worker's slot: (result, wall seconds, simulated seconds, points).
-    type Slot = (ExperimentResult, f64, f64, u64);
+    /// One worker's slot: (result, wall seconds, simulated seconds, points,
+    /// snapshot reuses).
+    type Slot = (ExperimentResult, f64, f64, u64, u64);
 
     let jobs = cfg.jobs.clamp(1, selected.len());
     let next = AtomicUsize::new(0);
@@ -353,13 +539,19 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
                     cfg.fidelity,
                     experiment_seed(cfg.seed, exp.id()),
                     cfg.engine,
-                );
+                )
+                .with_warm_start(cfg.warm_start);
                 // lint:allow(D1): wall time is stderr progress reporting only, never survey.json
                 let t0 = Instant::now();
                 let result = exp.run(&ctx);
                 let wall_s = t0.elapsed().as_secs_f64();
-                slots.lock().unwrap()[i] =
-                    Some((result, wall_s, ctx.sim_time_s(), ctx.sweep_points()));
+                slots.lock().unwrap()[i] = Some((
+                    result,
+                    wall_s,
+                    ctx.sim_time_s(),
+                    ctx.sweep_points(),
+                    ctx.snapshot_reuses(),
+                ));
             });
         }
     });
@@ -368,12 +560,14 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
     let mut timings_s = Vec::with_capacity(selected.len());
     let mut sim_times_s = Vec::with_capacity(selected.len());
     let mut sweep_points = Vec::with_capacity(selected.len());
+    let mut snapshot_reuses = Vec::with_capacity(selected.len());
     for slot in slots.into_inner().unwrap() {
-        let (r, wall, sim, pts) = slot.expect("worker left a slot unfilled");
+        let (r, wall, sim, pts, reuses) = slot.expect("worker left a slot unfilled");
         results.push(r);
         timings_s.push(wall);
         sim_times_s.push(sim);
         sweep_points.push(pts);
+        snapshot_reuses.push(reuses);
     }
     Ok(SurveyRun {
         fidelity: cfg.fidelity,
@@ -383,6 +577,7 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
         timings_s,
         sim_times_s,
         sweep_points,
+        snapshot_reuses,
     })
 }
 
@@ -479,16 +674,18 @@ impl SurveyRun {
                 "checks",
                 "status",
                 "pts",
+                "reuse",
                 "wall s",
                 "sim s",
             ],
         );
-        for (((r, wall_s), sim_s), pts) in self
+        for ((((r, wall_s), sim_s), pts), reuse) in self
             .results
             .iter()
             .zip(&self.timings_s)
             .zip(&self.sim_times_s)
             .zip(&self.sweep_points)
+            .zip(&self.snapshot_reuses)
         {
             let passed = r.checks.iter().filter(|c| c.passed).count();
             t.row(vec![
@@ -497,6 +694,7 @@ impl SurveyRun {
                 format!("{passed}/{}", r.checks.len()),
                 crate::report::pass_fail(r.checks_passed()).to_string(),
                 pts.to_string(),
+                reuse.to_string(),
                 format!("{wall_s:.2}"),
                 format!("{sim_s:.2}"),
             ]);

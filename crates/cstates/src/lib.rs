@@ -7,6 +7,14 @@
 //! tables, and the cross-socket package-state coupling the paper observed
 //! ("these states are not used when there is still any core active in the
 //! system—even if this core is located on the other processor").
+//!
+//! ## Snapshot coverage
+//!
+//! The node-resident c-state picture is just [`CoreCState`]/[`PkgCState`]
+//! values (both `Copy`), which `hsw-node`'s warm-start snapshots capture
+//! directly; residency counters live in the MSR bank and travel with its
+//! snapshot. [`select_core_state`] and [`resolve_package_state`] are pure
+//! functions of that state, so nothing else needs capturing here.
 
 pub mod governor;
 pub mod latency;

@@ -19,7 +19,7 @@
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
 
 /// Every rule the engine knows, for allow-directive validation.
-pub const KNOWN_RULES: &[&str] = &["D1", "D2", "S1", "A1", "M1", "M2", "M3"];
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "S1", "A1", "M1", "M2", "M3", "M4"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]

@@ -100,14 +100,16 @@ pub fn scope_of(rel_path: &str) -> FileScope {
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
 
-    // Tier 1: textual rules over every scanned file.
-    let mut scanned = 0usize;
+    // Tier 1: textual rules over every scanned file. Sources are retained
+    // (path-sorted) because M4 resolves snapshot/source struct pairs
+    // across the whole scan set.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for (rel, abs) in scan_targets(root)? {
         let src = fs::read_to_string(&abs)?;
         findings.extend(scan_file(&rel, &src, scope_of(&rel)));
-        scanned += 1;
+        sources.push((rel, src));
     }
-    if scanned == 0 {
+    if sources.is_empty() {
         findings.push(Finding::new(
             ".",
             1,
@@ -115,6 +117,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             "no Rust sources found under the workspace root — wrong --root?".to_string(),
         ));
     }
+
+    // Tier 2: snapshot field coverage across every scanned file.
+    findings.extend(model::check_snapshots(&sources));
 
     // Tier 2: the MSR model's declarative surface.
     let read = |rel: &str| -> io::Result<String> { fs::read_to_string(root.join(rel)) };

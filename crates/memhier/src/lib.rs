@@ -18,6 +18,14 @@
 //!   core-frequency independent, Sandy Bridge's DRAM tracks the core clock
 //!   because the uncore is core-coupled, Westmere's fixed uncore decouples
 //!   both.
+//!
+//! ## Snapshot coverage
+//!
+//! The node model consumes only this crate's *analytic* surface
+//! ([`dram_read_bandwidth_gbs`] and friends), which is stateless — so
+//! `hsw-node`'s warm-start snapshots need nothing from here. The structural
+//! simulators ([`cache`], [`ring`]) hold state but are experiment-local
+//! scratch, never part of a `Node`.
 
 pub mod bandwidth;
 pub mod cache;

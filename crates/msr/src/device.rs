@@ -142,8 +142,20 @@ fn implemented(addr: u32, generation: CpuGeneration) -> bool {
 /// exactly.
 #[derive(Debug)]
 pub struct MsrBank {
+    // snap:skip(construction-time constant, rebuilt by MsrBank::new)
     generation: CpuGeneration,
+    // snap:skip(construction-time constant, rebuilt by MsrBank::new)
     threads: usize,
+    package: BTreeMap<u32, u64>,
+    per_thread: Vec<BTreeMap<u32, u64>>,
+    residue: BTreeMap<(usize, u32), f64>,
+}
+
+/// Plain-data image of an [`MsrBank`]'s mutable state (register contents and
+/// counter residue). Geometry (`generation`, `threads`) is configuration and
+/// is re-established by the constructor, not the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsrBankSnapshot {
     package: BTreeMap<u32, u64>,
     per_thread: Vec<BTreeMap<u32, u64>>,
     residue: BTreeMap<(usize, u32), f64>,
@@ -249,6 +261,28 @@ impl MsrBank {
             let v = map.entry(addr).or_insert(0);
             *v = v.wrapping_add(whole as u64);
         }
+    }
+
+    /// Capture the bank's mutable state as plain data.
+    pub fn snapshot(&self) -> MsrBankSnapshot {
+        MsrBankSnapshot {
+            package: self.package.clone(),
+            per_thread: self.per_thread.clone(),
+            residue: self.residue.clone(),
+        }
+    }
+
+    /// Reinstate a previously captured state. The bank must have the same
+    /// thread count it was snapshotted with.
+    pub fn restore(&mut self, snap: &MsrBankSnapshot) {
+        assert_eq!(
+            self.threads,
+            snap.per_thread.len(),
+            "snapshot geometry mismatch"
+        );
+        self.package = snap.package.clone();
+        self.per_thread = snap.per_thread.clone();
+        self.residue = snap.residue.clone();
     }
 
     /// Read a register without a thread context (package scope only).
@@ -374,6 +408,26 @@ mod tests {
     fn out_of_range_thread_is_rejected() {
         let bank = hsw_bank();
         assert_eq!(bank.read(24, IA32_APERF), Err(MsrError::NoSuchThread(24)));
+    }
+
+    #[test]
+    fn snapshot_round_trips_registers_and_residue() {
+        let mut bank = hsw_bank();
+        bank.write(3, IA32_PERF_CTL, 0x1900).unwrap();
+        bank.accumulate(5, IA32_APERF, 2.75); // leaves 0.75 residue
+        bank.accumulate(0, MSR_PKG_ENERGY_STATUS, 100.5);
+        let snap = bank.snapshot();
+
+        let mut fresh = hsw_bank();
+        fresh.restore(&snap);
+        // Same visible state...
+        assert_eq!(fresh.read(3, IA32_PERF_CTL).unwrap(), 0x1900);
+        assert_eq!(fresh.read(5, IA32_APERF).unwrap(), 2);
+        // ...and the same sub-count residue: one more 0.25 tips the counter.
+        fresh.accumulate(5, IA32_APERF, 0.25);
+        bank.accumulate(5, IA32_APERF, 0.25);
+        assert_eq!(fresh.read(5, IA32_APERF).unwrap(), 3);
+        assert_eq!(fresh.snapshot(), bank.snapshot());
     }
 
     #[test]

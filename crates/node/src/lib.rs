@@ -30,8 +30,8 @@ pub mod telemetry;
 
 pub use config::{CpuId, NodeConfig};
 pub use engine::{EngineMode, EngineStats};
-pub use node::Node;
+pub use node::{Node, NodeSnapshot};
 pub use script::{Action, WorkloadScript};
 pub use session::{Platform, Resolution, Session, SessionBuilder};
-pub use socket::Socket;
+pub use socket::{Socket, SocketSnapshot};
 pub use telemetry::{Snapshot, Trace};

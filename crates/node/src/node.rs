@@ -13,14 +13,17 @@ use hsw_power::{Lmg450, NodePowerModel};
 
 use crate::config::{CpuId, NodeConfig};
 use crate::engine::{EngineMode, EngineStats};
-use crate::socket::{Ns, Socket, SocketTick};
+use crate::socket::{Ns, Socket, SocketSnapshot, SocketTick};
 
 /// The simulated compute node (paper Table II).
 pub struct Node {
+    // snap:skip(configuration, supplied to Node::new by the forking caller)
     cfg: NodeConfig,
     time_ns: Ns,
     sockets: Vec<Socket>,
+    // snap:skip(stateless map from RAPL power to AC power, rebuilt from spec)
     power_model: NodePowerModel,
+    // snap:skip(seed-derived, samples are keyed by instant — rebuilt by Node::new)
     meter: Lmg450,
     last: Vec<SocketTick>,
     /// Event engine: whether the last full step proved every socket
@@ -29,7 +32,32 @@ pub struct Node {
     stats: EngineStats,
     /// Optional shared ledger credited with this node's simulated time on
     /// drop (the survey's simulated-time accounting).
+    // snap:skip(host-side accounting handle, attached per node by the executor)
     time_ledger: Option<Arc<AtomicU64>>,
+    /// Scratch: per-socket activity flags, reused across steps so the hot
+    /// loop never allocates.
+    // snap:skip(per-step scratch, rebuilt from socket state every step)
+    actives: Vec<bool>,
+}
+
+/// Plain-data image of an entire [`Node`]'s mutable simulator state —
+/// sockets (PCU, FIVR/MBVR, MSR bank, RAPL accumulators, c-state and
+/// counter planes, thermal), the per-socket tick outputs, the engine's
+/// quiescence flag and step statistics, and the simulation clock itself.
+///
+/// Restoring a snapshot into a freshly constructed node continues
+/// bit-identically to the uninterrupted run because every noise stream is
+/// keyed by (seed, domain, sim-time), never by step count: the snapshot
+/// carries `time_ns`, the constructor re-derives the streams from the
+/// (possibly different) seed, and all subsequent draws depend only on
+/// *when* they happen.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    time_ns: Ns,
+    sockets: Vec<SocketSnapshot>,
+    last: Vec<SocketTick>,
+    all_quiet: bool,
+    stats: EngineStats,
 }
 
 impl Node {
@@ -61,7 +89,39 @@ impl Node {
             all_quiet: false,
             stats: EngineStats::default(),
             time_ledger: None,
+            actives: Vec::new(),
         }
+    }
+
+    /// Capture the entire simulator state as plain data (see
+    /// [`NodeSnapshot`]).
+    pub fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            time_ns: self.time_ns,
+            sockets: self.sockets.iter().map(Socket::snapshot).collect(),
+            last: self.last.clone(),
+            all_quiet: self.all_quiet,
+            stats: self.stats,
+        }
+    }
+
+    /// Reinstate a previously captured state, including the simulation
+    /// clock. The node must share the snapshotted geometry; its config,
+    /// seed-derived noise streams and meter are kept as constructed — this
+    /// is what lets a warm-start fork re-seed a restored node.
+    pub fn restore(&mut self, snap: &NodeSnapshot) {
+        assert_eq!(
+            self.sockets.len(),
+            snap.sockets.len(),
+            "snapshot geometry mismatch"
+        );
+        self.time_ns = snap.time_ns;
+        for (socket, s) in self.sockets.iter_mut().zip(&snap.sockets) {
+            socket.restore(s);
+        }
+        self.last.clone_from(&snap.last);
+        self.all_quiet = snap.all_quiet;
+        self.stats = snap.stats;
     }
 
     pub fn config(&self) -> &NodeConfig {
@@ -237,7 +297,9 @@ impl Node {
         self.time_ns += dt;
         let now = self.time_ns;
         let t_s = self.now_s();
-        let actives: Vec<bool> = self.sockets.iter().map(|s| s.any_core_active()).collect();
+        self.actives.clear();
+        self.actives
+            .extend(self.sockets.iter().map(|s| s.any_core_active()));
         // The fastest setting among active cores anywhere in the system
         // drives the passive socket's uncore (paper Table III).
         let fastest = self
@@ -263,7 +325,7 @@ impl Node {
                 }
             });
         for (i, socket) in self.sockets.iter_mut().enumerate() {
-            let other_active = actives.iter().enumerate().any(|(j, a)| j != i && *a);
+            let other_active = self.actives.iter().enumerate().any(|(j, a)| j != i && *a);
             self.last[i] = socket.tick(now, dt, t_s, other_active, fastest, event);
         }
         self.stats.full_steps += 1;
@@ -617,6 +679,48 @@ mod engine_tests {
     }
 
     #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        // snapshot → restore into a fresh same-seed node → advance must
+        // equal the uninterrupted advance, in both engine modes.
+        for engine in [EngineMode::Fixed, EngineMode::Event] {
+            let mut a = Node::new(NodeConfig::paper_default().with_engine(engine));
+            a.run_on_socket(0, &WorkloadProfile::compute(), 8, 1);
+            a.set_setting_all(FreqSetting::from_mhz(2000));
+            a.advance_s(0.3);
+            let snap = a.snapshot();
+
+            let mut b = Node::new(NodeConfig::paper_default().with_engine(engine));
+            b.restore(&snap);
+            assert_eq!(b.now_ns(), a.now_ns());
+            a.advance_s(0.4);
+            b.advance_s(0.4);
+            assert_eq!(
+                fingerprint(&mut a),
+                fingerprint(&mut b),
+                "engine {engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_fork_with_new_seed_diverges_only_in_noise() {
+        // A fork that re-seeds keeps the captured state (counters, clock)
+        // but draws its own noise stream from the fork instant on.
+        let mut warm = Node::new(NodeConfig::paper_default());
+        warm.run_on_socket(0, &WorkloadProfile::compute(), 8, 1);
+        warm.advance_s(0.2);
+        let snap = warm.snapshot();
+
+        let mut fork = Node::new(NodeConfig::paper_default().with_seed(999));
+        fork.restore(&snap);
+        assert_eq!(fork.now_ns(), warm.now_ns());
+        let a = warm.measure_ac_average(0.3);
+        let b = fork.measure_ac_average(0.3);
+        assert_ne!(a.to_bits(), b.to_bits(), "meter noise must re-key");
+        assert!((a - b).abs() < 5.0, "same state, only noise differs");
+    }
+
+    #[test]
     fn time_ledger_credits_simulated_time_on_drop() {
         let ledger = Arc::new(AtomicU64::new(0));
         {
@@ -625,6 +729,68 @@ mod engine_tests {
             node.advance_s(0.25);
         }
         assert_eq!(ledger.load(Ordering::Relaxed), 250_000_000);
+    }
+
+    mod snapshot_props {
+        use super::*;
+        use hsw_msr::fields;
+        use proptest::prelude::*;
+
+        /// One random software-visible MSR write, kept within the encodings
+        /// the tools themselves produce (the gate's writable surface).
+        fn apply_write(node: &mut Node, socket: usize, core: usize, which: u8, v: u16) {
+            let cpu = CpuId::new(socket, core, 0);
+            let r = match which % 4 {
+                0 => {
+                    let p = hsw_hwspec::PState::from_mhz(1200 + u32::from(v % 14) * 100);
+                    node.wrmsr(cpu, msra::IA32_PERF_CTL, fields::encode_perf_ctl(p))
+                }
+                1 => node.wrmsr(cpu, msra::IA32_ENERGY_PERF_BIAS, u64::from(v % 16)),
+                2 => node.wrmsr(cpu, msra::IA32_CLOCK_MODULATION, u64::from(v % 32)),
+                _ => {
+                    let min = 12 + v % 8;
+                    let max = min + v % 10;
+                    node.wrmsr(
+                        cpu,
+                        msra::MSR_UNCORE_RATIO_LIMIT,
+                        u64::from(min) | (u64::from(max) << 8),
+                    )
+                }
+            };
+            r.expect("writable MSR");
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[test]
+            fn prop_round_trip_survives_random_gated_msr_writes(
+                writes in proptest::collection::vec(
+                    (0usize..2, 0usize..12, any::<u8>(), any::<u16>()),
+                    1..10,
+                ),
+                event_engine in any::<bool>(),
+            ) {
+                let engine = if event_engine {
+                    EngineMode::Event
+                } else {
+                    EngineMode::Fixed
+                };
+                let mut a = Node::new(NodeConfig::paper_default().with_engine(engine));
+                a.run_on_socket(0, &WorkloadProfile::busy_wait(), 4, 1);
+                a.advance_s(0.05);
+                for (s, c, which, v) in &writes {
+                    apply_write(&mut a, *s, *c, *which, *v);
+                }
+                a.advance_s(0.05);
+                let snap = a.snapshot();
+
+                let mut b = Node::new(NodeConfig::paper_default().with_engine(engine));
+                b.restore(&snap);
+                a.advance_s(0.15);
+                b.advance_s(0.15);
+                prop_assert_eq!(fingerprint(&mut a), fingerprint(&mut b));
+            }
+        }
     }
 }
 

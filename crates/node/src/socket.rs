@@ -18,9 +18,10 @@ use hsw_hwspec::clock::{domain, DomainNoise};
 use hsw_hwspec::freq::FreqSetting;
 use hsw_hwspec::ClockDomain;
 use hsw_hwspec::{EpbClass, PState, SkuSpec};
-use hsw_msr::{addresses as msra, fields, MsrBank};
+use hsw_msr::{addresses as msra, fields, MsrBank, MsrBankSnapshot};
 use hsw_pcu::{
-    AvxLicense, EetController, PStateEngine, PcuController, PcuGrant, PcuInputs, TransitionEvent,
+    AvxLicense, EetController, PStateEngine, PStateEngineSnapshot, PcuController, PcuGrant,
+    PcuInputs, TransitionEvent,
 };
 use hsw_power::{
     dram_power_w, package_power_w, CoreElecState, DramRaplMode, Mbvr, MbvrPowerState, ModelBias,
@@ -90,9 +91,13 @@ impl QuietCache {
 
 /// One processor package with its PCU, MSRs, RAPL, and c-state machinery.
 pub struct Socket {
+    // snap:skip(identity constant, rebuilt by Socket::new)
     pub id: usize,
+    // snap:skip(configuration constant, rebuilt by Socket::new)
     spec: SkuSpec,
+    // snap:skip(configuration constant, rebuilt by Socket::new)
     power_mult: f64,
+    // snap:skip(configuration constant, rebuilt by Socket::new)
     eet_enabled: bool,
     pub msr: MsrBank,
     pstate: PStateEngine,
@@ -119,10 +124,43 @@ pub struct Socket {
     transition_log: Vec<TransitionEvent>,
     /// Keyed noise streams: draws are pure functions of the simulation
     /// instant, never of how many times the engine stepped.
+    // snap:skip(seed-derived, keyed by instant not step count — rebuilt by Socket::new)
     noise_pstate: DomainNoise,
+    // snap:skip(seed-derived, keyed by instant not step count — rebuilt by Socket::new)
     noise_rapl: DomainNoise,
     /// Whether the last full tick proved every domain steady (see
     /// [`Socket::light_tick`]).
+    quiet: bool,
+    cached: QuietCache,
+    rates: Option<CounterRates>,
+    pending_ns: Ns,
+}
+
+/// Plain-data image of a [`Socket`]'s mutable state. Identity and
+/// configuration (`id`, `spec`, `power_mult`, `eet_enabled`) and the keyed
+/// noise streams are re-established by the constructor; everything a tick
+/// can change is captured here, including the event engine's quiescence
+/// bookkeeping and the counter plane's pending span, so a restored socket
+/// continues bit-identically under either engine mode.
+#[derive(Debug, Clone)]
+pub struct SocketSnapshot {
+    msr: MsrBankSnapshot,
+    pstate: PStateEngineSnapshot,
+    eet: EetController,
+    avx: Vec<AvxLicense>,
+    rapl: RaplEngine,
+    requested: Vec<FreqSetting>,
+    threads: Vec<Option<WorkloadProfile>>,
+    cstates: Vec<CoreCState>,
+    pkg_cstate: PkgCState,
+    grant: PcuGrant,
+    next_pcu: Ns,
+    last_pcu_key: u64,
+    core_mhz: Vec<f64>,
+    uncore_mhz: f64,
+    thermal: ThermalState,
+    mbvr: Mbvr,
+    transition_log: Vec<TransitionEvent>,
     quiet: bool,
     cached: QuietCache,
     rates: Option<CounterRates>,
@@ -194,6 +232,61 @@ impl Socket {
 
     pub fn spec(&self) -> &SkuSpec {
         &self.spec
+    }
+
+    /// Capture this socket's mutable state as plain data.
+    pub fn snapshot(&self) -> SocketSnapshot {
+        SocketSnapshot {
+            msr: self.msr.snapshot(),
+            pstate: self.pstate.snapshot(),
+            eet: self.eet.clone(),
+            avx: self.avx.clone(),
+            rapl: self.rapl.clone(),
+            requested: self.requested.clone(),
+            threads: self.threads.clone(),
+            cstates: self.cstates.clone(),
+            pkg_cstate: self.pkg_cstate,
+            grant: self.grant,
+            next_pcu: self.next_pcu,
+            last_pcu_key: self.last_pcu_key,
+            core_mhz: self.core_mhz.clone(),
+            uncore_mhz: self.uncore_mhz,
+            thermal: self.thermal,
+            mbvr: self.mbvr.clone(),
+            transition_log: self.transition_log.clone(),
+            quiet: self.quiet,
+            cached: self.cached.clone(),
+            rates: self.rates.clone(),
+            pending_ns: self.pending_ns,
+        }
+    }
+
+    /// Reinstate a previously captured state. The socket must have the
+    /// geometry it was snapshotted with; its identity, spec and noise
+    /// streams are left untouched (they are seed/config-derived).
+    pub fn restore(&mut self, snap: &SocketSnapshot) {
+        assert_eq!(self.avx.len(), snap.avx.len(), "snapshot geometry mismatch");
+        self.msr.restore(&snap.msr);
+        self.pstate.restore(&snap.pstate);
+        self.eet = snap.eet.clone();
+        self.avx.clone_from(&snap.avx);
+        self.rapl = snap.rapl.clone();
+        self.requested.clone_from(&snap.requested);
+        self.threads.clone_from(&snap.threads);
+        self.cstates.clone_from(&snap.cstates);
+        self.pkg_cstate = snap.pkg_cstate;
+        self.grant = snap.grant;
+        self.next_pcu = snap.next_pcu;
+        self.last_pcu_key = snap.last_pcu_key;
+        self.core_mhz.clone_from(&snap.core_mhz);
+        self.uncore_mhz = snap.uncore_mhz;
+        self.thermal = snap.thermal;
+        self.mbvr = snap.mbvr.clone();
+        self.transition_log.clone_from(&snap.transition_log);
+        self.quiet = snap.quiet;
+        self.cached = snap.cached.clone();
+        self.rates.clone_from(&snap.rates);
+        self.pending_ns = snap.pending_ns;
     }
 
     /// Assign (or clear) a workload on a hardware thread.
@@ -320,9 +413,10 @@ impl Socket {
         let spec = self.spec.clone();
         let tpc = spec.threads_per_core;
 
-        // 1. P-state engine (transition latencies).
+        // 1. P-state engine (transition latencies). Events append straight
+        //    into the log — no per-tick intermediate Vec.
         self.pstate.tick(now, &self.noise_pstate);
-        self.transition_log.extend(self.pstate.drain_events());
+        self.pstate.drain_events_into(&mut self.transition_log);
 
         // 2. Workload aggregation — heterogeneous per core: each core
         //    contributes its own profile's duty, activity, stalls and AVX

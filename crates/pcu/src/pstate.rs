@@ -33,7 +33,7 @@ impl TransitionEvent {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingRequest {
     target: PState,
     requested_at: Ns,
@@ -42,7 +42,9 @@ struct PendingRequest {
 /// The p-state machinery of one socket.
 #[derive(Debug)]
 pub struct PStateEngine {
+    // snap:skip(generation-derived constant, rebuilt by PStateEngine::new)
     mode: PStateTransitionMode,
+    // snap:skip(generation-derived constant, rebuilt by PStateEngine::new)
     per_core_domains: bool,
     /// Current p-state per core.
     current: Vec<PState>,
@@ -52,6 +54,18 @@ pub struct PStateEngine {
     /// Next opportunity instant (opportunity mode only).
     next_opportunity: Ns,
     /// Completed transitions since the last drain.
+    events: Vec<TransitionEvent>,
+}
+
+/// Plain-data image of a [`PStateEngine`]'s mutable state. The transition
+/// mode and domain granularity are generation constants re-established by
+/// the constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PStateEngineSnapshot {
+    current: Vec<PState>,
+    switching: Vec<Option<(PState, Ns, Ns)>>,
+    pending: Vec<Option<PendingRequest>>,
+    next_opportunity: Ns,
     events: Vec<TransitionEvent>,
 }
 
@@ -170,6 +184,39 @@ impl PStateEngine {
         std::mem::take(&mut self.events)
     }
 
+    /// Append the accumulated transition events onto `out` without
+    /// allocating an intermediate `Vec` (hot-path variant of
+    /// [`Self::drain_events`]).
+    pub fn drain_events_into(&mut self, out: &mut Vec<TransitionEvent>) {
+        out.append(&mut self.events);
+    }
+
+    /// Capture the engine's mutable state as plain data.
+    pub fn snapshot(&self) -> PStateEngineSnapshot {
+        PStateEngineSnapshot {
+            current: self.current.clone(),
+            switching: self.switching.clone(),
+            pending: self.pending.clone(),
+            next_opportunity: self.next_opportunity,
+            events: self.events.clone(),
+        }
+    }
+
+    /// Reinstate a previously captured state. The engine must have the same
+    /// core count it was snapshotted with.
+    pub fn restore(&mut self, snap: &PStateEngineSnapshot) {
+        assert_eq!(
+            self.current.len(),
+            snap.current.len(),
+            "snapshot geometry mismatch"
+        );
+        self.current.clone_from(&snap.current);
+        self.switching.clone_from(&snap.switching);
+        self.pending.clone_from(&snap.pending);
+        self.next_opportunity = snap.next_opportunity;
+        self.events.clone_from(&snap.events);
+    }
+
     /// The next opportunity instant (for tracing Figure 4's timeline).
     pub fn next_opportunity(&self) -> Ns {
         self.next_opportunity
@@ -264,6 +311,42 @@ mod tests {
             }
             t += US;
         }
+    }
+
+    #[test]
+    fn snapshot_mid_flight_round_trips() {
+        // Snapshot with a pending request and an in-flight switch, restore
+        // into a fresh engine, then advance both: the keyed jitter makes the
+        // continuation depend only on (state, time), so they stay identical.
+        let n = noise();
+        let mut e = engine(HSW);
+        run_until(&mut e, &n, 0, 2_000 * US);
+        e.request(0, PState::from_mhz(2500), 2_050 * US);
+        e.request(5, PState::from_mhz(1300), 2_100 * US);
+        run_until(&mut e, &n, 2_050 * US, 2_400 * US);
+        let snap = e.snapshot();
+
+        let mut f = engine(HSW);
+        f.restore(&snap);
+        run_until(&mut e, &n, 2_401 * US, 4_000 * US);
+        run_until(&mut f, &n, 2_401 * US, 4_000 * US);
+        assert_eq!(e.snapshot(), f.snapshot());
+        assert_eq!(e.drain_events(), f.drain_events());
+    }
+
+    #[test]
+    fn drain_events_into_matches_drain_events() {
+        let n = noise();
+        let mut a = engine(HSW);
+        let mut b = engine(HSW);
+        for e in [&mut a, &mut b] {
+            e.request(1, PState::from_mhz(2500), 100 * US);
+            run_until(e, &n, 0, 1_500 * US);
+        }
+        let mut out = vec![];
+        a.drain_events_into(&mut out);
+        assert_eq!(out, b.drain_events());
+        assert!(a.drain_events().is_empty(), "drain_into must clear events");
     }
 
     #[test]

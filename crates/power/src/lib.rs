@@ -18,6 +18,15 @@
 //!   (paper Fig. 2b); Sandy Bridge-EP applies a per-workload-class model
 //!   bias (paper Fig. 2a). Includes the DRAM mode 0 / mode 1 distinction of
 //!   paper Section IV.
+//!
+//! ## Snapshot coverage
+//!
+//! Every stateful type here ([`RaplEngine`], [`ThermalState`], [`Mbvr`],
+//! the FIVR state) is plain data and `Clone`, so `hsw-node`'s warm-start
+//! snapshots capture them wholesale — no per-field snapshot companion is
+//! needed. The [`Lmg450`] meter is the exception by design: it holds no
+//! mutable state (samples are keyed by seed and instant), so forks rebuild
+//! it from the fork seed instead of restoring it.
 
 pub mod components;
 pub mod fivr;

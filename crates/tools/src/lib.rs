@@ -29,5 +29,5 @@ pub use cstate_lat::{measure_wake_latency_us, CStateLatencyPoint};
 pub use ftalat::{DelayRegime, FtaLat, LatencySample};
 pub use groups::{measure_group, EventGroup, GroupReport};
 pub use perfctr::{CounterSample, Derived, PerfCtr};
-pub use stress::{run_stress, StressResult};
+pub use stress::{assign_stress_load, measure_stress, run_stress, StressResult};
 pub use x86_adapt::{Knob, KnobError};

@@ -41,27 +41,31 @@ fn max_window_avg(samples: &[f64], window: usize) -> f64 {
     best / window as f64
 }
 
-/// Run `profile` on every core of both sockets and measure.
-///
-/// `run_s` is the recorded duration; `window_s` the extraction window
-/// (60 s in the paper; shorter in tests). `ht` enables two threads per core
-/// (Table V: Hyper-Threading not active).
-#[allow(clippy::too_many_arguments)]
-pub fn run_stress(
-    node: &mut Node,
-    profile: &WorkloadProfile,
-    setting: FreqSetting,
-    epb: EpbClass,
-    turbo: bool,
-    ht: bool,
-    run_s: f64,
-    window_s: f64,
-) -> StressResult {
+/// Assign `profile` to every core of both sockets — the configuration-
+/// independent half of a stress run, shareable across Table V cells of the
+/// same benchmark via warm-start snapshots. `ht` enables two threads per
+/// core (Table V: Hyper-Threading not active).
+pub fn assign_stress_load(node: &mut Node, profile: &WorkloadProfile, ht: bool) {
     let threads = if ht { 2 } else { 1 };
     let cores = node.config().spec.sku.cores;
     for s in 0..node.config().spec.sockets {
         node.run_on_socket(s, profile, cores, threads);
     }
+}
+
+/// The per-configuration half of a stress run: apply the frequency setting
+/// / EPB / turbo knobs to a node whose workload is already assigned (see
+/// [`assign_stress_load`]), settle, and measure. `run_s` is the recorded
+/// duration; `window_s` the extraction window (60 s in the paper; shorter
+/// in tests).
+pub fn measure_stress(
+    node: &mut Node,
+    setting: FreqSetting,
+    epb: EpbClass,
+    turbo: bool,
+    run_s: f64,
+    window_s: f64,
+) -> StressResult {
     node.set_epb_all(epb);
     node.set_turbo(turbo);
     node.set_setting_all(setting);
@@ -91,6 +95,23 @@ pub fn run_stress(
         core_ghz: median_of(&freq_samples, |d| d.core_ghz),
         power_stddev_w: var.sqrt(),
     }
+}
+
+/// Run `profile` on every core of both sockets and measure — the one-shot
+/// composition of [`assign_stress_load`] and [`measure_stress`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_stress(
+    node: &mut Node,
+    profile: &WorkloadProfile,
+    setting: FreqSetting,
+    epb: EpbClass,
+    turbo: bool,
+    ht: bool,
+    run_s: f64,
+    window_s: f64,
+) -> StressResult {
+    assign_stress_load(node, profile, ht);
+    measure_stress(node, setting, epb, turbo, run_s, window_s)
 }
 
 #[cfg(test)]

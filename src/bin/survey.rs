@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! survey [--list] [--only <id>[,<id>...]] [--seed <u64>] [--jobs <n>]
-//!        [--fidelity quick|paper] [--engine fixed|event] [--out <path>]
+//!        [--fidelity quick|paper] [--engine fixed|event]
+//!        [--warm-start on|off] [--out <path>]
 //! ```
 //!
 //! Determinism contract: the JSON document depends only on
 //! `(--fidelity, --seed, --only)` — the same flags produce byte-identical
-//! `survey.json` for any `--jobs` value and either `--engine` mode.
-//! Wall-clock timings go to the scoreboard and stderr only.
+//! `survey.json` for any `--jobs` value, either `--engine` mode, and
+//! either `--warm-start` setting. Wall-clock timings go to the scoreboard
+//! and stderr only.
 
 use std::process::ExitCode;
 
@@ -30,6 +32,10 @@ options:
   --fidelity <f>      quick | paper (default quick)
   --engine <e>        fixed | event (default event; both are bit-identical,
                       `fixed` is the validation escape hatch)
+  --warm-start <w>    on | off (default on): fork sweep points from a shared
+                      warm snapshot instead of re-running each settle phase;
+                      both settings are bit-identical, `off` is the
+                      validation escape hatch
   --out <path>        output path (default survey.json, `-` for stdout)
   -h, --help          show this help
 ";
@@ -85,6 +91,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--engine" => {
                 args.cfg.engine = value("--engine")?.parse::<EngineMode>()?;
             }
+            "--warm-start" => {
+                args.cfg.warm_start = match value("--warm-start")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--warm-start: `{other}` is not on|off")),
+                };
+            }
             "--out" => args.out = value("--out")?,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -120,12 +133,13 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "survey: fidelity={} seed={} jobs={} pool={} engine={}",
+        "survey: fidelity={} seed={} jobs={} pool={} engine={} warm-start={}",
         args.cfg.fidelity.label(),
         args.cfg.seed,
         args.cfg.jobs,
         haswell_survey::survey::pool_threads(),
-        args.cfg.engine
+        args.cfg.engine,
+        if args.cfg.warm_start { "on" } else { "off" }
     );
     let run = match run_survey(&args.cfg) {
         Ok(r) => r,

@@ -23,6 +23,7 @@ fn survey_json(engine: EngineMode, jobs: usize, seed: u64) -> String {
         jobs,
         only: Some(subset()),
         engine,
+        warm_start: true,
     };
     run_survey(&cfg).expect("survey subset runs").to_json()
 }

@@ -52,6 +52,7 @@ fn json_is_identical_across_job_counts() {
         jobs: 1,
         only: only.clone(),
         engine: EngineMode::default(),
+        warm_start: true,
     })
     .unwrap();
     let parallel = run_survey(&SurveyConfig {
@@ -60,6 +61,7 @@ fn json_is_identical_across_job_counts() {
         jobs: 4,
         only,
         engine: EngineMode::default(),
+        warm_start: true,
     })
     .unwrap();
     assert_eq!(serial.to_json(), parallel.to_json());

@@ -7,13 +7,15 @@
 
 use std::process::Command;
 
-/// Run the release `survey` binary on `subset` and return the JSON bytes
-/// it wrote.
-fn survey_json(tag: &str, subset: &str, jobs: &str, pool: &str) -> Vec<u8> {
+/// Run the release `survey` binary on `subset` with extra flags and return
+/// the JSON bytes it wrote.
+fn survey_json_with(tag: &str, subset: &str, jobs: &str, pool: &str, extra: &[&str]) -> Vec<u8> {
     let out = std::env::temp_dir().join(format!("sweep_determinism_{tag}.json"));
     let _ = std::fs::remove_file(&out);
     let status = Command::new(env!("CARGO_BIN_EXE_survey"))
-        .args(["--only", subset, "--seed", "7", "--jobs", jobs, "--out"])
+        .args(["--only", subset, "--seed", "7", "--jobs", jobs])
+        .args(extra)
+        .arg("--out")
         .arg(&out)
         .env("RAYON_NUM_THREADS", pool)
         .stdout(std::process::Stdio::null())
@@ -24,6 +26,12 @@ fn survey_json(tag: &str, subset: &str, jobs: &str, pool: &str) -> Vec<u8> {
     let bytes = std::fs::read(&out).expect("survey wrote its output file");
     let _ = std::fs::remove_file(&out);
     bytes
+}
+
+/// Run the release `survey` binary on `subset` and return the JSON bytes
+/// it wrote.
+fn survey_json(tag: &str, subset: &str, jobs: &str, pool: &str) -> Vec<u8> {
+    survey_json_with(tag, subset, jobs, pool, &[])
 }
 
 #[test]
@@ -38,6 +46,21 @@ fn survey_json_is_byte_identical_across_jobs_and_pool_sizes() {
             "survey.json differs at --jobs {jobs} / RAYON_NUM_THREADS={pool}"
         );
     }
+}
+
+#[test]
+fn warm_start_on_and_off_are_byte_identical() {
+    // The warm-start contract: forking every sweep point from one shared
+    // warmup snapshot (`--warm-start on`, the default) must produce the
+    // same bytes as re-running the warmup per point (`off`), because both
+    // paths build the point node the same way and the node's noise is
+    // keyed by (seed, domain, sim-time), not step count. fig2 exercises
+    // the node-forking executor; fig7 the shared-prep analytic variant.
+    const SUBSET: &str = "fig2,fig7,section2c_epb";
+    let on = survey_json_with("warm_on", SUBSET, "2", "2", &["--warm-start", "on"]);
+    let off = survey_json_with("warm_off", SUBSET, "2", "2", &["--warm-start", "off"]);
+    assert!(!on.is_empty());
+    assert_eq!(on, off, "warm-start fork leaked state into the JSON");
 }
 
 #[test]
