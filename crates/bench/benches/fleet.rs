@@ -1,0 +1,130 @@
+//! Fleet executor benches: warm (one golden warmup, every member forked
+//! from its snapshot) vs. cold (golden warmup re-run per member) wall time,
+//! plus member-count scaling of the warm path.
+//!
+//! Both modes run the real fleet executor (`RunCtx::sweep_fleet`) with the
+//! paper variation model and assert the digests are bit-identical — the
+//! executor's byte-identity contract — before timing. The full run also
+//! asserts the headline claim: with the golden settle shared, warm forking
+//! cuts the fleet's wall time by at least 2x. Set `HSW_BENCH_SMOKE=1` to
+//! run one cold+warm pass (digest assertion included, criterion timing
+//! loops and the ratio assertion skipped) — the CI smoke mode.
+//!
+//! Results land in `BENCH_fleet.json` at the repo root (bench id, variants,
+//! wall ms, digest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use haswell_survey::survey::RunCtx;
+use haswell_survey::Fidelity;
+use hsw_bench::BenchVariant;
+use hsw_exec::WorkloadProfile;
+use hsw_fleet::VariationModel;
+use hsw_node::{EngineMode, Resolution};
+
+fn ctx(warm: bool) -> RunCtx {
+    RunCtx::new(Fidelity::Quick, 7, EngineMode::default()).with_warm_start(warm)
+}
+
+/// One fleet pass: a loaded golden bring-up at turbo (the settle phase all
+/// members share), then a short measurement window per varied member.
+fn run_fleet(warm: bool, n: usize) -> f64 {
+    let model = VariationModel::paper_fleet();
+    let powers = ctx(warm).sweep_fleet(
+        n,
+        &model,
+        |builder| {
+            let mut session = builder.resolution(Resolution::Coarse).build();
+            for s in 0..2 {
+                session.run_on_socket(s, &WorkloadProfile::compute(), 5, 1);
+            }
+            session.set_turbo(true);
+            session.advance_s(0.5); // golden settle shared by every member
+            session
+        },
+        |mut node, _var, _id, _seed| {
+            node.advance_s(0.15);
+            node.true_pkg_power_w(0) + node.true_pkg_power_w(1)
+        },
+    );
+    digest(&powers)
+}
+
+/// Order-sensitive digest: any schedule leak (member order, node-seed
+/// derivation, fork state) changes the bits.
+fn digest(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as f64 + 1.0) * v)
+        .sum()
+}
+
+fn wall_s(f: impl FnOnce() -> f64) -> (f64, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (t0.elapsed().as_secs_f64(), v)
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("HSW_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn fleet_ratios(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let n = if smoke { 8 } else { 24 };
+    hsw_bench::print_once(
+        "Fleet executor: cold (warmup per member) vs warm (golden-node fork) wall time",
+        || {
+            let (cold_s, a) = wall_s(|| run_fleet(false, n));
+            let (warm_s, b) = wall_s(|| run_fleet(true, n));
+            assert_eq!(a.to_bits(), b.to_bits(), "fleet warm/cold diverged");
+            let ratio = cold_s / warm_s.max(1e-9);
+            if !smoke {
+                assert!(
+                    ratio >= 2.0,
+                    "fleet warm-start speedup {ratio:.2}x < 2x \
+                     (cold {cold_s:.2} s, warm {warm_s:.2} s)"
+                );
+            }
+            let (warm_2n_s, d2) = wall_s(|| run_fleet(true, 2 * n));
+            hsw_bench::write_report(
+                "fleet",
+                &[
+                    BenchVariant::new("fleet_cold", cold_s, a),
+                    BenchVariant::new("fleet_warm", warm_s, b),
+                    BenchVariant::new("fleet_warm_2x_members", warm_2n_s, d2),
+                ],
+            );
+            format!(
+                "Fleet ({n} members): cold {cold_s:.2} s, warm {warm_s:.2} s -> {ratio:.1}x\n\
+                 Warm scaling: {n} members {warm_s:.2} s, {} members {warm_2n_s:.2} s\n\
+                 (digests bit-identical across modes; report: BENCH_fleet.json)",
+                2 * n
+            )
+        },
+    );
+    if smoke {
+        return;
+    }
+    c.bench_function("fleet_cold_24", |b| {
+        b.iter(|| black_box(run_fleet(false, 24)))
+    });
+    c.bench_function("fleet_warm_24", |b| {
+        b.iter(|| black_box(run_fleet(true, 24)))
+    });
+}
+
+criterion_group! {
+    name = fleet_benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15))
+        .warm_up_time(Duration::from_secs(1));
+    targets = fleet_ratios
+}
+criterion_main!(fleet_benches);

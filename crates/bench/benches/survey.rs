@@ -44,6 +44,7 @@ fn bench_survey_jobs(c: &mut Criterion) {
             only: Some(subset()),
             engine: EngineMode::default(),
             warm_start: true,
+            fleet_size: None,
         };
         c.bench_function(&format!("survey_subset_jobs_{jobs}"), |b| {
             b.iter(|| black_box(run_survey(black_box(&cfg)).unwrap()))

@@ -18,6 +18,8 @@
 //! | [`section6b_governor`] | Section VI-B — what the inflated ACPI tables cost the governor |
 //! | [`section8`] | Section VIII — FIRESTARTER structure and IPC |
 //! | [`sku_extrapolation`] | Extension — Table IV's protocol across the product line |
+//! | [`fleet_cap_spread`] | Extension — fleet power caps turn power spread into performance spread |
+//! | [`fleet_straggler`] | Extension — barrier collectives pay for the slowest chip under a cap |
 
 pub mod fig1;
 pub mod fig2;
@@ -26,6 +28,8 @@ pub mod fig4;
 pub mod fig56;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet_cap_spread;
+pub mod fleet_straggler;
 pub mod section2c_epb;
 pub mod section6b_governor;
 pub mod section8;

@@ -77,6 +77,44 @@ impl Fidelity {
         }
     }
 
+    /// Nodes per fleet experiment, unless overridden by `--fleet-size`.
+    pub fn fleet_size(self) -> usize {
+        match self {
+            Fidelity::Quick => 32,
+            Fidelity::Paper => 256,
+        }
+    }
+
+    /// Package power caps (PL1, W per socket) the cap-and-measure fleet
+    /// experiment sweeps; `None` is the uncapped baseline. The E5-2680 v3
+    /// TDP is 120 W, so 70 W is a tight cap well inside the throttling
+    /// regime.
+    pub fn fleet_caps_w(self) -> Vec<Option<f64>> {
+        match self {
+            Fidelity::Quick => vec![None, Some(70.0)],
+            Fidelity::Paper => vec![None, Some(100.0), Some(85.0), Some(70.0)],
+        }
+    }
+
+    /// Per-node settle time before the fleet measurement window (s). Must
+    /// cover several PL1 limiter windows (`RAPL_LIMIT_WINDOW_US`, 0.15 s):
+    /// a forked fleet member inherits the *golden* chip's converged state
+    /// and needs that long to throttle to its own electrical identity.
+    pub fn fleet_settle_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 0.6,
+            Fidelity::Paper => 1.5,
+        }
+    }
+
+    /// Per-node fleet measurement window (s).
+    pub fn fleet_measure_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 0.3,
+            Fidelity::Paper => 2.0,
+        }
+    }
+
     /// Stable lowercase label (`quick` / `paper`), the inverse of
     /// [`FromStr`](std::str::FromStr). Used by the survey binary and in
     /// `survey.json`.
@@ -128,5 +166,19 @@ mod tests {
         assert!(Fidelity::Quick.table4_samples() < Fidelity::Paper.table4_samples());
         assert!(Fidelity::Quick.table5_run_s() < Fidelity::Paper.table5_run_s());
         assert!(Fidelity::Quick.fig3_samples() < Fidelity::Paper.fig3_samples());
+        assert!(Fidelity::Quick.fleet_size() < Fidelity::Paper.fleet_size());
+        assert!(Fidelity::Quick.fleet_caps_w().len() < Fidelity::Paper.fleet_caps_w().len());
+        assert!(Fidelity::Quick.fleet_measure_s() < Fidelity::Paper.fleet_measure_s());
+    }
+
+    #[test]
+    fn fleet_cap_lists_start_uncapped_and_tighten() {
+        for f in [Fidelity::Quick, Fidelity::Paper] {
+            let caps = f.fleet_caps_w();
+            assert_eq!(caps[0], None, "baseline must be uncapped");
+            let tight: Vec<f64> = caps.into_iter().flatten().collect();
+            assert!(tight.windows(2).all(|w| w[0] > w[1]), "caps must tighten");
+            assert!(tight.iter().all(|&c| c < 120.0), "caps must bind below TDP");
+        }
     }
 }

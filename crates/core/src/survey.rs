@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use hsw_fleet::{ChipVariation, VariationModel};
 use hsw_node::{EngineMode, Node, NodeSnapshot, Platform, Session, SessionBuilder};
 use rayon::prelude::*;
 use serde::{Serialize, Value};
@@ -21,10 +22,43 @@ use crate::experiments;
 use crate::report::Table;
 use crate::Fidelity;
 
-/// Salt separating the shared-warmup seed stream from the per-point fork
-/// streams (`mix_seed(base, k)`, k small) inside one warm sweep. Any large
-/// fixed constant works; this one spells "WARMUP".
+// ---------------------------------------------------------------------------
+// Seed schedule
+//
+// One sweep base seed feeds three independent streams. Each stream that
+// enumerates small integers lives under its *own* sub-base, derived from the
+// sweep base with a stream-specific salt, so the streams can never collide
+// for any sweep size or fleet size:
+//
+//   point k  : mix_seed(base, k)                          (k = 0, 1, 2, …)
+//   warmup   : mix_seed(mix_seed(base, WARMUP_SALT), WARMUP_SALT)
+//   node id  : mix_seed(mix_seed(base, NODE_SALT), id)    (id = 0, 1, 2, …)
+//
+// A single shared namespace would be a trap: `mix_seed(base, k)` and a
+// hypothetical `mix_seed(base, node_id)` coincide exactly when `k ==
+// node_id`, seeding two *different* simulations identically (see the
+// `node_stream_fix_*` regression tests, which construct that collision).
+// ---------------------------------------------------------------------------
+
+/// Stream salt of the shared-warmup sub-base. Any large fixed constant
+/// works; this one spells "WARMUP".
 const WARMUP_SALT: u64 = 0x5741_524D_5550_9E37;
+
+/// Stream salt of the fleet node-id sub-base ("NODEIDS").
+const NODE_SALT: u64 = 0x4E4F_4445_4944_537F;
+
+/// The warmup session's seed for a sweep base (its own sub-base, outside
+/// both the point-index and node-id streams).
+fn warmup_seed(base: u64) -> u64 {
+    mix_seed(mix_seed(base, WARMUP_SALT), WARMUP_SALT)
+}
+
+/// Fleet node `id`'s seed for a sweep base: drawn from the node-id
+/// sub-base, so it coincides with no point seed `mix_seed(base, k)` even
+/// when `id == k`.
+pub fn node_seed(base: u64, id: u64) -> u64 {
+    mix_seed(mix_seed(base, NODE_SALT), id)
+}
 
 /// Everything an experiment gets from the runner.
 #[derive(Debug, Clone)]
@@ -50,6 +84,9 @@ pub struct RunCtx {
     /// Sweep points served from a shared warm-start snapshot instead of a
     /// re-run warmup (the scoreboard's `reuse` column).
     reuses: Arc<AtomicU64>,
+    /// `--fleet-size` override for the fleet experiments; `None` leaves the
+    /// size to the fidelity preset ([`Fidelity::fleet_size`]).
+    pub fleet_size: Option<usize>,
 }
 
 impl RunCtx {
@@ -62,6 +99,7 @@ impl RunCtx {
             points: Arc::new(AtomicU64::new(0)),
             warm_start: true,
             reuses: Arc::new(AtomicU64::new(0)),
+            fleet_size: None,
         }
     }
 
@@ -70,6 +108,18 @@ impl RunCtx {
     pub fn with_warm_start(mut self, warm_start: bool) -> Self {
         self.warm_start = warm_start;
         self
+    }
+
+    /// Override the fleet size the fleet experiments simulate (`--fleet-size`).
+    pub fn with_fleet_size(mut self, fleet_size: Option<usize>) -> Self {
+        self.fleet_size = fleet_size;
+        self
+    }
+
+    /// Nodes per fleet experiment: the `--fleet-size` override if given,
+    /// else the fidelity preset.
+    pub fn fleet_size(&self) -> usize {
+        self.fleet_size.unwrap_or(self.fidelity.fleet_size())
     }
 
     /// The paper platform under this experiment's seed and engine.
@@ -131,8 +181,8 @@ impl RunCtx {
 
     /// Warm-start sweep: amortize a shared settle phase across all points.
     ///
-    /// `warmup` receives a session builder (already seeded with
-    /// `mix_seed(base, WARMUP_SALT)` and *not* wired to the time ledger) and
+    /// `warmup` receives a session builder (already seeded from the warmup
+    /// sub-base — see the seed-schedule note — and *not* wired to the time ledger) and
     /// drives the node to its converged pre-point state. `point` receives a
     /// fork of that state — a fresh `Node` rebuilt from the warmup's config
     /// under the point seed `mix_seed(base, k)`, ledgered, then restored
@@ -192,7 +242,7 @@ impl RunCtx {
         // warmup's end time, so each point credits warmup + point time and
         // the totals agree across modes.
         let warm = |_: &P| {
-            let builder = self.platform().session().seed(mix_seed(base, WARMUP_SALT));
+            let builder = self.platform().session().seed(warmup_seed(base));
             let node = warmup(builder).into_node();
             WarmImage {
                 snap: node.snapshot(),
@@ -266,6 +316,119 @@ impl RunCtx {
                 .par_iter()
                 .enumerate()
                 .map(|(k, p)| point(prep(), p, mix_seed(self.seed, k as u64)))
+                .collect()
+        }
+    }
+
+    /// Fleet sweep: warm one *golden* node, then fork it into `fleet_size`
+    /// manufactured variants and run `member` on each.
+    ///
+    /// `warmup` drives the reference chip (nominal spec unless the builder
+    /// overrides it — a package power cap set via [`SessionBuilder::spec`]
+    /// is inherited by every member) to its converged state, exactly like
+    /// [`RunCtx::sweep_warm`]. Node `id` then forks as its own chip:
+    ///
+    /// * seed `node_seed(base, id)` — the node-id sub-base, collision-free
+    ///   against point and warmup streams (see the seed-schedule note);
+    /// * spec `ChipVariation::sample(model, seed).apply(warmup spec)` — the
+    ///   per-chip manufacturing draw, a pure function of the node seed;
+    /// * state restored from the golden snapshot, clock included, so every
+    ///   member continues from the same converged instant.
+    ///
+    /// `member` receives `(node, &variation, id, seed)`. Results come back
+    /// in node-id order; byte-identical for any pool width and `--jobs`
+    /// (warm and cold modes run the identical fork construction).
+    pub fn sweep_fleet<R, W, F>(
+        &self,
+        fleet_size: usize,
+        model: &VariationModel,
+        warmup: W,
+        member: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(Node, &ChipVariation, usize, u64) -> R + Send + Sync,
+    {
+        self.sweep_fleet_inner(self.seed, fleet_size, model, warmup, member)
+    }
+
+    /// Like [`RunCtx::sweep_fleet`] for experiments that run several fleets
+    /// (one per power cap, say): `salt` separates the sweep bases, so every
+    /// fleet manufactures the *same* chips only when it runs under the same
+    /// salt.
+    pub fn sweep_fleet_salted<R, W, F>(
+        &self,
+        salt: u64,
+        fleet_size: usize,
+        model: &VariationModel,
+        warmup: W,
+        member: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(Node, &ChipVariation, usize, u64) -> R + Send + Sync,
+    {
+        self.sweep_fleet_inner(mix_seed(self.seed, salt), fleet_size, model, warmup, member)
+    }
+
+    fn sweep_fleet_inner<R, W, F>(
+        &self,
+        base: u64,
+        fleet_size: usize,
+        model: &VariationModel,
+        warmup: W,
+        member: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(Node, &ChipVariation, usize, u64) -> R + Send + Sync,
+    {
+        self.points.fetch_add(fleet_size as u64, Ordering::Relaxed);
+        let warm = || {
+            let builder = self.platform().session().seed(warmup_seed(base));
+            let node = warmup(builder).into_node();
+            WarmImage {
+                snap: node.snapshot(),
+                cfg: node.config().clone(),
+            }
+        };
+        let fork = |img: &WarmImage, id: usize| {
+            let seed = node_seed(base, id as u64);
+            let var = ChipVariation::sample(model, seed);
+            let mut node = Node::new(
+                img.cfg
+                    .clone()
+                    .with_seed(seed)
+                    .with_spec(var.apply(&img.cfg.spec)),
+            );
+            node.set_time_ledger(self.sim_ns.clone());
+            node.restore(&img.snap);
+            (node, var, seed)
+        };
+        // The rayon shim parallelizes slices, not ranges.
+        let ids: Vec<usize> = (0..fleet_size).collect();
+        if self.warm_start {
+            if fleet_size == 0 {
+                return Vec::new();
+            }
+            self.reuses.fetch_add(fleet_size as u64, Ordering::Relaxed);
+            let img = warm();
+            ids.par_iter()
+                .map(|&id| {
+                    let (node, var, seed) = fork(&img, id);
+                    member(node, &var, id, seed)
+                })
+                .collect()
+        } else {
+            ids.par_iter()
+                .map(|&id| {
+                    let img = warm();
+                    let (node, var, seed) = fork(&img, id);
+                    member(node, &var, id, seed)
+                })
                 .collect()
         }
     }
@@ -416,7 +579,8 @@ pub fn mix_seed(seed: u64, salt: u64) -> u64 {
     splitmix64(&mut s)
 }
 
-/// All 16 experiments, in paper order.
+/// All 18 experiments: the paper's 16 in paper order, then the fleet-scale
+/// follow-ups (Schuchart et al.).
 pub fn registry() -> Vec<Box<dyn SurveyExperiment>> {
     vec![
         Box::new(experiments::fig1::Experiment),
@@ -435,6 +599,8 @@ pub fn registry() -> Vec<Box<dyn SurveyExperiment>> {
         Box::new(experiments::fig8::Experiment),
         Box::new(experiments::section8::Experiment),
         Box::new(experiments::sku_extrapolation::Experiment),
+        Box::new(experiments::fleet_cap_spread::Experiment),
+        Box::new(experiments::fleet_straggler::Experiment),
     ]
 }
 
@@ -455,6 +621,9 @@ pub struct SurveyConfig {
     /// are bit-identical; `false` is the escape hatch for validating the
     /// snapshot fork path.
     pub warm_start: bool,
+    /// Nodes per fleet experiment (`--fleet-size`); `None` uses the
+    /// fidelity preset.
+    pub fleet_size: Option<usize>,
 }
 
 impl Default for SurveyConfig {
@@ -466,6 +635,7 @@ impl Default for SurveyConfig {
             only: None,
             engine: EngineMode::default(),
             warm_start: true,
+            fleet_size: None,
         }
     }
 }
@@ -540,7 +710,8 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
                     experiment_seed(cfg.seed, exp.id()),
                     cfg.engine,
                 )
-                .with_warm_start(cfg.warm_start);
+                .with_warm_start(cfg.warm_start)
+                .with_fleet_size(cfg.fleet_size);
                 // lint:allow(D1): wall time is stderr progress reporting only, never survey.json
                 let t0 = Instant::now();
                 let result = exp.run(&ctx);
@@ -744,13 +915,50 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_16_unique_ids() {
+    fn registry_has_all_18_unique_ids() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 18);
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), 16, "duplicate ids: {ids:?}");
+        assert_eq!(dedup.len(), 18, "duplicate ids: {ids:?}");
+    }
+
+    /// The collision the node-id sub-base exists to prevent: in a single
+    /// shared namespace, node id `i` and point index `k` seed identically
+    /// whenever `i == k` — two different simulations, one RNG stream.
+    #[test]
+    fn node_stream_fix_closes_the_shared_namespace_collision() {
+        let base = experiment_seed(42, "fleet_cap_spread");
+        for i in 0..64u64 {
+            // The trap (old scheme): guaranteed collision at i == k.
+            assert_eq!(mix_seed(base, i), mix_seed(base, i));
+            // The fix: the node stream never meets the point stream …
+            for k in 0..64u64 {
+                assert_ne!(
+                    node_seed(base, i),
+                    mix_seed(base, k),
+                    "node {i} collides with point {k}"
+                );
+            }
+            // … nor the warmup stream.
+            assert_ne!(node_seed(base, i), warmup_seed(base));
+        }
+    }
+
+    /// All three streams of one sweep base are pairwise distinct over dense
+    /// low index ranges, for several bases.
+    #[test]
+    fn node_stream_fix_keeps_streams_pairwise_distinct() {
+        for root in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let base = experiment_seed(root, "fleet_straggler");
+            let mut seen = std::collections::BTreeSet::new();
+            assert!(seen.insert(warmup_seed(base)));
+            for idx in 0..512u64 {
+                assert!(seen.insert(mix_seed(base, idx)), "point {idx} collided");
+                assert!(seen.insert(node_seed(base, idx)), "node {idx} collided");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! NaN-free spread statistics for fleet-wide observables.
+//!
+//! Fleet experiments summarize a per-node metric (power, effective
+//! frequency, throughput) into its across-the-fleet spread. The degenerate
+//! cases matter and are pinned by tests: an empty fleet and a one-node
+//! fleet both report a spread of exactly `0.0` — never NaN — so JSON output
+//! stays byte-stable and comparisons against thresholds stay meaningful.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one metric across a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spread {
+    /// Number of samples.
+    pub n: usize,
+    /// Smallest sample (0.0 when empty).
+    pub min: f64,
+    /// Largest sample (0.0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Relative spread `(max − min) / |mean|` (non-negative). Exactly 0.0
+    /// for fleets of size ≤ 1, for all-identical samples, and whenever the
+    /// mean is 0 — never NaN or infinite.
+    pub rel_spread: f64,
+}
+
+impl Spread {
+    /// Summarize `samples`. Panics only if a sample is NaN (a NaN metric is
+    /// an upstream bug, not a fleet property).
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(
+            samples.iter().all(|s| !s.is_nan()),
+            "fleet metric contains NaN"
+        );
+        if samples.is_empty() {
+            return Spread {
+                n: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                rel_spread: 0.0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        let mean = sum / samples.len() as f64;
+        let rel_spread = if samples.len() <= 1 || max == min || mean == 0.0 {
+            0.0
+        } else {
+            (max - min) / mean.abs()
+        };
+        Spread {
+            n: samples.len(),
+            min,
+            max,
+            mean,
+            rel_spread,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_fleet_is_all_zeros() {
+        let s = Spread::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.rel_spread, 0.0);
+    }
+
+    #[test]
+    fn single_node_fleet_has_exactly_zero_spread() {
+        let s = Spread::of(&[83.7]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.min, 83.7);
+        assert_eq!(s.max, 83.7);
+        assert_eq!(s.mean, 83.7);
+        assert_eq!(s.rel_spread, 0.0);
+        assert!(!s.rel_spread.is_nan());
+    }
+
+    #[test]
+    fn identical_samples_have_exactly_zero_spread() {
+        let s = Spread::of(&[2.5; 64]);
+        assert_eq!(s.rel_spread, 0.0);
+        assert_eq!(s.mean, 2.5);
+    }
+
+    #[test]
+    fn zero_mean_does_not_divide_by_zero() {
+        let s = Spread::of(&[-1.0, 1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.rel_spread, 0.0);
+        assert!(!s.rel_spread.is_nan());
+    }
+
+    #[test]
+    fn ordinary_spread_is_max_minus_min_over_mean() {
+        let s = Spread::of(&[90.0, 100.0, 110.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.rel_spread - 0.2).abs() < 1e-12);
+        assert_eq!(s.min, 90.0);
+        assert_eq!(s.max, 110.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_samples_are_an_upstream_bug() {
+        let _ = Spread::of(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spread_is_finite_and_ordered(
+            samples in proptest::collection::vec(-1e6f64..1e6, 0..64)
+        ) {
+            let s = Spread::of(&samples);
+            prop_assert!(s.rel_spread.is_finite());
+            prop_assert!(s.min <= s.max || s.n == 0);
+            // Summation rounding may push the mean an ulp past the extremes.
+            let slack = 1e-9 * (s.max.abs() + s.min.abs() + 1.0);
+            prop_assert!(s.n == 0 || (s.min - slack <= s.mean && s.mean <= s.max + slack));
+            prop_assert!(s.rel_spread >= 0.0);
+        }
+    }
+}

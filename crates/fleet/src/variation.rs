@@ -1,0 +1,254 @@
+//! Per-chip manufacturing variation: the distribution model and the draw.
+//!
+//! Four parameters carry the chip-to-chip spread that matters for the
+//! Schuchart/Hofmann phenomenology:
+//!
+//! * **Leakage scale** — process corners spread static power by tens of
+//!   percent between the best and worst die of a SKU (Hofmann et al.,
+//!   arXiv:1702.07554, report ~10 % package-power spread across 100+
+//!   chips, dominated by leakage). Modeled log-uniform so the scale is
+//!   symmetric in ratio: `exp(U[-ln s, +ln s])`.
+//! * **Voltage-corner offset** — the fused V/f curve of a unit sits a few
+//!   tens of millivolts above or below nominal. Modeled as a uniform shift
+//!   applied to the whole core curve (`vmin` *and* `v_at_max`), i.e. a
+//!   process-corner translation rather than a floor-only tweak, so the
+//!   offset is felt at operating frequencies too (P ∝ V²).
+//! * **Turbo-bin draw** — speed binning quantizes chip quality into
+//!   ±1 × 100 MHz on the fused turbo tables (regular and AVX alike); the
+//!   middle of the distribution ships the nominal bins.
+//! * **RAPL-unit trim** — the fused energy-meter calibration is accurate
+//!   to a couple of percent per unit (paper Section IV establishes the
+//!   measured-RAPL accuracy band); since tools convert counts with the
+//!   nominal datasheet unit, a trim shows up as a gain on reported power
+//!   and on the PL1 enforcement alike.
+//!
+//! All draws come from `DomainNoise::new(node_seed, domain::FLEET)` at
+//! t = 0 — one draw per parameter, keyed, so a chip's identity is a pure
+//! function of its node seed.
+
+use serde::{Deserialize, Serialize};
+
+use hsw_hwspec::clock::{domain, DomainNoise};
+use hsw_hwspec::NodeSpec;
+
+/// Distribution widths for one fleet's manufacturing spread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Worst-case leakage ratio `s`: leakage scale is log-uniform in
+    /// `[1/s, s]`. 1.0 disables leakage spread.
+    pub leak_scale_span: f64,
+    /// Half-width of the uniform voltage-corner offset in volts, applied
+    /// to the whole core V/f curve. 0.0 disables it.
+    pub vcorner_span_v: f64,
+    /// One turbo bin in MHz (100 on Haswell-EP).
+    pub turbo_bin_mhz: u32,
+    /// Probability that a chip bins one step *down*; the same probability
+    /// applies to one step *up*. 0.0 ships every chip the nominal bins.
+    pub turbo_bin_prob: f64,
+    /// Half-width of the uniform RAPL trim-gain band (gain in
+    /// `[1 − w, 1 + w]`). 0.0 disables metering spread.
+    pub rapl_trim_span: f64,
+}
+
+impl VariationModel {
+    /// The documented fleet model used by the survey's fleet experiments:
+    /// 1.5× worst-case leakage ratio, ±50 mV voltage corner, 25 %/25 %
+    /// one-bin down/up binning, ±2 % RAPL trim. The electrical widths sit
+    /// at the upper end of the published per-chip spreads (Hofmann et al.
+    /// report >20 % power variation between extremal units of one SKU);
+    /// together they produce roughly ±6 % package power at a fixed
+    /// frequency — comfortably wider than one turbo bin once a power cap
+    /// converts them into frequency.
+    pub fn paper_fleet() -> Self {
+        VariationModel {
+            leak_scale_span: 1.5,
+            vcorner_span_v: 0.050,
+            turbo_bin_mhz: 100,
+            turbo_bin_prob: 0.25,
+            rapl_trim_span: 0.02,
+        }
+    }
+
+    /// Zero-width distributions: every chip draws exactly the nominal
+    /// part. Degenerate on purpose — fleet statistics over an identical
+    /// fleet must come out as exactly zero spread.
+    pub fn identical() -> Self {
+        VariationModel {
+            leak_scale_span: 1.0,
+            vcorner_span_v: 0.0,
+            turbo_bin_mhz: 100,
+            turbo_bin_prob: 0.0,
+            rapl_trim_span: 0.0,
+        }
+    }
+}
+
+/// One manufactured unit: the multiplicative/additive deviations of this
+/// chip from its SKU's nominal spec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipVariation {
+    /// Static-leakage scale (multiplies `core_leak_w_per_v2`).
+    pub leak_scale: f64,
+    /// Voltage-corner offset in volts (adds to `vmin` and `v_at_max` of
+    /// the core curve).
+    pub vcorner_v: f64,
+    /// Whole-table turbo-bin shift in MHz (−bin, 0, or +bin).
+    pub turbo_offset_mhz: i64,
+    /// Energy-meter calibration gain (multiplies `rapl_trim_gain`).
+    pub rapl_gain: f64,
+}
+
+impl ChipVariation {
+    /// The reference chip: exactly the nominal spec.
+    pub fn nominal() -> Self {
+        ChipVariation {
+            leak_scale: 1.0,
+            vcorner_v: 0.0,
+            turbo_offset_mhz: 0,
+            rapl_gain: 1.0,
+        }
+    }
+
+    /// Draw this chip's variation from its node seed. Pure in
+    /// `(model, node_seed)`: the same chip id in the same fleet always
+    /// manufactures the same unit, at any pool width and in any order.
+    pub fn sample(model: &VariationModel, node_seed: u64) -> Self {
+        let noise = DomainNoise::new(node_seed, domain::FLEET);
+        let span = model.leak_scale_span.max(1.0);
+        let leak_scale = (noise.symmetric(0, 0) * span.ln()).exp();
+        let vcorner_v = noise.symmetric(0, 1) * model.vcorner_span_v;
+        let u = noise.unit(0, 2);
+        let turbo_offset_mhz = if u < model.turbo_bin_prob {
+            -(model.turbo_bin_mhz as i64)
+        } else if u >= 1.0 - model.turbo_bin_prob {
+            model.turbo_bin_mhz as i64
+        } else {
+            0
+        };
+        let rapl_gain = 1.0 + noise.symmetric(0, 3) * model.rapl_trim_span;
+        ChipVariation {
+            leak_scale,
+            vcorner_v,
+            turbo_offset_mhz,
+            rapl_gain,
+        }
+    }
+
+    /// Manufacture one concrete unit: the nominal node spec with this
+    /// chip's deviations applied to every socket. The transformation only
+    /// rewrites existing spec fields, so everything downstream (power
+    /// model, PCU, RAPL) picks the variation up without fleet-specific
+    /// code paths.
+    pub fn apply(&self, nominal: &NodeSpec) -> NodeSpec {
+        let mut spec = nominal.clone();
+        let sku = &mut spec.sku;
+        sku.power.core_leak_w_per_v2 *= self.leak_scale;
+        sku.power.rapl_trim_gain *= self.rapl_gain;
+        sku.core_vf.vmin = (sku.core_vf.vmin + self.vcorner_v).max(0.5);
+        sku.core_vf.v_at_max = (sku.core_vf.v_at_max + self.vcorner_v).max(sku.core_vf.vmin);
+        let shift = |mhz: u32, floor: u32| -> u32 {
+            (mhz as i64 + self.turbo_offset_mhz).max(floor as i64) as u32
+        };
+        // A shifted bin may never fall to (or below) the sustained base
+        // frequency — binning moves the boost window, not the base clock.
+        let floor = sku.freq.base_mhz + 100;
+        for bin in &mut sku.freq.turbo_by_active_cores_mhz {
+            *bin = shift(*bin, floor);
+        }
+        let avx_floor = sku.freq.avx_base_mhz.unwrap_or(sku.freq.min_mhz);
+        for bin in &mut sku.freq.avx_turbo_by_active_cores_mhz {
+            *bin = shift(*bin, avx_floor);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_pure_in_model_and_seed() {
+        let m = VariationModel::paper_fleet();
+        assert_eq!(ChipVariation::sample(&m, 7), ChipVariation::sample(&m, 7));
+        assert_ne!(ChipVariation::sample(&m, 7), ChipVariation::sample(&m, 8));
+    }
+
+    #[test]
+    fn identical_model_always_draws_the_nominal_chip() {
+        let m = VariationModel::identical();
+        for seed in 0..256u64 {
+            assert_eq!(ChipVariation::sample(&m, seed), ChipVariation::nominal());
+        }
+    }
+
+    #[test]
+    fn draws_stay_inside_the_documented_bands() {
+        let m = VariationModel::paper_fleet();
+        let mut bins = [0usize; 3];
+        for seed in 0..2048u64 {
+            let v = ChipVariation::sample(&m, seed);
+            assert!((1.0 / 1.5..=1.5).contains(&v.leak_scale), "{v:?}");
+            assert!(v.vcorner_v.abs() <= 0.050, "{v:?}");
+            assert!((0.98..=1.02).contains(&v.rapl_gain), "{v:?}");
+            match v.turbo_offset_mhz {
+                -100 => bins[0] += 1,
+                0 => bins[1] += 1,
+                100 => bins[2] += 1,
+                other => panic!("unexpected turbo offset {other}"),
+            }
+        }
+        // ~25/50/25 split.
+        assert!(bins.iter().all(|&b| b > 2048 / 8), "binning split {bins:?}");
+        assert!(bins[1] > bins[0] && bins[1] > bins[2], "{bins:?}");
+    }
+
+    #[test]
+    fn nominal_variation_applies_to_an_identical_spec() {
+        let nominal = NodeSpec::paper_test_node();
+        assert_eq!(ChipVariation::nominal().apply(&nominal), nominal);
+    }
+
+    #[test]
+    fn applied_spec_moves_the_expected_fields_and_nothing_else() {
+        let nominal = NodeSpec::paper_test_node();
+        let v = ChipVariation {
+            leak_scale: 1.2,
+            vcorner_v: 0.02,
+            turbo_offset_mhz: -100,
+            rapl_gain: 1.01,
+        };
+        let spec = v.apply(&nominal);
+        let (s, n) = (&spec.sku, &nominal.sku);
+        assert!((s.power.core_leak_w_per_v2 - n.power.core_leak_w_per_v2 * 1.2).abs() < 1e-12);
+        assert!((s.power.rapl_trim_gain - 1.01).abs() < 1e-12);
+        assert!((s.core_vf.vmin - (n.core_vf.vmin + 0.02)).abs() < 1e-12);
+        assert!((s.core_vf.v_at_max - (n.core_vf.v_at_max + 0.02)).abs() < 1e-12);
+        assert_eq!(s.freq.turbo_mhz(1), n.freq.turbo_mhz(1) - 100);
+        // Unchanged: dynamic coefficients, base clock, geometry, uncore.
+        assert_eq!(s.power.core_dyn_w_per_v2ghz, n.power.core_dyn_w_per_v2ghz);
+        assert_eq!(s.freq.base_mhz, n.freq.base_mhz);
+        assert_eq!(s.cores, n.cores);
+        assert_eq!(s.uncore_vf, n.uncore_vf);
+        assert_eq!(spec.sockets, nominal.sockets);
+    }
+
+    #[test]
+    fn turbo_bins_never_fall_to_the_base_clock() {
+        let nominal = NodeSpec::paper_test_node();
+        let v = ChipVariation {
+            leak_scale: 1.0,
+            vcorner_v: 0.0,
+            turbo_offset_mhz: -10_000,
+            rapl_gain: 1.0,
+        };
+        let spec = v.apply(&nominal);
+        let base = spec.sku.freq.base_mhz;
+        for &bin in &spec.sku.freq.turbo_by_active_cores_mhz {
+            assert!(bin > base, "bin {bin} vs base {base}");
+        }
+        for w in spec.sku.freq.turbo_by_active_cores_mhz.windows(2) {
+            assert!(w[0] >= w[1], "monotonicity broke: {w:?}");
+        }
+    }
+}

@@ -57,6 +57,9 @@ pub mod domain {
     pub const RAPL: u64 = 0x20;
     /// LMG450 meter: per-instrument gain and per-sample noise.
     pub const METER: u64 = 0x30;
+    /// Manufacturing variation of one fleet chip (leakage, Vmin, turbo
+    /// binning, RAPL calibration trim). Drawn once per node at t = 0.
+    pub const FLEET: u64 = 0x40;
 }
 
 /// SplitMix64 finalizer — the mixer behind every keyed draw.

@@ -74,6 +74,12 @@ pub struct PowerCoeffs {
     pub dram_idle_w: f64,
     /// DRAM access power in W per GB/s of traffic.
     pub dram_w_per_gbs: f64,
+    /// Per-chip RAPL calibration gain: the fused energy-counter trim of
+    /// this unit relative to the nominal energy unit. Measurement software
+    /// always converts raw counts with the nominal datasheet unit, so a
+    /// chip with gain ≠ 1 *reports* (and its PL1 limiter *enforces*)
+    /// power scaled by this factor. 1.0 on the reference chip.
+    pub rapl_trim_gain: f64,
 }
 
 impl PowerCoeffs {
@@ -86,6 +92,7 @@ impl PowerCoeffs {
             uncore_dyn_w_per_v2ghz: 9.17,
             dram_idle_w: 4.0,
             dram_w_per_gbs: 0.55,
+            rapl_trim_gain: 1.0,
         }
     }
 
@@ -99,6 +106,7 @@ impl PowerCoeffs {
             uncore_dyn_w_per_v2ghz: 7.5,
             dram_idle_w: 6.0,
             dram_w_per_gbs: 0.7,
+            rapl_trim_gain: 1.0,
         }
     }
 }

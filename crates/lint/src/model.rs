@@ -1103,6 +1103,46 @@ pub struct EngineSnapshot {
     }
 
     #[test]
+    fn m4_covers_fleet_variation_structs_with_snapshot_companions() {
+        // The fleet crate gets no exemption: if a variation struct ever
+        // grows a snapshot companion (e.g. to carry a member's drawn
+        // identity through a fork), its fields fall under the same
+        // captured-or-justified audit as the node state.
+        let variation = "\
+pub struct ChipVariation {
+    pub leak_scale: f64,
+    pub vcorner_v: f64,
+    scratch: Vec<f64>,
+}
+";
+        let snap = "\
+pub struct ChipVariationSnapshot {
+    pub leak_scale: f64,
+    pub vcorner_v: f64,
+}
+";
+        let f = check_snapshots(&snap_files(&[
+            ("crates/fleet/src/variation.rs", variation),
+            ("crates/node/src/node.rs", snap),
+        ]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "M4");
+        assert_eq!(f[0].path, "crates/fleet/src/variation.rs");
+        assert!(f[0].message.contains("`ChipVariation.scratch`"), "{f:?}");
+        // A justified skip clears it — the ordinary mechanism, not a
+        // fleet-specific carve-out.
+        let fixed = variation.replace(
+            "    scratch: Vec<f64>,",
+            "    // snap:skip(per-step scratch, rebuilt by the fork)\n    scratch: Vec<f64>,",
+        );
+        let f = check_snapshots(&snap_files(&[
+            ("crates/fleet/src/variation.rs", &fixed),
+            ("crates/node/src/node.rs", snap),
+        ]));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn m4_accepts_a_trailing_skip_marker() {
         let src = "struct E {\n    a: u64,\n    b: u8, // snap:skip(scratch, rebuilt per step)\n}\nstruct ESnapshot {\n    a: u64,\n}\n";
         let f = check_snapshots(&snap_files(&[("x.rs", src)]));

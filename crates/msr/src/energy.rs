@@ -159,6 +159,39 @@ mod tests {
         }
 
         #[test]
+        fn prop_forked_counter_crosses_the_wrap_identically(
+            start_back in 0u32..1000,
+            residue_frac in 0.0f64..0.999,
+            adds in proptest::collection::vec(1.0f64..3.0, 1..50),
+        ) {
+            // A warm-start fork clones the counter mid-flight. Park the
+            // original just below the 2^32 boundary with sub-unit residue,
+            // fork, feed both the same energy: raw value, wrap-aware delta,
+            // residue, and ground-truth total must stay bit-identical —
+            // the fractional store is part of the snapshot, not an
+            // accumulator quirk that re-zeroes on restore.
+            let unit = 61e-6;
+            let mut unforked = EnergyCounter::new(unit);
+            unforked.raw = u32::MAX - start_back;
+            unforked.residue_j = residue_frac * unit;
+            let before = unforked.raw();
+            let mut fork = unforked.clone();
+            for add in &adds {
+                unforked.add_joules(*add);
+                fork.add_joules(*add);
+            }
+            // ≥1 J ≈ 16k counts vs ≤1000 counts of headroom: always wraps.
+            prop_assert!(unforked.raw() < before, "must cross the boundary");
+            prop_assert_eq!(unforked.raw(), fork.raw());
+            prop_assert_eq!(
+                unforked.delta_joules(before, unforked.raw()).to_bits(),
+                fork.delta_joules(before, fork.raw()).to_bits()
+            );
+            prop_assert_eq!(unforked.residue_j.to_bits(), fork.residue_j.to_bits());
+            prop_assert_eq!(unforked.total_joules().to_bits(), fork.total_joules().to_bits());
+        }
+
+        #[test]
         fn prop_multi_wrap_adds_match_mod_2_32(
             start in any::<u32>(),
             whole_wraps in 0u64..64,

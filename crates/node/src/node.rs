@@ -721,6 +721,50 @@ mod engine_tests {
     }
 
     #[test]
+    fn snapshot_fork_carries_rapl_wrap_state_through_the_node() {
+        // End-to-end wrap check for the warm-start fork path: a grossly
+        // trimmed chip (gain 5000) meters hundreds of kW, so the 32-bit
+        // package counter (61 µJ unit, ~262 kJ period) wraps within a
+        // couple of simulated seconds. Fork via NodeSnapshot before the
+        // wrap; the fork and the uninterrupted node must cross the 2^32
+        // boundary at the same instant and read the same MSR delta.
+        use hsw_hwspec::calib;
+        let mut cfg = NodeConfig::paper_default();
+        cfg.spec.sku.power.rapl_trim_gain = 5000.0;
+        let mut unforked = Node::new(cfg.clone());
+        unforked.run_on_socket(0, &WorkloadProfile::compute(), 12, 2);
+        unforked.advance_s(0.3);
+        let cpu = CpuId::new(0, 0, 0);
+        let raw0 = unforked.rdmsr(cpu, msra::MSR_PKG_ENERGY_STATUS).unwrap() as u32;
+        let total0 = unforked.sockets()[0].rapl().pkg_total_joules();
+        let snap = unforked.snapshot();
+
+        let mut fork = Node::new(cfg);
+        fork.restore(&snap);
+        unforked.advance_s(2.0);
+        fork.advance_s(2.0);
+
+        let raw_a = unforked.rdmsr(cpu, msra::MSR_PKG_ENERGY_STATUS).unwrap() as u32;
+        let raw_b = fork.rdmsr(cpu, msra::MSR_PKG_ENERGY_STATUS).unwrap() as u32;
+        assert_eq!(raw_a, raw_b, "fork diverged across the wrap");
+        let total_a = unforked.sockets()[0].rapl().pkg_total_joules();
+        let total_b = fork.sockets()[0].rapl().pkg_total_joules();
+        assert_eq!(total_a.to_bits(), total_b.to_bits());
+
+        // The run must actually have wrapped, and the wrap-aware MSR delta
+        // must equal the metered energy modulo whole counter periods.
+        let period_j = 4_294_967_296.0 * calib::PKG_ENERGY_UNIT_UJ * 1e-6;
+        let metered_j = total_a - total0;
+        let wraps = (metered_j / period_j).floor();
+        assert!(wraps >= 1.0, "no wrap: {metered_j:.0} J < {period_j:.0} J");
+        let delta_j = raw_a.wrapping_sub(raw0) as f64 * calib::PKG_ENERGY_UNIT_UJ * 1e-6;
+        assert!(
+            (delta_j - (metered_j - wraps * period_j)).abs() < 1.0,
+            "delta {delta_j:.1} J vs metered {metered_j:.1} J ({wraps} wraps)"
+        );
+    }
+
+    #[test]
     fn time_ledger_credits_simulated_time_on_drop() {
         let ledger = Arc::new(AtomicU64::new(0));
         {

@@ -201,7 +201,8 @@ impl Socket {
             pstate: PStateEngine::new(spec.generation, cores, base, pcu_phase_ns),
             eet: EetController::new(eet_enabled),
             avx: vec![AvxLicense::new(); cores],
-            rapl: RaplEngine::new(spec.generation, dram_mode),
+            rapl: RaplEngine::new(spec.generation, dram_mode)
+                .with_unit_trim(spec.power.rapl_trim_gain),
             requested: vec![FreqSetting::Turbo; cores],
             threads: vec![None; threads],
             cstates: vec![CoreCState::C6; cores],
@@ -270,7 +271,10 @@ impl Socket {
         self.pstate.restore(&snap.pstate);
         self.eet = snap.eet.clone();
         self.avx.clone_from(&snap.avx);
-        self.rapl = snap.rapl.clone();
+        // Counters and limiter average are dynamic state; the chip's
+        // metering trim is calibration and stays as constructed, so a
+        // varied fleet chip restoring a golden snapshot keeps its own trim.
+        self.rapl.restore_from(&snap.rapl);
         self.requested.clone_from(&snap.requested);
         self.threads.clone_from(&snap.threads);
         self.cstates.clone_from(&snap.cstates);

@@ -44,6 +44,14 @@ pub struct RaplEngine {
     /// Running average of package power over the limiter window, used by the
     /// PCU's TDP enforcement (exponentially weighted).
     avg_pkg_w: f64,
+    /// Per-chip calibration gain of the fused energy metering relative to
+    /// the nominal datasheet unit. Counts accumulate scaled by this factor
+    /// while readers keep converting with the nominal unit, so both the
+    /// reported power *and* the limiter's enforcement see the trimmed
+    /// value — exactly how a miscalibrated unit behaves under a power cap.
+    /// 1.0 (the reference chip) on every constructor path except
+    /// [`RaplEngine::with_unit_trim`].
+    trim_gain: f64,
 }
 
 impl RaplEngine {
@@ -54,7 +62,34 @@ impl RaplEngine {
             pkg: EnergyCounter::new(calib::PKG_ENERGY_UNIT_UJ * 1e-6),
             dram: EnergyCounter::new(calib::DRAM_ENERGY_UNIT_UJ * 1e-6),
             avg_pkg_w: 0.0,
+            trim_gain: 1.0,
         }
+    }
+
+    /// Apply a per-chip metering trim (fleet variation). A gain of 1.0 is
+    /// the reference chip and leaves behavior bit-identical to [`new`].
+    ///
+    /// [`new`]: RaplEngine::new
+    pub fn with_unit_trim(mut self, gain: f64) -> Self {
+        assert!(gain > 0.0, "RAPL trim gain must be positive");
+        self.trim_gain = gain;
+        self
+    }
+
+    /// The chip's metering trim gain (1.0 = reference calibration).
+    pub fn unit_trim(&self) -> f64 {
+        self.trim_gain
+    }
+
+    /// Reinstate dynamic state (counters and the limiter average) from a
+    /// snapshot, keeping construction-derived configuration — mode and the
+    /// per-chip trim — as built. This is what lets a warm-start fork
+    /// restore a *golden* node's counters into a *varied* chip without
+    /// inheriting the golden chip's calibration.
+    pub fn restore_from(&mut self, snap: &RaplEngine) {
+        self.pkg = snap.pkg.clone();
+        self.dram = snap.dram.clone();
+        self.avg_pkg_w = snap.avg_pkg_w;
     }
 
     pub fn mode(&self) -> RaplMode {
@@ -105,12 +140,17 @@ impl RaplEngine {
                 dram_w * (calib::PKG_ENERGY_UNIT_UJ / calib::DRAM_ENERGY_UNIT_UJ)
             }
         };
-        self.pkg.add_joules((pkg_w * dt_s).max(0.0));
-        self.dram.add_joules((dram_w * dt_s).max(0.0));
-        // Power-limiter running average (~1 s time constant).
+        self.pkg
+            .add_joules((pkg_w * self.trim_gain * dt_s).max(0.0));
+        self.dram
+            .add_joules((dram_w * self.trim_gain * dt_s).max(0.0));
+        // Power-limiter running average (~1 s time constant). PL1 compares
+        // the *metered* energy against TDP, so the per-chip trim feeds the
+        // enforcement too: a chip reading high throttles correspondingly
+        // early.
         let window_s = calib::RAPL_LIMIT_WINDOW_US as f64 * 1e-6;
         let alpha = (dt_s / window_s).min(1.0);
-        self.avg_pkg_w += alpha * (true_pkg_w - self.avg_pkg_w);
+        self.avg_pkg_w += alpha * (true_pkg_w * self.trim_gain - self.avg_pkg_w);
     }
 
     /// Raw 32-bit `MSR_PKG_ENERGY_STATUS` value.
@@ -264,6 +304,41 @@ mod tests {
             eng.advance(0.001, 130.0, 10.0, ModelBias::NONE, noise.symmetric(i, 0));
         }
         assert!((eng.running_avg_pkg_w() - 130.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn restored_fork_crosses_the_pkg_wrap_identically() {
+        // Warm-start fork path: `restore_from` must carry the package
+        // counter's raw value *and* its sub-unit residue across, so a fork
+        // taken just below the 2^32 boundary wraps at exactly the same
+        // instant as the uninterrupted engine.
+        let period_j = 4_294_967_296.0 * calib::PKG_ENERGY_UNIT_UJ * 1e-6;
+        let mut unforked = RaplEngine::new(CpuGeneration::HaswellEp, DramRaplMode::Mode1);
+        // Park ~50 J below the wrap. Zero noise makes the placement exact.
+        unforked.advance(1.0, period_j - 50.0, 0.0, ModelBias::NONE, 0.0);
+        let before = unforked.pkg_raw();
+        assert!(before > u32::MAX - 1_000_000, "parked below the boundary");
+
+        let mut fork = RaplEngine::new(CpuGeneration::HaswellEp, DramRaplMode::Mode1);
+        fork.restore_from(&unforked);
+
+        // 7 kJ over one simulated second crosses the boundary in both.
+        let noise = DomainNoise::new(3, domain::RAPL);
+        for i in 0..100 {
+            let n = noise.symmetric(i as Ns * 10_000_000, 0);
+            unforked.advance(0.01, 7000.0, 0.0, ModelBias::NONE, n);
+            fork.advance(0.01, 7000.0, 0.0, ModelBias::NONE, n);
+        }
+        assert!(unforked.pkg_raw() < before, "must wrap");
+        assert_eq!(unforked.pkg_raw(), fork.pkg_raw());
+        assert_eq!(
+            unforked.pkg_total_joules().to_bits(),
+            fork.pkg_total_joules().to_bits()
+        );
+        let d = unforked.pkg_delta_joules(before, unforked.pkg_raw());
+        assert_eq!(d, fork.pkg_delta_joules(before, fork.pkg_raw()));
+        // Wrap-aware delta still reads the consumed energy (±0.4% meter).
+        assert!((d - 7000.0).abs() < 100.0, "d = {d}");
     }
 
     #[test]

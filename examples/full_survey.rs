@@ -95,6 +95,14 @@ fn main() {
         "Extension — product-line extrapolation",
         experiments::sku_extrapolation::run().to_string(),
     );
+    emit(
+        "Fleet — power caps turn variation into performance spread",
+        experiments::fleet_cap_spread::run(fidelity).to_string(),
+    );
+    emit(
+        "Fleet — barrier collectives pay for the slowest chip",
+        experiments::fleet_straggler::run(fidelity).to_string(),
+    );
 
     if let Some(path) = write_md {
         std::fs::write(&path, md).expect("write markdown");

@@ -3,14 +3,14 @@
 //! ```text
 //! survey [--list] [--only <id>[,<id>...]] [--seed <u64>] [--jobs <n>]
 //!        [--fidelity quick|paper] [--engine fixed|event]
-//!        [--warm-start on|off] [--out <path>]
+//!        [--warm-start on|off] [--fleet-size <n>] [--out <path>]
 //! ```
 //!
 //! Determinism contract: the JSON document depends only on
-//! `(--fidelity, --seed, --only)` — the same flags produce byte-identical
-//! `survey.json` for any `--jobs` value, either `--engine` mode, and
-//! either `--warm-start` setting. Wall-clock timings go to the scoreboard
-//! and stderr only.
+//! `(--fidelity, --seed, --only, --fleet-size)` — the same flags produce
+//! byte-identical `survey.json` for any `--jobs` value, either `--engine`
+//! mode, and either `--warm-start` setting. Wall-clock timings go to the
+//! scoreboard and stderr only.
 
 use std::process::ExitCode;
 
@@ -36,6 +36,8 @@ options:
                       warm snapshot instead of re-running each settle phase;
                       both settings are bit-identical, `off` is the
                       validation escape hatch
+  --fleet-size <n>    nodes per fleet experiment (default: fidelity preset,
+                      32 quick / 256 paper)
   --out <path>        output path (default survey.json, `-` for stdout)
   -h, --help          show this help
 ";
@@ -98,6 +100,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("--warm-start: `{other}` is not on|off")),
                 };
             }
+            "--fleet-size" => {
+                let v = value("--fleet-size")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--fleet-size: `{v}` is not a node count"))?;
+                if n == 0 {
+                    return Err("--fleet-size must be at least 1".to_string());
+                }
+                args.cfg.fleet_size = Some(n);
+            }
             "--out" => args.out = value("--out")?,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -133,13 +145,16 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "survey: fidelity={} seed={} jobs={} pool={} engine={} warm-start={}",
+        "survey: fidelity={} seed={} jobs={} pool={} engine={} warm-start={} fleet-size={}",
         args.cfg.fidelity.label(),
         args.cfg.seed,
         args.cfg.jobs,
         haswell_survey::survey::pool_threads(),
         args.cfg.engine,
-        if args.cfg.warm_start { "on" } else { "off" }
+        if args.cfg.warm_start { "on" } else { "off" },
+        args.cfg
+            .fleet_size
+            .unwrap_or_else(|| args.cfg.fidelity.fleet_size())
     );
     let run = match run_survey(&args.cfg) {
         Ok(r) => r,

@@ -8,6 +8,7 @@
 pub use haswell_survey as survey;
 pub use hsw_cstates as cstates;
 pub use hsw_exec as exec;
+pub use hsw_fleet as fleet;
 pub use hsw_hwspec as hwspec;
 pub use hsw_memhier as memhier;
 pub use hsw_msr as msr;

@@ -24,6 +24,7 @@ fn survey_json(engine: EngineMode, jobs: usize, seed: u64) -> String {
         only: Some(subset()),
         engine,
         warm_start: true,
+        fleet_size: None,
     };
     run_survey(&cfg).expect("survey subset runs").to_json()
 }

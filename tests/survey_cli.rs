@@ -1,0 +1,75 @@
+//! Survey CLI edge cases: malformed invocations must fail fast, with a
+//! clear message on stderr and a nonzero exit code — never run a partial
+//! survey or fall back to a silent default.
+
+use std::process::Command;
+
+/// Run the `survey` binary and return (exit code, stderr).
+fn survey(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_survey"))
+        .args(args)
+        .output()
+        .expect("survey binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn jobs_zero_is_rejected() {
+    let (code, err) = survey(&["--jobs", "0"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--jobs must be at least 1"), "{err}");
+}
+
+#[test]
+fn fleet_size_zero_is_rejected() {
+    let (code, err) = survey(&["--fleet-size", "0"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--fleet-size must be at least 1"), "{err}");
+}
+
+#[test]
+fn non_numeric_fleet_size_is_rejected() {
+    let (code, err) = survey(&["--fleet-size", "many"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--fleet-size"), "{err}");
+    assert!(err.contains("many"), "{err}");
+}
+
+#[test]
+fn unknown_only_id_is_rejected() {
+    let (code, err) = survey(&["--only", "no_such_experiment"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("unknown experiment id"), "{err}");
+    assert!(err.contains("no_such_experiment"), "{err}");
+    // The message lists the known ids so the typo is easy to fix.
+    assert!(err.contains("fleet_cap_spread"), "{err}");
+}
+
+#[test]
+fn unknown_argument_is_rejected() {
+    let (code, err) = survey(&["--fleet", "8"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("unknown argument"), "{err}");
+}
+
+#[test]
+fn flag_missing_its_value_is_rejected() {
+    let (code, err) = survey(&["--fleet-size"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("needs a value"), "{err}");
+}
+
+#[test]
+fn list_exits_zero_and_names_the_fleet_experiments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_survey"))
+        .arg("--list")
+        .output()
+        .expect("survey binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fleet_cap_spread"), "{stdout}");
+    assert!(stdout.contains("fleet_straggler"), "{stdout}");
+}

@@ -6,13 +6,13 @@ use haswell_survey_repro::survey::Fidelity;
 use hsw_node::EngineMode;
 
 #[test]
-fn registry_covers_all_16_experiments_with_unique_ids() {
+fn registry_covers_all_18_experiments_with_unique_ids() {
     let reg = registry();
-    assert_eq!(reg.len(), 16);
+    assert_eq!(reg.len(), 18);
     let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 16);
+    assert_eq!(ids.len(), 18);
     for required in [
         "fig1",
         "table1",
@@ -30,6 +30,8 @@ fn registry_covers_all_16_experiments_with_unique_ids() {
         "section6b_governor",
         "section8",
         "sku_extrapolation",
+        "fleet_cap_spread",
+        "fleet_straggler",
     ] {
         assert!(ids.contains(&required), "missing {required}");
     }
@@ -53,6 +55,7 @@ fn json_is_identical_across_job_counts() {
         only: only.clone(),
         engine: EngineMode::default(),
         warm_start: true,
+        fleet_size: None,
     })
     .unwrap();
     let parallel = run_survey(&SurveyConfig {
@@ -62,6 +65,7 @@ fn json_is_identical_across_job_counts() {
         only,
         engine: EngineMode::default(),
         warm_start: true,
+        fleet_size: None,
     })
     .unwrap();
     assert_eq!(serial.to_json(), parallel.to_json());
@@ -98,6 +102,16 @@ fn unknown_only_ids_are_rejected_with_the_known_list() {
     .unwrap_err();
     assert!(err.contains("fig9"), "{err}");
     assert!(err.contains("fig8"), "should list known ids: {err}");
+}
+
+#[test]
+fn empty_selection_is_rejected() {
+    let err = run_survey(&SurveyConfig {
+        only: Some(vec![]),
+        ..SurveyConfig::default()
+    })
+    .unwrap_err();
+    assert!(err.contains("no experiments selected"), "{err}");
 }
 
 #[test]
