@@ -26,7 +26,7 @@ fn bench_pcu_solve(c: &mut Criterion) {
         active_cores: 12,
         gated_idle_cores: 0,
         activity: fs.activity(true),
-        avx_engaged: true,
+        avx_level: 1,
         stall_fraction: fs.stall_fraction,
         eet_limit_mhz: u32::MAX,
         avg_pkg_w: spec.tdp_w,
@@ -42,7 +42,7 @@ fn bench_package_power(c: &mut Criterion) {
         CoreElecState {
             mhz: 2300,
             activity: 1.0,
-            avx_active: true,
+            license_level: 1,
             power_gated: false,
         };
         12

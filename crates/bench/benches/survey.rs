@@ -45,6 +45,7 @@ fn bench_survey_jobs(c: &mut Criterion) {
             engine: EngineMode::default(),
             warm_start: true,
             fleet_size: None,
+            platform: Default::default(),
         };
         c.bench_function(&format!("survey_subset_jobs_{jobs}"), |b| {
             b.iter(|| black_box(run_survey(black_box(&cfg)).unwrap()))

@@ -74,6 +74,8 @@ impl std::fmt::Display for Fig7 {
 }
 
 fn sku_for(generation: CpuGeneration) -> SkuSpec {
+    // The comparison plot pairs each generation with its test chip.
+    // lint:allow(M5): SKU selection is experiment fixture data, not firmware behavior.
     match generation {
         CpuGeneration::WestmereEp => SkuSpec::xeon_x5670(),
         CpuGeneration::SandyBridgeEp | CpuGeneration::IvyBridgeEp => SkuSpec::xeon_e5_2690(),

@@ -20,6 +20,8 @@
 //! | [`sku_extrapolation`] | Extension — Table IV's protocol across the product line |
 //! | [`fleet_cap_spread`] | Extension — fleet power caps turn power spread into performance spread |
 //! | [`fleet_straggler`] | Extension — barrier collectives pay for the slowest chip under a cap |
+//! | [`skx_license_table`] | Skylake-SP (arXiv:1905.12468) — AVX frequency licenses |
+//! | [`skx_ufs_mesh`] | Skylake-SP (arXiv:1905.12468) — mesh frequency scaling |
 
 pub mod fig1;
 pub mod fig2;
@@ -34,6 +36,8 @@ pub mod section2c_epb;
 pub mod section6b_governor;
 pub mod section8;
 pub mod sku_extrapolation;
+pub mod skx_license_table;
+pub mod skx_ufs_mesh;
 pub mod table1;
 pub mod table2;
 pub mod table3;

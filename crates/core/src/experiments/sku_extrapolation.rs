@@ -53,7 +53,7 @@ fn predict(sku: &SkuSpec) -> SkuPrediction {
         active_cores: sku.cores,
         gated_idle_cores: 0,
         activity: fs.activity(true),
-        avx_engaged: true,
+        avx_level: 1,
         stall_fraction: fs.stall_fraction,
         eet_limit_mhz: u32::MAX,
         avg_pkg_w: sku.tdp_w, // steady state

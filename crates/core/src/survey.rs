@@ -14,7 +14,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hsw_fleet::{ChipVariation, VariationModel};
-use hsw_node::{EngineMode, Node, NodeSnapshot, Platform, Session, SessionBuilder};
+use hsw_node::{EngineMode, Node, NodeSnapshot, Platform, PlatformKind, Session, SessionBuilder};
 use rayon::prelude::*;
 use serde::{Serialize, Value};
 
@@ -87,6 +87,8 @@ pub struct RunCtx {
     /// `--fleet-size` override for the fleet experiments; `None` leaves the
     /// size to the fidelity preset ([`Fidelity::fleet_size`]).
     pub fleet_size: Option<usize>,
+    /// Which surveyed machine [`RunCtx::platform`] models (`--platform`).
+    pub platform_kind: PlatformKind,
 }
 
 impl RunCtx {
@@ -100,7 +102,15 @@ impl RunCtx {
             warm_start: true,
             reuses: Arc::new(AtomicU64::new(0)),
             fleet_size: None,
+            platform_kind: PlatformKind::Haswell,
         }
+    }
+
+    /// Select the machine under test (`--platform`). Default: the paper's
+    /// Haswell node.
+    pub fn with_platform(mut self, kind: PlatformKind) -> Self {
+        self.platform_kind = kind;
+        self
     }
 
     /// Select cold (`false`) or warm (`true`, the default) execution of the
@@ -122,9 +132,10 @@ impl RunCtx {
         self.fleet_size.unwrap_or(self.fidelity.fleet_size())
     }
 
-    /// The paper platform under this experiment's seed and engine.
+    /// The selected platform under this experiment's seed and engine.
     pub fn platform(&self) -> Platform {
-        Platform::paper()
+        self.platform_kind
+            .platform()
             .with_seed(self.seed)
             .with_engine(self.engine)
     }
@@ -579,8 +590,9 @@ pub fn mix_seed(seed: u64, salt: u64) -> u64 {
     splitmix64(&mut s)
 }
 
-/// All 18 experiments: the paper's 16 in paper order, then the fleet-scale
-/// follow-ups (Schuchart et al.).
+/// The Haswell registry: the paper's 16 experiments in paper order, then
+/// the fleet-scale follow-ups (Schuchart et al.). Equivalent to
+/// [`registry_for`]`(PlatformKind::Haswell)`.
 pub fn registry() -> Vec<Box<dyn SurveyExperiment>> {
     vec![
         Box::new(experiments::fig1::Experiment),
@@ -604,6 +616,18 @@ pub fn registry() -> Vec<Box<dyn SurveyExperiment>> {
     ]
 }
 
+/// The experiments a platform runs: the paper set on Haswell, the
+/// follow-up survey's reproductions (1905.12468) on Skylake-SP.
+pub fn registry_for(platform: PlatformKind) -> Vec<Box<dyn SurveyExperiment>> {
+    match platform {
+        PlatformKind::Haswell => registry(),
+        PlatformKind::SkylakeSp => vec![
+            Box::new(experiments::skx_license_table::Experiment),
+            Box::new(experiments::skx_ufs_mesh::Experiment),
+        ],
+    }
+}
+
 /// Runner configuration.
 #[derive(Debug, Clone)]
 pub struct SurveyConfig {
@@ -624,6 +648,8 @@ pub struct SurveyConfig {
     /// Nodes per fleet experiment (`--fleet-size`); `None` uses the
     /// fidelity preset.
     pub fleet_size: Option<usize>,
+    /// Which surveyed machine to model; selects the experiment registry.
+    pub platform: PlatformKind,
 }
 
 impl Default for SurveyConfig {
@@ -636,6 +662,7 @@ impl Default for SurveyConfig {
             engine: EngineMode::default(),
             warm_start: true,
             fleet_size: None,
+            platform: PlatformKind::Haswell,
         }
     }
 }
@@ -646,6 +673,7 @@ pub struct SurveyRun {
     pub fidelity: Fidelity,
     pub seed: u64,
     pub engine: EngineMode,
+    pub platform: PlatformKind,
     /// Results in registry order, independent of scheduling.
     pub results: Vec<ExperimentResult>,
     /// Wall-clock seconds per experiment, parallel to `results`. Kept out
@@ -669,7 +697,7 @@ pub struct SurveyRun {
 /// threads. Returns results in registry order. Fails on unknown `only`
 /// ids.
 pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
-    let all = registry();
+    let all = registry_for(cfg.platform);
     let selected: Vec<Box<dyn SurveyExperiment>> = match &cfg.only {
         None => all,
         Some(ids) => {
@@ -711,7 +739,8 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
                     cfg.engine,
                 )
                 .with_warm_start(cfg.warm_start)
-                .with_fleet_size(cfg.fleet_size);
+                .with_fleet_size(cfg.fleet_size)
+                .with_platform(cfg.platform);
                 // lint:allow(D1): wall time is stderr progress reporting only, never survey.json
                 let t0 = Instant::now();
                 let result = exp.run(&ctx);
@@ -744,6 +773,7 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
         fidelity: cfg.fidelity,
         seed: cfg.seed,
         engine: cfg.engine,
+        platform: cfg.platform,
         results,
         timings_s,
         sim_times_s,
@@ -798,8 +828,16 @@ impl SurveyRun {
             (
                 "paper".to_string(),
                 Value::Str(
-                    "An Energy Efficiency Feature Survey of the Intel Haswell Processor"
-                        .to_string(),
+                    match self.platform {
+                        PlatformKind::Haswell => {
+                            "An Energy Efficiency Feature Survey of the Intel Haswell Processor"
+                        }
+                        PlatformKind::SkylakeSp => {
+                            "An Energy Efficiency Feature Survey of the \
+                             Intel Skylake SP Processor"
+                        }
+                    }
+                    .to_string(),
                 ),
             ),
             ("seed".to_string(), Value::UInt(self.seed)),
@@ -915,13 +953,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_18_unique_ids() {
-        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 18);
+    fn registries_hold_20_unique_ids_across_platforms() {
+        let mut ids: Vec<&str> = Vec::new();
+        for kind in PlatformKind::ALL {
+            ids.extend(registry_for(kind).iter().map(|e| e.id()));
+        }
+        assert_eq!(ids.len(), 20, "18 Haswell + 2 Skylake-SP");
+        assert_eq!(registry().len(), 18, "the paper set stays intact");
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), 18, "duplicate ids: {ids:?}");
+        assert_eq!(dedup.len(), 20, "duplicate ids: {ids:?}");
     }
 
     /// The collision the node-id sub-base exists to prevent: in a single

@@ -2,11 +2,11 @@
 //!
 //! The latency of returning a core to C0 depends on the idle state, the
 //! core frequency, the relationship between waker and wakee, and the
-//! package state of the wakee's socket. The calibration constants live in
-//! [`hsw_hwspec::calib::cstate`]; this module combines them per scenario.
+//! package state of the wakee's socket. The per-generation exit-latency
+//! table comes from the generation's [`CStateExitPolicy`]; this module
+//! combines it per scenario.
 
-use hsw_hwspec::calib::cstate as cal;
-use hsw_hwspec::CpuGeneration;
+use hsw_hwspec::{CStateExitPolicy, CpuGeneration};
 
 use crate::state::CoreCState;
 
@@ -41,20 +41,70 @@ impl WakeScenario {
     }
 }
 
+/// Position of `freq_ghz` inside the policy's state-restore frequency
+/// window: 1.0 at the low end (slowest restore), 0.0 at the high end.
+fn restore_slowness(p: &CStateExitPolicy, freq_ghz: f64) -> f64 {
+    let f = freq_ghz.clamp(p.restore_freq_lo_ghz, p.restore_freq_hi_ghz);
+    (p.restore_freq_hi_ghz - f) / (p.restore_freq_hi_ghz - p.restore_freq_lo_ghz)
+}
+
 /// Frequency-dependent part of the C6 exit (state restore + cache refill
 /// runs at core speed): +2 µs at the top frequency, +8 µs at 1.2 GHz.
-fn c6_extra_us(freq_ghz: f64) -> f64 {
-    let f = freq_ghz.clamp(1.2, 2.5);
-    let t = (2.5 - f) / (2.5 - 1.2);
-    cal::C6_EXTRA_MIN_US + t * (cal::C6_EXTRA_MAX_US - cal::C6_EXTRA_MIN_US)
+fn c6_extra_us(p: &CStateExitPolicy, freq_ghz: f64) -> f64 {
+    let t = restore_slowness(p, freq_ghz);
+    p.c6_extra_min_us + t * (p.c6_extra_max_us - p.c6_extra_min_us)
 }
 
 /// Package-C3 adder: "another two to four microseconds", shrinking as the
 /// (uncore restart helping) frequency grows.
-fn pkg_c3_extra_us(freq_ghz: f64) -> f64 {
-    let f = freq_ghz.clamp(1.2, 2.5);
-    let t = (2.5 - f) / (2.5 - 1.2);
-    cal::PKG_C3_EXTRA_MIN_US + t * (cal::PKG_C3_EXTRA_MAX_US - cal::PKG_C3_EXTRA_MIN_US)
+fn pkg_c3_extra_us(p: &CStateExitPolicy, freq_ghz: f64) -> f64 {
+    let t = restore_slowness(p, freq_ghz);
+    p.pkg_c3_extra_min_us + t * (p.pkg_c3_extra_max_us - p.pkg_c3_extra_min_us)
+}
+
+/// The scenario-resolved exit latency before the policy's deep-state
+/// generation deltas.
+fn base_latency_us(
+    p: &CStateExitPolicy,
+    state: CoreCState,
+    scenario: WakeScenario,
+    freq_ghz: f64,
+) -> f64 {
+    match state {
+        CoreCState::C0 => 0.0,
+        CoreCState::C1 => {
+            let base = p.c1_base_us + p.c1_cycles_k / freq_ghz.max(0.1);
+            match scenario {
+                WakeScenario::Local => base,
+                // C1 does not involve package states; remote adds the QPI hop.
+                WakeScenario::RemoteActive | WakeScenario::RemoteIdle => {
+                    base + p.c1_remote_extra_us
+                }
+            }
+        }
+        CoreCState::C3 => {
+            let mut lat = p.c3_base_us;
+            if freq_ghz > p.c3_highfreq_threshold_ghz {
+                lat += p.c3_highfreq_step_us;
+            }
+            match scenario {
+                WakeScenario::Local => lat,
+                WakeScenario::RemoteActive => lat + p.c3_remote_extra_us,
+                WakeScenario::RemoteIdle => {
+                    lat + p.c3_remote_extra_us + pkg_c3_extra_us(p, freq_ghz)
+                }
+            }
+        }
+        CoreCState::C6 => {
+            let c3 = base_latency_us(p, CoreCState::C3, scenario, freq_ghz);
+            let extra = c6_extra_us(p, freq_ghz);
+            match scenario {
+                WakeScenario::Local | WakeScenario::RemoteActive => c3 + extra,
+                // Package C6 adds 8 µs over package C3 (paper Section VI-B).
+                WakeScenario::RemoteIdle => c3 + extra + p.pkg_c6_extra_us,
+            }
+        }
+    }
 }
 
 /// Wake-up latency in µs for returning `state` to C0.
@@ -69,56 +119,22 @@ pub fn wake_latency_us(
     scenario: WakeScenario,
     freq_ghz: f64,
 ) -> f64 {
-    let hsw = match state {
-        CoreCState::C0 => 0.0,
-        CoreCState::C1 => {
-            let base = cal::C1_BASE_US + cal::C1_CYCLES_K / freq_ghz.max(0.1);
-            match scenario {
-                WakeScenario::Local => base,
-                // C1 does not involve package states; remote adds the QPI hop.
-                WakeScenario::RemoteActive | WakeScenario::RemoteIdle => {
-                    base + cal::C1_REMOTE_EXTRA_US
-                }
-            }
-        }
-        CoreCState::C3 => {
-            let mut lat = cal::C3_BASE_US;
-            if freq_ghz > cal::C3_HIGHFREQ_THRESHOLD_GHZ {
-                lat += cal::C3_HIGHFREQ_STEP_US;
-            }
-            match scenario {
-                WakeScenario::Local => lat,
-                WakeScenario::RemoteActive => lat + cal::C3_REMOTE_EXTRA_US,
-                WakeScenario::RemoteIdle => {
-                    lat + cal::C3_REMOTE_EXTRA_US + pkg_c3_extra_us(freq_ghz)
-                }
-            }
-        }
-        CoreCState::C6 => {
-            let c3 = wake_latency_us(CpuGeneration::HaswellEp, CoreCState::C3, scenario, freq_ghz);
-            let extra = c6_extra_us(freq_ghz);
-            match scenario {
-                WakeScenario::Local | WakeScenario::RemoteActive => c3 + extra,
-                // Package C6 adds 8 µs over package C3 (paper Section VI-B).
-                WakeScenario::RemoteIdle => c3 + extra + cal::PKG_C6_EXTRA_US,
-            }
-        }
-    };
-    match generation {
-        CpuGeneration::HaswellEp | CpuGeneration::HaswellHe => hsw,
-        // Grey reference curves in Figures 5/6: Sandy Bridge-EP exits from
-        // deep states were slightly slower.
-        _ => match state {
-            CoreCState::C3 => hsw + cal::SNB_C3_EXTRA_US,
-            CoreCState::C6 => hsw + cal::SNB_C6_EXTRA_US,
-            _ => hsw,
-        },
+    let p = generation.policy().cstate_exit();
+    let base = base_latency_us(&p, state, scenario, freq_ghz);
+    // Grey reference curves in Figures 5/6: pre-Haswell exits from deep
+    // states were slightly slower; the policy carries the deltas (zero on
+    // Haswell and Skylake-SP).
+    match state {
+        CoreCState::C3 => base + p.deep_c3_extra_us,
+        CoreCState::C6 => base + p.deep_c6_extra_us,
+        _ => base,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hsw_hwspec::calib::cstate as cal;
     use proptest::prelude::*;
 
     const HSW: CpuGeneration = CpuGeneration::HaswellEp;
@@ -133,6 +149,29 @@ mod tests {
         assert!(local < 1.6, "local = {local}");
         assert!(remote <= 2.1, "remote = {remote}");
         assert!(remote > local);
+    }
+
+    #[test]
+    fn haswell_policy_reproduces_the_calibration_table() {
+        // Satellite regression: the policy-driven model must pin the exact
+        // values the calib constants produced before the refactor.
+        let c1 = wake_latency_us(HSW, CoreCState::C1, WakeScenario::Local, 1.2);
+        assert_eq!(c1, cal::C1_BASE_US + cal::C1_CYCLES_K / 1.2);
+        let c3_lo = wake_latency_us(HSW, CoreCState::C3, WakeScenario::Local, 1.2);
+        assert_eq!(c3_lo, cal::C3_BASE_US);
+        let c3_hi = wake_latency_us(HSW, CoreCState::C3, WakeScenario::Local, 2.5);
+        assert_eq!(c3_hi, cal::C3_BASE_US + cal::C3_HIGHFREQ_STEP_US);
+        let c6_slow = wake_latency_us(HSW, CoreCState::C6, WakeScenario::Local, 1.2);
+        assert_eq!(c6_slow, cal::C3_BASE_US + cal::C6_EXTRA_MAX_US);
+        let c6_pkg = wake_latency_us(HSW, CoreCState::C6, WakeScenario::RemoteIdle, 1.2);
+        assert_eq!(
+            c6_pkg,
+            cal::C3_BASE_US
+                + cal::C3_REMOTE_EXTRA_US
+                + cal::PKG_C3_EXTRA_MAX_US
+                + cal::C6_EXTRA_MAX_US
+                + cal::PKG_C6_EXTRA_US
+        );
     }
 
     #[test]
@@ -223,6 +262,29 @@ mod tests {
     }
 
     #[test]
+    fn skylake_deep_exits_match_haswell_over_its_restore_window() {
+        // 1905.12468 Table VI: Skylake-SP deep-state exits are in the same
+        // range as Haswell's; only the restore window's upper clamp differs
+        // (2.1 GHz base). At the low clamp they coincide exactly.
+        let skx = CpuGeneration::SkylakeSp;
+        assert_eq!(
+            wake_latency_us(skx, CoreCState::C6, WakeScenario::Local, 1.2),
+            wake_latency_us(HSW, CoreCState::C6, WakeScenario::Local, 1.2),
+        );
+        // Above its (lower) restore ceiling the SKX C6 exit stops shrinking.
+        assert_eq!(
+            wake_latency_us(skx, CoreCState::C6, WakeScenario::Local, 2.1),
+            wake_latency_us(skx, CoreCState::C6, WakeScenario::Local, 2.5),
+        );
+        // Inside both windows the narrower SKX window restores faster at the
+        // same absolute frequency (its base clock is lower).
+        assert!(
+            wake_latency_us(skx, CoreCState::C6, WakeScenario::Local, 1.8)
+                < wake_latency_us(HSW, CoreCState::C6, WakeScenario::Local, 1.8)
+        );
+    }
+
+    #[test]
     fn cstate_wakes_are_faster_than_pstate_transitions() {
         // Paper Section VI-B: "the c-state transitions happen faster than
         // p-state (core frequency) transitions" — worst c-state wake vs.
@@ -263,6 +325,30 @@ mod tests {
             let slow = wake_latency_us(HSW, CoreCState::C6, WakeScenario::Local, f);
             let fast = wake_latency_us(HSW, CoreCState::C6, WakeScenario::Local, f + 0.1);
             prop_assert!(fast <= slow + 1e-9);
+        }
+
+        #[test]
+        // Every generation's latency table keeps the depth ordering — the
+        // policy cannot produce a deep state that wakes faster than a
+        // shallow one.
+        fn prop_depth_ordering_for_all_generations(
+            f in 1.2f64..3.3,
+            scen_idx in 0usize..3,
+        ) {
+            let scen = WakeScenario::ALL[scen_idx];
+            for gen in [
+                CpuGeneration::WestmereEp,
+                CpuGeneration::SandyBridgeEp,
+                CpuGeneration::IvyBridgeEp,
+                CpuGeneration::HaswellEp,
+                CpuGeneration::HaswellHe,
+                CpuGeneration::SkylakeSp,
+            ] {
+                let c1 = wake_latency_us(gen, CoreCState::C1, scen, f);
+                let c3 = wake_latency_us(gen, CoreCState::C3, scen, f);
+                let c6 = wake_latency_us(gen, CoreCState::C6, scen, f);
+                prop_assert!(c1 < c3 && c3 < c6, "{}", gen.name());
+            }
         }
     }
 }

@@ -34,6 +34,18 @@ impl AcpiLatencyTable {
         }
     }
 
+    /// The table exposed by the Skylake-SP follow-up system's firmware
+    /// (1905.12468): the C3 slot carries C1E (Skylake-SP drops core C3 but
+    /// keeps an intermediate state between C1 and C6).
+    pub fn skylake_sp() -> Self {
+        AcpiLatencyTable {
+            pstate_transition_us: calib::ACPI_PSTATE_LATENCY_US,
+            c1_exit_us: 2,
+            c3_exit_us: 10,
+            c6_exit_us: calib::cstate::ACPI_C6_US as u32,
+        }
+    }
+
     /// Target residency the OS governor requires before entering a state:
     /// conventionally a small multiple of the exit latency.
     pub fn target_residency_us(&self, state: AcpiCState) -> u32 {

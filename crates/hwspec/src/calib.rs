@@ -252,6 +252,57 @@ pub mod powercal {
     pub const TABLE5_MPRIME_GHZ: f64 = 2.49;
 }
 
+/// Skylake-SP calibration (the follow-up survey, arXiv 1905.12468,
+/// measured on a 2-socket Xeon Platinum 8170 system). Only the constants
+/// that differ from the Haswell firmware policy live here; everything
+/// shared keeps the top-level values.
+pub mod skx {
+    /// HWP voltage/frequency switching time in µs. The follow-up survey
+    /// measures frequency transitions an order of magnitude faster than
+    /// Haswell's opportunity mechanism; only the regulator ramp remains.
+    pub const PSTATE_SWITCHING_TIME_US: u32 = 12;
+
+    /// Voltage-ramp time entering an AVX-512 (or AVX2) license, in µs
+    /// (1905.12468 Section II-C: execution throttled while the ramp runs).
+    pub const LICENSE_RAMP_US: u32 = 25;
+
+    /// Return-to-L0 delay after the last wide instruction, in µs. The
+    /// follow-up survey measures ~670 µs before the core leaves a reduced
+    /// license level (vs. the fixed 1 ms on Haswell-EP).
+    pub const LICENSE_RELAX_US: u32 = 670;
+
+    /// Mesh (uncore) frequency range in MHz (1905.12468 Section II-B:
+    /// 1.2–2.4 GHz on the Platinum 8170).
+    pub const UNCORE_MIN_MHZ: u32 = 1200;
+    pub const UNCORE_MAX_MHZ: u32 = 2400;
+
+    /// UFS schedule for an active socket, indexed by core-frequency
+    /// setting: 0 = Turbo, 1 = base (2.1 GHz), … 10 = 1.2 GHz. The mesh
+    /// floor is high relative to Haswell's ring: the no-stall schedule
+    /// tracks the core setting down to the 1.2 GHz floor.
+    pub const UFS_ACTIVE_SCHEDULE_MHZ: [u32; 11] = [
+        2400, 2000, 1900, 1800, 1700, 1600, 1500, 1400, 1300, 1200, 1200,
+    ];
+
+    /// Same schedule for a passive socket (one bin lower, floored).
+    pub const UFS_PASSIVE_SCHEDULE_MHZ: [u32; 11] = [
+        2300, 1900, 1800, 1700, 1600, 1500, 1400, 1300, 1200, 1200, 1200,
+    ];
+
+    /// Package power model coefficients for the Xeon Platinum 8170
+    /// (165 W TDP, 26 cores). Fit the same way as the Haswell
+    /// [`crate::sku::PowerCoeffs`]: idle ~21 W/socket package
+    /// floor, full-load FMA near TDP.
+    pub const PKG_BASE_W: f64 = 9.0;
+    pub const CORE_LEAK_W_PER_V2: f64 = 0.95;
+    pub const CORE_DYN_W_PER_V2GHZ: f64 = 2.35;
+    pub const AVX_POWER_MULT: f64 = 1.22;
+    pub const AVX512_POWER_MULT: f64 = 1.45;
+    pub const UNCORE_DYN_W_PER_V2GHZ: f64 = 16.5;
+    pub const DRAM_IDLE_W: f64 = 6.0;
+    pub const DRAM_W_PER_GBS: f64 = 0.45;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

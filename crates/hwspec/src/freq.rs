@@ -73,6 +73,11 @@ pub struct FrequencyTable {
     /// AVX turbo frequencies by active core count (paper: 2.8–3.1 GHz
     /// depending on the number of active cores).
     pub avx_turbo_by_active_cores_mhz: Vec<u32>,
+    /// AVX-512 (license level 2) base frequency in MHz; `None` before
+    /// Skylake-SP (1905.12468 Section II-C).
+    pub avx512_base_mhz: Option<u32>,
+    /// AVX-512 turbo frequencies by active core count.
+    pub avx512_turbo_by_active_cores_mhz: Vec<u32>,
     /// Uncore frequency bounds in MHz.
     pub uncore_min_mhz: u32,
     pub uncore_max_mhz: u32,
@@ -97,6 +102,42 @@ impl FrequencyTable {
         }
         let idx = active.max(1).min(self.avx_turbo_by_active_cores_mhz.len()) - 1;
         self.avx_turbo_by_active_cores_mhz[idx]
+    }
+
+    /// Maximum AVX-512 turbo frequency for `active` active cores; falls
+    /// back to the AVX table (and transitively the regular turbo table)
+    /// when the SKU has no 512-bit bins.
+    pub fn avx512_turbo_mhz(&self, active: usize) -> u32 {
+        if self.avx512_turbo_by_active_cores_mhz.is_empty() {
+            return self.avx_turbo_mhz(active);
+        }
+        let idx = active
+            .max(1)
+            .min(self.avx512_turbo_by_active_cores_mhz.len())
+            - 1;
+        self.avx512_turbo_by_active_cores_mhz[idx]
+    }
+
+    /// Turbo ceiling for a vector-license level: 0 = scalar/128-bit,
+    /// 1 = AVX(2), 2 = AVX-512 (1905.12468 Section II-C).
+    pub fn license_turbo_mhz(&self, level: u8, active: usize) -> u32 {
+        match level {
+            0 => self.turbo_mhz(active),
+            1 => self.avx_turbo_mhz(active),
+            _ => self.avx512_turbo_mhz(active),
+        }
+    }
+
+    /// Guaranteed base frequency for a vector-license level.
+    pub fn license_base_mhz(&self, level: u8) -> u32 {
+        match level {
+            0 => self.base_mhz,
+            1 => self.avx_base_mhz.unwrap_or(self.base_mhz),
+            _ => self
+                .avx512_base_mhz
+                .or(self.avx_base_mhz)
+                .unwrap_or(self.base_mhz),
+        }
     }
 
     /// All selectable fixed p-states, highest first (as listed in the

@@ -28,6 +28,12 @@ pub enum CpuGeneration {
     /// immediate p-state transitions (paper Section VI-A) and no per-core
     /// p-state domains.
     HaswellHe,
+    /// Skylake-SP (e.g. Xeon Platinum 8170; arXiv 1905.12468): mesh uncore
+    /// with per-core UFS requests, HWP autonomous p-states, AVX-512
+    /// frequency-license levels, uniform-unit RAPL, mainboard VRs. Not part
+    /// of [`CpuGeneration::ALL`] — the survey's cross-generation figures
+    /// cover the paper's five parts.
+    SkylakeSp,
 }
 
 /// How the uncore (L3 ring, IMC frontend) is clocked in a generation.
@@ -65,6 +71,11 @@ pub enum PStateTransitionMode {
     /// Requests latch at the next PCU "opportunity" which recurs with the
     /// period given in microseconds (≈500 µs on Haswell-EP, paper Fig. 4).
     OpportunityWindow { period_us: u32 },
+    /// Hardware-managed p-states (HWP, Skylake-SP; 1905.12468 Section
+    /// II-D): the PCU grants requests autonomously without an opportunity
+    /// clock, paying only the switching time — like
+    /// [`PStateTransitionMode::Immediate`] but hardware-initiated.
+    HwpAutonomous,
 }
 
 impl CpuGeneration {
@@ -79,72 +90,59 @@ impl CpuGeneration {
 
     /// Marketing-style name used in reports.
     pub fn name(self) -> &'static str {
+        // lint:allow(M5): name lookup inside the sanctioned policy module.
         match self {
             CpuGeneration::WestmereEp => "Westmere-EP",
             CpuGeneration::SandyBridgeEp => "Sandy Bridge-EP",
             CpuGeneration::IvyBridgeEp => "Ivy Bridge-EP",
             CpuGeneration::HaswellEp => "Haswell-EP",
             CpuGeneration::HaswellHe => "Haswell-HE",
+            CpuGeneration::SkylakeSp => "Skylake-SP",
         }
+    }
+
+    /// The firmware behavior bundle for this generation (see
+    /// [`crate::policy`]). Everything below is a convenience delegation.
+    pub fn policy(self) -> &'static dyn crate::policy::FirmwarePolicy {
+        crate::policy::policy_for(self)
     }
 
     /// Clock source of the uncore domain.
     pub fn uncore_clock(self) -> UncoreClockSource {
-        match self {
-            CpuGeneration::WestmereEp => UncoreClockSource::Fixed,
-            CpuGeneration::SandyBridgeEp | CpuGeneration::IvyBridgeEp => {
-                UncoreClockSource::CoreCoupled
-            }
-            CpuGeneration::HaswellEp | CpuGeneration::HaswellHe => UncoreClockSource::Independent,
-        }
+        self.policy().uncore().source
     }
 
     /// RAPL backing for this generation.
     pub fn rapl_mode(self) -> RaplMode {
-        match self {
-            CpuGeneration::WestmereEp => RaplMode::Unavailable,
-            CpuGeneration::SandyBridgeEp | CpuGeneration::IvyBridgeEp => RaplMode::Modeled,
-            CpuGeneration::HaswellEp | CpuGeneration::HaswellHe => RaplMode::Measured,
-        }
+        self.policy().rapl().mode
     }
 
     /// P-state transition servicing discipline.
     pub fn pstate_transition_mode(self) -> PStateTransitionMode {
-        match self {
-            CpuGeneration::HaswellEp => PStateTransitionMode::OpportunityWindow {
-                period_us: crate::calib::PSTATE_OPPORTUNITY_PERIOD_US,
-            },
-            _ => PStateTransitionMode::Immediate,
-        }
+        self.policy().pstate().transition
     }
 
     /// Whether each core has its own voltage regulator and p-state domain
     /// (FIVR + PCPS; paper Sections II-B/II-D).
     pub fn per_core_pstates(self) -> bool {
-        matches!(self, CpuGeneration::HaswellEp)
+        self.policy().pstate().per_core_domains
     }
 
     /// Whether the part implements on-die fully integrated voltage regulators.
     pub fn has_fivr(self) -> bool {
-        matches!(self, CpuGeneration::HaswellEp | CpuGeneration::HaswellHe)
+        self.policy().vr().has_fivr
     }
 
-    /// Whether AVX frequencies (a reduced guaranteed clock under 256-bit AVX
+    /// Whether AVX frequencies (a reduced guaranteed clock under wide-vector
     /// load) exist on this generation (paper Section II-F).
     pub fn has_avx_frequencies(self) -> bool {
-        matches!(self, CpuGeneration::HaswellEp)
+        self.policy().license().levels >= 1
     }
 
     /// Whether a RAPL DRAM domain is exposed. On desktop platforms of
     /// previous generations it is absent (paper Section IV).
     pub fn has_dram_rapl_domain(self) -> bool {
-        matches!(
-            self,
-            CpuGeneration::SandyBridgeEp
-                | CpuGeneration::IvyBridgeEp
-                | CpuGeneration::HaswellEp
-                | CpuGeneration::HaswellHe
-        )
+        self.policy().rapl().has_dram_domain
     }
 }
 

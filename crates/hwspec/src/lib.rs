@@ -20,6 +20,7 @@ pub mod freq;
 pub mod generation;
 pub mod memcfg;
 pub mod microarch;
+pub mod policy;
 pub mod product_line;
 pub mod sku;
 pub mod vf;
@@ -32,6 +33,10 @@ pub use freq::{FrequencyTable, PState, MHZ_PER_RATIO};
 pub use generation::{CpuGeneration, PStateTransitionMode, RaplMode, UncoreClockSource};
 pub use memcfg::MemSpec;
 pub use microarch::MicroArch;
+pub use policy::{
+    policy_for, CStateExitPolicy, FirmwarePolicy, LicensePolicy, PStatePolicy, RaplPolicy,
+    UncoreFabric, UncorePolicy, VrPolicy,
+};
 pub use product_line::{e5_2600_v3_line, haswell_ep_sku};
 pub use sku::{CacheSpec, NodeSpec, SkuSpec};
 pub use vf::VfCurveSpec;

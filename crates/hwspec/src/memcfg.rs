@@ -46,6 +46,18 @@ impl MemSpec {
         }
     }
 
+    /// 6×DDR4-2666 as on Skylake-SP (1905.12468 Table I: up to 128 GB/s;
+    /// the QPI field carries the UPI link speed, 10.4 GT/s).
+    pub fn ddr4_2666_hex() -> Self {
+        MemSpec {
+            kind: DramKind::Ddr4,
+            channels: 6,
+            mts: 2666,
+            bytes_per_transfer: 8,
+            qpi_gts: 10.4,
+        }
+    }
+
     /// 3×DDR3-1333 as on Westmere-EP.
     pub fn ddr3_1333_triple() -> Self {
         MemSpec {

@@ -148,7 +148,39 @@ impl MicroArch {
         }
     }
 
+    /// Skylake-SP core (1905.12468 Section II): AVX-512, 2×512-bit FMA,
+    /// wider scheduler/ROB, 1 MiB private L2.
+    pub fn skylake_sp() -> Self {
+        MicroArch {
+            generation: CpuGeneration::SkylakeSp,
+            decode_width: 4,
+            allocation_queue: 64,
+            execute_uops_per_cycle: 8,
+            retire_uops_per_cycle: 4,
+            scheduler_entries: 97,
+            rob_entries: 224,
+            int_regfile: 180,
+            fp_regfile: 168,
+            simd_isa: "AVX-512",
+            flops_per_cycle_f64: 32, // 2×512-bit FMA
+            load_buffers: 72,
+            store_buffers: 56,
+            l1d_loads_per_cycle: 2,
+            l1d_load_bytes: 64,
+            l1d_stores_per_cycle: 1,
+            l1d_store_bytes: 64,
+            l2_bytes_per_cycle: 64,
+            has_fma: true,
+            ports: 8,
+            fp_mul_ports: 2,
+            fp_add_ports: 2, // FP add on ports 0 and 1 since Skylake
+            uop_cache_uops: 1536,
+            fetch_window_bytes: 16,
+        }
+    }
+
     /// The microarchitecture for a generation.
+    // lint:allow(M5): per-generation table lookup in hwspec's data layer.
     pub fn for_generation(generation: CpuGeneration) -> Self {
         match generation {
             CpuGeneration::WestmereEp => Self::westmere_ep(),
@@ -162,6 +194,7 @@ impl MicroArch {
                 m.generation = generation;
                 m
             }
+            CpuGeneration::SkylakeSp => Self::skylake_sp(),
         }
     }
 

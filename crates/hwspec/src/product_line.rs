@@ -52,6 +52,8 @@ pub fn haswell_ep_sku(
             turbo_by_active_cores_mhz: turbo,
             avx_base_mhz: Some(avx_base),
             avx_turbo_by_active_cores_mhz: avx_turbo,
+            avx512_base_mhz: None,
+            avx512_turbo_by_active_cores_mhz: vec![],
             uncore_min_mhz: calib::UNCORE_MIN_MHZ,
             uncore_max_mhz: calib::UNCORE_MAX_MHZ,
         },

@@ -68,6 +68,10 @@ pub struct PowerCoeffs {
     /// Extra dynamic power multiplier while the AVX license is active
     /// (wider datapaths switching; drives the AVX frequency mechanism).
     pub avx_power_mult: f64,
+    /// Extra dynamic power multiplier at license level 2 (512-bit
+    /// datapaths; 1905.12468 Section II-C). Equal to `avx_power_mult` on
+    /// generations without AVX-512.
+    pub avx512_power_mult: f64,
     /// Uncore dynamic power in W per (V² · GHz).
     pub uncore_dyn_w_per_v2ghz: f64,
     /// DRAM background power per socket in W (clock, refresh).
@@ -89,6 +93,7 @@ impl PowerCoeffs {
             core_leak_w_per_v2: 1.33,
             core_dyn_w_per_v2ghz: 3.352,
             avx_power_mult: 1.25,
+            avx512_power_mult: 1.25,
             uncore_dyn_w_per_v2ghz: 9.17,
             dram_idle_w: 4.0,
             dram_w_per_gbs: 0.55,
@@ -103,9 +108,26 @@ impl PowerCoeffs {
             core_leak_w_per_v2: 2.1,
             core_dyn_w_per_v2ghz: 4.9,
             avx_power_mult: 1.15,
+            avx512_power_mult: 1.15,
             uncore_dyn_w_per_v2ghz: 7.5,
             dram_idle_w: 6.0,
             dram_w_per_gbs: 0.7,
+            rapl_trim_gain: 1.0,
+        }
+    }
+
+    /// Skylake-SP (Xeon Platinum 8170, 165 W TDP, 26 cores, mesh uncore;
+    /// arXiv 1905.12468). Calibrated in [`calib::skx`].
+    pub fn skylake_sp() -> Self {
+        PowerCoeffs {
+            pkg_base_w: calib::skx::PKG_BASE_W,
+            core_leak_w_per_v2: calib::skx::CORE_LEAK_W_PER_V2,
+            core_dyn_w_per_v2ghz: calib::skx::CORE_DYN_W_PER_V2GHZ,
+            avx_power_mult: calib::skx::AVX_POWER_MULT,
+            avx512_power_mult: calib::skx::AVX512_POWER_MULT,
+            uncore_dyn_w_per_v2ghz: calib::skx::UNCORE_DYN_W_PER_V2GHZ,
+            dram_idle_w: calib::skx::DRAM_IDLE_W,
+            dram_w_per_gbs: calib::skx::DRAM_W_PER_GBS,
             rapl_trim_gain: 1.0,
         }
     }
@@ -155,6 +177,8 @@ impl SkuSpec {
                 avx_turbo_by_active_cores_mhz: vec![
                     3100, 3100, 3000, 3000, 2900, 2900, 2800, 2800, 2800, 2800, 2800, 2800,
                 ],
+                avx512_base_mhz: None,
+                avx512_turbo_by_active_cores_mhz: vec![],
                 uncore_min_mhz: calib::UNCORE_MIN_MHZ,
                 uncore_max_mhz: calib::UNCORE_MAX_MHZ,
             },
@@ -183,6 +207,8 @@ impl SkuSpec {
                 turbo_by_active_cores_mhz: vec![3800, 3700, 3600, 3500, 3400, 3300, 3300, 3300],
                 avx_base_mhz: None,
                 avx_turbo_by_active_cores_mhz: vec![],
+                avx512_base_mhz: None,
+                avx512_turbo_by_active_cores_mhz: vec![],
                 uncore_min_mhz: 1200,
                 uncore_max_mhz: 3800,
             },
@@ -211,6 +237,8 @@ impl SkuSpec {
                 turbo_by_active_cores_mhz: vec![3330, 3330, 3060, 3060, 3060, 3060],
                 avx_base_mhz: None,
                 avx_turbo_by_active_cores_mhz: vec![],
+                avx512_base_mhz: None,
+                avx512_turbo_by_active_cores_mhz: vec![],
                 uncore_min_mhz: 2660,
                 uncore_max_mhz: 2660, // fixed uncore clock
             },
@@ -230,6 +258,60 @@ impl SkuSpec {
             uncore_vf: VfCurveSpec::sandy_bridge_core(),
             power: PowerCoeffs::sandy_bridge_ep(),
             acpi: AcpiLatencyTable::haswell_ep(),
+        }
+    }
+
+    /// The follow-up survey's Skylake-SP part: Intel Xeon Platinum 8170
+    /// (26 cores, 2.1 GHz base, 3.7 GHz max turbo, AVX-512 license levels,
+    /// 165 W TDP, mesh uncore at 1.2–2.4 GHz; arXiv 1905.12468).
+    pub fn xeon_platinum_8170() -> Self {
+        SkuSpec {
+            generation: CpuGeneration::SkylakeSp,
+            model: "Intel Xeon Platinum 8170",
+            cores: 26,
+            threads_per_core: 2,
+            die: DieLayout::monolithic("SKX XCC 28-core mesh die", 26, 6),
+            freq: FrequencyTable {
+                min_mhz: 1200,
+                base_mhz: 2100,
+                // 1..=26 active cores: 3.7 GHz dual-core turbo down to
+                // 2.8 GHz all-core.
+                turbo_by_active_cores_mhz: vec![
+                    3700, 3700, 3500, 3500, 3400, 3400, 3400, 3400, 3300, 3300, 3300, 3300, 3200,
+                    3200, 3200, 3200, 3000, 3000, 3000, 3000, 2900, 2900, 2900, 2900, 2800, 2800,
+                ],
+                // License level 1 (heavy AVX2): 1.7 GHz base.
+                avx_base_mhz: Some(1700),
+                avx_turbo_by_active_cores_mhz: vec![
+                    3600, 3600, 3400, 3400, 3200, 3200, 3200, 3200, 3100, 3100, 3100, 3100, 2900,
+                    2900, 2900, 2900, 2700, 2700, 2700, 2700, 2500, 2500, 2500, 2500, 2400, 2400,
+                ],
+                // License level 2 (heavy AVX-512): 1.3 GHz base.
+                avx512_base_mhz: Some(1300),
+                avx512_turbo_by_active_cores_mhz: vec![
+                    3500, 3500, 3300, 3300, 2900, 2900, 2900, 2900, 2700, 2700, 2700, 2700, 2500,
+                    2500, 2500, 2500, 2200, 2200, 2200, 2200, 2100, 2100, 2100, 2100, 1900, 1900,
+                ],
+                uncore_min_mhz: calib::skx::UNCORE_MIN_MHZ,
+                uncore_max_mhz: calib::skx::UNCORE_MAX_MHZ,
+            },
+            tdp_w: 165.0,
+            cache: CacheSpec {
+                line_bytes: 64,
+                l1d_kib: 32,
+                l1d_ways: 8,
+                l1i_kib: 32,
+                l2_kib: 1024,
+                l2_ways: 16,
+                // Non-inclusive 1.375 MiB L3 slice per core.
+                l3_slice_kib: 1408,
+                l3_ways: 11,
+            },
+            mem: MemSpec::ddr4_2666_hex(),
+            core_vf: VfCurveSpec::skylake_core(),
+            uncore_vf: VfCurveSpec::skylake_mesh(),
+            power: PowerCoeffs::skylake_sp(),
+            acpi: AcpiLatencyTable::skylake_sp(),
         }
     }
 
@@ -313,6 +395,26 @@ impl NodeSpec {
                 a2: 0.0004,
                 a1: 0.01,
                 a0_w: 40.0,
+            },
+        }
+    }
+
+    /// The follow-up survey's Skylake-SP test node: two Xeon Platinum 8170
+    /// (1905.12468 Section III; same HDEEM-instrumented bull chassis family
+    /// as the Haswell node).
+    pub fn skylake_sp_node() -> Self {
+        NodeSpec {
+            name: "bull sequana (2× Xeon Platinum 8170)",
+            sku: SkuSpec::xeon_platinum_8170(),
+            sockets: 2,
+            socket_power_mult: vec![1.0, 1.0],
+            // Fans + mainboard + board-VR losses; higher than the Haswell
+            // node (more DIMMs, bigger VRs for the 165 W sockets).
+            rest_dc_w: 160.0,
+            psu: PsuCurve {
+                a2: 0.0002,
+                a1: 0.012,
+                a0_w: 55.0,
             },
         }
     }

@@ -42,6 +42,28 @@ impl VfCurveSpec {
         }
     }
 
+    /// Skylake-SP core V/f curve (14 nm; per-core domains fed from the
+    /// mainboard VR, 1905.12468): ~0.65 V floor, ~1.05 V at the 3.7 GHz
+    /// dual-core turbo.
+    pub fn skylake_core() -> Self {
+        VfCurveSpec {
+            vmin: 0.65,
+            knee_mhz: 1200,
+            v_at_max: 1.05,
+            max_mhz: 3700,
+        }
+    }
+
+    /// Skylake-SP mesh (uncore) V/f curve: 1.2–2.4 GHz range.
+    pub fn skylake_mesh() -> Self {
+        VfCurveSpec {
+            vmin: 0.70,
+            knee_mhz: 1200,
+            v_at_max: 0.95,
+            max_mhz: 2400,
+        }
+    }
+
     /// Sandy Bridge-EP core curve (chip-wide domain; mainboard VR).
     pub fn sandy_bridge_core() -> Self {
         VfCurveSpec {

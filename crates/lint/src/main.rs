@@ -29,6 +29,7 @@ RULES:
     M1  gate allowlist addresses are named in addresses.rs and unique
     M2  fields.rs encode/decode shift/mask pairs consistent, within 64 bits
     M3  every experiments/* module registered in the registry, ids unique
+    M5  no match/if-let/matches! on CpuGeneration outside hwspec's policy layer
 
 Suppress a finding with `// lint:allow(rule): <why this is sound>` on the
 same line or the line above. Unjustified allows suppress nothing.
@@ -66,7 +67,10 @@ fn main() -> ExitCode {
         rules::scan_file(
             &file.display().to_string(),
             &src,
-            FileScope { result_crate: true },
+            FileScope {
+                result_crate: true,
+                generation_policy: false,
+            },
         )
     } else {
         let root = match root.or_else(|| {

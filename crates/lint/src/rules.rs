@@ -6,6 +6,7 @@
 //! | D2 | no `HashMap`/`HashSet` in result-producing crates |
 //! | S1 | every `unsafe` must be preceded by a `// SAFETY:` comment |
 //! | A1 | malformed `lint:allow` (missing justification / unknown rule) |
+//! | M5 | no pattern-match on `CpuGeneration` outside hwspec's policy layer |
 //!
 //! D1 and D2 guard the determinism contract: `survey.json` must be
 //! byte-identical for any `--jobs`, any `RAYON_NUM_THREADS` and either
@@ -19,7 +20,7 @@
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
 
 /// Every rule the engine knows, for allow-directive validation.
-pub const KNOWN_RULES: &[&str] = &["D1", "D2", "S1", "A1", "M1", "M2", "M3", "M4"];
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "S1", "A1", "M1", "M2", "M3", "M4", "M5"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -59,6 +60,9 @@ impl std::fmt::Display for Finding {
 pub struct FileScope {
     /// The file belongs to a result-producing crate (D1/D2 apply).
     pub result_crate: bool,
+    /// The file is part of hwspec's generation-policy layer, the one place
+    /// allowed to dispatch on `CpuGeneration` (M5 exempt).
+    pub generation_policy: bool,
 }
 
 /// A parsed `lint:allow` directive.
@@ -108,6 +112,9 @@ pub fn scan_file(path: &str, src: &str, scope: FileScope) -> Vec<Finding> {
         check_d2(path, &lexed.tokens, &mut findings);
     }
     check_s1(path, &lexed, &mut findings);
+    if !scope.generation_policy {
+        check_m5(path, &lexed.tokens, &mut findings);
+    }
 
     // Apply suppressions: a justified allow covers findings of its rule on
     // its own line (trailing comment) and on the line below (standalone
@@ -226,6 +233,137 @@ fn check_d2(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
     }
 }
 
+/// M5: generation dispatch belongs to the policy layer. A `match` arm, an
+/// `if let`/`while let` pattern, or a `matches!` pattern naming
+/// `CpuGeneration` outside `crates/hwspec` hardcodes firmware behavior at
+/// the call site; route it through `FirmwarePolicy` instead. The check is
+/// token-positional — `CpuGeneration::…` *expressions* (constructing or
+/// comparing values) are fine, only pattern positions are flagged — and
+/// reports one finding per dispatch site so a single justified
+/// `// lint:allow(M5): <why>` directly above the `match`/`if` covers it.
+fn check_m5(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let flag = |findings: &mut Vec<Finding>, line: u32, what: &str| {
+        findings.push(Finding::new(
+            path,
+            line,
+            "M5",
+            format!(
+                "{what} on `CpuGeneration` outside the hwspec policy layer: \
+                 dispatch through `FirmwarePolicy` (crates/hwspec/src/policy.rs) \
+                 so new generations land in one place"
+            ),
+        ));
+    };
+    let ident = |i: usize| match tokens.get(i) {
+        Some(Token {
+            kind: TokenKind::Ident(s),
+            ..
+        }) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize| match tokens.get(i) {
+        Some(Token {
+            kind: TokenKind::Punct(p),
+            ..
+        }) => Some(*p),
+        _ => None,
+    };
+    let open = |p: &str| matches!(p, "(" | "[" | "{");
+    let close = |p: &str| matches!(p, ")" | "]" | "}");
+
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Ident(kw) if kw == "match" => {
+                // Find the arm block (struct literals cannot appear bare in
+                // scrutinee position, so the first depth-0 `{` opens it).
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                let body = loop {
+                    match punct(j) {
+                        Some(p) if open(p) => {
+                            if p == "{" && depth == 0 {
+                                break j;
+                            }
+                            depth += 1;
+                        }
+                        Some(p) if close(p) => depth -= 1,
+                        None if j >= tokens.len() => break usize::MAX,
+                        _ => {}
+                    }
+                    j += 1;
+                };
+                if body == usize::MAX {
+                    continue;
+                }
+                // Inside the block, `CpuGeneration` right after `{`, `,` or
+                // `|` at arm depth is a pattern.
+                let mut depth = 1i32;
+                let mut k = body + 1;
+                while k < tokens.len() && depth > 0 {
+                    if let Some(p) = punct(k) {
+                        if open(p) {
+                            depth += 1;
+                        } else if close(p) {
+                            depth -= 1;
+                        }
+                    } else if depth == 1
+                        && ident(k) == Some("CpuGeneration")
+                        && matches!(punct(k - 1), Some("{" | "," | "|"))
+                    {
+                        flag(findings, t.line, "`match`");
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            TokenKind::Ident(kw) if kw == "if" || kw == "while" => {
+                if ident(i + 1) != Some("let") {
+                    continue;
+                }
+                // The pattern runs to the `=` before the scrutinee.
+                let mut k = i + 2;
+                while let Some(tok) = tokens.get(k) {
+                    match &tok.kind {
+                        TokenKind::Punct("=") => break,
+                        TokenKind::Punct("{") => break, // malformed; stop
+                        TokenKind::Ident(s) if s == "CpuGeneration" => {
+                            flag(findings, t.line, format!("`{kw} let`").as_str());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            TokenKind::Ident(kw) if kw == "matches" => {
+                if punct(i + 1) != Some("!") || punct(i + 2) != Some("(") {
+                    continue;
+                }
+                // The pattern is everything after the first top-level comma.
+                let mut depth = 1i32;
+                let mut k = i + 3;
+                let mut in_pattern = false;
+                while k < tokens.len() && depth > 0 {
+                    if let Some(p) = punct(k) {
+                        if open(p) {
+                            depth += 1;
+                        } else if close(p) {
+                            depth -= 1;
+                        } else if p == "," && depth == 1 {
+                            in_pattern = true;
+                        }
+                    } else if in_pattern && ident(k) == Some("CpuGeneration") {
+                        flag(findings, t.line, "`matches!`");
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// S1: every `unsafe` must be preceded by a `SAFETY:` comment — on the
 /// same line, or in the contiguous comment block ending on the line above.
 fn check_s1(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
@@ -281,9 +419,17 @@ fn has_safety_comment(comments: &[Comment], unsafe_line: u32) -> bool {
 mod tests {
     use super::*;
 
-    const RESULT: FileScope = FileScope { result_crate: true };
+    const RESULT: FileScope = FileScope {
+        result_crate: true,
+        generation_policy: false,
+    };
     const EXEMPT: FileScope = FileScope {
         result_crate: false,
+        generation_policy: false,
+    };
+    const POLICY: FileScope = FileScope {
+        result_crate: true,
+        generation_policy: true,
     };
 
     #[test]
@@ -330,6 +476,62 @@ mod tests {
     fn s1_accepts_multiline_safety_blocks_ending_above() {
         let good = "fn f() {\n    // SAFETY: the borrow is pinned by the caller\n    // and outlives the task.\n    unsafe { g() }\n}";
         assert!(scan_file("x.rs", good, EXEMPT).is_empty());
+    }
+
+    #[test]
+    fn m5_flags_a_match_arm_on_cpu_generation() {
+        let src = "fn f(g: CpuGeneration) -> u32 {\n    match g {\n        CpuGeneration::HaswellEp => 500,\n        _ => 1000,\n    }\n}";
+        let f = scan_file("x.rs", src, RESULT);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "M5");
+        assert_eq!(f[0].line, 2, "anchored at the match site");
+    }
+
+    #[test]
+    fn m5_flags_if_let_and_matches_macro() {
+        let if_let =
+            "fn f(g: CpuGeneration) {\n    if let CpuGeneration::SkylakeSp = g { fast() }\n}";
+        let f = scan_file("x.rs", if_let, RESULT);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "M5");
+
+        let mac = "let hsw = matches!(spec.generation, CpuGeneration::HaswellEp | CpuGeneration::HaswellHe);";
+        let f = scan_file("x.rs", mac, RESULT);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "M5");
+    }
+
+    #[test]
+    fn m5_ignores_expression_uses_of_the_enum() {
+        // Constructing, comparing, or iterating generations is fine — only
+        // *dispatching behavior* on them is the policy layer's job.
+        let src = "fn f() -> CpuGeneration {\n    let g = CpuGeneration::HaswellEp;\n    for x in CpuGeneration::ALL { use_it(x); }\n    g\n}";
+        assert!(scan_file("x.rs", src, RESULT).is_empty());
+
+        // An arm *producing* a generation is not a dispatch on one.
+        let produce = "match name {\n    \"hsw\" => CpuGeneration::HaswellEp,\n    _ => CpuGeneration::SkylakeSp,\n}";
+        assert!(scan_file("x.rs", produce, RESULT).is_empty());
+    }
+
+    #[test]
+    fn m5_applies_outside_result_crates_but_not_in_the_policy_layer() {
+        let src = "match g {\n    CpuGeneration::WestmereEp => 0,\n    _ => 1,\n}";
+        // A test or tool dispatching on generation drifts just as badly.
+        assert_eq!(scan_file("x.rs", src, EXEMPT).len(), 1);
+        // hwspec's policy modules are the sanctioned home.
+        assert!(scan_file("x.rs", src, POLICY).is_empty());
+    }
+
+    #[test]
+    fn m5_allow_directly_above_the_match_suppresses_the_site() {
+        let src = "fn f(g: CpuGeneration) -> u32 {\n    // lint:allow(M5): fixture table, not firmware behavior\n    match g {\n        CpuGeneration::HaswellEp => 1,\n        _ => 0,\n    }\n}";
+        assert!(scan_file("x.rs", src, RESULT).is_empty());
+
+        // …but an unjustified allow suppresses nothing.
+        let bare = "fn f(g: CpuGeneration) -> u32 {\n    // lint:allow(M5)\n    match g {\n        CpuGeneration::HaswellEp => 1,\n        _ => 0,\n    }\n}";
+        let f = scan_file("x.rs", bare, RESULT);
+        assert!(f.iter().any(|f| f.rule == "M5"), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "A1"), "{f:?}");
     }
 
     #[test]

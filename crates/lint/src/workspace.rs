@@ -92,7 +92,14 @@ pub fn scope_of(rel_path: &str) -> FileScope {
         .and_then(|rest| rest.split('/').next())
         .map(|krate| RESULT_CRATES.contains(&krate))
         .unwrap_or(false);
-    FileScope { result_crate }
+    // hwspec is the generation-policy home: its spec tables and the
+    // `FirmwarePolicy` dispatch are the one sanctioned place to branch on
+    // `CpuGeneration` (M5).
+    let generation_policy = rel_path.starts_with("crates/hwspec/");
+    FileScope {
+        result_crate,
+        generation_policy,
+    }
 }
 
 /// Run every rule over the workspace at `root`; findings come back sorted

@@ -77,6 +77,7 @@ pub struct BwParams {
 
 impl BwParams {
     pub fn for_generation(generation: CpuGeneration) -> Self {
+        // lint:allow(M5): per-generation calibration table, data not firmware policy.
         match generation {
             CpuGeneration::HaswellEp | CpuGeneration::HaswellHe => BwParams {
                 l3_core_cycles: 6.4,
@@ -120,6 +121,22 @@ impl BwParams {
                 dram_peak_gbs: cal::WSM_DRAM_PEAK_GBS,
                 imc_bytes_per_uncore_cycle: 20.0,
                 ht_gain: 1.10,
+            },
+            // Mesh interconnect: flatter L3 latency than the ring, more
+            // outstanding fills (larger LFB pool), 6-channel DDR4-2666.
+            CpuGeneration::SkylakeSp => BwParams {
+                l3_core_cycles: 7.0,
+                l3_uncore_cycles: 2.5,
+                l3_slice_bytes_per_cycle: cal::L3_SLICE_BYTES_PER_UNCORE_CYCLE,
+                ring_contention: 0.002,
+                ring_amortization: 0.02,
+                dram_outstanding: 12.0,
+                dram_device_ns: 72.0,
+                dram_core_cycles: 15.0,
+                dram_uncore_cycles: 20.0,
+                dram_peak_gbs: 115.0,
+                imc_bytes_per_uncore_cycle: 48.0,
+                ht_gain: cal::HT_LOW_CONCURRENCY_GAIN,
             },
         }
     }

@@ -102,34 +102,36 @@ fn implemented(addr: u32, generation: CpuGeneration) -> bool {
     if common {
         return true;
     }
-    let rapl = matches!(
+    let pkg_rapl = matches!(
         addr,
         a::MSR_RAPL_POWER_UNIT
             | a::MSR_PKG_POWER_LIMIT
             | a::MSR_PKG_ENERGY_STATUS
             | a::MSR_PKG_PERF_STATUS
             | a::MSR_PKG_POWER_INFO
-            | a::MSR_DRAM_POWER_LIMIT
-            | a::MSR_DRAM_ENERGY_STATUS
-            | a::MSR_DRAM_PERF_STATUS
     );
-    match generation.rapl_mode() {
+    let dram_rapl = matches!(
+        addr,
+        a::MSR_DRAM_POWER_LIMIT | a::MSR_DRAM_ENERGY_STATUS | a::MSR_DRAM_PERF_STATUS
+    );
+    let policy = generation.policy().rapl();
+    match policy.mode {
         RaplMode::Unavailable => false,
         RaplMode::Modeled | RaplMode::Measured => {
-            if rapl {
+            if pkg_rapl {
                 return true;
             }
+            if dram_rapl {
+                return policy.has_dram_domain;
+            }
             // PP0 exists on Sandy/Ivy Bridge-EP but not Haswell-EP
-            // (paper Section IV).
+            // (paper Section IV) or Skylake-SP.
             if addr == a::MSR_PP0_ENERGY_STATUS {
-                return matches!(
-                    generation,
-                    CpuGeneration::SandyBridgeEp | CpuGeneration::IvyBridgeEp
-                );
+                return policy.has_pp0_domain;
             }
             // The uncore ratio-limit MSR only exists with independent UFS.
             if addr == a::MSR_UNCORE_RATIO_LIMIT {
-                return generation == CpuGeneration::HaswellEp;
+                return policy.has_uncore_ratio_limit_msr;
             }
             false
         }
@@ -394,7 +396,7 @@ mod tests {
     }
 
     #[test]
-    fn uncore_ratio_limit_only_on_haswell_ep() {
+    fn uncore_ratio_limit_needs_independent_ufs() {
         let mut hsw = hsw_bank();
         assert!(hsw.write(0, MSR_UNCORE_RATIO_LIMIT, 0x0C1E).is_ok());
         let mut snb = MsrBank::new(CpuGeneration::SandyBridgeEp, 16);
@@ -402,6 +404,19 @@ mod tests {
             snb.write(0, MSR_UNCORE_RATIO_LIMIT, 0x0C1E),
             Err(MsrError::Unsupported(MSR_UNCORE_RATIO_LIMIT))
         );
+    }
+
+    #[test]
+    fn skylake_msr_map_follows_its_rapl_policy() {
+        // 1905.12468: UNCORE_RATIO_LIMIT controls the mesh UFS; PP0 stays
+        // absent on the server parts.
+        let mut skx = MsrBank::new(CpuGeneration::SkylakeSp, 52);
+        assert!(skx.write(0, MSR_UNCORE_RATIO_LIMIT, 0x0C18).is_ok());
+        assert_eq!(
+            skx.read(0, MSR_PP0_ENERGY_STATUS),
+            Err(MsrError::Unsupported(MSR_PP0_ENERGY_STATUS))
+        );
+        assert!(skx.read(0, MSR_DRAM_ENERGY_STATUS).is_ok());
     }
 
     #[test]

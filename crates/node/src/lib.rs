@@ -32,6 +32,6 @@ pub use config::{CpuId, NodeConfig};
 pub use engine::{EngineMode, EngineStats};
 pub use node::{Node, NodeSnapshot};
 pub use script::{Action, WorkloadScript};
-pub use session::{Platform, Resolution, Session, SessionBuilder};
+pub use session::{Platform, PlatformKind, Resolution, Session, SessionBuilder};
 pub use socket::{Socket, SocketSnapshot};
 pub use telemetry::{Snapshot, Trace};

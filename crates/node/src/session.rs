@@ -64,6 +64,48 @@ pub struct Platform {
     pub seed: u64,
 }
 
+/// Which surveyed machine a run models: the selection the `survey`
+/// binary's `--platform` flag makes once, before any experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlatformKind {
+    /// The paper's Haswell-EP node (Table II).
+    #[default]
+    Haswell,
+    /// The follow-up survey's Skylake-SP node (arXiv 1905.12468).
+    SkylakeSp,
+}
+
+impl PlatformKind {
+    pub const ALL: [PlatformKind; 2] = [PlatformKind::Haswell, PlatformKind::SkylakeSp];
+
+    /// The CLI spelling (`--platform <name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlatformKind::Haswell => "haswell",
+            PlatformKind::SkylakeSp => "skylake-sp",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<PlatformKind> {
+        PlatformKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The platform this kind selects.
+    pub fn platform(&self) -> Platform {
+        match self {
+            PlatformKind::Haswell => Platform::paper(),
+            PlatformKind::SkylakeSp => Platform::skylake_sp(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl Platform {
     /// The paper's test system (Table II).
     pub fn paper() -> Self {
@@ -74,6 +116,19 @@ impl Platform {
             eet_enabled: cfg.eet_enabled,
             engine: cfg.engine,
             seed: cfg.seed,
+        }
+    }
+
+    /// The follow-up survey's Skylake-SP test system (1905.12468
+    /// Section III): two Xeon Platinum 8170, mesh uncore, HWP p-states.
+    /// Same session machinery, different [`hsw_hwspec::FirmwarePolicy`].
+    pub fn skylake_sp() -> Self {
+        Platform {
+            spec: NodeSpec::skylake_sp_node(),
+            dram_rapl_mode: DramRaplMode::Mode1,
+            eet_enabled: true,
+            engine: EngineMode::default(),
+            seed: 0x534B_0001,
         }
     }
 
@@ -232,6 +287,30 @@ mod tests {
         assert_eq!(cfg.eet_enabled, legacy.eet_enabled);
         assert_eq!(cfg.dram_rapl_mode, legacy.dram_rapl_mode);
         assert_eq!(cfg.engine, legacy.engine);
+    }
+
+    #[test]
+    fn platform_kind_round_trips_its_cli_name() {
+        for kind in PlatformKind::ALL {
+            assert_eq!(PlatformKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PlatformKind::parse("broadwell"), None);
+        assert_eq!(PlatformKind::default(), PlatformKind::Haswell);
+    }
+
+    #[test]
+    fn skylake_platform_runs_a_session() {
+        // The SKX node (2× 26-core mesh) must drive through the same
+        // session machinery as the paper node.
+        let platform = PlatformKind::SkylakeSp.platform();
+        assert_eq!(
+            platform.spec.sku.generation,
+            hsw_hwspec::CpuGeneration::SkylakeSp
+        );
+        let mut s = platform.session().resolution(Resolution::Coarse).build();
+        s.idle_all();
+        s.advance_s(0.02);
+        assert!(s.now_s() > 0.019);
     }
 
     #[test]

@@ -200,7 +200,7 @@ impl Socket {
             eet_enabled,
             pstate: PStateEngine::new(spec.generation, cores, base, pcu_phase_ns),
             eet: EetController::new(eet_enabled),
-            avx: vec![AvxLicense::new(); cores],
+            avx: vec![AvxLicense::for_generation(spec.generation); cores],
             rapl: RaplEngine::new(spec.generation, dram_mode)
                 .with_unit_trim(spec.power.rapl_trim_gain),
             requested: vec![FreqSetting::Turbo; cores],
@@ -218,7 +218,7 @@ impl Socket {
             core_mhz: vec![spec.freq.min_mhz as f64; cores],
             uncore_mhz: spec.freq.uncore_min_mhz as f64,
             thermal: ThermalState::new(ThermalParams::server_max_fans()),
-            mbvr: Mbvr::new(),
+            mbvr: Mbvr::for_generation(spec.generation),
             msr,
             noise_pstate: DomainNoise::new(socket_seed, domain::PSTATE),
             noise_rapl: DomainNoise::new(socket_seed, domain::RAPL),
@@ -233,6 +233,12 @@ impl Socket {
 
     pub fn spec(&self) -> &SkuSpec {
         &self.spec
+    }
+
+    /// The PCU's re-evaluation cadence, from the generation's firmware
+    /// policy (500 µs on every surveyed part).
+    fn pcu_period_ns(&self) -> Ns {
+        self.spec.generation.policy().pstate().pcu_eval_period_us as Ns * US
     }
 
     /// Capture this socket's mutable state as plain data.
@@ -457,7 +463,11 @@ impl Socket {
             self.cached.avx_input[c] = busy && avx_stream;
             self.avx[c].observe(busy && avx_stream, now);
         }
-        let avx_engaged = (0..spec.cores).any(|c| self.core_busy(c) && self.avx[c].engaged());
+        let avx_level = (0..spec.cores)
+            .filter(|c| self.core_busy(*c))
+            .map(|c| self.avx[c].level())
+            .max()
+            .unwrap_or(0);
 
         // 4. EET (1 ms sporadic stall polling).
         let eet_input = stall * duty.min(1.0);
@@ -481,7 +491,7 @@ impl Socket {
             active.hash(&mut h);
             self.epb().hash(&mut h);
             self.turbo_enabled().hash(&mut h);
-            avx_engaged.hash(&mut h);
+            avx_level.hash(&mut h);
             duty_bucket.hash(&mut h);
             ((self.eet.sampled_stall() * 100.0) as u64).hash(&mut h);
             h.finish()
@@ -510,14 +520,14 @@ impl Socket {
                 .filter(|c| !self.core_busy(*c) && self.cstates[*c].power_gated())
                 .count(),
             activity,
-            avx_engaged,
+            avx_level,
             stall_fraction: stall,
             eet_limit_mhz: eet_limit,
             avg_pkg_w: self.rapl.running_avg_pkg_w(),
         };
         if key != self.last_pcu_key || self.next_pcu <= now {
             self.last_pcu_key = key;
-            self.next_pcu = now + hsw_hwspec::calib::PSTATE_OPPORTUNITY_PERIOD_US as Ns * US;
+            self.next_pcu = now + self.pcu_period_ns();
             self.grant = PcuController::solve(&inputs);
             // Software-imposed uncore bounds (paper Section II-D: "it can
             // be specified via the MSR UNCORE_RATIO_LIMIT"): clamp the UFS
@@ -633,7 +643,7 @@ impl Socket {
                 cores_elec.push(CoreElecState {
                     mhz: self.core_mhz[c].round() as u32,
                     activity: act,
-                    avx_active: self.avx[c].engaged(),
+                    license_level: self.avx[c].level(),
                     power_gated: false,
                 });
             } else if self.cstates[c].power_gated() {
@@ -642,7 +652,7 @@ impl Socket {
                 cores_elec.push(CoreElecState {
                     mhz: spec.freq.min_mhz,
                     activity: 0.0,
-                    avx_active: false,
+                    license_level: 0,
                     power_gated: false,
                 });
             }
@@ -793,7 +803,7 @@ impl Socket {
             // Inputs unchanged and the grant avg-independent: the periodic
             // re-solve would reproduce the same grant, so only the schedule
             // advances (mirroring the fixed engine's bookkeeping).
-            self.next_pcu = now + hsw_hwspec::calib::PSTATE_OPPORTUNITY_PERIOD_US as Ns * US;
+            self.next_pcu = now + self.pcu_period_ns();
         }
         let out = self.cached.tick;
         self.mbvr.update_estimated_power(out.pkg_w);

@@ -39,8 +39,9 @@ pub struct PcuInputs<'a> {
     /// Per-core switching activity (duty-modulated, before the AVX
     /// multiplier).
     pub activity: f64,
-    /// Whether the AVX license is engaged on the active cores.
-    pub avx_engaged: bool,
+    /// AVX license level engaged on the active cores (0 = none,
+    /// 1 = 256-bit, 2 = 512-bit).
+    pub avx_level: u8,
     /// Memory-stall fraction of the workload.
     pub stall_fraction: f64,
     /// EET's current turbo limit in MHz (`u32::MAX` when unconstrained).
@@ -95,8 +96,8 @@ impl PcuController {
                 }
             }
         };
-        if inputs.avx_engaged && spec.generation.has_avx_frequencies() {
-            ceiling = ceiling.min(spec.freq.avx_turbo_mhz(active));
+        if inputs.avx_level > 0 && spec.generation.has_avx_frequencies() {
+            ceiling = ceiling.min(spec.freq.license_turbo_mhz(inputs.avx_level, active));
         }
         ceiling = ceiling.min(inputs.eet_limit_mhz);
         ceiling.max(spec.freq.min_mhz)
@@ -110,7 +111,7 @@ impl PcuController {
             cores.push(CoreElecState {
                 mhz: core_mhz.round() as u32,
                 activity: inputs.activity,
-                avx_active: inputs.avx_engaged,
+                license_level: inputs.avx_level,
                 power_gated: false,
             });
         }
@@ -123,7 +124,7 @@ impl PcuController {
             cores.push(CoreElecState {
                 mhz: spec.freq.min_mhz,
                 activity: 0.0,
-                avx_active: false,
+                license_level: 0,
                 power_gated: false,
             });
         }
@@ -305,7 +306,7 @@ impl PcuController {
         // Leftover budget flows to the uncore when the workload stalls on
         // memory (Table IV: settings 2.2/2.1 GHz; Table III busy-wait must
         // NOT boost).
-        if !power_limited && ufs::stall_boost_allowed(inputs.stall_fraction) {
+        if !power_limited && ufs::stall_boost_allowed(spec, inputs.stall_fraction) {
             fc = ceiling;
             let fu_max = spec.freq.uncore_max_mhz as f64;
             let boosted = Self::max_uncore_within(inputs, fc, fu, fu_max, budget);
@@ -352,7 +353,7 @@ mod tests {
             active_cores: spec.cores,
             gated_idle_cores: 0,
             activity: fs.activity(true),
-            avx_engaged: true,
+            avx_level: 1,
             stall_fraction: fs.stall_fraction,
             eet_limit_mhz: u32::MAX,
             avg_pkg_w: spec.tdp_w, // steady state: PL1 applies
@@ -492,7 +493,7 @@ mod tests {
             active_cores: 1,
             gated_idle_cores: 11,
             activity: bw.activity(false),
-            avx_engaged: false,
+            avx_level: 0,
             stall_fraction: bw.stall_fraction,
             eet_limit_mhz: u32::MAX,
             avg_pkg_w: 30.0,
@@ -515,7 +516,7 @@ mod tests {
         inputs.stall_fraction = 0.0;
         let ceiling = PcuController::core_ceiling_mhz(&inputs);
         assert_eq!(ceiling, spec.freq.avx_turbo_mhz(12));
-        inputs.avx_engaged = false;
+        inputs.avx_level = 0;
         let ceiling = PcuController::core_ceiling_mhz(&inputs);
         assert_eq!(ceiling, spec.freq.turbo_mhz(12));
     }
@@ -527,7 +528,7 @@ mod tests {
         let spec = sku();
         let mut inputs = firestarter_inputs(&spec, FreqSetting::from_mhz(2500));
         inputs.epb = EpbClass::Performance;
-        inputs.avx_engaged = false;
+        inputs.avx_level = 0;
         assert_eq!(
             PcuController::core_ceiling_mhz(&inputs),
             spec.freq.turbo_mhz(12)
@@ -542,7 +543,7 @@ mod tests {
         let spec = sku();
         let mut inputs = firestarter_inputs(&spec, FreqSetting::Turbo);
         inputs.turbo_enabled = false;
-        inputs.avx_engaged = false;
+        inputs.avx_level = 0;
         assert_eq!(PcuController::core_ceiling_mhz(&inputs), spec.freq.base_mhz);
     }
 
@@ -559,7 +560,7 @@ mod tests {
             active_cores: 0,
             gated_idle_cores: 12,
             activity: idle.activity(false),
-            avx_engaged: false,
+            avx_level: 0,
             stall_fraction: 0.0,
             eet_limit_mhz: u32::MAX,
             avg_pkg_w: 12.0,

@@ -9,7 +9,7 @@
 //! immediately, paying only the switching time.
 
 use hsw_hwspec::clock::{ClockDomain, DomainNoise, US};
-use hsw_hwspec::{calib, CpuGeneration, PState, PStateTransitionMode};
+use hsw_hwspec::{CpuGeneration, PState, PStateTransitionMode};
 
 /// Simulation time in nanoseconds (re-exported engine-wide clock unit).
 pub use hsw_hwspec::clock::Ns;
@@ -46,6 +46,10 @@ pub struct PStateEngine {
     mode: PStateTransitionMode,
     // snap:skip(generation-derived constant, rebuilt by PStateEngine::new)
     per_core_domains: bool,
+    // snap:skip(policy constant, rebuilt by PStateEngine::new)
+    switching_time_ns: Ns,
+    // snap:skip(policy constant, rebuilt by PStateEngine::new)
+    opportunity_jitter_us: i64,
     /// Current p-state per core.
     current: Vec<PState>,
     /// In-flight switch per core: (target, completes_at, requested_at).
@@ -73,16 +77,19 @@ impl PStateEngine {
     /// `phase_ns` staggers the socket's opportunity clock — sockets run
     /// independent PCUs (paper Section VI-A).
     pub fn new(generation: CpuGeneration, cores: usize, initial: PState, phase_ns: Ns) -> Self {
-        let mode = generation.pstate_transition_mode();
+        let policy = generation.policy().pstate();
+        let mode = policy.transition;
         let next_opportunity = match mode {
             PStateTransitionMode::OpportunityWindow { period_us } => {
                 phase_ns % (period_us as Ns * US)
             }
-            PStateTransitionMode::Immediate => 0,
+            PStateTransitionMode::Immediate | PStateTransitionMode::HwpAutonomous => 0,
         };
         PStateEngine {
             mode,
-            per_core_domains: generation.per_core_pstates(),
+            per_core_domains: policy.per_core_domains,
+            switching_time_ns: policy.switching_time_us as Ns * US,
+            opportunity_jitter_us: policy.opportunity_jitter_us as i64,
             current: vec![initial; cores],
             switching: vec![None; cores],
             pending: vec![None; cores],
@@ -110,7 +117,13 @@ impl PStateEngine {
                 target,
                 requested_at: now,
             });
-            if self.mode == PStateTransitionMode::Immediate {
+            // HWP's autonomous engine also grants at request time: the
+            // package control loop has no 500 µs latch window, only the
+            // (much shorter) domain switch itself.
+            if matches!(
+                self.mode,
+                PStateTransitionMode::Immediate | PStateTransitionMode::HwpAutonomous
+            ) {
                 self.begin_switch(c, now);
             }
         }
@@ -118,7 +131,7 @@ impl PStateEngine {
 
     fn begin_switch(&mut self, core: usize, now: Ns) {
         if let Some(req) = self.pending[core].take() {
-            let completes = now + calib::PSTATE_SWITCHING_TIME_US as Ns * US;
+            let completes = now + self.switching_time_ns;
             self.switching[core] = Some((req.target, completes, req.requested_at));
         }
     }
@@ -144,7 +157,7 @@ impl PStateEngine {
                         self.begin_switch(c, opp);
                     }
                 }
-                let jitter_us = calib::PSTATE_OPPORTUNITY_JITTER_US as i64;
+                let jitter_us = self.opportunity_jitter_us;
                 let jitter = noise.range_i64(opp, 0, -jitter_us, jitter_us);
                 let period = (period_us as i64 + jitter).max(1) as Ns * US;
                 self.next_opportunity = opp + period;
@@ -234,7 +247,8 @@ impl PStateEngine {
         let latch = if self.pending.iter().any(Option::is_some) {
             match self.mode {
                 PStateTransitionMode::OpportunityWindow { .. } => Some(self.next_opportunity),
-                PStateTransitionMode::Immediate => None, // switch already began
+                // Switch already began at request time in both modes.
+                PStateTransitionMode::Immediate | PStateTransitionMode::HwpAutonomous => None,
             }
         } else {
             None
@@ -254,7 +268,9 @@ impl ClockDomain for PStateEngine {
     fn native_period_ns(&self) -> Ns {
         match self.mode {
             PStateTransitionMode::OpportunityWindow { period_us } => period_us as Ns * US,
-            PStateTransitionMode::Immediate => calib::PSTATE_SWITCHING_TIME_US as Ns * US,
+            PStateTransitionMode::Immediate | PStateTransitionMode::HwpAutonomous => {
+                self.switching_time_ns
+            }
         }
     }
 
@@ -273,6 +289,7 @@ impl ClockDomain for PStateEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hsw_hwspec::calib;
     use hsw_hwspec::clock::domain;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
@@ -486,6 +503,31 @@ mod tests {
                     gen.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn skylake_hwp_grants_within_the_fast_switching_time() {
+        // 1905.12468 Section IV: Skylake-SP frequency transitions complete
+        // in tens of microseconds with no 500 µs opportunity window.
+        let n = noise();
+        let mut e = PStateEngine::new(CpuGeneration::SkylakeSp, 8, PState::from_mhz(1200), 0);
+        let skx_us = calib::skx::PSTATE_SWITCHING_TIME_US as f64;
+        for t_req in [123 * US, 7_777 * US, 31_415 * US] {
+            let lat = measure(&mut e, &n, t_req);
+            assert!((lat - skx_us).abs() < 1.5, "latency {lat}");
+        }
+    }
+
+    #[test]
+    fn skylake_pstates_are_per_core() {
+        let n = noise();
+        let mut e = PStateEngine::new(CpuGeneration::SkylakeSp, 8, PState::from_mhz(1200), 0);
+        e.request(3, PState::from_mhz(2100), 0);
+        run_until(&mut e, &n, 0, 100 * US);
+        assert_eq!(e.current(3), PState::from_mhz(2100));
+        for c in (0..8).filter(|c| *c != 3) {
+            assert_eq!(e.current(c), PState::from_mhz(1200), "core {c}");
         }
     }
 

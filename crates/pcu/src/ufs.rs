@@ -9,7 +9,7 @@
 //! and (e) power limits, which the [`crate::controller`] applies on top.
 
 use hsw_hwspec::freq::FreqSetting;
-use hsw_hwspec::{calib, EpbClass, SkuSpec};
+use hsw_hwspec::{EpbClass, SkuSpec, UncorePolicy};
 
 /// Inputs to the UFS decision for one socket.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,24 +27,26 @@ pub struct UfsInputs {
     pub package_sleep: bool,
 }
 
-/// Schedule lookup: index 0 = Turbo, 1 = base (2.5 GHz), … 14 = 1.2 GHz.
-fn schedule_index(spec: &SkuSpec, setting: FreqSetting) -> usize {
+/// Schedule lookup: index 0 = Turbo, 1 = base (2.5 GHz), … last = min.
+/// The schedule itself comes from the generation's [`UncorePolicy`].
+fn schedule_index(policy: &UncorePolicy, spec: &SkuSpec, setting: FreqSetting) -> usize {
     match setting {
         FreqSetting::Turbo => 0,
         FreqSetting::Fixed(p) => {
             let steps = (spec.freq.base_mhz.saturating_sub(p.mhz())) / 100;
-            (1 + steps as usize).min(calib::UFS_ACTIVE_SCHEDULE_MHZ.len() - 1)
+            (1 + steps as usize).min(policy.active_schedule_mhz.len() - 1)
         }
     }
 }
 
 /// The baseline (no-stall) uncore frequency from the Table III schedule.
 pub fn schedule_mhz(spec: &SkuSpec, setting: FreqSetting, socket_active: bool) -> u32 {
-    let idx = schedule_index(spec, setting);
+    let policy = spec.generation.policy().uncore();
+    let idx = schedule_index(&policy, spec, setting);
     if socket_active {
-        calib::UFS_ACTIVE_SCHEDULE_MHZ[idx]
+        policy.active_schedule_mhz[idx]
     } else {
-        calib::UFS_PASSIVE_SCHEDULE_MHZ[idx]
+        policy.passive_schedule_mhz[idx]
     }
 }
 
@@ -65,7 +67,8 @@ pub fn ufs_target_mhz(spec: &SkuSpec, inputs: &UfsInputs) -> u32 {
     // Stall cycles raise the uncore toward its maximum: fully memory-bound
     // load (the paper's upper-bound experiment) reaches 3.0 GHz at any core
     // frequency setting.
-    let g = (inputs.stall_fraction / 0.85).clamp(0.0, 1.0);
+    let g =
+        (inputs.stall_fraction / spec.generation.policy().uncore().stall_ramp_full).clamp(0.0, 1.0);
     let target = base as f64 + g * (max as f64 - base as f64);
     (target.round() as u32).clamp(spec.freq.uncore_min_mhz, max)
 }
@@ -74,8 +77,8 @@ pub fn ufs_target_mhz(spec: &SkuSpec, inputs: &UfsInputs) -> u32 {
 /// (only pays off when the workload actually spends a meaningful share of
 /// its cycles waiting on memory; FMA-dense kernels with incidental stalls
 /// do not qualify).
-pub fn stall_boost_allowed(stall_fraction: f64) -> bool {
-    stall_fraction > 0.10
+pub fn stall_boost_allowed(spec: &SkuSpec, stall_fraction: f64) -> bool {
+    stall_fraction > spec.generation.policy().uncore().stall_boost_threshold
 }
 
 #[cfg(test)]
@@ -200,8 +203,8 @@ mod tests {
 
     #[test]
     fn boost_requires_stalls() {
-        assert!(!stall_boost_allowed(0.0));
-        assert!(stall_boost_allowed(0.30));
+        assert!(!stall_boost_allowed(&sku(), 0.0));
+        assert!(stall_boost_allowed(&sku(), 0.30));
     }
 
     proptest! {

@@ -16,8 +16,9 @@ pub struct CoreElecState {
     /// Switching activity factor in [0, 1]; 1.0 is the FIRESTARTER-level
     /// worst case, 0.0 a halted (C1) core.
     pub activity: f64,
-    /// Whether the AVX license is active (wider datapaths switching).
-    pub avx_active: bool,
+    /// AVX license level in force (wider datapaths switching): 0 = none,
+    /// 1 = 256-bit license, 2 = 512-bit license.
+    pub license_level: u8,
     /// Whether the core is power gated (C6): no leakage, no dynamic power.
     pub power_gated: bool,
 }
@@ -28,7 +29,7 @@ impl CoreElecState {
         CoreElecState {
             mhz: 0,
             activity: 0.0,
-            avx_active: false,
+            license_level: 0,
             power_gated: true,
         }
     }
@@ -69,10 +70,10 @@ pub fn package_power_w(
         }
         let v = spec.core_vf.voltage_at(core.mhz.max(spec.freq.min_mhz));
         leak += c.core_leak_w_per_v2 * v * v;
-        let avx = if core.avx_active {
-            c.avx_power_mult
-        } else {
-            1.0
+        let avx = match core.license_level {
+            0 => 1.0,
+            1 => c.avx_power_mult,
+            _ => c.avx512_power_mult,
         };
         dyn_w += c.core_dyn_w_per_v2ghz * v * v * (core.mhz as f64 / 1000.0) * core.activity * avx;
     }
@@ -106,7 +107,7 @@ mod tests {
             CoreElecState {
                 mhz,
                 activity: 1.0,
-                avx_active: false, // the AVX multiplier is calibrated out for
+                license_level: 0, // the AVX multiplier is calibrated out for
                 // FIRESTARTER: its mix is the activity=1.0 reference
                 power_gated: false,
             };
@@ -172,7 +173,7 @@ mod tests {
         let mut cores = firestarter_cores(&spec, 2100);
         let p_scalar = package_power_w(&spec, 1.0, &cores, 2000).total_w();
         for c in &mut cores {
-            c.avx_active = true;
+            c.license_level = 1;
         }
         let p_avx = package_power_w(&spec, 1.0, &cores, 2000).total_w();
         assert!(p_avx > p_scalar * 1.1, "{p_avx} vs {p_scalar}");
@@ -210,7 +211,7 @@ mod tests {
         fn prop_power_monotone_in_activity(act in 0.0f64..1.0) {
             let spec = hsw();
             let mk = |a: f64| {
-                vec![CoreElecState { mhz: 2500, activity: a, avx_active: false,
+                vec![CoreElecState { mhz: 2500, activity: a, license_level: 0,
                                      power_gated: false }; 12]
             };
             let lo = package_power_w(&spec, 1.0, &mk(act), 2000).total_w();
@@ -225,7 +226,7 @@ mod tests {
             act in 0.0f64..=1.0,
         ) {
             let spec = hsw();
-            let cores = vec![CoreElecState { mhz, activity: act, avx_active: false,
+            let cores = vec![CoreElecState { mhz, activity: act, license_level: 0,
                                              power_gated: false }; 12];
             let p = package_power_w(&spec, 1.0, &cores, umhz);
             prop_assert!(p.total_w() > 0.0);

@@ -7,8 +7,12 @@
 //! conversion efficiency, input-current draw, and the load-step transient
 //! (voltage droop and recovery) whose settling time is the ~21 µs
 //! switching component of the paper's p-state transition measurements.
+//!
+//! All electrical parameters come from the generation's
+//! [`hsw_hwspec::VrPolicy`]; Skylake-SP drops FIVR entirely
+//! (`has_fivr = false`), which [`Fivr::for_generation`] reports via `None`.
 
-use hsw_hwspec::calib;
+use hsw_hwspec::CpuGeneration;
 
 /// One on-die regulator domain (a core, or the uncore).
 #[derive(Debug, Clone)]
@@ -19,22 +23,62 @@ pub struct Fivr {
     setpoint: f64,
     /// Actual output voltage (V) — lags the setpoint during transients.
     vout: f64,
+    /// Legal output-voltage command range (V).
+    v_lo: f64,
+    v_hi: f64,
+    /// Slew time constant (µs), sized so a step settles to within the
+    /// policy's tolerance in about the p-state switching time.
+    tau_us: f64,
+    /// Settled-band half-width (V).
+    settle_tol_v: f64,
+    /// Efficiency curve η(P) = peak − light/P − slope·P, clamped.
+    eff_peak: f64,
+    eff_light_w: f64,
+    eff_slope_per_w: f64,
+    eff_lo: f64,
+    eff_hi: f64,
 }
 
-/// FIVR conversion efficiency at a given output power share. High-frequency
-/// integrated regulators peak around 90 % and fall off at light load.
+/// FIVR conversion efficiency at a given output power share, with the
+/// paper system's (Haswell-EP) curve. High-frequency integrated
+/// regulators peak around 90 % and fall off at light load.
 pub fn efficiency(out_w: f64) -> f64 {
+    let p = CpuGeneration::HaswellEp.policy().vr();
     let x = out_w.max(0.05);
-    (0.905 - 0.35 / x - 0.0004 * x).clamp(0.5, 0.92)
+    (p.fivr_eff_peak - p.fivr_eff_light_w / x - p.fivr_eff_slope_per_w * x)
+        .clamp(p.fivr_eff_lo, p.fivr_eff_hi)
 }
 
 impl Fivr {
+    /// A regulator with the paper system's (Haswell-EP) electricals.
     pub fn new(initial_v: f64) -> Self {
-        Fivr {
-            vccin: 1.80,
+        Self::for_generation(CpuGeneration::HaswellEp, initial_v).expect("Haswell implements FIVR")
+    }
+
+    /// A regulator with `generation`'s electricals, or `None` for parts
+    /// that regulate on the mainboard instead (Skylake-SP).
+    pub fn for_generation(generation: CpuGeneration, initial_v: f64) -> Option<Self> {
+        let policy = generation.policy();
+        let vr = policy.vr();
+        if !vr.has_fivr {
+            return None;
+        }
+        Some(Fivr {
+            vccin: vr.vccin_v,
             setpoint: initial_v,
             vout: initial_v,
-        }
+            v_lo: vr.core_v_lo,
+            v_hi: vr.core_v_hi,
+            // settle(switching time) for a 100 mV step to within tol
+            // → τ = t_switch / ln(ratio); 21/ln(50) ≈ 5.4 µs on Haswell.
+            tau_us: policy.pstate().switching_time_us as f64 / vr.fivr_settle_ratio.ln(),
+            settle_tol_v: vr.fivr_settle_tol_v,
+            eff_peak: vr.fivr_eff_peak,
+            eff_light_w: vr.fivr_eff_light_w,
+            eff_slope_per_w: vr.fivr_eff_slope_per_w,
+            eff_lo: vr.fivr_eff_lo,
+            eff_hi: vr.fivr_eff_hi,
+        })
     }
 
     pub fn vccin(&self) -> f64 {
@@ -52,30 +96,39 @@ impl Fivr {
     /// Command a new output voltage (the PCU does this at a p-state
     /// change).
     pub fn set_voltage(&mut self, volts: f64) {
-        assert!((0.4..=1.4).contains(&volts), "core voltage range");
+        assert!(
+            (self.v_lo..=self.v_hi).contains(&volts),
+            "core voltage range"
+        );
         self.setpoint = volts;
     }
 
     /// Advance the regulator by `dt_us`: the output slews toward the
     /// setpoint with a time constant sized so a 100 mV step settles (to
-    /// within 2 mV) in about the FIVR switching time the paper measured.
+    /// within the policy tolerance) in about the FIVR switching time the
+    /// paper measured.
     pub fn advance(&mut self, dt_us: f64) {
-        // settle(21 µs) for a 100 mV step to 2 mV → τ ≈ 21/ln(50) ≈ 5.4 µs.
-        let tau_us = calib::PSTATE_SWITCHING_TIME_US as f64 / (50.0f64).ln();
-        let alpha = 1.0 - (-dt_us / tau_us).exp();
+        let alpha = 1.0 - (-dt_us / self.tau_us).exp();
         self.vout += alpha * (self.setpoint - self.vout);
     }
 
-    /// Whether the output has settled at the setpoint (within 2 mV) — the
-    /// condition for the PCU to "signal that the voltage has been adjusted"
-    /// (paper Section II-F's AVX workflow).
+    /// Whether the output has settled at the setpoint — the condition for
+    /// the PCU to "signal that the voltage has been adjusted" (paper
+    /// Section II-F's AVX workflow).
     pub fn settled(&self) -> bool {
-        (self.vout - self.setpoint).abs() < 0.002
+        (self.vout - self.setpoint).abs() < self.settle_tol_v
+    }
+
+    /// Conversion efficiency at a given output power share.
+    pub fn efficiency(&self, out_w: f64) -> f64 {
+        let x = out_w.max(0.05);
+        (self.eff_peak - self.eff_light_w / x - self.eff_slope_per_w * x)
+            .clamp(self.eff_lo, self.eff_hi)
     }
 
     /// Input power drawn from `VCCin` to deliver `out_w` at the output.
     pub fn input_power_w(&self, out_w: f64) -> f64 {
-        out_w / efficiency(out_w)
+        out_w / self.efficiency(out_w)
     }
 
     /// Input current on the VCCin rail (A).
@@ -105,6 +158,28 @@ mod tests {
             (15.0..=25.0).contains(&t),
             "settled in {t} µs (expected ≈21 µs)"
         );
+    }
+
+    #[test]
+    fn haswell_policy_reproduces_the_calibration_electricals() {
+        // Satellite regression pins: the policy-driven constructor carries
+        // the exact pre-refactor literals.
+        let f = Fivr::new(0.9);
+        assert_eq!(f.vccin(), 1.80);
+        assert_eq!(f.settle_tol_v, 0.002);
+        assert_eq!(f.v_lo, 0.4);
+        assert_eq!(f.v_hi, 1.4);
+        let expect_tau = hsw_hwspec::calib::PSTATE_SWITCHING_TIME_US as f64 / (50.0f64).ln();
+        assert_eq!(f.tau_us, expect_tau);
+        assert_eq!(f.efficiency(8.0), efficiency(8.0));
+    }
+
+    #[test]
+    fn skylake_has_no_fivr() {
+        // 1905.12468 Section II: Skylake-SP returns voltage regulation to
+        // the mainboard.
+        assert!(Fivr::for_generation(CpuGeneration::SkylakeSp, 0.9).is_none());
+        assert!(Fivr::for_generation(CpuGeneration::HaswellEp, 0.9).is_some());
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //! according to the estimated power consumption" — light-load states trade
 //! peak efficiency at high current for better efficiency at low current
 //! (phase shedding).
+//!
+//! The phase-shedding thresholds, nominal rail voltage and legal SVID
+//! command range come from the generation's [`hsw_hwspec::VrPolicy`]; the
+//! per-state efficiency-curve shapes stay here (they are board, not
+//! firmware, properties).
 
 use hsw_hwspec::clock::{ClockDomain, Ns};
+use hsw_hwspec::CpuGeneration;
 use serde::{Deserialize, Serialize};
 
 /// The three MBVR power states (full-phase, reduced-phase, light-load).
@@ -36,18 +42,20 @@ impl SupplyLane {
     pub const ALL: [SupplyLane; 3] = [SupplyLane::VccIn, SupplyLane::VccD01, SupplyLane::VccD23];
 }
 
-/// Thresholds (in W of estimated package draw) at which the processor
-/// commands the next MBVR state, with hysteresis to avoid chattering.
-const PS1_BELOW_W: f64 = 45.0;
-const PS2_BELOW_W: f64 = 15.0;
-const HYSTERESIS_W: f64 = 4.0;
-
 /// The mainboard VR for the `VCCin` lane.
 #[derive(Debug, Clone)]
 pub struct Mbvr {
     state: MbvrPowerState,
     /// Nominal input voltage commanded over SVID (1.8 V for FIVR input).
     vccin: f64,
+    /// Estimated-power threshold (W) below which PS1 engages, and …
+    ps1_below_w: f64,
+    /// … below which PS2 engages, with hysteresis to avoid chattering.
+    ps2_below_w: f64,
+    hysteresis_w: f64,
+    /// Legal SVID command range (V).
+    svid_lo_v: f64,
+    svid_hi_v: f64,
 }
 
 impl Default for Mbvr {
@@ -57,10 +65,23 @@ impl Default for Mbvr {
 }
 
 impl Mbvr {
+    /// An MBVR with the paper system's (Haswell-EP) thresholds.
     pub fn new() -> Self {
+        Self::for_generation(CpuGeneration::HaswellEp)
+    }
+
+    /// An MBVR with `generation`'s phase-shedding thresholds and SVID
+    /// range.
+    pub fn for_generation(generation: CpuGeneration) -> Self {
+        let vr = generation.policy().vr();
         Mbvr {
             state: MbvrPowerState::Ps0,
-            vccin: 1.80,
+            vccin: vr.vccin_v,
+            ps1_below_w: vr.mbvr_ps1_below_w,
+            ps2_below_w: vr.mbvr_ps2_below_w,
+            hysteresis_w: vr.mbvr_hysteresis_w,
+            svid_lo_v: vr.svid_lo_v,
+            svid_hi_v: vr.svid_hi_v,
         }
     }
 
@@ -74,7 +95,10 @@ impl Mbvr {
 
     /// SVID set-voltage command from the processor.
     pub fn svid_set_voltage(&mut self, volts: f64) {
-        assert!((1.6..=2.0).contains(&volts), "VCCin range");
+        assert!(
+            (self.svid_lo_v..=self.svid_hi_v).contains(&volts),
+            "VCCin range"
+        );
         self.vccin = volts;
     }
 
@@ -83,27 +107,27 @@ impl Mbvr {
     pub fn update_estimated_power(&mut self, pkg_w: f64) {
         self.state = match self.state {
             MbvrPowerState::Ps0 => {
-                if pkg_w < PS2_BELOW_W {
+                if pkg_w < self.ps2_below_w {
                     MbvrPowerState::Ps2
-                } else if pkg_w < PS1_BELOW_W {
+                } else if pkg_w < self.ps1_below_w {
                     MbvrPowerState::Ps1
                 } else {
                     MbvrPowerState::Ps0
                 }
             }
             MbvrPowerState::Ps1 => {
-                if pkg_w >= PS1_BELOW_W + HYSTERESIS_W {
+                if pkg_w >= self.ps1_below_w + self.hysteresis_w {
                     MbvrPowerState::Ps0
-                } else if pkg_w < PS2_BELOW_W {
+                } else if pkg_w < self.ps2_below_w {
                     MbvrPowerState::Ps2
                 } else {
                     MbvrPowerState::Ps1
                 }
             }
             MbvrPowerState::Ps2 => {
-                if pkg_w >= PS1_BELOW_W + HYSTERESIS_W {
+                if pkg_w >= self.ps1_below_w + self.hysteresis_w {
                     MbvrPowerState::Ps0
-                } else if pkg_w >= PS2_BELOW_W + HYSTERESIS_W {
+                } else if pkg_w >= self.ps2_below_w + self.hysteresis_w {
                     MbvrPowerState::Ps1
                 } else {
                     MbvrPowerState::Ps2
@@ -152,10 +176,30 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn in_state(state: MbvrPowerState) -> Mbvr {
+        Mbvr {
+            state,
+            ..Mbvr::new()
+        }
+    }
+
     #[test]
     fn three_lanes_only() {
         // Paper Section II-B: three lanes vs. five on previous products.
         assert_eq!(SupplyLane::ALL.len(), 3);
+    }
+
+    #[test]
+    fn haswell_policy_reproduces_the_calibration_thresholds() {
+        // Satellite regression pins: the policy-driven constructor carries
+        // the exact pre-refactor literals.
+        let vr = Mbvr::new();
+        assert_eq!(vr.vccin(), 1.80);
+        assert_eq!(vr.ps1_below_w, 45.0);
+        assert_eq!(vr.ps2_below_w, 15.0);
+        assert_eq!(vr.hysteresis_w, 4.0);
+        assert_eq!(vr.svid_lo_v, 1.6);
+        assert_eq!(vr.svid_hi_v, 2.0);
     }
 
     #[test]
@@ -173,32 +217,24 @@ mod tests {
     #[test]
     fn hysteresis_prevents_chatter_at_the_threshold() {
         let mut vr = Mbvr::new();
+        let (ps1, hyst) = (vr.ps1_below_w, vr.hysteresis_w);
         vr.update_estimated_power(30.0);
         assert_eq!(vr.state(), MbvrPowerState::Ps1);
         // Oscillating just around the PS1 threshold must not flip back.
-        vr.update_estimated_power(PS1_BELOW_W + 1.0);
+        vr.update_estimated_power(ps1 + 1.0);
         assert_eq!(vr.state(), MbvrPowerState::Ps1);
-        vr.update_estimated_power(PS1_BELOW_W - 1.0);
+        vr.update_estimated_power(ps1 - 1.0);
         assert_eq!(vr.state(), MbvrPowerState::Ps1);
         // Only a clear margin promotes.
-        vr.update_estimated_power(PS1_BELOW_W + HYSTERESIS_W + 1.0);
+        vr.update_estimated_power(ps1 + hyst + 1.0);
         assert_eq!(vr.state(), MbvrPowerState::Ps0);
     }
 
     #[test]
     fn each_state_wins_in_its_band() {
-        let ps0 = Mbvr {
-            state: MbvrPowerState::Ps0,
-            vccin: 1.8,
-        };
-        let ps1 = Mbvr {
-            state: MbvrPowerState::Ps1,
-            vccin: 1.8,
-        };
-        let ps2 = Mbvr {
-            state: MbvrPowerState::Ps2,
-            vccin: 1.8,
-        };
+        let ps0 = in_state(MbvrPowerState::Ps0);
+        let ps1 = in_state(MbvrPowerState::Ps1);
+        let ps2 = in_state(MbvrPowerState::Ps2);
         // Near idle PS2 is most efficient; mid-load PS1; full-load PS0.
         assert!(ps2.efficiency(8.0) > ps1.efficiency(8.0));
         assert!(ps1.efficiency(8.0) > ps0.efficiency(8.0));
@@ -223,10 +259,9 @@ mod tests {
     proptest! {
         #[test]
         fn prop_efficiency_physical(p in 0.5f64..200.0, st in 0usize..3) {
-            let vr = Mbvr {
-                state: [MbvrPowerState::Ps0, MbvrPowerState::Ps1, MbvrPowerState::Ps2][st],
-                vccin: 1.8,
-            };
+            let vr = in_state(
+                [MbvrPowerState::Ps0, MbvrPowerState::Ps1, MbvrPowerState::Ps2][st],
+            );
             let eta = vr.efficiency(p);
             prop_assert!((0.30..=0.95).contains(&eta));
             prop_assert!(vr.loss_w(p) >= 0.0);

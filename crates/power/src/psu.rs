@@ -77,6 +77,30 @@ mod tests {
     }
 
     #[test]
+    fn haswell_node_pins_the_calibration_psu_curve() {
+        // Satellite regression pins: the paper node's electrical constants
+        // survive the policy refactor bit-for-bit.
+        let node = NodeSpec::paper_test_node();
+        assert_eq!(node.rest_dc_w, 150.0);
+        assert_eq!(node.psu.a2.to_bits(), calib::AC_FIT_A2.to_bits());
+        assert_eq!(node.psu.a1, 0.007);
+        assert_eq!(node.psu.a0_w, 67.9);
+    }
+
+    #[test]
+    fn skylake_node_psu_is_physical_too() {
+        // The SKX test node (1905.12468 Section III) runs the same PSU
+        // model; its higher idle floor and 2-socket draw stay physical.
+        let m = NodePowerModel::new(NodeSpec::skylake_sp_node());
+        for p in [0.0, 100.0, 300.0, 500.0] {
+            assert!(m.ac_power_w(p) > m.dc_power_w(p));
+            assert!(m.ac_power_w(p + 1.0) > m.ac_power_w(p));
+        }
+        let eta = m.psu_efficiency(400.0);
+        assert!((0.7..1.0).contains(&eta), "eta = {eta}");
+    }
+
+    #[test]
     fn loss_is_nonlinear() {
         // Marginal loss must grow with load (the "likely to be nonlinear"
         // premise that makes the Haswell fit quadratic rather than linear).

@@ -5,6 +5,9 @@ use hsw_hwspec::clock::{ClockDomain, Ns};
 use hsw_hwspec::{calib, CpuGeneration, RaplMode};
 use hsw_msr::EnergyCounter;
 
+// `calib` stays imported for the limiter window, which is not
+// generation-varying firmware policy.
+
 /// DRAM RAPL operating mode. Haswell-EP only supports mode 1; selecting
 /// mode 0 in the BIOS "will result in unspecified behavior" — modeled here
 /// as energy scaled by the (wrong) package energy unit, producing the
@@ -52,17 +55,28 @@ pub struct RaplEngine {
     /// 1.0 (the reference chip) on every constructor path except
     /// [`RaplEngine::with_unit_trim`].
     trim_gain: f64,
+    /// Relative noise amplitude of the measured (FIVR/IMON) readout,
+    /// from the generation's [`hsw_hwspec::RaplPolicy`].
+    measured_noise_frac: f64,
+    /// Relative noise amplitude of the modeled readout.
+    modeled_noise_frac: f64,
+    /// Package-unit / DRAM-unit ratio, the mode-0 misreading factor.
+    mode0_unit_ratio: f64,
 }
 
 impl RaplEngine {
     pub fn new(generation: CpuGeneration, dram_mode: DramRaplMode) -> Self {
+        let policy = generation.policy().rapl();
         RaplEngine {
-            mode: generation.rapl_mode(),
+            mode: policy.mode,
             dram_mode,
-            pkg: EnergyCounter::new(calib::PKG_ENERGY_UNIT_UJ * 1e-6),
-            dram: EnergyCounter::new(calib::DRAM_ENERGY_UNIT_UJ * 1e-6),
+            pkg: EnergyCounter::new(policy.pkg_energy_unit_uj * 1e-6),
+            dram: EnergyCounter::new(policy.dram_energy_unit_uj * 1e-6),
             avg_pkg_w: 0.0,
             trim_gain: 1.0,
+            measured_noise_frac: policy.measured_noise_frac,
+            modeled_noise_frac: policy.modeled_noise_frac,
+            mode0_unit_ratio: policy.pkg_energy_unit_uj / policy.dram_energy_unit_uj,
         }
     }
 
@@ -117,14 +131,14 @@ impl RaplEngine {
         let (pkg_w, dram_w) = match self.mode {
             RaplMode::Unavailable => (0.0, 0.0),
             RaplMode::Measured => {
-                // FIVR-based measurement: sub-percent white error.
-                let e = 1.0 + noise * 0.004;
+                // FIVR/IMON-based measurement: sub-percent white error.
+                let e = 1.0 + noise * self.measured_noise_frac;
                 (true_pkg_w * e, true_dram_w * e)
             }
             RaplMode::Modeled => {
                 // Event-driven model: systematic per-workload bias plus a
                 // little model noise.
-                let e = 1.0 + noise * 0.01;
+                let e = 1.0 + noise * self.modeled_noise_frac;
                 (
                     (true_pkg_w * bias.gain + bias.offset_w) * e,
                     true_dram_w * bias.gain * e,
@@ -135,10 +149,9 @@ impl RaplEngine {
             DramRaplMode::Mode1 => dram_w,
             // Mode 0: counts are produced as if the energy unit were the
             // package ESU (61 µJ) while the register is read with the fixed
-            // 15.3 µJ DRAM unit → readings ≈ 4× too high.
-            DramRaplMode::Mode0 => {
-                dram_w * (calib::PKG_ENERGY_UNIT_UJ / calib::DRAM_ENERGY_UNIT_UJ)
-            }
+            // 15.3 µJ DRAM unit → readings ≈ 4× too high. Unity where the
+            // generation uses a uniform unit (Skylake-SP).
+            DramRaplMode::Mode0 => dram_w * self.mode0_unit_ratio,
         };
         self.pkg
             .add_joules((pkg_w * self.trim_gain * dt_s).max(0.0));
@@ -233,6 +246,31 @@ mod tests {
             eng.pkg_delta_joules(p0, eng.pkg_raw()) / secs,
             eng.dram_delta_joules(d0, eng.dram_raw()) / secs,
         )
+    }
+
+    #[test]
+    fn haswell_policy_reproduces_the_calibration_units() {
+        // Satellite regression pins: the policy-driven constructor carries
+        // the exact pre-refactor calibration values.
+        let eng = RaplEngine::new(CpuGeneration::HaswellEp, DramRaplMode::Mode1);
+        assert_eq!(eng.mode(), RaplMode::Measured);
+        assert_eq!(eng.measured_noise_frac, 0.004);
+        assert_eq!(eng.modeled_noise_frac, 0.01);
+        assert_eq!(
+            eng.mode0_unit_ratio.to_bits(),
+            (calib::PKG_ENERGY_UNIT_UJ / calib::DRAM_ENERGY_UNIT_UJ).to_bits()
+        );
+    }
+
+    #[test]
+    fn skylake_uses_one_uniform_energy_unit() {
+        // 1905.12468 Section II-E: Skylake-SP reads the DRAM domain with the
+        // same ESU as the package, so "mode 0" no longer misreads.
+        let policy = CpuGeneration::SkylakeSp.policy().rapl();
+        assert_eq!(policy.pkg_energy_unit_uj, policy.dram_energy_unit_uj);
+        let eng = RaplEngine::new(CpuGeneration::SkylakeSp, DramRaplMode::Mode0);
+        assert_eq!(eng.mode0_unit_ratio, 1.0);
+        assert_eq!(eng.mode(), RaplMode::Measured);
     }
 
     #[test]

@@ -103,6 +103,14 @@ fn main() {
         "Fleet — barrier collectives pay for the slowest chip",
         experiments::fleet_straggler::run(fidelity).to_string(),
     );
+    emit(
+        "Skylake-SP — AVX frequency licenses (arXiv:1905.12468)",
+        experiments::skx_license_table::run().to_string(),
+    );
+    emit(
+        "Skylake-SP — mesh frequency scaling (arXiv:1905.12468)",
+        experiments::skx_ufs_mesh::run(fidelity).to_string(),
+    );
 
     if let Some(path) = write_md {
         std::fs::write(&path, md).expect("write markdown");

@@ -3,20 +3,21 @@
 //! ```text
 //! survey [--list] [--only <id>[,<id>...]] [--seed <u64>] [--jobs <n>]
 //!        [--fidelity quick|paper] [--engine fixed|event]
-//!        [--warm-start on|off] [--fleet-size <n>] [--out <path>]
+//!        [--warm-start on|off] [--fleet-size <n>]
+//!        [--platform haswell|skylake-sp] [--out <path>]
 //! ```
 //!
 //! Determinism contract: the JSON document depends only on
-//! `(--fidelity, --seed, --only, --fleet-size)` — the same flags produce
+//! `(--platform, --fidelity, --seed, --only, --fleet-size)` — the same flags produce
 //! byte-identical `survey.json` for any `--jobs` value, either `--engine`
 //! mode, and either `--warm-start` setting. Wall-clock timings go to the
 //! scoreboard and stderr only.
 
 use std::process::ExitCode;
 
-use haswell_survey::survey::{registry, run_survey, SurveyConfig};
+use haswell_survey::survey::{registry_for, run_survey, SurveyConfig};
 use haswell_survey::Fidelity;
-use hsw_node::EngineMode;
+use hsw_node::{EngineMode, PlatformKind};
 
 const USAGE: &str = "\
 usage: survey [options]
@@ -38,6 +39,8 @@ options:
                       validation escape hatch
   --fleet-size <n>    nodes per fleet experiment (default: fidelity preset,
                       32 quick / 256 paper)
+  --platform <p>      haswell | skylake-sp (default haswell): which surveyed
+                      machine to model; selects the experiment registry
   --out <path>        output path (default survey.json, `-` for stdout)
   -h, --help          show this help
 ";
@@ -110,6 +113,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.cfg.fleet_size = Some(n);
             }
+            "--platform" => {
+                let v = value("--platform")?;
+                args.cfg.platform = PlatformKind::parse(&v)
+                    .ok_or_else(|| format!("--platform: `{v}` is not haswell|skylake-sp"))?;
+            }
             "--out" => args.out = value("--out")?,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -132,7 +140,7 @@ fn main() -> ExitCode {
     };
 
     if args.list {
-        for exp in registry() {
+        for exp in registry_for(args.cfg.platform) {
             println!(
                 "{:<20} {:<28} {}{}",
                 exp.id(),
@@ -145,7 +153,8 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "survey: fidelity={} seed={} jobs={} pool={} engine={} warm-start={} fleet-size={}",
+        "survey: platform={} fidelity={} seed={} jobs={} pool={} engine={} warm-start={} fleet-size={}",
+        args.cfg.platform,
         args.cfg.fidelity.label(),
         args.cfg.seed,
         args.cfg.jobs,

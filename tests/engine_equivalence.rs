@@ -25,6 +25,7 @@ fn survey_json(engine: EngineMode, jobs: usize, seed: u64) -> String {
         engine,
         warm_start: true,
         fleet_size: None,
+        platform: Default::default(),
     };
     run_survey(&cfg).expect("survey subset runs").to_json()
 }

@@ -5,6 +5,7 @@
 
 use haswell_survey_repro::exec::WorkloadProfile;
 use haswell_survey_repro::hwspec::freq::FreqSetting;
+use haswell_survey_repro::hwspec::NodeSpec;
 use haswell_survey_repro::msr::addresses as msra;
 use haswell_survey_repro::node::{CpuId, Node, NodeConfig};
 use proptest::prelude::*;
@@ -130,6 +131,91 @@ proptest! {
             prev_aperf = aperf;
             prev_instr = instr;
         }
+    }
+
+    #[test]
+    fn prop_skylake_snapshot_round_trips_hwp_and_mesh_state(
+        seed in 0u64..500,
+        profile_idx in 0usize..6,
+        cores in 1usize..=26,
+        warm_ms in 50u64..300,
+        run_ms in 50u64..300,
+    ) {
+        // The warm-start contract on the new backend: snapshotting a
+        // Skylake-SP node mid-flight (HWP p-state engine, per-socket mesh
+        // clock, AVX license levels, uniform-unit RAPL counters) and
+        // restoring into a fresh same-seed node must continue
+        // bit-identically with the uninterrupted run.
+        let cfg = || {
+            NodeConfig::paper_default()
+                .with_spec(NodeSpec::skylake_sp_node())
+                .with_seed(seed)
+        };
+        let mut a = Node::new(cfg());
+        a.run_on_socket(0, &profile_for(profile_idx), cores, 2);
+        a.advance_us(warm_ms * 1000);
+        let snap = a.snapshot();
+
+        let mut b = Node::new(cfg());
+        b.restore(&snap);
+        prop_assert_eq!(b.now_ns(), a.now_ns());
+        a.advance_us(run_ms * 1000);
+        b.advance_us(run_ms * 1000);
+
+        for s in 0..2 {
+            prop_assert_eq!(
+                a.true_pkg_power_w(s).to_bits(),
+                b.true_pkg_power_w(s).to_bits(),
+                "socket {} package power diverged", s
+            );
+            prop_assert_eq!(
+                a.sockets()[s].true_uncore_mhz().to_bits(),
+                b.sockets()[s].true_uncore_mhz().to_bits(),
+                "socket {} mesh clock diverged", s
+            );
+            let cpu = CpuId::new(s, 0, 0);
+            for addr in [
+                msra::MSR_PKG_ENERGY_STATUS,
+                msra::MSR_DRAM_ENERGY_STATUS,
+                msra::MSR_U_PMON_UCLK_FIXED_CTR,
+                msra::IA32_APERF,
+            ] {
+                prop_assert_eq!(
+                    a.rdmsr(cpu, addr).unwrap(),
+                    b.rdmsr(cpu, addr).unwrap(),
+                    "socket {} MSR {:#x} diverged", s, addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_skylake_fork_with_new_seed_diverges_only_in_noise(
+        seed in 0u64..200,
+        fork_seed in 1000u64..1200,
+    ) {
+        // Re-seeded forks keep the captured HWP/mesh state but re-key the
+        // noise streams — the fleet and warm-start machinery relies on it.
+        let mut warm = Node::new(
+            NodeConfig::paper_default()
+                .with_spec(NodeSpec::skylake_sp_node())
+                .with_seed(seed),
+        );
+        warm.run_on_socket(0, &WorkloadProfile::compute(), 8, 1);
+        warm.advance_s(0.1);
+        let snap = warm.snapshot();
+
+        let mut fork = Node::new(
+            NodeConfig::paper_default()
+                .with_spec(NodeSpec::skylake_sp_node())
+                .with_seed(fork_seed),
+        );
+        fork.restore(&snap);
+        prop_assert_eq!(fork.now_ns(), warm.now_ns());
+        let a = warm.measure_ac_average(0.1);
+        let b = fork.measure_ac_average(0.1);
+        prop_assert_ne!(a.to_bits(), b.to_bits(), "meter noise must re-key");
+        prop_assert!((a - b).abs() < 10.0, "same state, only noise differs: {} vs {}", a, b);
     }
 
     #[test]

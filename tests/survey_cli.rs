@@ -63,6 +63,60 @@ fn flag_missing_its_value_is_rejected() {
 }
 
 #[test]
+fn unknown_platform_is_rejected() {
+    let (code, err) = survey(&["--platform", "broadwell"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("--platform"), "{err}");
+    assert!(err.contains("broadwell"), "{err}");
+    assert!(err.contains("haswell|skylake-sp"), "{err}");
+}
+
+#[test]
+fn platform_missing_its_value_is_rejected() {
+    let (code, err) = survey(&["--platform"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("needs a value"), "{err}");
+}
+
+#[test]
+fn list_on_skylake_names_the_skx_experiments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_survey"))
+        .args(["--list", "--platform", "skylake-sp"])
+        .output()
+        .expect("survey binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("skx_license_table"), "{stdout}");
+    assert!(stdout.contains("skx_ufs_mesh"), "{stdout}");
+    assert!(!stdout.contains("fleet_cap_spread"), "{stdout}");
+}
+
+#[test]
+fn banner_names_the_platform() {
+    // A real (tiny) run on each platform: the stderr banner states which
+    // machine is modeled, and the run exits cleanly.
+    let (code, err) = survey(&[
+        "--platform",
+        "skylake-sp",
+        "--only",
+        "skx_license_table",
+        "--out",
+        "-",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(err.contains("platform=skylake-sp"), "{err}");
+}
+
+#[test]
+fn haswell_rejects_skx_only_ids() {
+    // Registries are per platform: an SKX id is unknown on the default
+    // Haswell platform and must fail fast like any other typo.
+    let (code, err) = survey(&["--only", "skx_ufs_mesh"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("unknown experiment id"), "{err}");
+}
+
+#[test]
 fn list_exits_zero_and_names_the_fleet_experiments() {
     let out = Command::new(env!("CARGO_BIN_EXE_survey"))
         .arg("--list")

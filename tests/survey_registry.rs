@@ -56,6 +56,7 @@ fn json_is_identical_across_job_counts() {
         engine: EngineMode::default(),
         warm_start: true,
         fleet_size: None,
+        platform: Default::default(),
     })
     .unwrap();
     let parallel = run_survey(&SurveyConfig {
@@ -66,6 +67,7 @@ fn json_is_identical_across_job_counts() {
         engine: EngineMode::default(),
         warm_start: true,
         fleet_size: None,
+        platform: Default::default(),
     })
     .unwrap();
     assert_eq!(serial.to_json(), parallel.to_json());

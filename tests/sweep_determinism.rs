@@ -64,6 +64,47 @@ fn warm_start_on_and_off_are_byte_identical() {
 }
 
 #[test]
+fn skylake_survey_json_is_byte_identical_across_jobs_and_pool_sizes() {
+    // The determinism matrix's second row: the Skylake-SP registry (one
+    // analytic sweep, one session-based measurement over the 2×26-core
+    // mesh node) through the same jobs × pool grid as the Haswell set.
+    const SUBSET: &str = "skx_license_table,skx_ufs_mesh";
+    const PLATFORM: &[&str] = &["--platform", "skylake-sp"];
+    let baseline = survey_json_with("skx_j1p1", SUBSET, "1", "1", PLATFORM);
+    assert!(!baseline.is_empty());
+    for (jobs, pool) in [("2", "2"), ("8", "4")] {
+        let other = survey_json_with(&format!("skx_j{jobs}p{pool}"), SUBSET, jobs, pool, PLATFORM);
+        assert_eq!(
+            baseline, other,
+            "skylake-sp survey.json differs at --jobs {jobs} / RAYON_NUM_THREADS={pool}"
+        );
+    }
+}
+
+#[test]
+fn skylake_warm_start_on_and_off_are_byte_identical() {
+    // Same contract as the Haswell leg: HWP/mesh state forked from a warm
+    // snapshot must not differ from a cold settle.
+    const SUBSET: &str = "skx_license_table,skx_ufs_mesh";
+    let on = survey_json_with(
+        "skx_warm_on",
+        SUBSET,
+        "2",
+        "2",
+        &["--platform", "skylake-sp", "--warm-start", "on"],
+    );
+    let off = survey_json_with(
+        "skx_warm_off",
+        SUBSET,
+        "2",
+        "2",
+        &["--platform", "skylake-sp", "--warm-start", "off"],
+    );
+    assert!(!on.is_empty());
+    assert_eq!(on, off, "warm-start fork leaked state into the SKX JSON");
+}
+
+#[test]
 fn seeded_sweeps_are_pool_size_independent() {
     // A seeded sweep (fig56 consumes per-point node and RNG streams)
     // through pools of different widths; any schedule dependence in seed
