@@ -44,7 +44,7 @@ fn run_fleet(warm: bool, n: usize) -> f64 {
             session.advance_s(0.5); // golden settle shared by every member
             session
         },
-        |mut node, _var, _id, _seed| {
+        |node, _var, _id, _seed| {
             node.advance_s(0.15);
             node.true_pkg_power_w(0) + node.true_pkg_power_w(1)
         },

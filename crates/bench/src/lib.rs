@@ -11,7 +11,73 @@
 //!   chip-wide p-states, RAPL DRAM mode 0 vs. 1) and a simulator
 //!   throughput measurement.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::Value;
+
+/// A counting wrapper around the system allocator for allocation-count
+/// regression tests (e.g. "the socket tick hot loop must not allocate").
+/// Install it with `#[global_allocator]` in a dedicated test binary, then
+/// bracket the measured region with [`CountingAlloc::reset`] and
+/// [`CountingAlloc::allocs`]. Counters are process-global and relaxed —
+/// good enough for single-threaded regression bounds, not for profiling.
+pub struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+impl CountingAlloc {
+    /// Zero both counters.
+    pub fn reset() {
+        ALLOC_CALLS.store(0, Ordering::Relaxed);
+        ALLOC_BYTES.store(0, Ordering::Relaxed);
+    }
+
+    /// Allocation calls (alloc, alloc_zeroed, and growing reallocs) since
+    /// the last reset.
+    pub fn allocs() -> u64 {
+        ALLOC_CALLS.load(Ordering::Relaxed)
+    }
+
+    /// Bytes requested since the last reset.
+    pub fn bytes() -> u64 {
+        ALLOC_BYTES.load(Ordering::Relaxed)
+    }
+}
+
+// SAFETY: pure pass-through to `System` — every pointer/layout contract is
+// forwarded unchanged, the counters are side-effect-only atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout handed to `System.alloc`; counting has no effect
+    // on the returned allocation.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: caller guarantees `ptr`/`layout` came from this allocator,
+    // which always means `System`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: same layout handed to `System.alloc_zeroed`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    // SAFETY: caller's `ptr`/`layout`/`new_size` contract is forwarded
+    // verbatim to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
 
 /// Print a banner followed by a reproduced artifact exactly once per
 /// process (Criterion calls the closure many times).

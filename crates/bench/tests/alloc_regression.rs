@@ -1,0 +1,76 @@
+//! Allocation-count regression bound on the socket tick hot loop.
+//!
+//! `Socket::tick` used to clone the `SkuSpec` (three `Vec`s) every tick;
+//! the SoA core planes and the reusable `TickScratch` removed that, along
+//! with the per-tick duty/electrical/counter-rate vectors. This test pins
+//! the result: a settled, fully loaded node must advance with (almost) no
+//! allocator traffic. The only sanctioned residual is `PcuController::
+//! solve`, which builds one grant vector per 500 µs evaluation period —
+//! 0.04 allocs per 20 µs tick — so the bound below (0.2/tick) leaves 5x
+//! headroom without ever letting a per-tick clone (3+/tick) back in.
+
+use hsw_bench::CountingAlloc;
+use hsw_exec::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_node::{Node, NodeConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn settled_tick_loop_is_allocation_free() {
+    let mut node = Node::new(NodeConfig::paper_default().with_seed(7));
+    for s in 0..2 {
+        node.run_on_socket(s, &WorkloadProfile::compute(), 12, 2);
+    }
+    node.set_setting_all(FreqSetting::from_mhz(2200));
+    // Settle: first ticks legitimately allocate (counter-rate plane,
+    // transition log, scratch growth); steady state must not.
+    node.advance_s(0.5);
+
+    CountingAlloc::reset();
+    node.advance_s(0.2); // 10_000 ticks at the default 20 µs step
+    let allocs = CountingAlloc::allocs();
+
+    let ticks = 10_000u64;
+    let per_tick = allocs as f64 / ticks as f64;
+    assert!(
+        per_tick < 0.2,
+        "settled tick loop allocated {allocs} times over {ticks} ticks \
+         ({per_tick:.3}/tick; bound 0.2/tick = PCU solve cadence with 5x headroom)"
+    );
+}
+
+#[test]
+fn dirty_plane_fork_allocates_less_than_a_node_build() {
+    // The scratch-node fork path exists to avoid per-point construction;
+    // verify the allocator agrees. A fork of a snapshot into a node that
+    // only dirtied its WORK plane must stay well under what constructing
+    // and restoring a fresh node costs.
+    let cfg = NodeConfig::paper_default().with_seed(7);
+    let mut golden = Node::new(cfg.clone());
+    golden.run_on_socket(0, &WorkloadProfile::compute(), 8, 1);
+    golden.advance_s(0.1);
+    let snap = golden.snapshot();
+
+    let mut scratch = Node::new(cfg.clone());
+    // First fork clears the new node's everything-dirty state; then dirty
+    // only the WORK plane, as a settings-sweep point would.
+    scratch.fork_from(&snap, 1001);
+    scratch.run_on_socket(0, &WorkloadProfile::busy_wait(), 4, 1);
+
+    CountingAlloc::reset();
+    scratch.fork_from(&snap, 1002);
+    let fork_allocs = CountingAlloc::allocs();
+
+    CountingAlloc::reset();
+    let mut fresh = Node::new(cfg.with_seed(1002));
+    fresh.restore(&snap);
+    let build_allocs = CountingAlloc::allocs();
+
+    assert!(
+        fork_allocs * 4 < build_allocs,
+        "WORK-plane fork allocated {fork_allocs} times vs {build_allocs} for \
+         build+restore — expected under a quarter"
+    );
+}

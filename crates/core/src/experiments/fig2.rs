@@ -166,12 +166,12 @@ fn run_panel(ctx: &RunCtx, spec: NodeSpec, salt: u64) -> Fig2Panel {
             session.advance_s(0.4); // shared idle settle
             session
         },
-        |mut node, (profile, (cores, sockets, tpc)), _seed| {
+        |node, (profile, (cores, sockets, tpc)), _seed| {
             for s in 0..*sockets {
                 node.run_on_socket(s, profile, *cores, *tpc);
             }
             node.advance_s(0.4); // per-point settle under the new workload
-            let (ac, rapl) = measure_point(&mut node, avg_s);
+            let (ac, rapl) = measure_point(node, avg_s);
             Fig2Point {
                 workload: profile.name.to_string(),
                 threads: cores * sockets * tpc,

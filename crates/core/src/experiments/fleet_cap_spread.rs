@@ -46,19 +46,19 @@ pub struct MemberSample {
 
 /// Settle a forked fleet member under its own electrical identity, then
 /// measure one steady-state window. Shared with the straggler experiment.
-pub(crate) fn measure_member(fid: Fidelity, mut node: Node) -> MemberSample {
+pub(crate) fn measure_member(fid: Fidelity, node: &mut Node) -> MemberSample {
     // The golden snapshot converged with the *nominal* chip; give this
     // unit's PCU time to re-equilibrate to its own leakage/corner/trim.
     node.advance_s(fid.fleet_settle_s());
     let pcs = [
-        PerfCtr::new(&node, CpuId::new(0, 0, 0)),
-        PerfCtr::new(&node, CpuId::new(1, 0, 0)),
+        PerfCtr::new(node, CpuId::new(0, 0, 0)),
+        PerfCtr::new(node, CpuId::new(1, 0, 0)),
     ];
-    let before = [pcs[0].sample(&node), pcs[1].sample(&node)];
+    let before = [pcs[0].sample(node), pcs[1].sample(node)];
     node.advance_s(fid.fleet_measure_s());
     let d = [
-        pcs[0].derive(&before[0], &pcs[0].sample(&node)),
-        pcs[1].derive(&before[1], &pcs[1].sample(&node)),
+        pcs[0].derive(&before[0], &pcs[0].sample(node)),
+        pcs[1].derive(&before[1], &pcs[1].sample(node)),
     ];
     MemberSample {
         pkg_w: (d[0].pkg_w + d[1].pkg_w) / 2.0,

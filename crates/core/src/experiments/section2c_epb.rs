@@ -87,14 +87,14 @@ fn run_impl(ctx: &RunCtx) -> Section2cEpb {
             session.advance_s(0.2); // shared bring-up
             session
         },
-        |mut node, raw, _seed| {
-            program_epb(&mut node, 0..2, *raw);
+        |node, raw, _seed| {
+            program_epb(node, 0..2, *raw);
             node.set_setting_all(FreqSetting::from_mhz(2500));
             node.advance_s(0.3);
-            let pc = PerfCtr::new(&node, CpuId::new(0, 0, 0));
-            let a = pc.sample(&node);
+            let pc = PerfCtr::new(node, CpuId::new(0, 0, 0));
+            let a = pc.sample(node);
             node.advance_s(0.4);
-            let b = pc.sample(&node);
+            let b = pc.sample(node);
             pc.derive(&a, &b).uncore_ghz
         },
     );
@@ -110,8 +110,8 @@ fn run_impl(ctx: &RunCtx) -> Section2cEpb {
             session.advance_s(0.2); // shared bring-up
             session
         },
-        |mut node, raw, _seed| {
-            program_epb(&mut node, 0..1, *raw);
+        |node, raw, _seed| {
+            program_epb(node, 0..1, *raw);
             node.set_setting_all(FreqSetting::Turbo);
             node.advance_s(0.6);
             node.sockets()[0].true_core_mhz(0) / 1000.0

@@ -48,24 +48,24 @@ impl std::fmt::Display for Table4 {
 
 fn measure(
     ctx: &RunCtx,
-    mut node: hsw_node::Node,
+    node: &mut hsw_node::Node,
     setting: FreqSetting,
 ) -> (SocketMedians, SocketMedians) {
     node.set_setting_all(setting);
     node.advance_s(0.5); // re-settle under the point's setting
 
     let pcs = [
-        PerfCtr::new(&node, CpuId::new(0, 0, 0)),
-        PerfCtr::new(&node, CpuId::new(1, 0, 0)),
+        PerfCtr::new(node, CpuId::new(0, 0, 0)),
+        PerfCtr::new(node, CpuId::new(1, 0, 0)),
     ];
     let n = ctx.fidelity.table4_samples();
     let dt = ctx.fidelity.table4_interval_s();
-    let mut prev = [pcs[0].sample(&node), pcs[1].sample(&node)];
+    let mut prev = [pcs[0].sample(node), pcs[1].sample(node)];
     let mut derived = [Vec::with_capacity(n), Vec::with_capacity(n)];
     for _ in 0..n {
         node.advance_s(dt);
         for s in 0..2 {
-            let cur = pcs[s].sample(&node);
+            let cur = pcs[s].sample(node);
             derived[s].push(pcs[s].derive(&prev[s], &cur));
             prev[s] = cur;
         }

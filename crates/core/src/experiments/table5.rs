@@ -88,14 +88,14 @@ fn run_ctx(ctx: &RunCtx) -> Table5 {
                     session.advance_s(0.2); // shared bring-up
                     session
                 },
-                |mut node, (turbo_setting, epb), _seed| {
+                |node, (turbo_setting, epb), _seed| {
                     let setting = if *turbo_setting {
                         FreqSetting::Turbo
                     } else {
                         FreqSetting::from_mhz(2500)
                     };
                     let r: StressResult = measure_stress(
-                        &mut node,
+                        node,
                         setting,
                         *epb,
                         true, // turbo mode active (the *setting* selects its use)

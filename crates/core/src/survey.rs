@@ -195,15 +195,20 @@ impl RunCtx {
     /// `warmup` receives a session builder (already seeded from the warmup
     /// sub-base — see the seed-schedule note — and *not* wired to the time ledger) and
     /// drives the node to its converged pre-point state. `point` receives a
-    /// fork of that state — a fresh `Node` rebuilt from the warmup's config
-    /// under the point seed `mix_seed(base, k)`, ledgered, then restored
-    /// from the snapshot — plus the point itself and the point seed.
+    /// fork of that state under the point seed `mix_seed(base, k)`, plus
+    /// the point itself and the point seed.
     ///
     /// With warm start on, `warmup` runs once and every point forks the one
-    /// snapshot; with it off, `warmup` re-runs per point. Both paths feed
-    /// the *identical* fork construction, and [`hsw_node`]'s noise is keyed
-    /// by (seed, domain, sim-time) rather than step count, so results are
-    /// byte-identical by construction — only wall clock differs.
+    /// snapshot; with it off, `warmup` re-runs per point and each fork is a
+    /// fresh `Node` fully restored from its image. The warm path goes
+    /// further: each worker thread keeps one *scratch node* synced with the
+    /// current warm image and re-arms it between points with
+    /// [`Node::fork_from`], which copies back only the snapshot planes the
+    /// previous point dirtied. All three constructions are bit-identical —
+    /// the dirty mask guarantees untouched planes already equal the image,
+    /// and [`hsw_node`]'s noise is keyed by (seed, domain, sim-time) rather
+    /// than step count — so results are byte-identical by construction;
+    /// only wall clock differs.
     ///
     /// Contract for `warmup`: configure the builder freely (spec,
     /// resolution, EET, …) but never call [`SessionBuilder::seed`] /
@@ -214,7 +219,7 @@ impl RunCtx {
         P: Sync,
         R: Send,
         W: Fn(SessionBuilder) -> Session + Send + Sync,
-        F: Fn(Node, &P, u64) -> R + Send + Sync,
+        F: Fn(&mut Node, &P, u64) -> R + Send + Sync,
     {
         self.sweep_warm_inner(self.seed, points, warmup, point)
     }
@@ -233,7 +238,7 @@ impl RunCtx {
         P: Sync,
         R: Send,
         W: Fn(SessionBuilder) -> Session + Send + Sync,
-        F: Fn(Node, &P, u64) -> R + Send + Sync,
+        F: Fn(&mut Node, &P, u64) -> R + Send + Sync,
     {
         self.sweep_warm_inner(mix_seed(self.seed, salt), points, warmup, point)
     }
@@ -243,29 +248,25 @@ impl RunCtx {
         P: Sync,
         R: Send,
         W: Fn(SessionBuilder) -> Session + Send + Sync,
-        F: Fn(Node, &P, u64) -> R + Send + Sync,
+        F: Fn(&mut Node, &P, u64) -> R + Send + Sync,
     {
         self.points
             .fetch_add(points.len() as u64, Ordering::Relaxed);
         // The warmup session is deliberately unledgered: warm mode runs it
         // once, cold mode N times, and `sim_time_s` must not depend on the
-        // mode. The fork *is* ledgered and its restored clock starts at the
-        // warmup's end time, so each point credits warmup + point time and
-        // the totals agree across modes.
+        // mode. Each point instead credits its node's final clock — which
+        // starts at the warmup's end time — so every point accounts for
+        // warmup + point time and the totals agree across modes. (Explicit
+        // crediting rather than a drop-ledger: the warm path's scratch
+        // nodes outlive the sweep.)
         let warm = |_: &P| {
             let builder = self.platform().session().seed(warmup_seed(base));
             let node = warmup(builder).into_node();
             WarmImage {
+                id: IMAGE_IDS.fetch_add(1, Ordering::Relaxed),
                 snap: node.snapshot(),
                 cfg: node.config().clone(),
             }
-        };
-        let fork = |img: &WarmImage, k: usize| {
-            let seed = mix_seed(base, k as u64);
-            let mut node = Node::new(img.cfg.clone().with_seed(seed));
-            node.set_time_ledger(self.sim_ns.clone());
-            node.restore(&img.snap);
-            (node, seed)
         };
         if self.warm_start {
             self.reuses
@@ -278,8 +279,25 @@ impl RunCtx {
                 .par_iter()
                 .enumerate()
                 .map(|(k, p)| {
-                    let (node, seed) = fork(&img, k);
-                    point(node, p, seed)
+                    let seed = mix_seed(base, k as u64);
+                    // Dirty-plane fork fast path: re-arm this worker's
+                    // scratch node if it is synced with this image, else
+                    // build one (full restore clears the dirty mask).
+                    let mut node = match take_scratch(img.id) {
+                        Some(mut node) => {
+                            node.fork_from(&img.snap, seed);
+                            node
+                        }
+                        None => {
+                            let mut node = Node::new(img.cfg.clone().with_seed(seed));
+                            node.restore(&img.snap);
+                            node
+                        }
+                    };
+                    let r = point(&mut node, p, seed);
+                    self.sim_ns.fetch_add(node.now_ns(), Ordering::Relaxed);
+                    put_scratch(img.id, node);
+                    r
                 })
                 .collect()
         } else {
@@ -288,8 +306,12 @@ impl RunCtx {
                 .enumerate()
                 .map(|(k, p)| {
                     let img = warm(p);
-                    let (node, seed) = fork(&img, k);
-                    point(node, p, seed)
+                    let seed = mix_seed(base, k as u64);
+                    let mut node = Node::new(img.cfg.clone().with_seed(seed));
+                    node.restore(&img.snap);
+                    let r = point(&mut node, p, seed);
+                    self.sim_ns.fetch_add(node.now_ns(), Ordering::Relaxed);
+                    r
                 })
                 .collect()
         }
@@ -359,7 +381,7 @@ impl RunCtx {
     where
         R: Send,
         W: Fn(SessionBuilder) -> Session + Send + Sync,
-        F: Fn(Node, &ChipVariation, usize, u64) -> R + Send + Sync,
+        F: Fn(&mut Node, &ChipVariation, usize, u64) -> R + Send + Sync,
     {
         self.sweep_fleet_inner(self.seed, fleet_size, model, warmup, member)
     }
@@ -379,7 +401,7 @@ impl RunCtx {
     where
         R: Send,
         W: Fn(SessionBuilder) -> Session + Send + Sync,
-        F: Fn(Node, &ChipVariation, usize, u64) -> R + Send + Sync,
+        F: Fn(&mut Node, &ChipVariation, usize, u64) -> R + Send + Sync,
     {
         self.sweep_fleet_inner(mix_seed(self.seed, salt), fleet_size, model, warmup, member)
     }
@@ -395,17 +417,21 @@ impl RunCtx {
     where
         R: Send,
         W: Fn(SessionBuilder) -> Session + Send + Sync,
-        F: Fn(Node, &ChipVariation, usize, u64) -> R + Send + Sync,
+        F: Fn(&mut Node, &ChipVariation, usize, u64) -> R + Send + Sync,
     {
         self.points.fetch_add(fleet_size as u64, Ordering::Relaxed);
         let warm = || {
             let builder = self.platform().session().seed(warmup_seed(base));
             let node = warmup(builder).into_node();
             WarmImage {
+                id: IMAGE_IDS.fetch_add(1, Ordering::Relaxed),
                 snap: node.snapshot(),
                 cfg: node.config().clone(),
             }
         };
+        // Every member is its own manufactured chip (its own spec), so the
+        // scratch-node fast path does not apply here: each fork builds a
+        // fresh node around the member's varied spec and restores in full.
         let fork = |img: &WarmImage, id: usize| {
             let seed = node_seed(base, id as u64);
             let var = ChipVariation::sample(model, seed);
@@ -415,7 +441,6 @@ impl RunCtx {
                     .with_seed(seed)
                     .with_spec(var.apply(&img.cfg.spec)),
             );
-            node.set_time_ledger(self.sim_ns.clone());
             node.restore(&img.snap);
             (node, var, seed)
         };
@@ -429,16 +454,20 @@ impl RunCtx {
             let img = warm();
             ids.par_iter()
                 .map(|&id| {
-                    let (node, var, seed) = fork(&img, id);
-                    member(node, &var, id, seed)
+                    let (mut node, var, seed) = fork(&img, id);
+                    let r = member(&mut node, &var, id, seed);
+                    self.sim_ns.fetch_add(node.now_ns(), Ordering::Relaxed);
+                    r
                 })
                 .collect()
         } else {
             ids.par_iter()
                 .map(|&id| {
                     let img = warm();
-                    let (node, var, seed) = fork(&img, id);
-                    member(node, &var, id, seed)
+                    let (mut node, var, seed) = fork(&img, id);
+                    let r = member(&mut node, &var, id, seed);
+                    self.sim_ns.fetch_add(node.now_ns(), Ordering::Relaxed);
+                    r
                 })
                 .collect()
         }
@@ -447,9 +476,36 @@ impl RunCtx {
 
 /// The converged pre-point state one warm sweep forks from: the warmup
 /// node's snapshot plus the config to rebuild an identical node around it.
+/// The process-unique `id` keys the per-thread scratch nodes: a scratch is
+/// only re-armed with a dirty-plane fork against the image it was last
+/// synced with.
 struct WarmImage {
+    id: u64,
     snap: NodeSnapshot,
     cfg: hsw_node::NodeConfig,
+}
+
+/// Process-wide warm-image id allocator (0 is never issued, so a scratch
+/// slot can use it as "none").
+static IMAGE_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// One reusable scratch node per worker thread, tagged with the warm
+    /// image it is currently synced with. Taken *out* of the slot while a
+    /// point runs so re-entrant sweeps can never alias it.
+    static SCRATCH: std::cell::RefCell<Option<(u64, Node)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn take_scratch(img_id: u64) -> Option<Node> {
+    SCRATCH.with(|slot| {
+        let taken = slot.borrow_mut().take();
+        taken.and_then(|(id, node)| (id == img_id).then_some(node))
+    })
+}
+
+fn put_scratch(img_id: u64, node: Node) {
+    SCRATCH.with(|slot| *slot.borrow_mut() = Some((img_id, node)));
 }
 
 /// The deterministic intra-experiment sweep executor: run `f` over every

@@ -26,6 +26,24 @@ pub fn select_core_state(table: &AcpiLatencyTable, predicted_idle_us: u32) -> Co
     }
 }
 
+/// Fill a socket's per-core c-state plane in one pass: busy cores run in
+/// C0, idle cores all take the governor's pick for the (shared) predicted
+/// idle interval. Structure-of-arrays companion to [`select_core_state`]:
+/// the selection is a pure table lookup, so it is hoisted out of the
+/// per-core loop and the loop itself is a tight walk over two slices.
+pub fn fill_core_states(
+    table: &AcpiLatencyTable,
+    busy: &[bool],
+    predicted_idle_us: u32,
+    out: &mut [CoreCState],
+) {
+    debug_assert_eq!(busy.len(), out.len());
+    let idle = select_core_state(table, predicted_idle_us);
+    for (state, &b) in out.iter_mut().zip(busy) {
+        *state = if b { CoreCState::C0 } else { idle };
+    }
+}
+
 /// Resolve the package state of a socket from its core states and the
 /// activity of the rest of the system.
 ///
@@ -88,6 +106,22 @@ mod tests {
         let measured_c6_us = 20.0;
         let idle_us = (measured_c6_us * 3.0) as u32; // worth it in reality
         assert_ne!(select_core_state(&t, idle_us), CoreCState::C6);
+    }
+
+    #[test]
+    fn fill_core_states_matches_per_core_selection() {
+        let t = table();
+        let busy = [true, false, true, false, false];
+        let mut filled = [CoreCState::C0; 5];
+        fill_core_states(&t, &busy, 1_000_000, &mut filled);
+        for (c, &b) in busy.iter().enumerate() {
+            let expect = if b {
+                CoreCState::C0
+            } else {
+                select_core_state(&t, 1_000_000)
+            };
+            assert_eq!(filled[c], expect, "core {c}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod predictor;
 pub mod residency;
 pub mod state;
 
-pub use governor::{resolve_package_state, select_core_state};
+pub use governor::{fill_core_states, resolve_package_state, select_core_state};
 pub use latency::{wake_latency_us, WakeScenario};
 pub use predictor::IdlePredictor;
 pub use residency::{GovernorStats, IdleEpisode, Residency};

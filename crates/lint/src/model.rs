@@ -592,18 +592,30 @@ pub fn check_registry(
     findings
 }
 
-/// A struct definition: name, line, and its named fields with their lines.
+/// A named struct field: its name, line, and every identifier appearing in
+/// its type (`grant: PcuGrant` → `["PcuGrant"]`,
+/// `rates: Option<CounterRates>` → `["Option", "CounterRates"]`). The type
+/// identifiers let [`check_snapshots`] flatten snapshots that partition
+/// their fields into plane-image substructs.
+struct FieldDef {
+    name: String,
+    line: u32,
+    type_idents: Vec<String>,
+}
+
+/// A struct definition: name, line, and its named fields.
 struct StructDef {
     name: String,
     line: u32,
-    fields: Vec<(String, u32)>,
+    fields: Vec<FieldDef>,
 }
 
 /// Extract every `struct Name { field: Ty, … }` definition. Tuple and unit
 /// structs have no named fields and are skipped. Field names are the
 /// identifiers followed by a single `:` at struct-brace depth 1 outside any
-/// parens/brackets — unambiguous because the lexer joins `::` into one
-/// token.
+/// parens/brackets/generics — unambiguous because the lexer joins `::`
+/// into one token. Identifiers between a field's `:` and its terminating
+/// `,` are recorded as the field's type identifiers.
 fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
     let mut out = Vec::new();
     let mut i = 0;
@@ -641,8 +653,11 @@ fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
             i = j;
             continue;
         };
-        let mut fields = Vec::new();
-        let (mut depth, mut paren, mut bracket) = (1usize, 0i32, 0i32);
+        let mut fields: Vec<FieldDef> = Vec::new();
+        let (mut depth, mut paren, mut bracket, mut fangle) = (1usize, 0i32, 0i32, 0i32);
+        // Whether we are between a field's `:` and its terminating `,` —
+        // identifiers seen there belong to the field's type.
+        let mut in_type = false;
         let mut k = open + 1;
         while k < tokens.len() && depth > 0 {
             let t = &tokens[k];
@@ -658,15 +673,38 @@ fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
                 bracket += 1;
             } else if is_punct(t, "]") {
                 bracket -= 1;
+            } else if is_punct(t, "<") {
+                fangle += 1;
+            } else if is_punct(t, ">") {
+                fangle -= 1;
+            } else if in_type
+                && depth == 1
+                && paren == 0
+                && bracket == 0
+                && fangle == 0
+                && is_punct(t, ",")
+            {
+                in_type = false;
             } else if depth == 1
                 && paren == 0
                 && bracket == 0
+                && fangle == 0
+                && !in_type
                 && as_ident(t).is_some()
                 && tokens.get(k + 1).is_some_and(|n| is_punct(n, ":"))
             {
-                fields.push((as_ident(t).unwrap().to_string(), t.line));
+                fields.push(FieldDef {
+                    name: as_ident(t).unwrap().to_string(),
+                    line: t.line,
+                    type_idents: Vec::new(),
+                });
+                in_type = true;
                 k += 2;
                 continue;
+            } else if in_type {
+                if let (Some(id), Some(f)) = (as_ident(t), fields.last_mut()) {
+                    f.type_idents.push(id.to_string());
+                }
             }
             k += 1;
         }
@@ -741,11 +779,39 @@ fn find_source_struct<'a>(
         .copied()
 }
 
+/// Collect every field name reachable from `def` — its own fields plus,
+/// transitively, the fields of any workspace struct named in a field's
+/// type. This is what lets a snapshot partition its fields into plane
+/// images (`SocketSnapshot { pstate: PStatePlaneImage { grant, … } }`)
+/// and still count `grant` as captured. The visited set guards cycles.
+fn covered_names(
+    files: &[(String, String)],
+    scans: &[SnapshotScan],
+    fi: usize,
+    def: &StructDef,
+    visited: &mut BTreeSet<String>,
+    out: &mut BTreeSet<String>,
+) {
+    if !visited.insert(def.name.clone()) {
+        return;
+    }
+    for f in &def.fields {
+        out.insert(f.name.clone());
+        for ty in &f.type_idents {
+            if let Some((tfi, tdef)) = find_source_struct(files, scans, fi, ty) {
+                covered_names(files, scans, tfi, tdef, visited, out);
+            }
+        }
+    }
+}
+
 /// M4: every struct with a plain-data `<X>Snapshot` companion must account
-/// for each of its fields — captured by name in the snapshot, or marked
-/// with a justified `// snap:skip(<why>)` on the field's line or the line
-/// directly above. This is the determinism half of the warm-start
-/// contract: a stateful field silently missing from the snapshot is
+/// for each of its fields — captured by name in the snapshot (directly or
+/// inside a plane-image substruct the snapshot embeds — see
+/// [`covered_names`]), or marked with a justified `// snap:skip(<why>)` on
+/// the field's line or the line directly above. This is the determinism
+/// half of the warm-start contract: a stateful field silently missing
+/// from the snapshot — or from the plane image that claims its plane — is
 /// exactly how a forked sweep point diverges from its cold re-run.
 pub fn check_snapshots(files: &[(String, String)]) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -782,10 +848,23 @@ pub fn check_snapshots(files: &[(String, String)]) -> Vec<Finding> {
                 ));
                 continue;
             };
-            let snap_fields: BTreeSet<&str> = snap.fields.iter().map(|(n, _)| n.as_str()).collect();
+            let mut snap_fields = BTreeSet::new();
+            covered_names(
+                files,
+                &scans,
+                snap_fi,
+                snap,
+                &mut BTreeSet::new(),
+                &mut snap_fields,
+            );
             let src_path = &files[src_fi].0;
-            for (fname, fline) in &src_def.fields {
-                if snap_fields.contains(fname.as_str()) {
+            for FieldDef {
+                name: fname,
+                line: fline,
+                ..
+            } in &src_def.fields
+            {
+                if snap_fields.contains(fname) {
                     continue;
                 }
                 let marker = scans[src_fi].markers.iter().find(|m| {
@@ -1147,6 +1226,87 @@ pub struct ChipVariationSnapshot {
         let src = "struct E {\n    a: u64,\n    b: u8, // snap:skip(scratch, rebuilt per step)\n}\nstruct ESnapshot {\n    a: u64,\n}\n";
         let f = check_snapshots(&snap_files(&[("x.rs", src)]));
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    // A snapshot partitioned into plane-image substructs, as the node's
+    // dirty-plane layout does: `grant` and `queue` are captured one level
+    // down, `cores` through a `*Snapshot`-named plane of its own.
+    const SNAP_PLANES: &str = "\
+pub struct Engine {
+    ticks: u64,
+    grant: f64,
+    queue: Vec<(u32, u64)>,
+    cores: CorePlanes,
+    // snap:skip(per-step scratch, rebuilt every tick)
+    scratch: Vec<u8>,
+}
+
+pub struct CorePlanes {
+    mhz: Vec<f64>,
+    // snap:skip(cache derived from ticks, resynced on restore)
+    busy: Vec<bool>,
+}
+
+pub struct CorePlanesSnapshot {
+    mhz: Vec<f64>,
+}
+
+pub struct EngineSnapshot {
+    ticks: u64,
+    pstate: PStatePlaneImage,
+    cores: CorePlanesSnapshot,
+}
+
+pub struct PStatePlaneImage {
+    grant: f64,
+    queue: Vec<(u32, u64)>,
+}
+";
+
+    #[test]
+    fn m4_flattens_plane_image_substructs() {
+        let f = check_snapshots(&snap_files(&[("x.rs", SNAP_PLANES)]));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn m4_catches_a_field_missing_from_a_plane_image() {
+        // Dropping `queue` from the plane image must fire on the *source*
+        // field, exactly like dropping it from a flat snapshot: the plane
+        // claimed the field's plane and silently stopped capturing it.
+        let src = SNAP_PLANES.replace(
+            "pub struct PStatePlaneImage {\n    grant: f64,\n    queue: Vec<(u32, u64)>,\n}",
+            "pub struct PStatePlaneImage {\n    grant: f64,\n}",
+        );
+        let f = check_snapshots(&snap_files(&[("x.rs", &src)]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "M4");
+        assert!(f[0].message.contains("`Engine.queue`"), "{f:?}");
+    }
+
+    #[test]
+    fn m4_plane_flattening_survives_type_cycles() {
+        // Mutually recursive plane types must not hang the flattener —
+        // and must still surface the genuinely uncaptured field.
+        let src = "\
+pub struct Engine {
+    ticks: u64,
+    lost: u8,
+}
+pub struct EngineSnapshot {
+    a: PlaneA,
+}
+pub struct PlaneA {
+    ticks: u64,
+    b: PlaneB,
+}
+pub struct PlaneB {
+    a: PlaneA,
+}
+";
+        let f = check_snapshots(&snap_files(&[("x.rs", src)]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`Engine.lost`"), "{f:?}");
     }
 
     #[test]

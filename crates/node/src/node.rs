@@ -124,6 +124,44 @@ impl Node {
         self.stats = snap.stats;
     }
 
+    /// Re-key every noise stream (meter, per-socket p-state and RAPL
+    /// draws) to a new seed. Draws are keyed by (seed, domain, sim-time),
+    /// so streams diverge only from the re-seed instant on; a no-op when
+    /// the seed is unchanged.
+    pub fn reseed(&mut self, seed: u64) {
+        if self.cfg.seed == seed {
+            return;
+        }
+        self.cfg.seed = seed;
+        self.meter = Lmg450::calibrated(DomainNoise::new(seed, domain::METER));
+        for s in &mut self.sockets {
+            s.reseed(seed);
+        }
+    }
+
+    /// Warm-start fork fast path: re-arm this node as a fork of `snap`
+    /// under `seed`, copying back only the planes the node has dirtied
+    /// since it last restored `snap`. Equivalent to `reseed(seed)` +
+    /// `restore(snap)` — and bit-identical to it, which the randomized
+    /// fork/restore tests pin down — but a scratch node that cycles
+    /// against one warm image pays only for what its last point touched.
+    pub fn fork_from(&mut self, snap: &NodeSnapshot, seed: u64) {
+        assert_eq!(
+            self.sockets.len(),
+            snap.sockets.len(),
+            "snapshot geometry mismatch"
+        );
+        self.reseed(seed);
+        self.time_ns = snap.time_ns;
+        self.last.clone_from(&snap.last);
+        self.all_quiet = snap.all_quiet;
+        self.stats = snap.stats;
+        for (socket, s) in self.sockets.iter_mut().zip(&snap.sockets) {
+            let dirty = socket.dirty_planes();
+            socket.restore_planes(s, dirty);
+        }
+    }
+
     pub fn config(&self) -> &NodeConfig {
         &self.cfg
     }
@@ -142,6 +180,8 @@ impl Node {
 
     pub fn socket_mut(&mut self, s: usize) -> &mut Socket {
         self.all_quiet = false;
+        // Raw access can mutate anything; keep the dirty tracking sound.
+        self.sockets[s].mark_all_dirty();
         &mut self.sockets[s]
     }
 
@@ -213,7 +253,7 @@ impl Node {
         self.all_quiet = false;
         for s in &mut self.sockets {
             for t in 0..s.spec().hw_threads() {
-                s.msr
+                s.msr_mut()
                     .store(t, msra::IA32_ENERGY_PERF_BIAS, epb.canonical_raw() as u64);
             }
         }
@@ -223,13 +263,13 @@ impl Node {
     pub fn set_turbo(&mut self, enabled: bool) {
         self.all_quiet = false;
         for s in &mut self.sockets {
-            let mut v = s.msr.read_package(msra::IA32_MISC_ENABLE).unwrap_or(0);
+            let mut v = s.msr().read_package(msra::IA32_MISC_ENABLE).unwrap_or(0);
             if enabled {
                 v &= !msra::MISC_ENABLE_TURBO_DISABLE_BIT;
             } else {
                 v |= msra::MISC_ENABLE_TURBO_DISABLE_BIT;
             }
-            s.msr.store_package(msra::IA32_MISC_ENABLE, v);
+            s.msr_mut().store_package(msra::IA32_MISC_ENABLE, v);
         }
     }
 
@@ -238,7 +278,7 @@ impl Node {
     pub fn rdmsr(&self, cpu: CpuId, addr: u32) -> Result<u64, MsrError> {
         let tpc = self.cfg.spec.sku.threads_per_core;
         self.sockets[cpu.socket]
-            .msr
+            .msr()
             .read(cpu.core * tpc + cpu.thread, addr)
     }
 
@@ -247,7 +287,7 @@ impl Node {
         let thread = cpu.core * tpc + cpu.thread;
         let now = self.time_ns;
         let socket = &mut self.sockets[cpu.socket];
-        socket.msr.write(thread, addr, value)?;
+        socket.msr_mut().write(thread, addr, value)?;
         // Any successful write may steer the model (EPB, turbo disengage,
         // uncore limits, p-state requests) — drop back to full stepping
         // until the next full tick re-proves quiescence.
@@ -834,6 +874,119 @@ mod engine_tests {
                 b.advance_s(0.15);
                 prop_assert_eq!(fingerprint(&mut a), fingerprint(&mut b));
             }
+        }
+    }
+
+    mod dirty_fork_props {
+        use super::*;
+        use hsw_msr::fields;
+        use proptest::prelude::*;
+
+        fn warm_image() -> (NodeSnapshot, NodeConfig) {
+            let cfg = NodeConfig::paper_default();
+            let mut node = Node::new(cfg.clone());
+            node.run_on_socket(0, &WorkloadProfile::compute(), 8, 1);
+            node.set_setting_all(FreqSetting::from_mhz(2200));
+            node.advance_s(0.2);
+            (node.snapshot(), cfg)
+        }
+
+        /// One step of a randomized mutation program, spanning every
+        /// dirty-marking choke point: workload plane, p-state requests,
+        /// MSR stores, the transition log, and plain time advance.
+        fn mutate(node: &mut Node, op: u8, v: u16) {
+            match op % 6 {
+                0 => node.set_setting_all(FreqSetting::from_mhz(1200 + u32::from(v % 14) * 100)),
+                1 => node.run_on_socket(
+                    usize::from(v % 2),
+                    &WorkloadProfile::busy_wait(),
+                    usize::from(v % 13),
+                    1,
+                ),
+                2 => node.set_epb_all(if v.is_multiple_of(2) {
+                    EpbClass::Performance
+                } else {
+                    EpbClass::EnergySaving
+                }),
+                3 => node.set_turbo(v.is_multiple_of(2)),
+                4 => node.advance_us(500 + u64::from(v % 2000)),
+                _ => {
+                    let _ = node.drain_transitions(usize::from(v % 2));
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+            #[test]
+            fn prop_dirty_plane_fork_equals_full_restore(
+                programs in proptest::collection::vec(
+                    proptest::collection::vec((any::<u8>(), any::<u16>()), 0..6),
+                    1..4,
+                ),
+                seed_base in any::<u32>(),
+            ) {
+                // A scratch node cycling against one warm image with
+                // dirty-plane forks must stay bit-identical to a fresh
+                // node fully restoring the same image, whatever the
+                // previous point mutated (including the fingerprint's own
+                // measurement advance).
+                let (snap, cfg) = warm_image();
+                let mut scratch = Node::new(cfg.clone());
+                scratch.restore(&snap);
+                for (k, prog) in programs.iter().enumerate() {
+                    let seed = u64::from(seed_base) + k as u64 + 1;
+                    scratch.fork_from(&snap, seed);
+                    let mut fresh = Node::new(cfg.clone().with_seed(seed));
+                    fresh.restore(&snap);
+                    for (op, v) in prog {
+                        mutate(&mut scratch, *op, *v);
+                        mutate(&mut fresh, *op, *v);
+                    }
+                    scratch.advance_s(0.05);
+                    fresh.advance_s(0.05);
+                    prop_assert_eq!(
+                        fingerprint(&mut scratch),
+                        fingerprint(&mut fresh),
+                        "fork {k} diverged"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn unmarked_mutation_breaks_dirty_fork_equivalence() {
+            // Prove the dirty tracking is load-bearing: a mutation that
+            // bypasses the marking choke points survives the fork and
+            // makes the scratch node diverge from a true restore. (The
+            // production surface cannot do this — `msr_mut_unmarked` is a
+            // test-only escape hatch.)
+            let (snap, cfg) = warm_image();
+            let mut scratch = Node::new(cfg.clone());
+            scratch.restore(&snap);
+            scratch.sockets[0].msr_mut_unmarked().store(
+                0,
+                msra::IA32_ENERGY_PERF_BIAS,
+                fields::encode_epb(EpbClass::Performance),
+            );
+            scratch.fork_from(&snap, 4242);
+            let mut fresh = Node::new(cfg.with_seed(4242));
+            fresh.restore(&snap);
+            let cpu = CpuId::new(0, 0, 0);
+            assert_ne!(
+                scratch.rdmsr(cpu, msra::IA32_ENERGY_PERF_BIAS).unwrap(),
+                fresh.rdmsr(cpu, msra::IA32_ENERGY_PERF_BIAS).unwrap(),
+                "unmarked write should have leaked through the fork"
+            );
+            // Marking the plane (what every real mutator does) repairs it.
+            scratch.sockets[0].mark_all_dirty();
+            scratch.fork_from(&snap, 4243);
+            fresh.reseed(4243);
+            assert_eq!(
+                fingerprint(&mut scratch),
+                fingerprint(&mut fresh),
+                "full-plane fork must reconverge"
+            );
         }
     }
 }

@@ -11,8 +11,24 @@
 //! operations in the identical order, a quiet span stepped lightly ends in
 //! bit-identical state to the same span stepped fully — the property the
 //! `--engine fixed|event` equivalence tests pin down.
+//!
+//! ## Dirty planes and the SoA core plane
+//!
+//! Snapshot state is partitioned into **planes** ([`PlaneMask`]): the MSR
+//! bank, the p-state/PCU engine, RAPL, the per-core SoA plane
+//! ([`CorePlanes`]), the counter plane, thermal/VR, the transition log and
+//! the workload plane. Every mutation choke point marks the planes it
+//! touches in a bitmask, and [`Socket::restore_planes`] copies back only
+//! the marked planes — the warm-start fork fast path
+//! (`Node::fork_from`) rides on this to re-arm a scratch node in a small
+//! fraction of a full restore. Correctness is anchored two ways: the
+//! randomized fork/restore equivalence tests in `node.rs`, and the
+//! hsw-lint M4 rule, which flattens the plane images and verifies every
+//! socket field is still captured somewhere in the snapshot.
 
-use hsw_cstates::{resolve_package_state, select_core_state, CoreCState, PkgCState};
+use std::sync::Arc;
+
+use hsw_cstates::{fill_core_states, resolve_package_state, CoreCState, PkgCState};
 use hsw_exec::{DutyCycle, WorkloadProfile};
 use hsw_hwspec::clock::{domain, DomainNoise};
 use hsw_hwspec::freq::FreqSetting;
@@ -21,7 +37,7 @@ use hsw_hwspec::{EpbClass, PState, SkuSpec};
 use hsw_msr::{addresses as msra, fields, MsrBank, MsrBankSnapshot};
 use hsw_pcu::{
     AvxLicense, EetController, PStateEngine, PStateEngineSnapshot, PcuController, PcuGrant,
-    PcuInputs, TransitionEvent,
+    PcuInputs, TransitionEvent, TransitionLog,
 };
 use hsw_power::{
     dram_power_w, package_power_w, CoreElecState, DramRaplMode, Mbvr, MbvrPowerState, ModelBias,
@@ -31,6 +47,86 @@ use hsw_power::{
 /// Nanoseconds.
 pub type Ns = u64;
 const US: Ns = 1_000;
+
+/// A set of snapshot planes — the unit of dirty tracking and partial
+/// restore. A plane groups fields that the same mutation choke points
+/// touch, so the mask stays honest with a handful of `|=` sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlaneMask(u16);
+
+impl PlaneMask {
+    pub const NONE: PlaneMask = PlaneMask(0);
+    /// The MSR bank (per-thread and package registers, counters included).
+    pub const MSR: PlaneMask = PlaneMask(1 << 0);
+    /// P-state engine, EET, the PCU grant/schedule and the uncore clock.
+    pub const PSTATE: PlaneMask = PlaneMask(1 << 1);
+    /// RAPL accumulators and the limiter's running average.
+    pub const RAPL: PlaneMask = PlaneMask(1 << 2);
+    /// The per-core SoA plane: requested settings, effective MHz,
+    /// c-states, AVX licenses and their cached inputs.
+    pub const CORES: PlaneMask = PlaneMask(1 << 3);
+    /// Counter-plane bookkeeping: package c-state, rate set, pending span.
+    pub const COUNTER: PlaneMask = PlaneMask(1 << 4);
+    /// Thermal integrator and the mainboard VR state machine.
+    pub const THERMAL: PlaneMask = PlaneMask(1 << 5);
+    /// The bounded p-state transition log.
+    pub const LOG: PlaneMask = PlaneMask(1 << 6);
+    /// Workload assignments and the quiescence cache.
+    pub const WORK: PlaneMask = PlaneMask(1 << 7);
+    pub const ALL: PlaneMask = PlaneMask(0xFF);
+
+    pub const fn union(self, other: PlaneMask) -> PlaneMask {
+        PlaneMask(self.0 | other.0)
+    }
+
+    pub fn contains(self, other: PlaneMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    pub fn intersects(self, other: PlaneMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::ops::BitOr for PlaneMask {
+    type Output = PlaneMask;
+    fn bitor(self, rhs: PlaneMask) -> PlaneMask {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for PlaneMask {
+    fn bitor_assign(&mut self, rhs: PlaneMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// Planes a full tick always touches (the transition log is added only
+/// when an event actually lands).
+const TICK_PLANES: PlaneMask = PlaneMask::MSR
+    .union(PlaneMask::PSTATE)
+    .union(PlaneMask::RAPL)
+    .union(PlaneMask::CORES)
+    .union(PlaneMask::COUNTER)
+    .union(PlaneMask::THERMAL)
+    .union(PlaneMask::WORK);
+
+/// Planes a light tick touches (the MSR bank is added only when the
+/// thermal readout crosses a digitization step).
+const LIGHT_TICK_PLANES: PlaneMask = PlaneMask::PSTATE
+    .union(PlaneMask::RAPL)
+    .union(PlaneMask::CORES)
+    .union(PlaneMask::COUNTER)
+    .union(PlaneMask::THERMAL)
+    .union(PlaneMask::WORK);
 
 /// Per-tick result handed to the node for aggregation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,6 +150,17 @@ struct CounterRates {
     pkg_cstate: PkgCState,
 }
 
+impl CounterRates {
+    fn empty() -> Self {
+        CounterRates {
+            uncore_ghz: 0.0,
+            threads: Vec::new(),
+            core_cstates: Vec::new(),
+            pkg_cstate: PkgCState::PC6,
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct ThreadRates {
     c0: bool,
@@ -68,7 +175,6 @@ struct ThreadRates {
 struct QuietCache {
     tick: SocketTick,
     eet_input: f64,
-    avx_input: Vec<bool>,
     bias: ModelBias,
     /// The limiter-average bucket hashed into the last PCU key; a light
     /// phase must end (wake) on the step where the live average leaves it.
@@ -77,14 +183,146 @@ struct QuietCache {
 }
 
 impl QuietCache {
-    fn new(cores: usize) -> Self {
+    fn new() -> Self {
         QuietCache {
             tick: SocketTick::default(),
             eet_input: 0.0,
-            avx_input: vec![false; cores],
             bias: ModelBias::NONE,
             avg_bucket: 0,
             therm_readout: 0,
+        }
+    }
+}
+
+/// The per-core hot state as a structure of arrays: `Socket::tick`'s
+/// per-core stages walk these as contiguous slices instead of chasing one
+/// struct per core. `busy`/`smt`/`lead` are caches derived from the
+/// thread-indexed workload table, maintained at assignment time
+/// ([`CorePlanes::sync_core`]) so the hot loops never re-scan the threads
+/// of a core.
+#[derive(Debug)]
+pub struct CorePlanes {
+    /// Requested frequency setting per core (the OS view).
+    requested: Vec<FreqSetting>,
+    /// Effective core frequency in MHz (ground truth).
+    mhz: Vec<f64>,
+    /// Current c-state per core.
+    cstates: Vec<CoreCState>,
+    /// AVX license state machine per core.
+    avx: Vec<AvxLicense>,
+    /// The AVX stream input observed by the last full tick (the light
+    /// tick's replay input).
+    avx_input: Vec<bool>,
+    /// Whether any thread of the core has a workload.
+    // snap:skip(cache derived from the workload plane, resynced by the WORK-plane restore)
+    busy: Vec<bool>,
+    /// Whether ≥ 2 threads of the core have workloads.
+    // snap:skip(cache derived from the workload plane, resynced by the WORK-plane restore)
+    smt: Vec<bool>,
+    /// Index of the core's first busy hardware thread (`usize::MAX` when
+    /// idle) — the thread whose profile speaks for the core.
+    // snap:skip(cache derived from the workload plane, resynced by the WORK-plane restore)
+    lead: Vec<usize>,
+}
+
+/// Plain-data image of the [`CorePlanes`] snapshot fields. The
+/// `busy`/`smt`/`lead` caches are derived from the workload plane and
+/// resynced on restore.
+#[derive(Debug, Clone)]
+pub struct CorePlanesSnapshot {
+    requested: Vec<FreqSetting>,
+    mhz: Vec<f64>,
+    cstates: Vec<CoreCState>,
+    avx: Vec<AvxLicense>,
+    avx_input: Vec<bool>,
+}
+
+impl CorePlanes {
+    fn new(spec: &SkuSpec) -> Self {
+        let cores = spec.cores;
+        CorePlanes {
+            requested: vec![FreqSetting::Turbo; cores],
+            mhz: vec![spec.freq.min_mhz as f64; cores],
+            cstates: vec![CoreCState::C6; cores],
+            avx: vec![AvxLicense::for_generation(spec.generation); cores],
+            avx_input: vec![false; cores],
+            busy: vec![false; cores],
+            smt: vec![false; cores],
+            lead: vec![usize::MAX; cores],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.mhz.len()
+    }
+
+    /// Recompute one core's `busy`/`smt`/`lead` cache from the workload
+    /// table (called at assignment time, never in the tick hot path).
+    fn sync_core(&mut self, core: usize, threads: &[Option<WorkloadProfile>], tpc: usize) {
+        let base = core * tpc;
+        let mut n = 0usize;
+        let mut lead = usize::MAX;
+        for (t, w) in threads[base..base + tpc].iter().enumerate() {
+            if w.is_some() {
+                if lead == usize::MAX {
+                    lead = base + t;
+                }
+                n += 1;
+            }
+        }
+        self.busy[core] = n > 0;
+        self.smt[core] = n >= 2;
+        self.lead[core] = lead;
+    }
+
+    fn sync_from_threads(&mut self, threads: &[Option<WorkloadProfile>], tpc: usize) {
+        for c in 0..self.len() {
+            self.sync_core(c, threads, tpc);
+        }
+    }
+
+    fn snapshot(&self) -> CorePlanesSnapshot {
+        CorePlanesSnapshot {
+            requested: self.requested.clone(),
+            mhz: self.mhz.clone(),
+            cstates: self.cstates.clone(),
+            avx: self.avx.clone(),
+            avx_input: self.avx_input.clone(),
+        }
+    }
+
+    /// Restore the snapshot fields; the derived caches are resynced by the
+    /// WORK-plane restore (they are functions of the workload table).
+    fn restore(&mut self, snap: &CorePlanesSnapshot) {
+        self.requested.clone_from(&snap.requested);
+        self.mhz.clone_from(&snap.mhz);
+        self.cstates.clone_from(&snap.cstates);
+        self.avx.clone_from(&snap.avx);
+        self.avx_input.clone_from(&snap.avx_input);
+    }
+}
+
+/// Reused per-tick buffers, so the steady-state tick allocates nothing.
+struct TickScratch {
+    /// Per-core duty factor of this tick (0 for idle cores).
+    duty: Vec<f64>,
+    /// Per-core electrical state fed to the power model.
+    elec: Vec<CoreElecState>,
+    /// Profile groups for the DRAM demand model: (lead thread index,
+    /// cores in group, summed duty).
+    groups: Vec<(usize, usize, f64)>,
+    /// The rate set being assembled this tick, swapped into place when it
+    /// differs from the active one.
+    next_rates: CounterRates,
+}
+
+impl TickScratch {
+    fn new() -> Self {
+        TickScratch {
+            duty: Vec::new(),
+            elec: Vec::new(),
+            groups: Vec::new(),
+            next_rates: CounterRates::empty(),
         }
     }
 }
@@ -94,34 +332,29 @@ pub struct Socket {
     // snap:skip(identity constant, rebuilt by Socket::new)
     pub id: usize,
     // snap:skip(configuration constant, rebuilt by Socket::new)
-    spec: SkuSpec,
+    spec: Arc<SkuSpec>,
     // snap:skip(configuration constant, rebuilt by Socket::new)
     power_mult: f64,
     // snap:skip(configuration constant, rebuilt by Socket::new)
     eet_enabled: bool,
-    pub msr: MsrBank,
+    msr: MsrBank,
     pstate: PStateEngine,
     eet: EetController,
-    avx: Vec<AvxLicense>,
     rapl: RaplEngine,
-    /// Requested frequency setting per core (the OS view).
-    requested: Vec<FreqSetting>,
+    /// Per-core hot state, structure-of-arrays (see [`CorePlanes`]).
+    cores: CorePlanes,
     /// Workload per hardware thread.
     threads: Vec<Option<WorkloadProfile>>,
-    /// Current c-state per core.
-    cstates: Vec<CoreCState>,
     pkg_cstate: PkgCState,
     /// Granted operating point (updated at the PCU cadence).
     grant: PcuGrant,
     next_pcu: Ns,
     /// Hash of the PCU inputs at the last solve (event-driven re-solve).
     last_pcu_key: u64,
-    /// Effective core frequencies in MHz (ground truth).
-    core_mhz: Vec<f64>,
     uncore_mhz: f64,
     thermal: ThermalState,
     mbvr: Mbvr,
-    transition_log: Vec<TransitionEvent>,
+    transition_log: TransitionLog,
     /// Keyed noise streams: draws are pure functions of the simulation
     /// instant, never of how many times the engine stepped.
     // snap:skip(seed-derived, keyed by instant not step count — rebuilt by Socket::new)
@@ -134,37 +367,71 @@ pub struct Socket {
     cached: QuietCache,
     rates: Option<CounterRates>,
     pending_ns: Ns,
+    /// Planes mutated since the last (full or partial) restore — what a
+    /// dirty-plane fork must copy back to return to the restored snapshot.
+    // snap:skip(fork bookkeeping relative to the last restored snapshot, not simulator state)
+    dirty: PlaneMask,
+    /// Reused per-tick buffers.
+    // snap:skip(per-tick scratch, rebuilt from socket state every tick)
+    scratch: TickScratch,
 }
 
-/// Plain-data image of a [`Socket`]'s mutable state. Identity and
-/// configuration (`id`, `spec`, `power_mult`, `eet_enabled`) and the keyed
-/// noise streams are re-established by the constructor; everything a tick
-/// can change is captured here, including the event engine's quiescence
-/// bookkeeping and the counter plane's pending span, so a restored socket
-/// continues bit-identically under either engine mode.
+/// Plain-data image of a [`Socket`]'s mutable state, partitioned into the
+/// restore planes of [`PlaneMask`]. Identity and configuration (`id`,
+/// `spec`, `power_mult`, `eet_enabled`) and the keyed noise streams are
+/// re-established by the constructor; everything a tick can change is
+/// captured here, including the event engine's quiescence bookkeeping and
+/// the counter plane's pending span, so a restored socket continues
+/// bit-identically under either engine mode.
 #[derive(Debug, Clone)]
 pub struct SocketSnapshot {
     msr: MsrBankSnapshot,
+    pstate: PStatePlaneImage,
+    rapl: RaplEngine,
+    cores: CorePlanesSnapshot,
+    counters: CounterPlaneImage,
+    thermal: ThermalPlaneImage,
+    transition_log: TransitionLog,
+    work: WorkPlaneImage,
+}
+
+/// The [`PlaneMask::PSTATE`] plane: transition engine, EET, the PCU
+/// grant/schedule and the uncore clock — everything the equilibrium solve
+/// and its gating move together.
+#[derive(Debug, Clone)]
+pub struct PStatePlaneImage {
     pstate: PStateEngineSnapshot,
     eet: EetController,
-    avx: Vec<AvxLicense>,
-    rapl: RaplEngine,
-    requested: Vec<FreqSetting>,
-    threads: Vec<Option<WorkloadProfile>>,
-    cstates: Vec<CoreCState>,
-    pkg_cstate: PkgCState,
     grant: PcuGrant,
     next_pcu: Ns,
     last_pcu_key: u64,
-    core_mhz: Vec<f64>,
     uncore_mhz: f64,
-    thermal: ThermalState,
-    mbvr: Mbvr,
-    transition_log: Vec<TransitionEvent>,
-    quiet: bool,
-    cached: QuietCache,
+}
+
+/// The [`PlaneMask::COUNTER`] plane: package c-state, the active rate set
+/// and the pending flush span.
+#[derive(Debug, Clone)]
+pub struct CounterPlaneImage {
+    pkg_cstate: PkgCState,
     rates: Option<CounterRates>,
     pending_ns: Ns,
+}
+
+/// The [`PlaneMask::THERMAL`] plane: die-thermal integrator and the
+/// mainboard VR state machine.
+#[derive(Debug, Clone)]
+pub struct ThermalPlaneImage {
+    thermal: ThermalState,
+    mbvr: Mbvr,
+}
+
+/// The [`PlaneMask::WORK`] plane: workload assignments and the light
+/// tick's replay cache (plus the quiescence proof they invalidate).
+#[derive(Debug, Clone)]
+pub struct WorkPlaneImage {
+    threads: Vec<Option<WorkloadProfile>>,
+    quiet: bool,
+    cached: QuietCache,
 }
 
 impl Socket {
@@ -191,21 +458,17 @@ impl Socket {
             );
             msr.store(t, msra::IA32_PERF_CTL, fields::encode_perf_ctl(base));
         }
-        // Per-socket noise keys: golden-ratio mix so socket 0 and 1 draw
-        // independent streams from the same node seed.
-        let socket_seed = seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let socket_seed = Self::socket_seed(seed, id);
         Socket {
             id,
             power_mult,
             eet_enabled,
             pstate: PStateEngine::new(spec.generation, cores, base, pcu_phase_ns),
             eet: EetController::new(eet_enabled),
-            avx: vec![AvxLicense::for_generation(spec.generation); cores],
             rapl: RaplEngine::new(spec.generation, dram_mode)
                 .with_unit_trim(spec.power.rapl_trim_gain),
-            requested: vec![FreqSetting::Turbo; cores],
+            cores: CorePlanes::new(&spec),
             threads: vec![None; threads],
-            cstates: vec![CoreCState::C6; cores],
             pkg_cstate: PkgCState::PC6,
             grant: PcuGrant {
                 core_mhz: spec.freq.min_mhz as f64,
@@ -215,7 +478,6 @@ impl Socket {
             },
             next_pcu: pcu_phase_ns,
             last_pcu_key: u64::MAX,
-            core_mhz: vec![spec.freq.min_mhz as f64; cores],
             uncore_mhz: spec.freq.uncore_min_mhz as f64,
             thermal: ThermalState::new(ThermalParams::server_max_fans()),
             mbvr: Mbvr::for_generation(spec.generation),
@@ -223,16 +485,67 @@ impl Socket {
             noise_pstate: DomainNoise::new(socket_seed, domain::PSTATE),
             noise_rapl: DomainNoise::new(socket_seed, domain::RAPL),
             quiet: false,
-            cached: QuietCache::new(cores),
+            cached: QuietCache::new(),
             rates: None,
             pending_ns: 0,
-            spec,
-            transition_log: Vec::new(),
+            spec: Arc::new(spec),
+            transition_log: TransitionLog::new(),
+            // A fresh socket is not synced with any snapshot yet.
+            dirty: PlaneMask::ALL,
+            scratch: TickScratch::new(),
         }
+    }
+
+    /// Per-socket noise key: golden-ratio mix so socket 0 and 1 draw
+    /// independent streams from the same node seed.
+    fn socket_seed(seed: u64, id: usize) -> u64 {
+        seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Re-derive the keyed noise streams from a new node seed — the
+    /// warm-start fork's re-seed path. Draws are keyed by instant, so the
+    /// streams diverge only from the fork instant on.
+    pub(crate) fn reseed(&mut self, seed: u64) {
+        let socket_seed = Self::socket_seed(seed, self.id);
+        self.noise_pstate = DomainNoise::new(socket_seed, domain::PSTATE);
+        self.noise_rapl = DomainNoise::new(socket_seed, domain::RAPL);
     }
 
     pub fn spec(&self) -> &SkuSpec {
         &self.spec
+    }
+
+    /// The MSR bank (read-only view; the model reads and the `rdmsr`
+    /// surface go through here).
+    pub fn msr(&self) -> &MsrBank {
+        &self.msr
+    }
+
+    /// Mutable MSR bank access — the *only* way to write the bank from
+    /// outside the socket, so every external store marks the MSR plane.
+    pub(crate) fn msr_mut(&mut self) -> &mut MsrBank {
+        self.dirty |= PlaneMask::MSR;
+        &mut self.msr
+    }
+
+    /// Test-only escape hatch that deliberately does NOT mark the MSR
+    /// plane: used by the forgot-to-mark-dirty regression test to prove
+    /// the tracking is load-bearing (an unmarked mutation makes the
+    /// dirty-plane fork diverge from a full restore).
+    #[cfg(test)]
+    pub(crate) fn msr_mut_unmarked(&mut self) -> &mut MsrBank {
+        &mut self.msr
+    }
+
+    /// Planes mutated since the last restore.
+    pub fn dirty_planes(&self) -> PlaneMask {
+        self.dirty
+    }
+
+    /// Conservative escape hatch for raw `&mut Socket` access: assume
+    /// everything may be mutated.
+    pub(crate) fn mark_all_dirty(&mut self) {
+        self.dirty = PlaneMask::ALL;
     }
 
     /// The PCU's re-evaluation cadence, from the generation's firmware
@@ -245,26 +558,31 @@ impl Socket {
     pub fn snapshot(&self) -> SocketSnapshot {
         SocketSnapshot {
             msr: self.msr.snapshot(),
-            pstate: self.pstate.snapshot(),
-            eet: self.eet.clone(),
-            avx: self.avx.clone(),
+            pstate: PStatePlaneImage {
+                pstate: self.pstate.snapshot(),
+                eet: self.eet.clone(),
+                grant: self.grant,
+                next_pcu: self.next_pcu,
+                last_pcu_key: self.last_pcu_key,
+                uncore_mhz: self.uncore_mhz,
+            },
             rapl: self.rapl.clone(),
-            requested: self.requested.clone(),
-            threads: self.threads.clone(),
-            cstates: self.cstates.clone(),
-            pkg_cstate: self.pkg_cstate,
-            grant: self.grant,
-            next_pcu: self.next_pcu,
-            last_pcu_key: self.last_pcu_key,
-            core_mhz: self.core_mhz.clone(),
-            uncore_mhz: self.uncore_mhz,
-            thermal: self.thermal,
-            mbvr: self.mbvr.clone(),
+            cores: self.cores.snapshot(),
+            counters: CounterPlaneImage {
+                pkg_cstate: self.pkg_cstate,
+                rates: self.rates.clone(),
+                pending_ns: self.pending_ns,
+            },
+            thermal: ThermalPlaneImage {
+                thermal: self.thermal,
+                mbvr: self.mbvr.clone(),
+            },
             transition_log: self.transition_log.clone(),
-            quiet: self.quiet,
-            cached: self.cached.clone(),
-            rates: self.rates.clone(),
-            pending_ns: self.pending_ns,
+            work: WorkPlaneImage {
+                threads: self.threads.clone(),
+                quiet: self.quiet,
+                cached: self.cached.clone(),
+            },
         }
     }
 
@@ -272,44 +590,78 @@ impl Socket {
     /// geometry it was snapshotted with; its identity, spec and noise
     /// streams are left untouched (they are seed/config-derived).
     pub fn restore(&mut self, snap: &SocketSnapshot) {
-        assert_eq!(self.avx.len(), snap.avx.len(), "snapshot geometry mismatch");
-        self.msr.restore(&snap.msr);
-        self.pstate.restore(&snap.pstate);
-        self.eet = snap.eet.clone();
-        self.avx.clone_from(&snap.avx);
-        // Counters and limiter average are dynamic state; the chip's
-        // metering trim is calibration and stays as constructed, so a
-        // varied fleet chip restoring a golden snapshot keeps its own trim.
-        self.rapl.restore_from(&snap.rapl);
-        self.requested.clone_from(&snap.requested);
-        self.threads.clone_from(&snap.threads);
-        self.cstates.clone_from(&snap.cstates);
-        self.pkg_cstate = snap.pkg_cstate;
-        self.grant = snap.grant;
-        self.next_pcu = snap.next_pcu;
-        self.last_pcu_key = snap.last_pcu_key;
-        self.core_mhz.clone_from(&snap.core_mhz);
-        self.uncore_mhz = snap.uncore_mhz;
-        self.thermal = snap.thermal;
-        self.mbvr = snap.mbvr.clone();
-        self.transition_log.clone_from(&snap.transition_log);
-        self.quiet = snap.quiet;
-        self.cached = snap.cached.clone();
-        self.rates.clone_from(&snap.rates);
-        self.pending_ns = snap.pending_ns;
+        self.restore_planes(snap, PlaneMask::ALL);
+    }
+
+    /// Copy back only the selected planes from `snap` and clear their
+    /// dirty bits. Sound exactly when every plane *not* selected is
+    /// bit-identical between the socket and `snap` — the invariant the
+    /// dirty mask maintains for a scratch node cycling against one warm
+    /// image (`Node::fork_from`).
+    pub fn restore_planes(&mut self, snap: &SocketSnapshot, planes: PlaneMask) {
+        assert_eq!(
+            self.cores.len(),
+            snap.cores.mhz.len(),
+            "snapshot geometry mismatch"
+        );
+        if planes.intersects(PlaneMask::MSR) {
+            self.msr.restore(&snap.msr);
+        }
+        if planes.intersects(PlaneMask::PSTATE) {
+            self.pstate.restore(&snap.pstate.pstate);
+            self.eet = snap.pstate.eet.clone();
+            self.grant = snap.pstate.grant;
+            self.next_pcu = snap.pstate.next_pcu;
+            self.last_pcu_key = snap.pstate.last_pcu_key;
+            self.uncore_mhz = snap.pstate.uncore_mhz;
+        }
+        if planes.intersects(PlaneMask::RAPL) {
+            // Counters and limiter average are dynamic state; the chip's
+            // metering trim is calibration and stays as constructed, so a
+            // varied fleet chip restoring a golden snapshot keeps its own
+            // trim.
+            self.rapl.restore_from(&snap.rapl);
+        }
+        if planes.intersects(PlaneMask::CORES) {
+            self.cores.restore(&snap.cores);
+        }
+        if planes.intersects(PlaneMask::COUNTER) {
+            self.pkg_cstate = snap.counters.pkg_cstate;
+            self.rates.clone_from(&snap.counters.rates);
+            self.pending_ns = snap.counters.pending_ns;
+        }
+        if planes.intersects(PlaneMask::THERMAL) {
+            self.thermal = snap.thermal.thermal;
+            self.mbvr = snap.thermal.mbvr.clone();
+        }
+        if planes.intersects(PlaneMask::LOG) {
+            self.transition_log.clone_from(&snap.transition_log);
+        }
+        if planes.intersects(PlaneMask::WORK) {
+            self.threads.clone_from(&snap.work.threads);
+            self.quiet = snap.work.quiet;
+            self.cached = snap.work.cached.clone();
+            let tpc = self.spec.threads_per_core;
+            self.cores.sync_from_threads(&self.threads, tpc);
+        }
+        self.dirty = PlaneMask(self.dirty.bits() & !planes.bits());
     }
 
     /// Assign (or clear) a workload on a hardware thread.
     pub fn set_thread(&mut self, core: usize, thread: usize, w: Option<WorkloadProfile>) {
-        let idx = core * self.spec.threads_per_core + thread;
+        let tpc = self.spec.threads_per_core;
+        let idx = core * tpc + thread;
         self.threads[idx] = w;
+        self.cores.sync_core(core, &self.threads, tpc);
         self.quiet = false;
+        self.dirty |= PlaneMask::WORK;
     }
 
     /// OS request: set the frequency setting of one core.
     pub fn set_core_setting(&mut self, core: usize, setting: FreqSetting, now: Ns) {
         self.quiet = false;
-        self.requested[core] = setting;
+        self.dirty |= PlaneMask::CORES | PlaneMask::PSTATE | PlaneMask::MSR | PlaneMask::WORK;
+        self.cores.requested[core] = setting;
         let target = match setting {
             FreqSetting::Fixed(p) => p,
             FreqSetting::Turbo => PState::from_mhz(self.spec.freq.base_mhz),
@@ -328,9 +680,10 @@ impl Socket {
     /// request (per-core domain on Haswell-EP).
     pub fn perf_ctl_written(&mut self, thread: usize, value: u64, now: Ns) {
         self.quiet = false;
+        self.dirty |= PlaneMask::CORES | PlaneMask::PSTATE | PlaneMask::WORK;
         let core = thread / self.spec.threads_per_core;
         let target = fields::decode_perf_ctl(value);
-        self.requested[core] = FreqSetting::Fixed(target);
+        self.cores.requested[core] = FreqSetting::Fixed(target);
         self.pstate.request(core, target, now);
     }
 
@@ -347,20 +700,7 @@ impl Socket {
     }
 
     fn active_cores(&self) -> usize {
-        (0..self.spec.cores).filter(|c| self.core_busy(*c)).count()
-    }
-
-    fn core_busy(&self, core: usize) -> bool {
-        let tpc = self.spec.threads_per_core;
-        (0..tpc).any(|t| self.threads[core * tpc + t].is_some())
-    }
-
-    fn core_smt(&self, core: usize) -> bool {
-        let tpc = self.spec.threads_per_core;
-        (0..tpc)
-            .filter(|t| self.threads[core * tpc + t].is_some())
-            .count()
-            >= 2
+        self.cores.busy.iter().filter(|&&b| b).count()
     }
 
     /// The dominant profile across busy threads (first found) — used for
@@ -370,17 +710,11 @@ impl Socket {
         self.threads.iter().flatten().next()
     }
 
-    /// The profile running on one core (its first busy thread).
-    fn core_profile(&self, core: usize) -> Option<&WorkloadProfile> {
-        let tpc = self.spec.threads_per_core;
-        (0..tpc).find_map(|t| self.threads[core * tpc + t].as_ref())
-    }
-
     /// The transition-engine-gated setting of one core: a fixed request
     /// only takes effect once the p-state engine has switched (the ~500 µs
     /// opportunity mechanism).
     fn gated_setting(&self, core: usize) -> FreqSetting {
-        match self.requested[core] {
+        match self.cores.requested[core] {
             FreqSetting::Turbo => FreqSetting::Turbo,
             FreqSetting::Fixed(_) => FreqSetting::Fixed(self.pstate.current(core)),
         }
@@ -390,7 +724,7 @@ impl Socket {
     fn fastest_setting(&self) -> FreqSetting {
         let mut best: Option<FreqSetting> = None;
         for c in 0..self.spec.cores {
-            if !self.core_busy(c) {
+            if !self.cores.busy[c] {
                 continue;
             }
             let s = self.gated_setting(c);
@@ -420,35 +754,56 @@ impl Socket {
         track_quiescence: bool,
     ) -> SocketTick {
         let dt_s = dt as f64 * 1e-9;
-        let spec = self.spec.clone();
+        let spec = Arc::clone(&self.spec);
+        let spec: &SkuSpec = &spec;
         let tpc = spec.threads_per_core;
+        self.dirty |= TICK_PLANES;
 
         // 1. P-state engine (transition latencies). Events append straight
-        //    into the log — no per-tick intermediate Vec.
+        //    into the bounded log — no per-tick intermediate Vec — and the
+        //    LOG plane only dirties when something actually landed.
+        let log_recorded = self.transition_log.recorded();
         self.pstate.tick(now, &self.noise_pstate);
-        self.pstate.drain_events_into(&mut self.transition_log);
+        self.pstate.drain_events_into_log(&mut self.transition_log);
+        if self.transition_log.recorded() != log_recorded {
+            self.dirty |= PlaneMask::LOG;
+        }
 
         // 2. Workload aggregation — heterogeneous per core: each core
         //    contributes its own profile's duty, activity, stalls and AVX
-        //    stream; socket-scope aggregates are derived from those.
+        //    stream; socket-scope aggregates are derived from those. The
+        //    modeled-RAPL bias class (socket scope) is sampled here too so
+        //    no profile needs cloning.
         let active = self.active_cores();
-        let profile = self.dominant_profile().cloned();
+        let bias = self
+            .dominant_profile()
+            .map(|p| ModelBias {
+                gain: p.snb_rapl_bias.0,
+                offset_w: p.snb_rapl_bias.1,
+            })
+            .unwrap_or(ModelBias::NONE);
         let mut duty_sum = 0.0;
         let mut activity_sum = 0.0;
         let mut stall = 0.0f64;
         let mut all_const_duty = true;
-        let smt_any = (0..spec.cores).any(|c| self.core_smt(c));
+        let smt_any = self.cores.smt.iter().any(|&s| s);
+        self.scratch.duty.clear();
         for c in 0..spec.cores {
-            if let Some(p) = self.core_profile(c) {
+            let lead = self.cores.lead[c];
+            let mut duty_c = 0.0;
+            if lead != usize::MAX {
+                let p = self.threads[lead].as_ref().expect("lead cache stale");
                 let d = p.duty.factor_at(t_s);
+                duty_c = d;
                 duty_sum += d;
-                activity_sum += p.activity(self.core_smt(c)) * d;
+                activity_sum += p.activity(self.cores.smt[c]) * d;
                 // Stalls drive UFS up: the hungriest core dominates.
                 stall = stall.max(p.stall_fraction);
                 if !matches!(p.duty, DutyCycle::Constant) {
                     all_const_duty = false;
                 }
             }
+            self.scratch.duty.push(duty_c);
         }
         let duty = if active > 0 {
             duty_sum / active as f64
@@ -458,14 +813,19 @@ impl Socket {
 
         // 3. AVX licenses (per core, driven by its own instruction stream).
         for c in 0..spec.cores {
-            let avx_stream = self.core_profile(c).map(|p| p.avx_heavy).unwrap_or(false);
-            let busy = self.core_busy(c);
-            self.cached.avx_input[c] = busy && avx_stream;
-            self.avx[c].observe(busy && avx_stream, now);
+            let lead = self.cores.lead[c];
+            let avx_stream = if lead == usize::MAX {
+                false
+            } else {
+                self.threads[lead].as_ref().map(|p| p.avx_heavy) == Some(true)
+            };
+            let on = self.cores.busy[c] && avx_stream;
+            self.cores.avx_input[c] = on;
+            self.cores.avx[c].observe(on, now);
         }
         let avx_level = (0..spec.cores)
-            .filter(|c| self.core_busy(*c))
-            .map(|c| self.avx[c].level())
+            .filter(|c| self.cores.busy[*c])
+            .map(|c| self.cores.avx[c].level())
             .max()
             .unwrap_or(0);
 
@@ -499,7 +859,7 @@ impl Socket {
         let epb = self.epb();
         let eet_limit = if self.eet_enabled {
             self.eet
-                .limit_mhz(&spec, epb, spec.freq.turbo_mhz(active.max(1)))
+                .limit_mhz(spec, epb, spec.freq.turbo_mhz(active.max(1)))
         } else {
             u32::MAX
         };
@@ -510,14 +870,14 @@ impl Socket {
             0.0
         };
         let inputs = PcuInputs {
-            spec: &spec,
+            spec,
             socket_power_mult: self.power_mult,
             setting,
             epb,
             turbo_enabled: self.turbo_enabled(),
             active_cores: active,
             gated_idle_cores: (0..spec.cores)
-                .filter(|c| !self.core_busy(*c) && self.cstates[*c].power_gated())
+                .filter(|c| !self.cores.busy[*c] && self.cores.cstates[*c].power_gated())
                 .count(),
             activity,
             avx_level,
@@ -547,11 +907,11 @@ impl Socket {
         // 6. Effective frequencies: the PCU grant, clamped per core by its
         //    own (transition-latency-gated) p-state for fixed settings.
         for c in 0..spec.cores {
-            if !self.core_busy(c) {
-                self.core_mhz[c] = spec.freq.min_mhz as f64;
+            if !self.cores.busy[c] {
+                self.cores.mhz[c] = spec.freq.min_mhz as f64;
                 continue;
             }
-            let own_cap = match self.requested[c] {
+            let own_cap = match self.cores.requested[c] {
                 FreqSetting::Turbo => f64::INFINITY,
                 // EPB=performance keeps turbo active at the base-frequency
                 // setting (paper Section II-C) — the fixed-p-state clamp
@@ -565,20 +925,19 @@ impl Socket {
                 }
                 FreqSetting::Fixed(_) => self.pstate.current(c).mhz() as f64,
             };
-            self.core_mhz[c] = self.grant.core_mhz.min(own_cap);
+            self.cores.mhz[c] = self.grant.core_mhz.min(own_cap);
         }
 
         // 7. C-states: busy cores in C0; idle cores deep-idle via the
         //    governor (long predicted idle); package state needs the whole
         //    system idle (paper Section V-A).
-        for c in 0..spec.cores {
-            self.cstates[c] = if self.core_busy(c) {
-                CoreCState::C0
-            } else {
-                select_core_state(&spec.acpi, 1_000_000)
-            };
-        }
-        self.pkg_cstate = resolve_package_state(&self.cstates, other_socket_active);
+        fill_core_states(
+            &spec.acpi,
+            &self.cores.busy,
+            1_000_000,
+            &mut self.cores.cstates,
+        );
+        self.pkg_cstate = resolve_package_state(&self.cores.cstates, other_socket_active);
         let uncore_mhz = if self.pkg_cstate.uncore_halted() {
             0.0
         } else {
@@ -595,20 +954,32 @@ impl Socket {
         // of a fully loaded socket, so a group's demand saturates (at that
         // value) once it spans ~8 cores for bandwidth-bound profiles, and
         // scales linearly with cores otherwise.
-        let mut groups: Vec<(&WorkloadProfile, usize, f64)> = Vec::new();
+        let threads = &self.threads;
+        let groups = &mut self.scratch.groups;
+        groups.clear();
         for c in 0..spec.cores {
-            if let Some(p) = self.core_profile(c) {
-                let d = p.duty.factor_at(t_s);
-                if let Some(g) = groups.iter_mut().find(|(gp, _, _)| gp.name == p.name) {
+            let lead = self.cores.lead[c];
+            if lead == usize::MAX {
+                continue;
+            }
+            let name = threads[lead].as_ref().expect("lead cache stale").name;
+            let d = self.scratch.duty[c];
+            let mut found = false;
+            for g in groups.iter_mut() {
+                if threads[g.0].as_ref().expect("lead cache stale").name == name {
                     g.1 += 1;
                     g.2 += d;
-                } else {
-                    groups.push((p, 1, d));
+                    found = true;
+                    break;
                 }
+            }
+            if !found {
+                groups.push((lead, 1, d));
             }
         }
         let mut demand = 0.0;
-        for (p, n, duty_total) in &groups {
+        for (lead, n, duty_total) in groups.iter() {
+            let p = threads[*lead].as_ref().expect("lead cache stale");
             let avg_duty = duty_total / *n as f64;
             let scale = if p.stall_fraction > hsw_hwspec::calib::UFS_STALL_THRESHOLD {
                 (*n as f64 / sat).min(1.0)
@@ -619,7 +990,7 @@ impl Socket {
         }
         let dram_bw = if active > 0 {
             let cap = hsw_memhier::dram_read_bandwidth_gbs(
-                &spec,
+                spec,
                 active,
                 if smt_any { 2 } else { 1 },
                 self.grant.core_mhz / 1000.0,
@@ -631,25 +1002,26 @@ impl Socket {
         };
 
         // 9. Power.
-        let mut cores_elec = Vec::with_capacity(spec.cores);
+        self.scratch.elec.clear();
         for c in 0..spec.cores {
-            if self.core_busy(c) {
-                let smt = self.core_smt(c);
-                let act = self
-                    .core_profile(c)
-                    .map(|p| p.activity(smt) * p.duty.factor_at(t_s))
+            if self.cores.busy[c] {
+                let smt = self.cores.smt[c];
+                let lead = self.cores.lead[c];
+                let act = self.threads[lead]
+                    .as_ref()
+                    .map(|p| p.activity(smt) * self.scratch.duty[c])
                     .unwrap_or(0.0)
-                    * self.avx[c].throughput_factor().max(0.5);
-                cores_elec.push(CoreElecState {
-                    mhz: self.core_mhz[c].round() as u32,
+                    * self.cores.avx[c].throughput_factor().max(0.5);
+                self.scratch.elec.push(CoreElecState {
+                    mhz: self.cores.mhz[c].round() as u32,
                     activity: act,
-                    license_level: self.avx[c].level(),
+                    license_level: self.cores.avx[c].level(),
                     power_gated: false,
                 });
-            } else if self.cstates[c].power_gated() {
-                cores_elec.push(CoreElecState::gated());
+            } else if self.cores.cstates[c].power_gated() {
+                self.scratch.elec.push(CoreElecState::gated());
             } else {
-                cores_elec.push(CoreElecState {
+                self.scratch.elec.push(CoreElecState {
                     mhz: spec.freq.min_mhz,
                     activity: 0.0,
                     license_level: 0,
@@ -658,9 +1030,9 @@ impl Socket {
             }
         }
         let pkg = package_power_w(
-            &spec,
+            spec,
             self.power_mult,
-            &cores_elec,
+            &self.scratch.elec,
             uncore_mhz.round() as u32,
         );
         let mut pkg_w = pkg.total_w();
@@ -671,10 +1043,10 @@ impl Socket {
         pkg_w += hsw_hwspec::calib::IDLE_PKG_HOUSEKEEPING_W * idle_frac;
         if self.pkg_cstate.uncore_halted() {
             let floor = spec.freq.uncore_min_mhz;
-            let residual = package_power_w(&spec, self.power_mult, &[], floor).uncore_w;
+            let residual = package_power_w(spec, self.power_mult, &[], floor).uncore_w;
             pkg_w += residual * hsw_hwspec::calib::IDLE_UNCORE_RESIDENCY;
         }
-        let dram_w = dram_power_w(&spec, dram_bw);
+        let dram_w = dram_power_w(spec, dram_bw);
 
         // 10. MBVR power state follows the estimated package draw
         //     (paper Section II-B) and thermal state integrates
@@ -691,41 +1063,37 @@ impl Socket {
 
         // 11. RAPL (modeled bias on pre-Haswell generations). The error
         //     draw is keyed to the interval's end instant.
-        let bias = profile
-            .as_ref()
-            .map(|p| ModelBias {
-                gain: p.snb_rapl_bias.0,
-                offset_w: p.snb_rapl_bias.1,
-            })
-            .unwrap_or(ModelBias::NONE);
         self.rapl
             .advance(dt_s, pkg_w, dram_w, bias, self.noise_rapl.symmetric(now, 0));
 
         // 12. Counter plane: refresh the rate set, flushing the pending
-        //     span under the old rates first if anything changed.
+        //     span under the old rates first if anything changed. The next
+        //     rate set is assembled in the scratch buffer and swapped in,
+        //     so the steady-state tick allocates nothing.
         self.msr
             .store_package(msra::MSR_PKG_ENERGY_STATUS, self.rapl.pkg_raw() as u64);
         self.msr
             .store_package(msra::MSR_DRAM_ENERGY_STATUS, self.rapl.dram_raw() as u64);
         let fu_ghz = (uncore_mhz / 1000.0).max(0.1);
-        let mut thread_rates = Vec::with_capacity(spec.hw_threads());
+        self.scratch.next_rates.uncore_ghz = uncore_mhz / 1000.0;
+        self.scratch.next_rates.threads.clear();
         for c in 0..spec.cores {
-            let fc_ghz = self.core_mhz[c] / 1000.0;
-            let c0 = self.cstates[c] == CoreCState::C0;
+            let fc_ghz = self.cores.mhz[c] / 1000.0;
+            let c0 = self.cores.cstates[c] == CoreCState::C0;
             for t in 0..tpc {
                 let idx = c * tpc + t;
                 let instret_per_ns = self.threads[idx].as_ref().map(|p| {
-                    p.ipc(self.core_smt(c), fc_ghz, fu_ghz)
-                        * self.avx[c].throughput_factor()
+                    p.ipc(self.cores.smt[c], fc_ghz, fu_ghz)
+                        * self.cores.avx[c].throughput_factor()
                         * fc_ghz
                         * duty.max(0.0)
                 });
-                thread_rates.push(ThreadRates {
+                self.scratch.next_rates.threads.push(ThreadRates {
                     c0,
                     fc_ghz,
                     instret_per_ns,
                 });
-                let ratio = PState((self.core_mhz[c] / 100.0).round() as u8);
+                let ratio = PState((self.cores.mhz[c] / 100.0).round() as u8);
                 self.msr.store(
                     idx,
                     msra::IA32_PERF_STATUS,
@@ -733,15 +1101,18 @@ impl Socket {
                 );
             }
         }
-        let rates = CounterRates {
-            uncore_ghz: uncore_mhz / 1000.0,
-            threads: thread_rates,
-            core_cstates: self.cstates.clone(),
-            pkg_cstate: self.pkg_cstate,
-        };
-        if self.rates.as_ref() != Some(&rates) {
+        self.scratch.next_rates.core_cstates.clear();
+        self.scratch
+            .next_rates
+            .core_cstates
+            .extend_from_slice(&self.cores.cstates);
+        self.scratch.next_rates.pkg_cstate = self.pkg_cstate;
+        if self.rates.as_ref() != Some(&self.scratch.next_rates) {
             self.flush_counters();
-            self.rates = Some(rates);
+            match &mut self.rates {
+                Some(r) => std::mem::swap(r, &mut self.scratch.next_rates),
+                None => self.rates = Some(self.scratch.next_rates.clone()),
+            }
         }
         self.pending_ns += dt;
 
@@ -762,7 +1133,7 @@ impl Socket {
         self.quiet = track_quiescence
             && all_const_duty
             && self.pstate.quiescent()
-            && (0..spec.cores).all(|c| self.avx[c].stable_under(self.cached.avx_input[c]))
+            && (0..spec.cores).all(|c| self.cores.avx[c].stable_under(self.cores.avx_input[c]))
             && self.eet.sampled_stall().to_bits() == eet_input.to_bits()
             && PcuController::avg_insensitive(&inputs);
 
@@ -794,9 +1165,10 @@ impl Socket {
     pub fn light_tick(&mut self, now: Ns, dt: Ns) -> SocketTick {
         debug_assert!(self.quiet, "light_tick on a non-quiescent socket");
         let dt_s = dt as f64 * 1e-9;
+        self.dirty |= LIGHT_TICK_PLANES;
         for c in 0..self.spec.cores {
-            let on = self.cached.avx_input[c];
-            self.avx[c].observe(on, now);
+            let on = self.cores.avx_input[c];
+            self.cores.avx[c].observe(on, now);
         }
         self.eet.tick(now, self.cached.eet_input);
         if self.next_pcu <= now {
@@ -812,6 +1184,7 @@ impl Socket {
         let readout = (96.0 - self.thermal.t_die_c).clamp(0.0, 127.0) as u64;
         if readout != self.cached.therm_readout {
             self.cached.therm_readout = readout;
+            self.dirty |= PlaneMask::MSR;
             for t in 0..self.spec.hw_threads() {
                 self.msr.store(t, msra::IA32_THERM_STATUS, readout << 16);
             }
@@ -833,10 +1206,12 @@ impl Socket {
     /// see current counters.
     pub(crate) fn flush_counters(&mut self) {
         let span = std::mem::replace(&mut self.pending_ns, 0) as f64;
+        self.dirty |= PlaneMask::COUNTER;
         let Some(rates) = self.rates.take() else {
             return;
         };
         if span > 0.0 {
+            self.dirty |= PlaneMask::MSR;
             let nominal_ghz = self.spec.freq.base_mhz as f64 / 1000.0;
             let tpc = self.spec.threads_per_core;
             self.msr
@@ -890,7 +1265,7 @@ impl Socket {
     // --- Ground-truth accessors (simulation-internal; tests and traces) ---
 
     pub fn true_core_mhz(&self, core: usize) -> f64 {
-        self.core_mhz[core]
+        self.cores.mhz[core]
     }
 
     pub fn true_uncore_mhz(&self) -> f64 {
@@ -906,7 +1281,7 @@ impl Socket {
     }
 
     pub fn core_cstate(&self, core: usize) -> CoreCState {
-        self.cstates[core]
+        self.cores.cstates[core]
     }
 
     pub fn any_core_active(&self) -> bool {
@@ -914,11 +1289,18 @@ impl Socket {
     }
 
     pub fn requested_setting(&self, core: usize) -> FreqSetting {
-        self.requested[core]
+        self.cores.requested[core]
     }
 
     pub fn drain_transitions(&mut self) -> Vec<TransitionEvent> {
-        std::mem::take(&mut self.transition_log)
+        self.dirty |= PlaneMask::LOG;
+        self.transition_log.drain()
+    }
+
+    /// Transition events currently retained (bounded; see
+    /// [`hsw_pcu::TRANSITION_LOG_CAP`]).
+    pub fn transition_log_len(&self) -> usize {
+        self.transition_log.len()
     }
 
     pub fn rapl(&self) -> &RaplEngine {

@@ -103,35 +103,39 @@ impl PcuController {
         ceiling.max(spec.freq.min_mhz)
     }
 
-    /// Package power at a candidate operating point.
+    /// Package power at a candidate operating point. Hot: the bisections
+    /// call this dozens of times per solve and the event engine's
+    /// quiescence proof once per full tick — the candidate core set lives
+    /// on the stack so the solver never touches the allocator.
     fn power_at(inputs: &PcuInputs<'_>, core_mhz: f64, uncore_mhz: f64) -> f64 {
+        const MAX_CORES: usize = 64;
         let spec = inputs.spec;
-        let mut cores = Vec::with_capacity(spec.cores);
-        for _ in 0..inputs.active_cores.min(spec.cores) {
-            cores.push(CoreElecState {
+        assert!(spec.cores <= MAX_CORES, "SKU exceeds solver core bound");
+        let mut cores = [CoreElecState::gated(); MAX_CORES];
+        let active = inputs.active_cores.min(spec.cores);
+        let idle = spec.cores.saturating_sub(inputs.active_cores);
+        let gated = inputs.gated_idle_cores.min(idle);
+        for c in cores.iter_mut().take(active) {
+            *c = CoreElecState {
                 mhz: core_mhz.round() as u32,
                 activity: inputs.activity,
                 license_level: inputs.avx_level,
                 power_gated: false,
-            });
+            };
         }
-        let idle = spec.cores.saturating_sub(inputs.active_cores);
-        let gated = inputs.gated_idle_cores.min(idle);
-        for _ in 0..gated {
-            cores.push(CoreElecState::gated());
-        }
-        for _ in 0..idle - gated {
-            cores.push(CoreElecState {
+        // [active, active + gated) stays gated; the rest idles ungated.
+        for c in cores.iter_mut().take(spec.cores).skip(active + gated) {
+            *c = CoreElecState {
                 mhz: spec.freq.min_mhz,
                 activity: 0.0,
                 license_level: 0,
                 power_gated: false,
-            });
+            };
         }
         package_power_w(
             spec,
             inputs.socket_power_mult,
-            &cores,
+            &cores[..spec.cores],
             uncore_mhz.round() as u32,
         )
         .total_w()

@@ -29,5 +29,7 @@ pub mod ufs;
 pub use avx::AvxLicense;
 pub use controller::{PcuController, PcuGrant, PcuInputs};
 pub use eet::EetController;
-pub use pstate::{PStateEngine, PStateEngineSnapshot, TransitionEvent};
+pub use pstate::{
+    PStateEngine, PStateEngineSnapshot, TransitionEvent, TransitionLog, TRANSITION_LOG_CAP,
+};
 pub use ufs::{ufs_target_mhz, UfsInputs};

@@ -33,6 +33,65 @@ impl TransitionEvent {
     }
 }
 
+/// Capacity of a [`TransitionLog`]: events beyond this many between drains
+/// displace the oldest. Far above what any experiment accumulates between
+/// drains (fig4 drains every round), so in practice nothing is ever lost —
+/// the cap exists so a long undrained settle phase cannot make snapshot
+/// and fork cost grow without bound.
+pub const TRANSITION_LOG_CAP: usize = 4096;
+
+/// Bounded log of completed p-state transitions: a drop-oldest ring so the
+/// memory held — and therefore the cost of snapshotting or restoring the
+/// log plane — stays flat no matter how long a settle phase runs between
+/// drains. `recorded` counts every event ever offered (kept across drains),
+/// which gives the dirty-plane bookkeeping a cheap "did anything land?"
+/// probe without comparing contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransitionLog {
+    events: std::collections::VecDeque<TransitionEvent>,
+    recorded: u64,
+}
+
+impl TransitionLog {
+    pub fn new() -> Self {
+        TransitionLog::default()
+    }
+
+    /// Append one event, displacing the oldest once at capacity.
+    pub fn record(&mut self, ev: TransitionEvent) {
+        if self.events.len() == TRANSITION_LOG_CAP {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.recorded += 1;
+    }
+
+    /// Take the retained events in arrival order.
+    pub fn drain(&mut self) -> Vec<TransitionEvent> {
+        self.recorded += 1; // a drain mutates the log like a record does
+        self.events.drain(..).collect()
+    }
+
+    /// Events currently retained (≤ [`TRANSITION_LOG_CAP`]).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Monotonic mutation counter: bumps on every record *and* drain, so
+    /// two equal readings bracket a span that provably left the log alone.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TransitionEvent> {
+        self.events.iter()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingRequest {
     target: PState,
@@ -204,6 +263,15 @@ impl PStateEngine {
         out.append(&mut self.events);
     }
 
+    /// Move the accumulated transition events into a bounded
+    /// [`TransitionLog`] (the socket's per-tick path: no intermediate
+    /// allocation, and the destination cannot grow without bound).
+    pub fn drain_events_into_log(&mut self, log: &mut TransitionLog) {
+        for ev in self.events.drain(..) {
+            log.record(ev);
+        }
+    }
+
     /// Capture the engine's mutable state as plain data.
     pub fn snapshot(&self) -> PStateEngineSnapshot {
         PStateEngineSnapshot {
@@ -364,6 +432,50 @@ mod tests {
         a.drain_events_into(&mut out);
         assert_eq!(out, b.drain_events());
         assert!(a.drain_events().is_empty(), "drain_into must clear events");
+    }
+
+    #[test]
+    fn drain_events_into_log_matches_drain_events() {
+        // The bounded log reports the same events in the same order as the
+        // unbounded drain for any realistic (below-capacity) volume — the
+        // fig4-style event reporting is unchanged by the ring.
+        let n = noise();
+        let mut a = engine(HSW);
+        let mut b = engine(HSW);
+        for e in [&mut a, &mut b] {
+            e.request(1, PState::from_mhz(2500), 100 * US);
+            e.request(7, PState::from_mhz(1300), 250 * US);
+            run_until(e, &n, 0, 1_500 * US);
+        }
+        let mut log = TransitionLog::new();
+        a.drain_events_into_log(&mut log);
+        let via_log = log.drain();
+        assert!(!via_log.is_empty(), "scenario must produce events");
+        assert_eq!(via_log, b.drain_events());
+        assert!(a.drain_events().is_empty(), "drain_into_log must clear");
+    }
+
+    #[test]
+    fn transition_log_drops_oldest_beyond_capacity() {
+        let mut log = TransitionLog::new();
+        let ev = |i: u64| TransitionEvent {
+            core: 0,
+            from: PState::from_mhz(1200),
+            to: PState::from_mhz(1300),
+            requested_at: i,
+            completed_at: i + 21,
+        };
+        let total = TRANSITION_LOG_CAP as u64 + 100;
+        for i in 0..total {
+            log.record(ev(i));
+        }
+        assert_eq!(log.len(), TRANSITION_LOG_CAP);
+        assert_eq!(log.recorded(), total);
+        let kept = log.drain();
+        assert_eq!(kept.first().unwrap().requested_at, 100);
+        assert_eq!(kept.last().unwrap().requested_at, total - 1);
+        assert!(log.is_empty());
+        assert_eq!(log.recorded(), total + 1, "drain counts as a mutation");
     }
 
     #[test]
