@@ -13,7 +13,7 @@
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
 use hsw_msr::addresses as msra;
-use hsw_node::{CpuId, EngineMode, Resolution};
+use hsw_node::{CpuId, EngineMode, PlaneMask, Resolution};
 use hsw_tools::PerfCtr;
 use serde::{Deserialize, Serialize};
 
@@ -42,17 +42,16 @@ impl std::fmt::Display for Section2cEpb {
 }
 
 /// Program a raw EPB value on a range of hardware threads through the MSR
-/// interface (tools use wrmsr; we poke the registers the same way).
+/// interface (tools use wrmsr; we poke the registers the same way). EPB
+/// programming touches only the MSR plane, so the scoped accessor keeps a
+/// following warm-start fork from paying for a full restore.
 fn program_epb(node: &mut hsw_node::Node, sockets: std::ops::Range<usize>, raw: u8) {
     let threads = node.config().spec.sku.hw_threads();
     for s in sockets {
+        let sock = node.socket_planes_mut(s, PlaneMask::MSR);
         for t in 0..threads {
-            node.wrmsr(
-                CpuId::new(s, t / 2, t % 2),
-                msra::IA32_ENERGY_PERF_BIAS,
-                raw as u64,
-            )
-            .unwrap();
+            sock.msr_store(t, msra::IA32_ENERGY_PERF_BIAS, raw as u64)
+                .unwrap();
         }
     }
 }

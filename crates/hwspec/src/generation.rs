@@ -90,7 +90,6 @@ impl CpuGeneration {
 
     /// Marketing-style name used in reports.
     pub fn name(self) -> &'static str {
-        // lint:allow(M5): name lookup inside the sanctioned policy module.
         match self {
             CpuGeneration::WestmereEp => "Westmere-EP",
             CpuGeneration::SandyBridgeEp => "Sandy Bridge-EP",

@@ -180,7 +180,6 @@ impl MicroArch {
     }
 
     /// The microarchitecture for a generation.
-    // lint:allow(M5): per-generation table lookup in hwspec's data layer.
     pub fn for_generation(generation: CpuGeneration) -> Self {
         match generation {
             CpuGeneration::WestmereEp => Self::westmere_ep(),

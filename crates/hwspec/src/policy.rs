@@ -556,7 +556,6 @@ impl FirmwarePolicy for SkylakeSpPolicy {
 }
 
 /// The policy bundle for a generation.
-// lint:allow(M5): this dispatch is the single sanctioned generation match.
 pub fn policy_for(generation: CpuGeneration) -> &'static dyn FirmwarePolicy {
     match generation {
         CpuGeneration::WestmereEp => &WestmereEpPolicy,

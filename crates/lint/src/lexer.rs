@@ -16,6 +16,10 @@
 pub struct Token {
     /// 1-based source line of the token's first character.
     pub line: u32,
+    /// Byte offset of the token's first character in the source.
+    pub byte: u32,
+    /// Byte length of the token's source text.
+    pub len: u32,
     pub kind: TokenKind,
 }
 
@@ -45,6 +49,10 @@ pub struct Comment {
     pub line: u32,
     /// 1-based line the comment ends on (same as `line` for `//`).
     pub end_line: u32,
+    /// Byte offset of the comment's opening delimiter in the source.
+    pub byte: u32,
+    /// Byte length of the comment's source text, delimiters included.
+    pub len: u32,
     /// Text without the delimiters, trimmed.
     pub text: String,
 }
@@ -65,6 +73,16 @@ const JOINED: &[&str] = &[
 
 pub fn lex(src: &str) -> Lexed {
     let chars: Vec<char> = src.chars().collect();
+    // Prefix byte offsets so token spans can be reported in bytes (what
+    // editors and `--json` consumers address) while the lexer itself keeps
+    // walking chars.
+    let mut byte_of: Vec<u32> = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0u32;
+    for c in &chars {
+        byte_of.push(b);
+        b += c.len_utf8() as u32;
+    }
+    byte_of.push(b);
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line = 1u32;
@@ -73,6 +91,9 @@ pub fn lex(src: &str) -> Lexed {
 
     while i < chars.len() {
         let c = chars[i];
+        let tok_byte = byte_of[i];
+        let ntok = out.tokens.len();
+        let ncom = out.comments.len();
         match c {
             '\n' => {
                 line += 1;
@@ -88,6 +109,8 @@ pub fn lex(src: &str) -> Lexed {
                 out.comments.push(Comment {
                     line,
                     end_line: line,
+                    byte: 0,
+                    len: 0,
                     text: text.trim().to_string(),
                 });
             }
@@ -115,6 +138,8 @@ pub fn lex(src: &str) -> Lexed {
                 out.comments.push(Comment {
                     line: start_line,
                     end_line: line,
+                    byte: 0,
+                    len: 0,
                     text: text.trim().to_string(),
                 });
             }
@@ -122,6 +147,8 @@ pub fn lex(src: &str) -> Lexed {
                 let (s, ni, nl) = lex_string(&chars, i, line);
                 out.tokens.push(Token {
                     line,
+                    byte: 0,
+                    len: 0,
                     kind: TokenKind::Str(s),
                 });
                 i = ni;
@@ -129,19 +156,34 @@ pub fn lex(src: &str) -> Lexed {
             }
             'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
                 let (kind, ni, nl) = lex_prefixed_literal(&chars, i, line);
-                out.tokens.push(Token { line, kind });
+                out.tokens.push(Token {
+                    line,
+                    byte: 0,
+                    len: 0,
+                    kind,
+                });
                 i = ni;
                 line = nl;
             }
             '\'' => {
                 let (kind, ni, nl) = lex_quote(&chars, i, line);
-                out.tokens.push(Token { line, kind });
+                out.tokens.push(Token {
+                    line,
+                    byte: 0,
+                    len: 0,
+                    kind,
+                });
                 i = ni;
                 line = nl;
             }
             c if c.is_ascii_digit() => {
                 let (kind, ni) = lex_number(&chars, i);
-                out.tokens.push(Token { line, kind });
+                out.tokens.push(Token {
+                    line,
+                    byte: 0,
+                    len: 0,
+                    kind,
+                });
                 i = ni;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -152,6 +194,8 @@ pub fn lex(src: &str) -> Lexed {
                 let ident: String = chars[start..i].iter().collect();
                 out.tokens.push(Token {
                     line,
+                    byte: 0,
+                    len: 0,
                     kind: TokenKind::Ident(ident),
                 });
             }
@@ -162,6 +206,8 @@ pub fn lex(src: &str) -> Lexed {
                 {
                     out.tokens.push(Token {
                         line,
+                        byte: 0,
+                        len: 0,
                         kind: TokenKind::Punct(op),
                     });
                     i += op.len();
@@ -172,10 +218,27 @@ pub fn lex(src: &str) -> Lexed {
                         | '@' | '$' | '~' => TokenKind::Punct(single_punct(c)),
                         other => TokenKind::OtherPunct(other),
                     };
-                    out.tokens.push(Token { line, kind });
+                    out.tokens.push(Token {
+                        line,
+                        byte: 0,
+                        len: 0,
+                        kind,
+                    });
                     i += 1;
                 }
             }
+        }
+        // Every branch consumes exactly the source of whatever it pushed,
+        // so the token/comment emitted this iteration spans
+        // [tok_byte, byte_of[i]).
+        let end = byte_of[i];
+        for t in &mut out.tokens[ntok..] {
+            t.byte = tok_byte;
+            t.len = end - tok_byte;
+        }
+        for cm in &mut out.comments[ncom..] {
+            cm.byte = tok_byte;
+            cm.len = end - tok_byte;
         }
     }
     out

@@ -20,11 +20,13 @@
 
 pub mod lexer;
 pub mod model;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 pub mod workspace;
 
 pub use rules::{scan_file, FileScope, Finding, KNOWN_RULES};
-pub use workspace::{find_workspace_root, lint_workspace};
+pub use workspace::{find_workspace_root, lint_workspace, lint_workspace_uncached};
 
 /// Render findings as a deterministic JSON array (sorted, stable keys).
 pub fn findings_to_json(findings: &[Finding]) -> String {
@@ -34,9 +36,11 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n  {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            "\n  {{\"path\": \"{}\", \"line\": {}, \"byte\": {}, \"len\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
             json_escape(&f.path),
             f.line,
+            f.byte,
+            f.len,
             f.rule,
             json_escape(&f.message)
         ));
@@ -78,6 +82,8 @@ mod tests {
         )];
         let json = findings_to_json(&findings);
         assert!(json.contains("\\\"unordered\\\""));
+        assert!(json.contains("\"byte\": 0"));
+        assert!(json.contains("\"len\": 0"));
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with("]\n"));
         assert_eq!(findings_to_json(&[]), "[]\n");

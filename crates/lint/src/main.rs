@@ -4,13 +4,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hsw_lint::{find_workspace_root, findings_to_json, lint_workspace, rules, FileScope, Finding};
+use hsw_lint::{
+    find_workspace_root, findings_to_json, lint_workspace, lint_workspace_uncached, rules,
+    FileScope, Finding,
+};
 
 const USAGE: &str = "\
 hsw-lint — determinism-contract and MSR-model static analysis
 
 USAGE:
-    hsw-lint [--root <dir>] [--json]
+    hsw-lint [--root <dir>] [--json] [--no-cache]
     hsw-lint --check-file <file.rs> [--json]
 
 OPTIONS:
@@ -19,30 +22,48 @@ OPTIONS:
     --check-file <f>    Lint one file with the full tier-1 rule set
                         (treated as a result-producing crate)
     --json              Emit findings as a JSON array instead of text
+                        (objects carry byte/len spans for editor tooling)
+    --no-cache          Skip the content-hash cache in target/ and rescan
+                        every file (the cache self-invalidates on change;
+                        this flag exists for debugging it)
     -h, --help          This text
 
 RULES:
     D1  no Instant::now/SystemTime/thread_rng/rand::random in result crates
     D2  no HashMap/HashSet in result crates (use BTreeMap/BTreeSet)
+    D3  no float reductions over parallel sources in result crates, and no
+        partial_cmp().unwrap() comparators (use f64::total_cmp)
     S1  every `unsafe` needs a preceding `// SAFETY:` comment
-    A1  malformed `// lint:allow(rule): <justification>` suppression
+    A1  malformed `// lint:allow(…)` or `// plane:dirty(…)` directive,
+        or a plane:dirty naming an unknown plane
+    A2  stale directives: a justified lint:allow, snap:skip, or plane:dirty
+        that no longer suppresses/declares anything must be deleted
     M1  gate allowlist addresses are named in addresses.rs and unique
     M2  fields.rs encode/decode shift/mask pairs consistent, within 64 bits
     M3  every experiments/* module registered in the registry, ids unique
     M5  no match/if-let/matches! on CpuGeneration outside hwspec's policy layer
+    M6  every `&mut self` method of a plane-tracked type (Socket) that
+        mutates plane-mapped state must mark it dirty — directly, through a
+        marking method, or via `// plane:dirty(<MASK>): <why>`
+    P1  no .unwrap()/.expect()/computed indexing in result-crate code
+        reachable from Socket::tick / Node::step (a panic there poisons
+        every sweep point sharing the worker pool)
 
 Suppress a finding with `// lint:allow(rule): <why this is sound>` on the
-same line or the line above. Unjustified allows suppress nothing.
+same line or the line above. Unjustified allows suppress nothing, and
+allows that no longer match a finding rot into A2.
 ";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut json = false;
+    let mut no_cache = false;
     let mut root: Option<PathBuf> = None;
     let mut check_file: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--no-cache" => no_cache = true,
             "--root" => root = args.next().map(PathBuf::from),
             "--check-file" => check_file = args.next().map(PathBuf::from),
             "-h" | "--help" => {
@@ -84,7 +105,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match lint_workspace(&root) {
+        let scan = if no_cache {
+            lint_workspace_uncached(&root)
+        } else {
+            lint_workspace(&root)
+        };
+        match scan {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("hsw-lint: scan failed: {e}");

@@ -597,17 +597,17 @@ pub fn check_registry(
 /// `rates: Option<CounterRates>` → `["Option", "CounterRates"]`). The type
 /// identifiers let [`check_snapshots`] flatten snapshots that partition
 /// their fields into plane-image substructs.
-struct FieldDef {
-    name: String,
-    line: u32,
-    type_idents: Vec<String>,
+pub(crate) struct FieldDef {
+    pub(crate) name: String,
+    pub(crate) line: u32,
+    pub(crate) type_idents: Vec<String>,
 }
 
 /// A struct definition: name, line, and its named fields.
-struct StructDef {
-    name: String,
-    line: u32,
-    fields: Vec<FieldDef>,
+pub(crate) struct StructDef {
+    pub(crate) name: String,
+    pub(crate) line: u32,
+    pub(crate) fields: Vec<FieldDef>,
 }
 
 /// Extract every `struct Name { field: Ty, … }` definition. Tuple and unit
@@ -616,7 +616,7 @@ struct StructDef {
 /// parens/brackets/generics — unambiguous because the lexer joins `::`
 /// into one token. Identifiers between a field's `:` and its terminating
 /// `,` are recorded as the field's type identifiers.
-fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
+pub(crate) fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
     let mut out = Vec::new();
     let mut i = 0;
     while i + 1 < tokens.len() {
@@ -639,8 +639,12 @@ fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
             let t = &tokens[j];
             if is_punct(t, "<") {
                 angle += 1;
+            } else if is_punct(t, "<<") {
+                angle += 2;
             } else if is_punct(t, ">") {
                 angle -= 1;
+            } else if is_punct(t, ">>") {
+                angle -= 2;
             } else if angle == 0 && (is_punct(t, ";") || is_punct(t, "(")) {
                 break;
             } else if angle == 0 && is_punct(t, "{") {
@@ -675,8 +679,14 @@ fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
                 bracket -= 1;
             } else if is_punct(t, "<") {
                 fangle += 1;
+            } else if is_punct(t, "<<") {
+                // The lexer joins shift operators, so `Vec<Vec<u8>>` closes
+                // with a single `>>` token: count joined tokens as two.
+                fangle += 2;
             } else if is_punct(t, ">") {
                 fangle -= 1;
+            } else if is_punct(t, ">>") {
+                fangle -= 2;
             } else if in_type
                 && depth == 1
                 && paren == 0
@@ -716,13 +726,13 @@ fn struct_defs(tokens: &[Token]) -> Vec<StructDef> {
 
 /// A `// snap:skip(<why>)` marker: a field-level declaration that a piece
 /// of state is deliberately not captured in the snapshot.
-struct SkipMarker {
-    line: u32,
-    end_line: u32,
-    justified: bool,
+pub(crate) struct SkipMarker {
+    pub(crate) line: u32,
+    pub(crate) end_line: u32,
+    pub(crate) justified: bool,
 }
 
-fn snap_skip_markers(comments: &[Comment]) -> Vec<SkipMarker> {
+pub(crate) fn snap_skip_markers(comments: &[Comment]) -> Vec<SkipMarker> {
     comments
         .iter()
         .filter_map(|c| {
@@ -814,7 +824,18 @@ fn covered_names(
 /// from the snapshot — or from the plane image that claims its plane — is
 /// exactly how a forked sweep point diverges from its cold re-run.
 pub fn check_snapshots(files: &[(String, String)]) -> Vec<Finding> {
+    check_snapshots_with_usage(files).0
+}
+
+/// [`check_snapshots`], also reporting which justified `snap:skip`
+/// markers suppressed a missing-field finding — `(file index, marker end
+/// line)` pairs. The workspace pass flags justified markers that
+/// suppressed nothing as stale (A2).
+pub(crate) fn check_snapshots_with_usage(
+    files: &[(String, String)],
+) -> (Vec<Finding>, BTreeSet<(usize, u32)>) {
     let mut findings = Vec::new();
+    let mut used = BTreeSet::new();
     let scans: Vec<SnapshotScan> = files
         .iter()
         .map(|(_, src)| {
@@ -871,7 +892,9 @@ pub fn check_snapshots(files: &[(String, String)]) -> Vec<Finding> {
                     (m.line <= *fline && *fline <= m.end_line) || m.end_line + 1 == *fline
                 });
                 match marker {
-                    Some(m) if m.justified => {}
+                    Some(m) if m.justified => {
+                        used.insert((src_fi, m.end_line));
+                    }
                     Some(m) => findings.push(Finding::new(
                         src_path,
                         m.end_line,
@@ -908,7 +931,7 @@ pub fn check_snapshots(files: &[(String, String)]) -> Vec<Finding> {
     }
 
     findings.sort();
-    findings
+    (findings, used)
 }
 
 #[cfg(test)]

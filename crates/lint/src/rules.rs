@@ -4,23 +4,28 @@
 //! |---|---|
 //! | D1 | no wall-clock or ambient randomness in result-producing crates |
 //! | D2 | no `HashMap`/`HashSet` in result-producing crates |
+//! | D3 | no order-sensitive float reduction over a parallel source |
 //! | S1 | every `unsafe` must be preceded by a `// SAFETY:` comment |
-//! | A1 | malformed `lint:allow` (missing justification / unknown rule) |
+//! | A1 | malformed `lint:allow` / `plane:dirty` directive |
 //! | M5 | no pattern-match on `CpuGeneration` outside hwspec's policy layer |
 //!
-//! D1 and D2 guard the determinism contract: `survey.json` must be
+//! D1–D3 guard the determinism contract: `survey.json` must be
 //! byte-identical for any `--jobs`, any `RAYON_NUM_THREADS` and either
-//! engine. `Instant::now`/`SystemTime` values and `HashMap` iteration
-//! order are exactly the two ways wall-clock and scheduling have leaked
-//! into output in practice. A finding is suppressed by a justified
-//! `// lint:allow(rule): <why>` comment on the same line or the line
-//! directly above; an allow *without* a justification suppresses nothing
-//! and is itself reported (A1).
+//! engine. `Instant::now`/`SystemTime` values, `HashMap` iteration
+//! order, and float reductions whose operand order follows scheduling
+//! are exactly the ways wall-clock and scheduling leak into output. A
+//! finding is suppressed by a justified `// lint:allow(rule): <why>`
+//! comment on the same line or the line directly above; an allow
+//! *without* a justification suppresses nothing and is itself reported
+//! (A1). A justified allow that suppresses *nothing* is stale and
+//! reported by the workspace pass as A2.
 
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
 
 /// Every rule the engine knows, for allow-directive validation.
-pub const KNOWN_RULES: &[&str] = &["D1", "D2", "S1", "A1", "M1", "M2", "M3", "M4", "M5"];
+pub const KNOWN_RULES: &[&str] = &[
+    "D1", "D2", "D3", "S1", "A1", "A2", "M1", "M2", "M3", "M4", "M5", "M6", "P1",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -32,6 +37,10 @@ pub struct Finding {
     /// Rule id ("D1", "M2", …).
     pub rule: &'static str,
     pub message: String,
+    /// Byte offset of the offending token in the file (0 when unknown).
+    pub byte: u32,
+    /// Byte length of the offending token (0 when unknown).
+    pub len: u32,
 }
 
 impl Finding {
@@ -41,7 +50,16 @@ impl Finding {
             line,
             rule,
             message,
+            byte: 0,
+            len: 0,
         }
+    }
+
+    /// Attach a byte span (offset + length) to the finding.
+    pub fn with_span(mut self, byte: u32, len: u32) -> Finding {
+        self.byte = byte;
+        self.len = len;
+        self
     }
 }
 
@@ -67,16 +85,21 @@ pub struct FileScope {
 
 /// A parsed `lint:allow` directive.
 #[derive(Debug, Clone)]
-struct Allow {
-    line: u32,
-    rule: String,
-    justified: bool,
+pub(crate) struct Allow {
+    pub(crate) line: u32,
+    pub(crate) byte: u32,
+    pub(crate) len: u32,
+    pub(crate) rule: String,
+    pub(crate) justified: bool,
+    /// Set by [`suppress`] when the allow actually removed a finding;
+    /// a justified allow that stays unused is stale (A2).
+    pub(crate) used: bool,
 }
 
 /// Extract `lint:allow(rule): justification` directives from comments. The
 /// directive must start the comment (`// lint:allow(…)`) — prose that merely
 /// *mentions* the syntax mid-sentence is not a suppression attempt.
-fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+pub(crate) fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut allows = Vec::new();
     for c in comments {
         // Doc comments contribute a leading `/` or `!` to the text.
@@ -94,64 +117,182 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
             .unwrap_or(false);
         allows.push(Allow {
             line: c.end_line,
+            byte: c.byte,
+            len: c.len,
             rule,
             justified,
+            used: false,
         });
     }
     allows
 }
 
-/// Run the tier-1 rules over one file.
-pub fn scan_file(path: &str, src: &str, scope: FileScope) -> Vec<Finding> {
-    let lexed = lex(src);
-    let allows = parse_allows(&lexed.comments);
-    let mut findings = Vec::new();
+/// A parsed `// plane:dirty(MSR|WORK): justification` annotation — a
+/// method-level declaration (for rule M6) that the function's mutations
+/// are covered by an external marking of the named planes. Plane-*name*
+/// validation needs the workspace mask-const table and happens in the
+/// semantic pass; syntax validation happens here.
+#[derive(Debug, Clone)]
+pub(crate) struct PlaneAnn {
+    pub(crate) line: u32,
+    pub(crate) byte: u32,
+    pub(crate) len: u32,
+    /// The `|`-separated plane names inside the parentheses.
+    pub(crate) planes: Vec<String>,
+    pub(crate) justified: bool,
+    /// Syntax error text when the directive is malformed (A1).
+    pub(crate) malformed: Option<String>,
+    /// Set by the semantic pass when the annotation covered a mutation
+    /// that would otherwise be an M6 finding.
+    pub(crate) used: bool,
+}
 
+/// Extract `plane:dirty(…)` annotations from comments. Like allows, the
+/// directive must start the comment.
+pub(crate) fn parse_plane_anns(comments: &[Comment]) -> Vec<PlaneAnn> {
+    let mut anns = Vec::new();
+    for c in comments {
+        let t = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = t.strip_prefix("plane:dirty") else {
+            continue;
+        };
+        let mut ann = PlaneAnn {
+            line: c.end_line,
+            byte: c.byte,
+            len: c.len,
+            planes: Vec::new(),
+            justified: false,
+            malformed: None,
+            used: false,
+        };
+        let body = rest
+            .strip_prefix('(')
+            .and_then(|r| r.find(')').map(|close| (&r[..close], &r[close + 1..])));
+        match body {
+            None => {
+                ann.malformed = Some(
+                    "plane:dirty needs a parenthesized mask: \
+                     `// plane:dirty(MSR|WORK): <why the marking happens elsewhere>`"
+                        .to_string(),
+                );
+            }
+            Some((mask, tail)) => {
+                let names: Vec<&str> = mask.split('|').map(str::trim).collect();
+                let bad = names.iter().find(|n| {
+                    n.is_empty() || !n.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+                });
+                if let Some(bad) = bad {
+                    ann.malformed = Some(format!(
+                        "plane:dirty mask has a malformed segment `{bad}`; \
+                         use `|`-separated plane-const names like `MSR|WORK`"
+                    ));
+                } else {
+                    ann.planes = names.iter().map(|n| n.to_string()).collect();
+                }
+                ann.justified = tail
+                    .strip_prefix(':')
+                    .map(|j| !j.trim().is_empty())
+                    .unwrap_or(false);
+                if ann.malformed.is_none() && !ann.justified {
+                    ann.malformed = Some(
+                        "plane:dirty without a justification declares nothing; \
+                         write `// plane:dirty(<MASK>): <why the marking happens elsewhere>`"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        anns.push(ann);
+    }
+    anns
+}
+
+/// Run the tier-1 rules over one file, *without* applying suppressions.
+pub(crate) fn tier1_findings(path: &str, lexed: &Lexed, scope: FileScope) -> Vec<Finding> {
+    let mut findings = Vec::new();
     if scope.result_crate {
         check_d1(path, &lexed.tokens, &mut findings);
         check_d2(path, &lexed.tokens, &mut findings);
+        check_d3(path, &lexed.tokens, &mut findings);
     }
-    check_s1(path, &lexed, &mut findings);
+    check_s1(path, lexed, &mut findings);
     if !scope.generation_policy {
         check_m5(path, &lexed.tokens, &mut findings);
     }
+    findings
+}
 
-    // Apply suppressions: a justified allow covers findings of its rule on
-    // its own line (trailing comment) and on the line below (standalone
-    // comment above the code).
+/// Apply suppressions: a justified allow covers findings of its rule on
+/// its own line (trailing comment) and on the line below (standalone
+/// comment above the code). Marks each allow that removed a finding as
+/// `used` so the workspace pass can flag stale ones (A2).
+pub(crate) fn suppress(findings: &mut Vec<Finding>, allows: &mut [Allow]) {
     findings.retain(|f| {
-        !allows
-            .iter()
-            .any(|a| a.justified && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+        let mut hit = false;
+        for a in allows.iter_mut() {
+            if a.justified && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+                a.used = true;
+                hit = true;
+            }
+        }
+        !hit
     });
+}
 
-    // Malformed allows are findings themselves — and never suppressible.
-    for a in &allows {
+/// A1 findings for malformed directives — never themselves suppressible.
+pub(crate) fn directive_findings(path: &str, allows: &[Allow], anns: &[PlaneAnn]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for a in allows {
         if !KNOWN_RULES.contains(&a.rule.as_str()) {
-            findings.push(Finding::new(
-                path,
-                a.line,
-                "A1",
-                format!(
-                    "lint:allow names unknown rule `{}` (known: {})",
-                    a.rule,
-                    KNOWN_RULES.join(", ")
-                ),
-            ));
+            findings.push(
+                Finding::new(
+                    path,
+                    a.line,
+                    "A1",
+                    format!(
+                        "lint:allow names unknown rule `{}` (known: {})",
+                        a.rule,
+                        KNOWN_RULES.join(", ")
+                    ),
+                )
+                .with_span(a.byte, a.len),
+            );
         } else if !a.justified {
-            findings.push(Finding::new(
-                path,
-                a.line,
-                "A1",
-                format!(
-                    "lint:allow({}) without a justification suppresses nothing; \
-                     write `// lint:allow({}): <why this is sound>`",
-                    a.rule, a.rule
-                ),
-            ));
+            findings.push(
+                Finding::new(
+                    path,
+                    a.line,
+                    "A1",
+                    format!(
+                        "lint:allow({}) without a justification suppresses nothing; \
+                         write `// lint:allow({}): <why this is sound>`",
+                        a.rule, a.rule
+                    ),
+                )
+                .with_span(a.byte, a.len),
+            );
         }
     }
+    for ann in anns {
+        if let Some(err) = &ann.malformed {
+            findings
+                .push(Finding::new(path, ann.line, "A1", err.clone()).with_span(ann.byte, ann.len));
+        }
+    }
+    findings
+}
 
+/// Run the tier-1 rules over one file and apply per-line suppressions.
+/// The workspace pass uses the pieces ([`tier1_findings`], [`suppress`],
+/// [`directive_findings`]) directly so it can also track *stale* allows
+/// (A2); this wrapper is the single-file entry point (`--check-file`).
+pub fn scan_file(path: &str, src: &str, scope: FileScope) -> Vec<Finding> {
+    let lexed = lex(src);
+    let mut allows = parse_allows(&lexed.comments);
+    let anns = parse_plane_anns(&lexed.comments);
+    let mut findings = tier1_findings(path, &lexed, scope);
+    suppress(&mut findings, &mut allows);
+    findings.extend(directive_findings(path, &allows, &anns));
     findings.sort();
     findings
 }
@@ -228,6 +369,137 @@ fn check_d2(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                         &s[4..]
                     ),
                 ));
+            }
+        }
+    }
+}
+
+/// Parallel-source adapters: anything downstream of one of these has
+/// scheduling-dependent element order.
+const D3_PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_windows",
+    "par_bridge",
+    "par_extend",
+];
+
+/// Reduction combinators whose float result depends on operand order.
+const D3_REDUCERS: &[&str] = &[
+    "sum",
+    "product",
+    "fold",
+    "reduce",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// D3: order-sensitive float reductions. Float addition is not
+/// associative, so `par_iter().….sum()` produces different bytes run to
+/// run as the scheduler regroups operands — the survey's sweep executor
+/// instead collects per-point results *in index order* and reduces
+/// sequentially. Also flags `partial_cmp(…).unwrap()` comparators, whose
+/// NaN panic and asymmetric ordering break reductions; use
+/// `f64::total_cmp`.
+fn check_d3(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let ident = |i: usize| match tokens.get(i) {
+        Some(Token {
+            kind: TokenKind::Ident(s),
+            ..
+        }) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, p: &str| matches!(tokens.get(i), Some(Token { kind: TokenKind::Punct(q), .. }) if *q == p);
+    for (i, t) in tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        // `.reducer(` / `.reducer::<T>(` at the end of a chain containing a
+        // parallel source.
+        if D3_REDUCERS.contains(&name.as_str())
+            && i > 0
+            && punct(i - 1, ".")
+            && (punct(i + 1, "(") || punct(i + 1, "::"))
+        {
+            // Walk the chain backwards to the start of the statement or
+            // enclosing expression, collecting identifiers.
+            let mut depth = 0i32;
+            let mut k = i - 1;
+            let mut par_source = false;
+            while k > 0 {
+                k -= 1;
+                match &tokens[k].kind {
+                    TokenKind::Punct(")") | TokenKind::Punct("]") => depth += 1,
+                    TokenKind::Punct("(") | TokenKind::Punct("[") => {
+                        if depth == 0 {
+                            break; // chain began inside this group
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::Punct(";")
+                    | TokenKind::Punct("{")
+                    | TokenKind::Punct("}")
+                    | TokenKind::Punct(",")
+                    | TokenKind::Punct("=")
+                        if depth == 0 =>
+                    {
+                        break;
+                    }
+                    TokenKind::Ident(id) if depth == 0 && D3_PAR_SOURCES.contains(&id.as_str()) => {
+                        par_source = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if par_source {
+                findings.push(
+                    Finding::new(
+                        path,
+                        t.line,
+                        "D3",
+                        format!(
+                            "`.{name}(…)` over a parallel source: float reduction order \
+                             follows the scheduler, breaking byte-identical output; \
+                             collect per-point results in index order (as the sweep \
+                             executor does) and reduce sequentially"
+                        ),
+                    )
+                    .with_span(t.byte, t.len),
+                );
+            }
+        }
+        // `partial_cmp(…).unwrap()` / `.expect(…)` comparator.
+        if name == "partial_cmp" && punct(i + 1, "(") {
+            let mut depth = 0i32;
+            let mut k = i + 1;
+            while k < tokens.len() {
+                if punct(k, "(") {
+                    depth += 1;
+                } else if punct(k, ")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            if punct(k + 1, ".") && matches!(ident(k + 2), Some("unwrap") | Some("expect")) {
+                findings.push(
+                    Finding::new(
+                        path,
+                        t.line,
+                        "D3",
+                        "`partial_cmp(…).unwrap()` comparator: panics on NaN and its \
+                         ordering is not total; use `f64::total_cmp` instead"
+                            .to_string(),
+                    )
+                    .with_span(t.byte, t.len),
+                );
             }
         }
     }
@@ -582,5 +854,85 @@ mod tests {
         let far = "// lint:allow(D2): too far away\n\nlet m = HashMap::new();";
         let f = scan_file("x.rs", far, RESULT);
         assert!(f.iter().any(|f| f.rule == "D2"), "{f:?}");
+    }
+
+    #[test]
+    fn d3_flags_reductions_over_parallel_sources() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|x| x * 2.0).sum::<f64>() }";
+        let f = scan_file("x.rs", src, RESULT);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D3");
+        assert!(f[0].message.contains("parallel source"), "{}", f[0].message);
+
+        // `fold` with an explicit identity over a chunked source too.
+        let src = "fn g(xs: &[f64]) -> f64 {\n    xs.par_chunks(8).map(sum8).fold(|| 0.0, |a, b| a + b).sum()\n}";
+        let f = scan_file("x.rs", src, RESULT);
+        assert!(f.iter().any(|f| f.rule == "D3" && f.line == 2), "{f:?}");
+    }
+
+    #[test]
+    fn d3_accepts_index_order_reductions_and_collects() {
+        // Sequential iterators reduce in index order: fine.
+        let seq = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(scan_file("x.rs", seq, RESULT).is_empty());
+        // The sanctioned pattern: collect in index order, reduce after.
+        let collected = "fn g(xs: &[P]) -> Vec<f64> { xs.par_iter().map(run).collect::<Vec<_>>() }";
+        assert!(scan_file("x.rs", collected, RESULT).is_empty());
+        // Non-result crates may reduce however they like.
+        let f = scan_file(
+            "x.rs",
+            "fn f(xs: &[f64]) -> f64 { xs.par_iter().sum::<f64>() }",
+            EXEMPT,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d3_flags_partial_cmp_unwrap_comparators() {
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let f = scan_file("x.rs", src, RESULT);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D3");
+        assert!(f[0].message.contains("total_cmp"), "{}", f[0].message);
+        // `total_cmp` itself is the fix and must pass.
+        let fixed = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(scan_file("x.rs", fixed, RESULT).is_empty());
+    }
+
+    #[test]
+    fn malformed_plane_dirty_annotations_are_a1() {
+        // No parenthesized mask at all.
+        let f = scan_file("x.rs", "// plane:dirty MSR: prose\nlet x = 1;", RESULT);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "A1" && f.message.contains("parenthesized")),
+            "{f:?}"
+        );
+        // A bad segment inside the mask.
+        let f = scan_file(
+            "x.rs",
+            "// plane:dirty(MSR|): trailing pipe\nlet x = 1;",
+            RESULT,
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "A1" && f.message.contains("malformed segment")),
+            "{f:?}"
+        );
+        // A mask without a justification declares nothing.
+        let f = scan_file("x.rs", "// plane:dirty(MSR)\nlet x = 1;", RESULT);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "A1" && f.message.contains("justification")),
+            "{f:?}"
+        );
+        // The well-formed full syntax is silent at file scope (staleness is
+        // the workspace pass's A2 business, not A1's).
+        let f = scan_file(
+            "x.rs",
+            "// plane:dirty(MSR|WORK): marked by the caller\nlet x = 1;",
+            RESULT,
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 }

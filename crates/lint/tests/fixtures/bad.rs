@@ -24,6 +24,16 @@ pub fn unjustified_allow() -> u32 {
     m.len() as u32
 }
 
+pub fn scheduler_ordered_reduction(xs: &[f64]) -> f64 {
+    // D3: float reduction over a parallel source follows scheduler order.
+    xs.par_iter().map(|x| x * 2.0).sum::<f64>()
+}
+
+pub fn nan_partial_comparator(v: &mut [f64]) {
+    // D3: partial_cmp comparator panics on NaN and is not a total order.
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
 pub fn false_positive_bait() {
     // None of these may be flagged: the names live in literals.
     let _s = "Instant::now HashMap unsafe";

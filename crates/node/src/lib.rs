@@ -33,5 +33,5 @@ pub use engine::{EngineMode, EngineStats};
 pub use node::{Node, NodeSnapshot};
 pub use script::{Action, WorkloadScript};
 pub use session::{Platform, PlatformKind, Resolution, Session, SessionBuilder};
-pub use socket::{Socket, SocketSnapshot};
+pub use socket::{PlaneMask, Socket, SocketSnapshot};
 pub use telemetry::{Snapshot, Trace};

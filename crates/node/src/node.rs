@@ -13,7 +13,7 @@ use hsw_power::{Lmg450, NodePowerModel};
 
 use crate::config::{CpuId, NodeConfig};
 use crate::engine::{EngineMode, EngineStats};
-use crate::socket::{Ns, Socket, SocketSnapshot, SocketTick};
+use crate::socket::{Ns, PlaneMask, Socket, SocketSnapshot, SocketTick};
 
 /// The simulated compute node (paper Table II).
 pub struct Node {
@@ -179,10 +179,18 @@ impl Node {
     }
 
     pub fn socket_mut(&mut self, s: usize) -> &mut Socket {
-        self.all_quiet = false;
         // Raw access can mutate anything; keep the dirty tracking sound.
         self.sockets[s].mark_all_dirty();
-        &mut self.sockets[s]
+        self.socket_planes_mut(s, PlaneMask::NONE)
+    }
+
+    /// Plane-scoped raw socket access: like [`Node::socket_mut`] but dirties
+    /// only the declared `planes`, so a following [`Node::fork_from`] pays
+    /// for what the caller actually touched instead of a full restore. The
+    /// caller owns the declaration — see [`Socket::planes_mut`].
+    pub fn socket_planes_mut(&mut self, s: usize, planes: PlaneMask) -> &mut Socket {
+        self.all_quiet = false;
+        self.sockets[s].planes_mut(planes)
     }
 
     /// Step counters of the time-advance engine.
@@ -978,8 +986,9 @@ mod engine_tests {
                 fresh.rdmsr(cpu, msra::IA32_ENERGY_PERF_BIAS).unwrap(),
                 "unmarked write should have leaked through the fork"
             );
-            // Marking the plane (what every real mutator does) repairs it.
-            scratch.sockets[0].mark_all_dirty();
+            // Marking the plane (what every real mutator does) repairs it —
+            // and the scoped accessor's MSR-only declaration is enough.
+            scratch.sockets[0].planes_mut(PlaneMask::MSR);
             scratch.fork_from(&snap, 4243);
             fresh.reseed(4243);
             assert_eq!(

@@ -34,7 +34,7 @@ use hsw_hwspec::clock::{domain, DomainNoise};
 use hsw_hwspec::freq::FreqSetting;
 use hsw_hwspec::ClockDomain;
 use hsw_hwspec::{EpbClass, PState, SkuSpec};
-use hsw_msr::{addresses as msra, fields, MsrBank, MsrBankSnapshot};
+use hsw_msr::{addresses as msra, fields, MsrBank, MsrBankSnapshot, MsrError};
 use hsw_pcu::{
     AvxLicense, EetController, PStateEngine, PStateEngineSnapshot, PcuController, PcuGrant,
     PcuInputs, TransitionEvent, TransitionLog,
@@ -548,6 +548,26 @@ impl Socket {
         self.dirty = PlaneMask::ALL;
     }
 
+    /// Plane-scoped raw access: the caller declares up front which planes
+    /// it will touch, and the next fork restores only those instead of the
+    /// ALL that [`Node::socket_mut`](crate::Node::socket_mut) assumes.
+    /// Mutating state outside `planes` through the returned reference
+    /// breaks the fork contract the same way a forgotten `mark_dirty`
+    /// would — declare generously when unsure.
+    pub fn planes_mut(&mut self, planes: PlaneMask) -> &mut Socket {
+        self.dirty |= planes;
+        self
+    }
+
+    /// Store an MSR through the bank's gate checks, the per-thread
+    /// equivalent of [`Node::wrmsr`](crate::Node::wrmsr) for callers that
+    /// already hold a socket borrow (e.g. via [`Socket::planes_mut`]).
+    /// Routes through the marking choke point, so the MSR plane is dirtied
+    /// whether or not the caller declared it.
+    pub fn msr_store(&mut self, thread: usize, addr: u32, value: u64) -> Result<(), MsrError> {
+        self.msr_mut().write(thread, addr, value)
+    }
+
     /// The PCU's re-evaluation cadence, from the generation's firmware
     /// policy (500 µs on every surveyed part).
     fn pcu_period_ns(&self) -> Ns {
@@ -792,6 +812,7 @@ impl Socket {
             let lead = self.cores.lead[c];
             let mut duty_c = 0.0;
             if lead != usize::MAX {
+                // lint:allow(P1): lead != usize::MAX implies the thread slot is occupied
                 let p = self.threads[lead].as_ref().expect("lead cache stale");
                 let d = p.duty.factor_at(t_s);
                 duty_c = d;
@@ -962,10 +983,12 @@ impl Socket {
             if lead == usize::MAX {
                 continue;
             }
+            // lint:allow(P1): lead != usize::MAX implies the thread slot is occupied
             let name = threads[lead].as_ref().expect("lead cache stale").name;
             let d = self.scratch.duty[c];
             let mut found = false;
             for g in groups.iter_mut() {
+                // lint:allow(P1): group entries are leads already unwrapped in this loop
                 if threads[g.0].as_ref().expect("lead cache stale").name == name {
                     g.1 += 1;
                     g.2 += d;
@@ -979,6 +1002,7 @@ impl Socket {
         }
         let mut demand = 0.0;
         for (lead, n, duty_total) in groups.iter() {
+            // lint:allow(P1): group leads come from the same lead cache checked above
             let p = threads[*lead].as_ref().expect("lead cache stale");
             let avg_duty = duty_total / *n as f64;
             let scale = if p.stall_fraction > hsw_hwspec::calib::UFS_STALL_THRESHOLD {

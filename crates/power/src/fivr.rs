@@ -52,6 +52,7 @@ pub fn efficiency(out_w: f64) -> f64 {
 impl Fivr {
     /// A regulator with the paper system's (Haswell-EP) electricals.
     pub fn new(initial_v: f64) -> Self {
+        // lint:allow(P1): HaswellEp is in the FIVR generation table by construction
         Self::for_generation(CpuGeneration::HaswellEp, initial_v).expect("Haswell implements FIVR")
     }
 
