@@ -1,0 +1,828 @@
+//! The closed-form steady-state model: a scalar, bit-exact replica of the
+//! PCU equilibrium solve fed with the RAPL limiter's analytic fixed point.
+//!
+//! See the crate docs for the model equations and the error model. The
+//! mirroring contract with [`hsw_pcu::controller`] is load-bearing: every
+//! arithmetic expression in [`SteadySolve`] evaluates the same floating
+//! point operations in the same order as `PcuController::solve`, with the
+//! per-core electrical array collapsed to scalar accumulation (active cores
+//! are electrically identical, so the running sums visit the same values in
+//! the same order). Tests assert bit-equality against the real solver
+//! across both platforms' operating envelopes.
+
+use hsw_exec::workloads::WorkloadProfile;
+use hsw_hwspec::freq::FreqSetting;
+use hsw_hwspec::{calib, EpbClass, NodeSpec, PState, SkuSpec};
+use hsw_pcu::ufs::{self, UfsInputs};
+use hsw_pcu::{EetController, PcuController, PcuInputs};
+
+use hsw_fleet::ChipVariation;
+
+/// One point of the operating envelope: which workload runs how wide, under
+/// which OS frequency/EPB policy. Power caps are expressed the way the
+/// simulator expresses them — as the spec's TDP (see
+/// [`AnalyticModel::with_cap_w`]).
+#[derive(Debug, Clone)]
+pub struct OperatingPoint<'a> {
+    pub profile: &'a WorkloadProfile,
+    pub setting: FreqSetting,
+    pub epb: EpbClass,
+    /// `IA32_MISC_ENABLE[38]` turbo disengage (inverted).
+    pub turbo_enabled: bool,
+    /// Cores running the workload per socket (the remainder idles in C6).
+    pub active_cores: usize,
+    /// Both hardware threads of each active core loaded.
+    pub smt: bool,
+}
+
+impl<'a> OperatingPoint<'a> {
+    /// The common case: `cores` cores active under turbo with balanced EPB.
+    pub fn new(profile: &'a WorkloadProfile, setting: FreqSetting, active_cores: usize) -> Self {
+        OperatingPoint {
+            profile,
+            setting,
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores,
+            smt: false,
+        }
+    }
+}
+
+/// Steady-state prediction for one socket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocketPrediction {
+    /// Granted core frequency in GHz (time-averaged, like the PCU grant).
+    pub core_ghz: f64,
+    /// Granted uncore frequency in GHz.
+    pub uncore_ghz: f64,
+    /// Retired instruction rate of one loaded hardware thread in GIPS —
+    /// the quantity the survey's `PerfCtr` windows report per thread.
+    pub gips: f64,
+    /// Package power as the node's RAPL meter would report it (model power
+    /// plus idle housekeeping, scaled by the chip's metering trim).
+    pub pkg_w: f64,
+    /// Whether the TDP limiter constrains this operating point.
+    pub power_limited: bool,
+}
+
+/// Steady-state prediction for a whole node (one entry per socket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePrediction {
+    pub sockets: Vec<SocketPrediction>,
+}
+
+impl NodePrediction {
+    /// Total reported package power across sockets (W).
+    pub fn node_pkg_w(&self) -> f64 {
+        self.sockets.iter().map(|s| s.pkg_w).sum()
+    }
+}
+
+/// EPB budget bias, mirroring `PcuController::solve` (Table V's sub-1 %
+/// frequency differences across EPB settings).
+fn epb_budget_factor(epb: EpbClass) -> f64 {
+    match epb {
+        EpbClass::Performance => 1.005,
+        EpbClass::Balanced => 1.0,
+        EpbClass::EnergySaving => 0.995,
+    }
+}
+
+/// The RAPL limiter's steady running average for a socket granting `P*`:
+/// the closed-form fixed point of
+/// `P* = e · clamp(2·TDP − g·(P* + H), 0.9·TDP, PL2·TDP)`,
+/// returned as the average `g · (P* + H)` the PCU solve reads.
+///
+/// `housekeeping_w` is the OS idle-housekeeping power the meter sees on top
+/// of the modeled package power (`IDLE_PKG_HOUSEKEEPING_W` × idle fraction).
+pub fn steady_avg_pkg_w(spec: &SkuSpec, epb: EpbClass, housekeeping_w: f64) -> f64 {
+    let t = spec.tdp_w;
+    let g = spec.power.rapl_trim_gain;
+    let h = housekeeping_w;
+    let e = epb_budget_factor(epb);
+    let (lo, hi) = (t * 0.9, t * calib::PL2_TDP_MULT);
+    // Unclamped fixed point, then a consistency check against the clamp
+    // window (the clamp map is monotone decreasing in P*, so exactly one
+    // branch is self-consistent).
+    let p_unclamped = e * (2.0 * t - g * h) / (1.0 + e * g);
+    let x = 2.0 * t - g * (p_unclamped + h);
+    let p_star = if x < lo {
+        e * lo
+    } else if x > hi {
+        e * hi
+    } else {
+        p_unclamped
+    };
+    g * (p_star + h)
+}
+
+/// The grant of one steady-state solve (field-for-field the PCU's grant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SteadyGrant {
+    core_mhz: f64,
+    uncore_mhz: f64,
+    power_w: f64,
+    power_limited: bool,
+}
+
+/// All inputs of one socket solve, in the PCU controller's own terms.
+struct SteadySolve<'a> {
+    spec: &'a SkuSpec,
+    socket_power_mult: f64,
+    setting: FreqSetting,
+    epb: EpbClass,
+    turbo_enabled: bool,
+    active_cores: usize,
+    gated_idle_cores: usize,
+    activity: f64,
+    avx_level: u8,
+    stall_fraction: f64,
+    eet_limit_mhz: u32,
+    avg_pkg_w: f64,
+}
+
+impl<'a> SteadySolve<'a> {
+    /// The same inputs as a [`PcuInputs`] — used for the ceiling (shared
+    /// with the real controller) and by the bit-equality tests.
+    fn to_pcu_inputs(&self) -> PcuInputs<'a> {
+        PcuInputs {
+            spec: self.spec,
+            socket_power_mult: self.socket_power_mult,
+            setting: self.setting,
+            epb: self.epb,
+            turbo_enabled: self.turbo_enabled,
+            active_cores: self.active_cores,
+            gated_idle_cores: self.gated_idle_cores,
+            activity: self.activity,
+            avx_level: self.avx_level,
+            stall_fraction: self.stall_fraction,
+            eet_limit_mhz: self.eet_limit_mhz,
+            avg_pkg_w: self.avg_pkg_w,
+        }
+    }
+
+    /// Scalar mirror of the controller's `power_at`: the same electrical
+    /// sums without the stack array. Active cores are identical, so adding
+    /// one core's term `active` times reproduces the array loop's running
+    /// sums bit-for-bit (idle ungated cores contribute leakage at the
+    /// minimum p-state and an exactly-zero dynamic term, also in order).
+    fn power_at(&self, core_mhz: f64, uncore_mhz: f64) -> f64 {
+        let spec = self.spec;
+        let c = &spec.power;
+        let active = self.active_cores.min(spec.cores);
+        let idle = spec.cores.saturating_sub(self.active_cores);
+        let gated = self.gated_idle_cores.min(idle);
+        let mut leak = 0.0;
+        let mut dyn_w = 0.0;
+        if active > 0 {
+            let mhz = core_mhz.round() as u32;
+            let v = spec.core_vf.voltage_at(mhz.max(spec.freq.min_mhz));
+            let leak_term = c.core_leak_w_per_v2 * v * v;
+            let avx = match self.avx_level {
+                0 => 1.0,
+                1 => c.avx_power_mult,
+                _ => c.avx512_power_mult,
+            };
+            let dyn_term =
+                c.core_dyn_w_per_v2ghz * v * v * (mhz as f64 / 1000.0) * self.activity * avx;
+            for _ in 0..active {
+                leak += leak_term;
+                dyn_w += dyn_term;
+            }
+        }
+        let idle_ungated = spec.cores.saturating_sub(active + gated);
+        if idle_ungated > 0 {
+            let v = spec.core_vf.voltage_at(spec.freq.min_mhz);
+            let leak_term = c.core_leak_w_per_v2 * v * v;
+            // The array loop also adds each idle core's dynamic term, which
+            // is exactly 0.0 (activity 0) — a bit-level no-op.
+            for _ in 0..idle_ungated {
+                leak += leak_term;
+            }
+        }
+        let umhz = uncore_mhz.round() as u32;
+        let vu = spec.uncore_vf.voltage_at(umhz);
+        let uncore_w = c.uncore_dyn_w_per_v2ghz * vu * vu * (umhz as f64 / 1000.0);
+        let mult = self.socket_power_mult;
+        c.pkg_base_w + leak * mult + dyn_w * mult + uncore_w * mult
+    }
+
+    /// Mirror of the controller's `ufs_target_for`: UFS target keyed by the
+    /// actual core frequency mapped onto the Table III schedule bins.
+    fn ufs_target_for(&self, core_mhz: f64, epb: EpbClass) -> f64 {
+        let spec = self.spec;
+        let setting = if core_mhz > spec.freq.base_mhz as f64 + 50.0 {
+            FreqSetting::Turbo
+        } else {
+            let bin = ((core_mhz / 100.0).round() as u32 * 100)
+                .clamp(spec.freq.min_mhz, spec.freq.base_mhz);
+            FreqSetting::Fixed(PState::from_mhz(bin))
+        };
+        ufs::ufs_target_mhz(
+            spec,
+            &UfsInputs {
+                fastest_setting: setting,
+                socket_active: self.active_cores > 0,
+                epb,
+                stall_fraction: self.stall_fraction,
+                package_sleep: false,
+            },
+        ) as f64
+    }
+
+    /// Mirror of the controller's `max_core_within` bisection.
+    fn max_core_within(&self, ceiling_mhz: f64, uncore_mhz: f64, budget_w: f64) -> f64 {
+        let floor = self.spec.freq.min_mhz as f64;
+        if self.power_at(ceiling_mhz, uncore_mhz) <= budget_w {
+            return ceiling_mhz;
+        }
+        let (mut lo, mut hi) = (floor, ceiling_mhz);
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            if self.power_at(mid, uncore_mhz) <= budget_w {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Mirror of the controller's `max_uncore_within` bisection.
+    fn max_uncore_within(&self, core_mhz: f64, lo_mhz: f64, hi_mhz: f64, budget_w: f64) -> f64 {
+        if self.power_at(core_mhz, hi_mhz) <= budget_w {
+            return hi_mhz;
+        }
+        let (mut lo, mut hi) = (lo_mhz, hi_mhz);
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            if self.power_at(core_mhz, mid) <= budget_w {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Mirror of `PcuController::solve` over the scalar power model.
+    fn solve(&self) -> SteadyGrant {
+        let spec = self.spec;
+        if self.active_cores == 0 {
+            let fu = ufs::ufs_target_mhz(
+                spec,
+                &UfsInputs {
+                    fastest_setting: self.setting,
+                    socket_active: false,
+                    epb: self.epb,
+                    stall_fraction: 0.0,
+                    package_sleep: false,
+                },
+            ) as f64;
+            let fc = spec.freq.min_mhz as f64;
+            return SteadyGrant {
+                core_mhz: fc,
+                uncore_mhz: fu,
+                power_w: self.power_at(fc, fu),
+                power_limited: false,
+            };
+        }
+
+        let ceiling = PcuController::core_ceiling_mhz(&self.to_pcu_inputs()) as f64;
+        let pl_base = (2.0 * spec.tdp_w - self.avg_pkg_w)
+            .clamp(spec.tdp_w * 0.9, spec.tdp_w * calib::PL2_TDP_MULT);
+        let budget = pl_base * epb_budget_factor(self.epb);
+
+        let solve_with_epb = |ufs_epb: EpbClass| {
+            let mut fc = ceiling;
+            let mut fu = self.ufs_target_for(fc, ufs_epb);
+            for _ in 0..24 {
+                let fc_new = self.max_core_within(ceiling, fu, budget);
+                fc = 0.5 * (fc + fc_new);
+                fu = self.ufs_target_for(fc, ufs_epb);
+            }
+            (fc, fu)
+        };
+        let (mut fc, mut fu) = solve_with_epb(self.epb);
+        let mut power_limited = fc < ceiling - 5.0;
+        if power_limited && self.epb == EpbClass::Performance {
+            let (fc2, fu2) = solve_with_epb(EpbClass::Balanced);
+            fc = fc2;
+            fu = fu2;
+            power_limited = fc < ceiling - 5.0;
+        }
+
+        if !power_limited && ufs::stall_boost_allowed(spec, self.stall_fraction) {
+            fc = ceiling;
+            let fu_max = spec.freq.uncore_max_mhz as f64;
+            let boosted = self.max_uncore_within(fc, fu, fu_max, budget);
+            if boosted > fu {
+                fu = boosted;
+                power_limited = fu < fu_max - 5.0;
+            }
+        } else if power_limited {
+            fc = self.max_core_within(ceiling, fu, budget);
+        }
+
+        let fu = fu.clamp(
+            spec.freq.uncore_min_mhz as f64,
+            spec.freq.uncore_max_mhz as f64,
+        );
+        SteadyGrant {
+            core_mhz: fc,
+            uncore_mhz: fu,
+            power_w: self.power_at(fc, fu),
+            power_limited,
+        }
+    }
+}
+
+/// The closed-form surrogate for one concrete node (nominal or one
+/// manufactured unit of a fleet).
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    node: NodeSpec,
+    eet_enabled: bool,
+}
+
+impl AnalyticModel {
+    /// A model of the given node spec (already varied/capped if desired).
+    pub fn from_node_spec(node: &NodeSpec, eet_enabled: bool) -> Self {
+        AnalyticModel {
+            node: node.clone(),
+            eet_enabled,
+        }
+    }
+
+    /// A model of one manufactured unit: the nominal node with `var`
+    /// applied through the same [`ChipVariation::apply`] transformation the
+    /// fleet executor uses, so a chip's analytic identity is exactly its
+    /// simulated identity.
+    pub fn for_chip(nominal: &NodeSpec, var: &ChipVariation, eet_enabled: bool) -> Self {
+        AnalyticModel {
+            node: var.apply(nominal),
+            eet_enabled,
+        }
+    }
+
+    /// Apply a package power cap the way the fleet harness does: by
+    /// replacing the enforced TDP.
+    pub fn with_cap_w(mut self, cap_w: Option<f64>) -> Self {
+        if let Some(cap) = cap_w {
+            self.node.sku.tdp_w = cap;
+        }
+        self
+    }
+
+    /// The (possibly varied/capped) node this model answers for.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    /// Predict the steady-state operating point of every socket.
+    pub fn predict(&self, pt: &OperatingPoint<'_>) -> NodePrediction {
+        let spec = &self.node.sku;
+        let duty = pt.profile.duty.mean_factor();
+        let active = pt.active_cores.min(spec.cores);
+        // Steady state: the governor parks every idle core in C6.
+        let gated = spec.cores - active;
+        let (activity, stall, avx_level) = if active > 0 {
+            (
+                pt.profile.activity(pt.smt) * duty,
+                pt.profile.stall_fraction,
+                u8::from(pt.profile.avx_heavy),
+            )
+        } else {
+            (0.0, 0.0, 0)
+        };
+        // EET acts on its sporadically polled stall estimate, which at
+        // steady state is the duty-weighted stall the socket feeds it.
+        let eet_limit_mhz = if self.eet_enabled {
+            let mut eet = EetController::new(true);
+            eet.tick(0, stall * duty.min(1.0));
+            eet.limit_mhz(spec, pt.epb, spec.freq.turbo_mhz(active.max(1)))
+        } else {
+            u32::MAX
+        };
+        let housekeeping_w =
+            calib::IDLE_PKG_HOUSEKEEPING_W * ((spec.cores - active) as f64 / spec.cores as f64);
+        let avg_pkg_w = steady_avg_pkg_w(spec, pt.epb, housekeeping_w);
+
+        let sockets = (0..self.node.sockets)
+            .map(|s| {
+                let solve = SteadySolve {
+                    spec,
+                    socket_power_mult: self.node.socket_power_mult[s],
+                    setting: pt.setting,
+                    epb: pt.epb,
+                    turbo_enabled: pt.turbo_enabled,
+                    active_cores: active,
+                    gated_idle_cores: gated,
+                    activity,
+                    avx_level,
+                    stall_fraction: stall,
+                    eet_limit_mhz,
+                    avg_pkg_w,
+                };
+                let grant = solve.solve();
+                let core_ghz = grant.core_mhz / 1000.0;
+                let uncore_ghz = grant.uncore_mhz / 1000.0;
+                let gips = if active > 0 {
+                    pt.profile.ipc(pt.smt, core_ghz, uncore_ghz.max(0.1)) * core_ghz * duty
+                } else {
+                    0.0
+                };
+                SocketPrediction {
+                    core_ghz,
+                    uncore_ghz,
+                    gips,
+                    // What the meter reports: model power plus the OS idle
+                    // housekeeping, through the chip's metering trim. The
+                    // package-c-state uncore residual and wake transients
+                    // are deliberately unmodeled (crate docs).
+                    pkg_w: (grant.power_w + housekeeping_w) * spec.power.rapl_trim_gain,
+                    power_limited: grant.power_limited,
+                }
+            })
+            .collect();
+        NodePrediction { sockets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsw_fleet::VariationModel;
+    use hsw_power::{package_power_w, CoreElecState};
+
+    fn haswell() -> NodeSpec {
+        NodeSpec::paper_test_node()
+    }
+
+    fn skylake() -> NodeSpec {
+        NodeSpec::skylake_sp_node()
+    }
+
+    /// The controller's own `power_at`, reconstructed verbatim over the
+    /// real electrical model — the oracle for the scalar mirror.
+    fn array_power_at(s: &SteadySolve<'_>, core_mhz: f64, uncore_mhz: f64) -> f64 {
+        const MAX_CORES: usize = 64;
+        let spec = s.spec;
+        let mut cores = [CoreElecState::gated(); MAX_CORES];
+        let active = s.active_cores.min(spec.cores);
+        let idle = spec.cores.saturating_sub(s.active_cores);
+        let gated = s.gated_idle_cores.min(idle);
+        for c in cores.iter_mut().take(active) {
+            *c = CoreElecState {
+                mhz: core_mhz.round() as u32,
+                activity: s.activity,
+                license_level: s.avx_level,
+                power_gated: false,
+            };
+        }
+        for c in cores.iter_mut().take(spec.cores).skip(active + gated) {
+            *c = CoreElecState {
+                mhz: spec.freq.min_mhz,
+                activity: 0.0,
+                license_level: 0,
+                power_gated: false,
+            };
+        }
+        package_power_w(
+            spec,
+            s.socket_power_mult,
+            &cores[..spec.cores],
+            uncore_mhz.round() as u32,
+        )
+        .total_w()
+    }
+
+    fn envelope(spec: &SkuSpec) -> Vec<SteadySolve<'_>> {
+        let mut points = Vec::new();
+        let profiles = [
+            WorkloadProfile::firestarter(),
+            WorkloadProfile::compute(),
+            WorkloadProfile::memory_bound(),
+            WorkloadProfile::busy_wait(),
+        ];
+        for profile in &profiles {
+            for setting in [
+                FreqSetting::Turbo,
+                FreqSetting::from_mhz(spec.freq.base_mhz),
+                FreqSetting::from_mhz(spec.freq.base_mhz - 400),
+                FreqSetting::from_mhz(spec.freq.min_mhz),
+            ] {
+                for active in [1, spec.cores / 2, spec.cores] {
+                    for epb in [
+                        EpbClass::Performance,
+                        EpbClass::Balanced,
+                        EpbClass::EnergySaving,
+                    ] {
+                        for cap in [None, Some(spec.tdp_w * 0.6)] {
+                            let duty = profile.duty.mean_factor();
+                            let stall = profile.stall_fraction;
+                            let mut eet = EetController::new(true);
+                            eet.tick(0, stall * duty.min(1.0));
+                            let eet_limit =
+                                eet.limit_mhz(spec, epb, spec.freq.turbo_mhz(active.max(1)));
+                            let h = calib::IDLE_PKG_HOUSEKEEPING_W
+                                * ((spec.cores - active) as f64 / spec.cores as f64);
+                            let mut capped = spec.clone();
+                            if let Some(c) = cap {
+                                capped.tdp_w = c;
+                            }
+                            let avg = steady_avg_pkg_w(&capped, epb, h);
+                            points.push(SteadySolve {
+                                spec: Box::leak(Box::new(capped)),
+                                socket_power_mult: 1.012,
+                                setting,
+                                epb,
+                                turbo_enabled: true,
+                                active_cores: active,
+                                gated_idle_cores: spec.cores - active,
+                                activity: profile.activity(true) * duty,
+                                avx_level: u8::from(profile.avx_heavy),
+                                stall_fraction: stall,
+                                eet_limit_mhz: eet_limit,
+                                avg_pkg_w: avg,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Idle socket.
+        points.push(SteadySolve {
+            spec: Box::leak(Box::new(spec.clone())),
+            socket_power_mult: 1.0,
+            setting: FreqSetting::Turbo,
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores: 0,
+            gated_idle_cores: spec.cores,
+            activity: 0.0,
+            avx_level: 0,
+            stall_fraction: 0.0,
+            eet_limit_mhz: u32::MAX,
+            avg_pkg_w: 12.0,
+        });
+        points
+    }
+
+    #[test]
+    fn scalar_power_is_bit_exact_vs_the_electrical_array() {
+        for node in [haswell(), skylake()] {
+            for s in envelope(&node.sku) {
+                for (fc, fu) in [
+                    (s.spec.freq.min_mhz as f64, 1200.0),
+                    (2147.3, 2433.9),
+                    (s.spec.freq.base_mhz as f64, 2999.6),
+                    (3300.0, s.spec.freq.uncore_max_mhz as f64),
+                ] {
+                    let scalar = s.power_at(fc, fu);
+                    let array = array_power_at(&s, fc, fu);
+                    assert_eq!(
+                        scalar.to_bits(),
+                        array.to_bits(),
+                        "{} fc={fc} fu={fu}: scalar {scalar} vs array {array}",
+                        s.spec.model
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steady_solve_is_bit_exact_vs_pcu_controller() {
+        for node in [haswell(), skylake()] {
+            for s in envelope(&node.sku) {
+                let mine = s.solve();
+                let real = PcuController::solve(&s.to_pcu_inputs());
+                assert_eq!(
+                    mine.core_mhz.to_bits(),
+                    real.core_mhz.to_bits(),
+                    "{} {:?} active={}: core {} vs {}",
+                    s.spec.model,
+                    s.setting,
+                    s.active_cores,
+                    mine.core_mhz,
+                    real.core_mhz
+                );
+                assert_eq!(mine.uncore_mhz.to_bits(), real.uncore_mhz.to_bits());
+                assert_eq!(mine.power_w.to_bits(), real.power_w.to_bits());
+                assert_eq!(mine.power_limited, real.power_limited);
+            }
+        }
+    }
+
+    #[test]
+    fn steady_average_is_a_fixed_point_of_the_limiter() {
+        for node in [haswell(), skylake()] {
+            let spec = &node.sku;
+            for epb in [
+                EpbClass::Performance,
+                EpbClass::Balanced,
+                EpbClass::EnergySaving,
+            ] {
+                for (tdp, h) in [(spec.tdp_w, 0.0), (70.0, 2.1), (40.0, 3.6)] {
+                    let mut capped = spec.clone();
+                    capped.tdp_w = tdp;
+                    let avg = steady_avg_pkg_w(&capped, epb, h);
+                    // Granting exactly the budget this average yields must
+                    // reproduce the average: avg = g · (budget(avg) + h).
+                    let pl_base = (2.0 * tdp - avg).clamp(tdp * 0.9, tdp * calib::PL2_TDP_MULT);
+                    let budget = pl_base * epb_budget_factor(epb);
+                    let re_avg = capped.power.rapl_trim_gain * (budget + h);
+                    assert!(
+                        (re_avg - avg).abs() < 1e-9,
+                        "{} {epb:?} tdp={tdp}: {avg} vs {re_avg}",
+                        spec.model
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn firestarter_turbo_lands_on_the_table4_equilibrium() {
+        // Paper Table IV: FIRESTARTER at turbo settles near (2.31 GHz core,
+        // 2.34 GHz uncore) at exactly the 120 W TDP.
+        let model = AnalyticModel::from_node_spec(&haswell(), true);
+        let fs = WorkloadProfile::firestarter();
+        let pt = OperatingPoint {
+            profile: &fs,
+            setting: FreqSetting::Turbo,
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores: 12,
+            smt: true,
+        };
+        let p = model.predict(&pt);
+        assert_eq!(p.sockets.len(), 2);
+        for s in &p.sockets {
+            assert!(s.power_limited, "turbo FIRESTARTER must hit the limiter");
+            assert!(
+                (2.2..=2.4).contains(&s.core_ghz),
+                "core {:.3} GHz",
+                s.core_ghz
+            );
+            assert!((s.pkg_w - 120.0).abs() < 2.0, "pkg {:.1} W", s.pkg_w);
+        }
+        // Socket 0 is electrically worse, so its capped frequency is lower.
+        assert!(p.sockets[0].core_ghz < p.sockets[1].core_ghz);
+        assert!((p.node_pkg_w() - 240.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn firestarter_2100_runs_uncapped_with_boosted_uncore() {
+        // Paper Section V-B: at 2.1 GHz FIRESTARTER stays under the TDP and
+        // the headroom drives the uncore to its 3.0 GHz maximum.
+        let model = AnalyticModel::from_node_spec(&haswell(), true);
+        let fs = WorkloadProfile::firestarter();
+        let pt = OperatingPoint {
+            profile: &fs,
+            setting: FreqSetting::from_mhz(2100),
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores: 12,
+            smt: true,
+        };
+        for s in &model.predict(&pt).sockets {
+            assert!((s.core_ghz - 2.1).abs() < 0.01, "core {:.3}", s.core_ghz);
+            assert!(
+                (s.uncore_ghz - 3.0).abs() < 0.02,
+                "uncore {:.3}",
+                s.uncore_ghz
+            );
+            assert!(s.pkg_w < 120.0, "pkg {:.1} W", s.pkg_w);
+        }
+    }
+
+    #[test]
+    fn memory_bound_is_eet_capped_at_base() {
+        // Stall 0.85 > 0.60: EET holds the grant at the base frequency for
+        // non-performance EPB.
+        let node = haswell();
+        let mb = WorkloadProfile::memory_bound();
+        let pt = OperatingPoint {
+            profile: &mb,
+            setting: FreqSetting::Turbo,
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores: 12,
+            smt: false,
+        };
+        let capped = AnalyticModel::from_node_spec(&node, true).predict(&pt);
+        assert!(capped.sockets[1].core_ghz <= 2.5 + 1e-9);
+        let uncapped = AnalyticModel::from_node_spec(&node, false).predict(&pt);
+        assert!(uncapped.sockets[1].core_ghz > capped.sockets[1].core_ghz);
+    }
+
+    #[test]
+    fn idle_prediction_is_the_passive_floor() {
+        let model = AnalyticModel::from_node_spec(&haswell(), true);
+        let idle = WorkloadProfile::idle();
+        let pt = OperatingPoint {
+            profile: &idle,
+            setting: FreqSetting::Turbo,
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores: 0,
+            smt: false,
+        };
+        for s in &model.predict(&pt).sockets {
+            assert!((s.core_ghz - 1.2).abs() < 1e-9);
+            assert_eq!(s.gips, 0.0);
+            assert!(!s.power_limited);
+            // Gated cores leak nothing; the passive UFS keeps the uncore up
+            // for a Turbo-class setting, so an idle socket still burns tens
+            // of watts — the documented idle divergence vs. the simulator's
+            // package-sleep residual.
+            assert!((8.0..60.0).contains(&s.pkg_w), "idle pkg {:.1}", s.pkg_w);
+        }
+    }
+
+    #[test]
+    fn power_cap_converts_chip_spread_into_frequency_spread() {
+        // The Schuchart phenomenology the fleet experiments measure, now in
+        // closed form: uncapped chips agree in frequency and differ in
+        // power; capped chips agree in power and differ in frequency.
+        let nominal = haswell();
+        let compute = WorkloadProfile::compute();
+        let pt = OperatingPoint::new(&compute, FreqSetting::Turbo, 5);
+        let vm = VariationModel::paper_fleet();
+        let chips: Vec<_> = (0..24)
+            .map(|seed| ChipVariation::sample(&vm, seed))
+            .collect();
+        let predict = |cap: Option<f64>| -> Vec<SocketPrediction> {
+            chips
+                .iter()
+                .map(|v| {
+                    AnalyticModel::for_chip(&nominal, v, true)
+                        .with_cap_w(cap)
+                        .predict(&pt)
+                        .sockets[0]
+                })
+                .collect()
+        };
+        let spread = |xs: &[f64]| -> f64 {
+            let (lo, hi) = xs
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            (hi - lo) / mean
+        };
+        let free = predict(None);
+        let capped = predict(Some(45.0));
+        let f_freq = spread(&free.iter().map(|s| s.core_ghz).collect::<Vec<_>>());
+        let f_pow = spread(&free.iter().map(|s| s.pkg_w).collect::<Vec<_>>());
+        let c_freq = spread(&capped.iter().map(|s| s.core_ghz).collect::<Vec<_>>());
+        let c_pow = spread(&capped.iter().map(|s| s.pkg_w).collect::<Vec<_>>());
+        assert!(
+            capped.iter().all(|s| s.power_limited),
+            "45 W must cap every chip"
+        );
+        assert!(
+            c_freq > f_freq,
+            "cap: freq spread {c_freq} vs free {f_freq}"
+        );
+        assert!(c_pow < f_pow, "cap: power spread {c_pow} vs free {f_pow}");
+    }
+
+    #[test]
+    fn nominal_chip_model_equals_the_nominal_spec_model() {
+        let nominal = haswell();
+        let fs = WorkloadProfile::firestarter();
+        let pt = OperatingPoint {
+            profile: &fs,
+            setting: FreqSetting::Turbo,
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores: 12,
+            smt: true,
+        };
+        let a = AnalyticModel::from_node_spec(&nominal, true).predict(&pt);
+        let b = AnalyticModel::for_chip(&nominal, &ChipVariation::nominal(), true).predict(&pt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skylake_predictions_use_the_mesh_envelope() {
+        let model = AnalyticModel::from_node_spec(&skylake(), true);
+        let compute = WorkloadProfile::compute();
+        let pt = OperatingPoint {
+            profile: &compute,
+            setting: FreqSetting::Turbo,
+            epb: EpbClass::Balanced,
+            turbo_enabled: true,
+            active_cores: 26,
+            smt: true,
+        };
+        for s in &model.predict(&pt).sockets {
+            assert!(s.uncore_ghz <= 2.4 + 1e-9, "mesh caps at 2.4 GHz");
+            assert!(s.core_ghz <= 2.8 + 1e-9, "26-core turbo bin is 2.8 GHz");
+            assert!(s.pkg_w <= 165.0 + 2.0, "pkg {:.1} W", s.pkg_w);
+        }
+    }
+}

@@ -22,7 +22,10 @@
 //! | [`fleet_straggler`] | Extension — barrier collectives pay for the slowest chip under a cap |
 //! | [`skx_license_table`] | Skylake-SP (arXiv:1905.12468) — AVX frequency licenses |
 //! | [`skx_ufs_mesh`] | Skylake-SP (arXiv:1905.12468) — mesh frequency scaling |
+//! | [`analytic_accuracy`] | Extension — where the closed-form surrogate tracks and breaks (arXiv:1803.01618) |
+//! | [`fleet_analytic_scale`] | Extension — million-node cap-spread sweep on the surrogate tier |
 
+pub mod analytic_accuracy;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -30,6 +33,7 @@ pub mod fig4;
 pub mod fig56;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet_analytic_scale;
 pub mod fleet_cap_spread;
 pub mod fleet_straggler;
 pub mod section2c_epb;

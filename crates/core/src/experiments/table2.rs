@@ -42,7 +42,7 @@ fn run_impl(ctx: &RunCtx) -> Table2 {
     let _ = WorkloadProfile::idle();
     node.advance_s(0.2);
     let idle_power_w = node.measure_ac_average(match fidelity {
-        Fidelity::Quick => 1.0,
+        Fidelity::Quick | Fidelity::Analytic => 1.0,
         Fidelity::Paper => 10.0,
     });
 

@@ -7,6 +7,7 @@
 //! processor; 50-sample medians of core frequency, uncore frequency and
 //! instructions per second.
 
+use hsw_analytic::{AnalyticModel, OperatingPoint};
 use hsw_exec::WorkloadProfile;
 use hsw_hwspec::freq::FreqSetting;
 use hsw_node::{CpuId, EngineMode, Resolution};
@@ -14,7 +15,7 @@ use hsw_tools::perfctr::{median_of, PerfCtr};
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
-use crate::survey::RunCtx;
+use crate::survey::{rel_err, RunCtx};
 use crate::Fidelity;
 
 /// Measured medians for one socket under one setting.
@@ -99,37 +100,43 @@ pub fn run_seeded(fidelity: Fidelity, seed: u64) -> Table4 {
     run_ctx(&ctx)
 }
 
+/// The shared FIRESTARTER bring-up at turbo: workload assignment plus the
+/// cold-boot thermal/RAPL climb, amortized across every column.
+fn warmup(builder: hsw_node::SessionBuilder) -> hsw_node::Session {
+    let mut session = builder.resolution(Resolution::Coarse).build();
+    let fs = WorkloadProfile::firestarter();
+    for s in 0..2 {
+        session.run_on_socket(s, &fs, 12, 2); // HT: 2 threads per core
+    }
+    session.set_turbo(true);
+    session.advance_s(0.5); // shared settle at turbo
+    session
+}
+
+/// One column through the full simulator: re-settle the forked node under
+/// the column's setting and take the sample medians.
+fn point_of(ctx: &RunCtx, node: &mut hsw_node::Node, s: &FreqSetting) -> Table4Point {
+    let (s0, s1) = measure(ctx, node, *s);
+    Table4Point {
+        setting_mhz: match s {
+            FreqSetting::Turbo => None,
+            FreqSetting::Fixed(p) => Some(p.mhz()),
+        },
+        socket0: s0,
+        socket1: s1,
+    }
+}
+
 fn run_ctx(ctx: &RunCtx) -> Table4 {
     let settings = table4_settings();
-    // Warm-start split: FIRESTARTER bring-up at turbo (workload assignment
-    // plus the cold-boot thermal/RAPL climb) is shared by every column;
-    // each point forks the converged node and only re-settles under its
-    // frequency setting.
-    let points: Vec<Table4Point> = ctx.sweep_warm(
-        &settings,
-        |builder| {
-            let mut session = builder.resolution(Resolution::Coarse).build();
-            let fs = WorkloadProfile::firestarter();
-            for s in 0..2 {
-                session.run_on_socket(s, &fs, 12, 2); // HT: 2 threads per core
-            }
-            session.set_turbo(true);
-            session.advance_s(0.5); // shared settle at turbo
-            session
-        },
-        |node, s, _seed| {
-            let (s0, s1) = measure(ctx, node, *s);
-            Table4Point {
-                setting_mhz: match s {
-                    FreqSetting::Turbo => None,
-                    FreqSetting::Fixed(p) => Some(p.mhz()),
-                },
-                socket0: s0,
-                socket1: s1,
-            }
-        },
-    );
+    // Warm-start split: the bring-up is shared by every column; each point
+    // forks the converged node and only re-settles under its setting.
+    let points: Vec<Table4Point> =
+        ctx.sweep_warm(&settings, warmup, |node, s, _seed| point_of(ctx, node, s));
+    build_table4(points)
+}
 
+fn build_table4(points: Vec<Table4Point>) -> Table4 {
     let mut t = Table::new(
         "Table IV: FIRESTARTER with different frequency settings (HT on, medians of LIKWID samples)",
         vec![
@@ -158,6 +165,122 @@ fn run_ctx(ctx: &RunCtx) -> Table4 {
     Table4 { points, table: t }
 }
 
+/// One spot-checked column under `--fidelity analytic`: the simulator's
+/// answer to the same point, plus the divergence from the surrogate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct T4SpotCheck {
+    /// Column index into [`Table4::points`].
+    pub index: usize,
+    pub full: Table4Point,
+    /// Worst relative error across both sockets and all four metrics.
+    pub worst_rel_err: f64,
+}
+
+/// Table IV under `--fidelity analytic`: every column answered by the
+/// closed form, with the deterministic spot-check sample's full-simulator
+/// answers attached.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Analytic {
+    pub table4: Table4,
+    pub spot_checks: Vec<T4SpotCheck>,
+}
+
+impl Table4Analytic {
+    /// Worst surrogate-vs-simulator divergence across all spot checks.
+    pub fn spot_worst(&self) -> f64 {
+        self.spot_checks
+            .iter()
+            .map(|s| s.worst_rel_err)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for Table4Analytic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.table4.table)
+    }
+}
+
+/// Surrogate-vs-simulator divergence gate on Table IV spot checks. The
+/// turbo column is RAPL-capped — the regime where analytic models are
+/// weakest (arXiv:1803.01618) — so this sits above the settled-point gate
+/// of the accuracy map.
+pub(crate) const T4_SPOT_REL_ERR_GATE: f64 = 0.10;
+
+/// Closed-form answer to one Table IV column: FIRESTARTER on all cores
+/// with Hyper-Threading under the column's setting.
+fn surrogate_point(
+    model: &AnalyticModel,
+    fs: &WorkloadProfile,
+    setting: FreqSetting,
+) -> Table4Point {
+    let pred = model.predict(&OperatingPoint {
+        profile: fs,
+        setting,
+        epb: hsw_hwspec::EpbClass::Balanced,
+        turbo_enabled: true,
+        active_cores: 12,
+        smt: true,
+    });
+    let med = |s: &hsw_analytic::SocketPrediction| SocketMedians {
+        core_ghz: s.core_ghz,
+        uncore_ghz: s.uncore_ghz,
+        gips: s.gips,
+        pkg_w: s.pkg_w,
+    };
+    Table4Point {
+        setting_mhz: match setting {
+            FreqSetting::Turbo => None,
+            FreqSetting::Fixed(p) => Some(p.mhz()),
+        },
+        socket0: med(&pred.sockets[0]),
+        socket1: med(&pred.sockets[1]),
+    }
+}
+
+fn point_rel_err(sur: &Table4Point, full: &Table4Point) -> f64 {
+    let socket = |a: &SocketMedians, b: &SocketMedians| {
+        [
+            rel_err(a.core_ghz, b.core_ghz),
+            rel_err(a.uncore_ghz, b.uncore_ghz),
+            rel_err(a.gips, b.gips),
+            rel_err(a.pkg_w, b.pkg_w),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    };
+    socket(&sur.socket0, &full.socket0).max(socket(&sur.socket1, &full.socket1))
+}
+
+pub(crate) fn run_ctx_analytic(ctx: &RunCtx) -> Table4Analytic {
+    let settings = table4_settings();
+    let platform = ctx.platform();
+    let model = AnalyticModel::from_node_spec(&platform.spec, platform.eet_enabled);
+    let fs = WorkloadProfile::firestarter();
+    let answers = ctx.sweep_surrogate(
+        &settings,
+        warmup,
+        |node, s, _seed| point_of(ctx, node, s),
+        |s, _seed| surrogate_point(&model, &fs, *s),
+    );
+    let points: Vec<Table4Point> = answers.iter().map(|a| a.value).collect();
+    let spot_checks = answers
+        .iter()
+        .enumerate()
+        .filter_map(|(index, a)| {
+            a.checked.map(|full| T4SpotCheck {
+                index,
+                full,
+                worst_rel_err: point_rel_err(&a.value, &full),
+            })
+        })
+        .collect();
+    Table4Analytic {
+        table4: build_table4(points),
+        spot_checks,
+    }
+}
+
 /// Registry adapter.
 pub struct Experiment;
 
@@ -171,31 +294,58 @@ impl crate::survey::SurveyExperiment for Experiment {
     fn title(&self) -> &'static str {
         "FIRESTARTER under reduced frequency settings"
     }
+    fn supports_surrogate(&self) -> bool {
+        true
+    }
     fn run(&self, ctx: &crate::survey::RunCtx) -> crate::survey::ExperimentResult {
+        if ctx.fidelity.is_analytic() {
+            let r = run_ctx_analytic(ctx);
+            let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
+            push_table4_checks(&mut out, &r.table4);
+            let worst = r.spot_worst();
+            out.metric("spot_worst_rel_err", worst);
+            out.check(
+                "spot-checked columns agree with the full simulator",
+                worst < T4_SPOT_REL_ERR_GATE,
+                format!(
+                    "worst divergence {:.2}% over {} checks (gate {:.0}%)",
+                    worst * 100.0,
+                    r.spot_checks.len(),
+                    T4_SPOT_REL_ERR_GATE * 100.0
+                ),
+            );
+            return out;
+        }
         let r = run_ctx(ctx);
         let mut out = crate::survey::ExperimentResult::capture(self, ctx, &r);
-        let turbo = r.points.iter().find(|p| p.setting_mhz.is_none());
-        if let Some(t) = turbo {
-            out.metric("turbo_core_ghz_socket0", t.socket0.core_ghz);
-            out.metric("turbo_pkg_w_socket0", t.socket0.pkg_w);
-            out.check(
-                "Turbo equilibrium is TDP-limited near 2.2-2.4 GHz",
-                (2.1..=2.5).contains(&t.socket0.core_ghz),
-                format!("socket 0 median {:.2} GHz", t.socket0.core_ghz),
-            );
-        }
-        let worst_asym = r
-            .points
-            .iter()
-            .map(|p| (p.socket0.core_ghz - p.socket1.core_ghz).abs())
-            .fold(0.0f64, f64::max);
-        out.check(
-            "both sockets behave symmetrically",
-            worst_asym < 0.15,
-            format!("worst core-clock asymmetry {worst_asym:.3} GHz"),
-        );
+        push_table4_checks(&mut out, &r);
         out
     }
+}
+
+/// Table IV's physics checks, shared by the simulator and surrogate
+/// answer paths.
+fn push_table4_checks(out: &mut crate::survey::ExperimentResult, r: &Table4) {
+    let turbo = r.points.iter().find(|p| p.setting_mhz.is_none());
+    if let Some(t) = turbo {
+        out.metric("turbo_core_ghz_socket0", t.socket0.core_ghz);
+        out.metric("turbo_pkg_w_socket0", t.socket0.pkg_w);
+        out.check(
+            "Turbo equilibrium is TDP-limited near 2.2-2.4 GHz",
+            (2.1..=2.5).contains(&t.socket0.core_ghz),
+            format!("socket 0 median {:.2} GHz", t.socket0.core_ghz),
+        );
+    }
+    let worst_asym = r
+        .points
+        .iter()
+        .map(|p| (p.socket0.core_ghz - p.socket1.core_ghz).abs())
+        .fold(0.0f64, f64::max);
+    out.check(
+        "both sockets behave symmetrically",
+        worst_asym < 0.15,
+        format!("worst core-clock asymmetry {worst_asym:.3} GHz"),
+    );
 }
 
 #[cfg(test)]
@@ -279,6 +429,40 @@ mod tests {
         let p = &t.points[0];
         assert!(p.socket0.core_ghz <= p.socket1.core_ghz + 0.01);
         assert!(p.socket0.gips <= p.socket1.gips + 0.02);
+    }
+
+    #[test]
+    fn analytic_spot_checks_are_bit_identical_to_quick_columns() {
+        // The surrogate tier's determinism contract: a spot-checked column
+        // re-runs under its original point seed and the index-independent
+        // warmup seed, so it is byte-identical to the same column of a
+        // `--fidelity quick` run at the same root seed.
+        let seed = 0x0054_3441_4E41_u64;
+        let a = run_ctx_analytic(&RunCtx::new(
+            Fidelity::Analytic,
+            seed,
+            EngineMode::default(),
+        ));
+        assert!(!a.spot_checks.is_empty());
+        let q = run_seeded(Fidelity::Quick, seed);
+        for s in &a.spot_checks {
+            let full = q.points[s.index];
+            assert_eq!(s.full.setting_mhz, full.setting_mhz);
+            for (got, want) in [
+                (s.full.socket0, full.socket0),
+                (s.full.socket1, full.socket1),
+            ] {
+                assert_eq!(got.core_ghz.to_bits(), want.core_ghz.to_bits());
+                assert_eq!(got.uncore_ghz.to_bits(), want.uncore_ghz.to_bits());
+                assert_eq!(got.gips.to_bits(), want.gips.to_bits());
+                assert_eq!(got.pkg_w.to_bits(), want.pkg_w.to_bits());
+            }
+            assert!(
+                s.worst_rel_err < T4_SPOT_REL_ERR_GATE,
+                "{}",
+                s.worst_rel_err
+            );
+        }
     }
 
     #[test]

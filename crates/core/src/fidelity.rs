@@ -10,13 +10,21 @@ pub enum Fidelity {
     /// The paper's methodology durations (minutes of simulated time —
     /// run under `--release`).
     Paper,
+    /// Surrogate tier: sweep points are answered by the `hsw-analytic`
+    /// closed form; a deterministic spot-check sample runs the full
+    /// simulator at [`Quick`](Fidelity::Quick) durations (every duration
+    /// accessor delegates to `Quick`, so spot-check bytes match a `quick`
+    /// run of the same points). Only experiments that opt in via
+    /// [`SurveyExperiment::supports_surrogate`](crate::survey::SurveyExperiment::supports_surrogate)
+    /// accept it.
+    Analytic,
 }
 
 impl Fidelity {
     /// Number of 1 s LIKWID samples for Table IV (paper: 50).
     pub fn table4_samples(self) -> usize {
         match self {
-            Fidelity::Quick => 10,
+            Fidelity::Quick | Fidelity::Analytic => 10,
             Fidelity::Paper => 50,
         }
     }
@@ -24,7 +32,7 @@ impl Fidelity {
     /// Sampling interval for Table IV in seconds (paper: 1 s).
     pub fn table4_interval_s(self) -> f64 {
         match self {
-            Fidelity::Quick => 0.2,
+            Fidelity::Quick | Fidelity::Analytic => 0.2,
             Fidelity::Paper => 1.0,
         }
     }
@@ -32,7 +40,7 @@ impl Fidelity {
     /// Uncore-frequency measurement duration for Table III (paper: 10 s).
     pub fn table3_measure_s(self) -> f64 {
         match self {
-            Fidelity::Quick => 0.5,
+            Fidelity::Quick | Fidelity::Analytic => 0.5,
             Fidelity::Paper => 10.0,
         }
     }
@@ -40,7 +48,7 @@ impl Fidelity {
     /// Stress-test recording duration for Table V (paper: 1000 s runs).
     pub fn table5_run_s(self) -> f64 {
         match self {
-            Fidelity::Quick => 6.0,
+            Fidelity::Quick | Fidelity::Analytic => 6.0,
             Fidelity::Paper => 120.0,
         }
     }
@@ -48,7 +56,7 @@ impl Fidelity {
     /// Maximum-power extraction window for Table V (paper: 60 s).
     pub fn table5_window_s(self) -> f64 {
         match self {
-            Fidelity::Quick => 4.0,
+            Fidelity::Quick | Fidelity::Analytic => 4.0,
             Fidelity::Paper => 60.0,
         }
     }
@@ -56,7 +64,7 @@ impl Fidelity {
     /// Averaging window per Figure 2 measurement point (paper: 4 s).
     pub fn fig2_avg_s(self) -> f64 {
         match self {
-            Fidelity::Quick => 1.0,
+            Fidelity::Quick | Fidelity::Analytic => 1.0,
             Fidelity::Paper => 4.0,
         }
     }
@@ -64,7 +72,7 @@ impl Fidelity {
     /// FTaLaT samples per campaign (paper: 1000).
     pub fn fig3_samples(self) -> usize {
         match self {
-            Fidelity::Quick => 120,
+            Fidelity::Quick | Fidelity::Analytic => 120,
             Fidelity::Paper => 1000,
         }
     }
@@ -72,7 +80,7 @@ impl Fidelity {
     /// Wake-latency handshakes per point.
     pub fn fig56_iterations(self) -> usize {
         match self {
-            Fidelity::Quick => 20,
+            Fidelity::Quick | Fidelity::Analytic => 20,
             Fidelity::Paper => 200,
         }
     }
@@ -82,6 +90,8 @@ impl Fidelity {
         match self {
             Fidelity::Quick => 32,
             Fidelity::Paper => 256,
+            // Surrogate points cost microseconds; default wide.
+            Fidelity::Analytic => 65_536,
         }
     }
 
@@ -91,7 +101,7 @@ impl Fidelity {
     /// regime.
     pub fn fleet_caps_w(self) -> Vec<Option<f64>> {
         match self {
-            Fidelity::Quick => vec![None, Some(70.0)],
+            Fidelity::Quick | Fidelity::Analytic => vec![None, Some(70.0)],
             Fidelity::Paper => vec![None, Some(100.0), Some(85.0), Some(70.0)],
         }
     }
@@ -102,7 +112,7 @@ impl Fidelity {
     /// and needs that long to throttle to its own electrical identity.
     pub fn fleet_settle_s(self) -> f64 {
         match self {
-            Fidelity::Quick => 0.6,
+            Fidelity::Quick | Fidelity::Analytic => 0.6,
             Fidelity::Paper => 1.5,
         }
     }
@@ -110,7 +120,7 @@ impl Fidelity {
     /// Per-node fleet measurement window (s).
     pub fn fleet_measure_s(self) -> f64 {
         match self {
-            Fidelity::Quick => 0.3,
+            Fidelity::Quick | Fidelity::Analytic => 0.3,
             Fidelity::Paper => 2.0,
         }
     }
@@ -122,7 +132,13 @@ impl Fidelity {
         match self {
             Fidelity::Quick => "quick",
             Fidelity::Paper => "paper",
+            Fidelity::Analytic => "analytic",
         }
+    }
+
+    /// Whether sweeps should answer points from the closed-form surrogate.
+    pub fn is_analytic(self) -> bool {
+        matches!(self, Fidelity::Analytic)
     }
 }
 
@@ -133,7 +149,10 @@ impl std::str::FromStr for Fidelity {
         match s.to_ascii_lowercase().as_str() {
             "quick" => Ok(Fidelity::Quick),
             "paper" => Ok(Fidelity::Paper),
-            other => Err(format!("unknown fidelity '{other}' (expected quick|paper)")),
+            "analytic" => Ok(Fidelity::Analytic),
+            other => Err(format!(
+                "unknown fidelity '{other}' (expected quick|paper|analytic)"
+            )),
         }
     }
 }
@@ -154,7 +173,7 @@ mod tests {
 
     #[test]
     fn labels_round_trip_through_fromstr() {
-        for f in [Fidelity::Quick, Fidelity::Paper] {
+        for f in [Fidelity::Quick, Fidelity::Paper, Fidelity::Analytic] {
             assert_eq!(f.label().parse::<Fidelity>().unwrap(), f);
         }
         assert_eq!("PAPER".parse::<Fidelity>().unwrap(), Fidelity::Paper);
@@ -172,8 +191,24 @@ mod tests {
     }
 
     #[test]
+    fn analytic_spot_checks_run_at_quick_durations() {
+        // The spot-check contract: a point re-run at full fidelity under
+        // `--fidelity analytic` must be byte-identical to the same point
+        // under `--fidelity quick`, so every measurement duration delegates.
+        let (a, q) = (Fidelity::Analytic, Fidelity::Quick);
+        assert_eq!(a.table4_samples(), q.table4_samples());
+        assert_eq!(a.table4_interval_s(), q.table4_interval_s());
+        assert_eq!(a.fig2_avg_s(), q.fig2_avg_s());
+        assert_eq!(a.fleet_settle_s(), q.fleet_settle_s());
+        assert_eq!(a.fleet_measure_s(), q.fleet_measure_s());
+        assert_eq!(a.fleet_caps_w(), q.fleet_caps_w());
+        assert!(a.fleet_size() > Fidelity::Paper.fleet_size());
+        assert!(a.is_analytic() && !q.is_analytic());
+    }
+
+    #[test]
     fn fleet_cap_lists_start_uncapped_and_tighten() {
-        for f in [Fidelity::Quick, Fidelity::Paper] {
+        for f in [Fidelity::Quick, Fidelity::Paper, Fidelity::Analytic] {
             let caps = f.fleet_caps_w();
             assert_eq!(caps[0], None, "baseline must be uncapped");
             let tight: Vec<f64> = caps.into_iter().flatten().collect();

@@ -47,6 +47,52 @@ const WARMUP_SALT: u64 = 0x5741_524D_5550_9E37;
 /// Stream salt of the fleet node-id sub-base ("NODEIDS").
 const NODE_SALT: u64 = 0x4E4F_4445_4944_537F;
 
+/// Stream salt of the surrogate spot-check sub-base ("SPOTCHK"). Like the
+/// other stream salts it gives the spot-check draws their own namespace,
+/// so the sample can never alias a point seed or node seed.
+pub const SPOTCHECK_SALT: u64 = 0x5350_4F54_4348_4B7F;
+
+/// Points/nodes of one surrogate sweep that re-run the full simulator.
+pub const SPOTCHECK_K: usize = 2;
+
+/// The deterministic spot-check sample of a surrogate sweep: `k` distinct
+/// indices in `0..n`, in draw order, from the spot-check sub-base
+/// `mix_seed(base, SPOTCHECK_SALT)`. A pure function of `(base, n, k)` —
+/// never of scheduling — so the sample is byte-identical at any `--jobs`
+/// value and pool width. Keep `k` small (the distinctness scan is O(k)
+/// per draw); the executors use [`SPOTCHECK_K`].
+pub fn spotcheck_ids(base: u64, n: usize, k: usize) -> Vec<usize> {
+    let sub = mix_seed(base, SPOTCHECK_SALT);
+    let mut ids: Vec<usize> = Vec::with_capacity(k.min(n));
+    let mut draw = 0u64;
+    while ids.len() < k.min(n) {
+        let id = (mix_seed(sub, draw) % n as u64) as usize;
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+        draw += 1;
+    }
+    ids
+}
+
+/// Relative error of a surrogate value against the full simulator's
+/// (absolute error when the simulator reads exactly zero).
+pub fn rel_err(surrogate: f64, full: f64) -> f64 {
+    if full == 0.0 {
+        surrogate.abs()
+    } else {
+        ((surrogate - full) / full).abs()
+    }
+}
+
+/// One surrogate sweep answer: the closed-form value, plus the full
+/// simulator's answer when the point was in the spot-check sample.
+#[derive(Debug, Clone)]
+pub struct Surrogate<R> {
+    pub value: R,
+    pub checked: Option<R>,
+}
+
 /// The warmup session's seed for a sweep base (its own sub-base, outside
 /// both the point-index and node-id streams).
 fn warmup_seed(base: u64) -> u64 {
@@ -84,6 +130,12 @@ pub struct RunCtx {
     /// Sweep points served from a shared warm-start snapshot instead of a
     /// re-run warmup (the scoreboard's `reuse` column).
     reuses: Arc<AtomicU64>,
+    /// Sweep points answered by the closed-form surrogate instead of the
+    /// simulator (the scoreboard's `sur` column).
+    surrogate_hits: Arc<AtomicU64>,
+    /// Surrogate points re-run through the full simulator as spot checks
+    /// (the scoreboard's `chk` column).
+    spot_checks: Arc<AtomicU64>,
     /// `--fleet-size` override for the fleet experiments; `None` leaves the
     /// size to the fidelity preset ([`Fidelity::fleet_size`]).
     pub fleet_size: Option<usize>,
@@ -101,6 +153,8 @@ impl RunCtx {
             points: Arc::new(AtomicU64::new(0)),
             warm_start: true,
             reuses: Arc::new(AtomicU64::new(0)),
+            surrogate_hits: Arc::new(AtomicU64::new(0)),
+            spot_checks: Arc::new(AtomicU64::new(0)),
             fleet_size: None,
             platform_kind: PlatformKind::Haswell,
         }
@@ -130,6 +184,12 @@ impl RunCtx {
     /// else the fidelity preset.
     pub fn fleet_size(&self) -> usize {
         self.fleet_size.unwrap_or(self.fidelity.fleet_size())
+    }
+
+    /// The raw `--fleet-size` override, for experiments that substitute
+    /// their own per-fidelity scale defaults (the analytic-scale sweep).
+    pub fn fleet_size_override(&self) -> Option<usize> {
+        self.fleet_size
     }
 
     /// The selected platform under this experiment's seed and engine.
@@ -188,6 +248,24 @@ impl RunCtx {
     /// Sweep points served from a shared warm-start snapshot so far.
     pub fn snapshot_reuses(&self) -> u64 {
         self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Sweep points answered by the closed-form surrogate so far.
+    pub fn surrogate_hits(&self) -> u64 {
+        self.surrogate_hits.load(Ordering::Relaxed)
+    }
+
+    /// Surrogate points re-run through the full simulator so far.
+    pub fn spot_checks(&self) -> u64 {
+        self.spot_checks.load(Ordering::Relaxed)
+    }
+
+    /// Credit surrogate/spot-check counts from an experiment that drives
+    /// its own surrogate-vs-simulator comparison (e.g. the accuracy map)
+    /// instead of going through [`RunCtx::sweep_surrogate`].
+    pub fn note_surrogate(&self, hits: u64, checks: u64) {
+        self.surrogate_hits.fetch_add(hits, Ordering::Relaxed);
+        self.spot_checks.fetch_add(checks, Ordering::Relaxed);
     }
 
     /// Warm-start sweep: amortize a shared settle phase across all points.
@@ -351,6 +429,194 @@ impl RunCtx {
                 .map(|(k, p)| point(prep(), p, mix_seed(self.seed, k as u64)))
                 .collect()
         }
+    }
+
+    /// Surrogate sweep: answer every point from the closed form, then
+    /// re-run a deterministic [`SPOTCHECK_K`]-point sample through the full
+    /// simulator's warm path and attach those answers for divergence
+    /// accounting.
+    ///
+    /// `warmup`/`point` are exactly [`RunCtx::sweep_warm`]'s callbacks;
+    /// `surrogate` answers a point from the closed form under the same
+    /// point seed. The spot-checked points run under the *original* point
+    /// seeds `mix_seed(base, k)` and the index-independent warmup seed, so
+    /// each checked answer is byte-identical to point `k` of a full
+    /// `sweep_warm` sweep — at any `--jobs`/pool width, warm or cold (the
+    /// fork construction is bit-identical either way).
+    pub fn sweep_surrogate<P, R, W, F, S>(
+        &self,
+        points: &[P],
+        warmup: W,
+        point: F,
+        surrogate: S,
+    ) -> Vec<Surrogate<R>>
+    where
+        P: Sync,
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(&mut Node, &P, u64) -> R + Send + Sync,
+        S: Fn(&P, u64) -> R + Send + Sync,
+    {
+        let base = self.seed;
+        self.points
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        self.surrogate_hits
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        let checked = spotcheck_ids(base, points.len(), SPOTCHECK_K);
+        self.spot_checks
+            .fetch_add(checked.len() as u64, Ordering::Relaxed);
+        let mut out: Vec<Surrogate<R>> = points
+            .par_iter()
+            .enumerate()
+            .map(|(k, p)| Surrogate {
+                value: surrogate(p, mix_seed(base, k as u64)),
+                checked: None,
+            })
+            .collect();
+        for (k, full) in self.sweep_warm_subset(base, points, &checked, &warmup, &point) {
+            out[k].checked = Some(full);
+        }
+        out
+    }
+
+    /// The full-simulator warm path over a subset of a sweep's points,
+    /// under the original point seeds — the spot-check engine behind
+    /// [`RunCtx::sweep_surrogate`]. Scratch-node reuse is skipped (the
+    /// subset is tiny); a full restore is bit-identical to a re-arm.
+    fn sweep_warm_subset<P, R, W, F>(
+        &self,
+        base: u64,
+        points: &[P],
+        indices: &[usize],
+        warmup: &W,
+        point: &F,
+    ) -> Vec<(usize, R)>
+    where
+        P: Sync,
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(&mut Node, &P, u64) -> R + Send + Sync,
+    {
+        let warm = || {
+            let builder = self.platform().session().seed(warmup_seed(base));
+            let node = warmup(builder).into_node();
+            (node.snapshot(), node.config().clone())
+        };
+        let run_one = |snap: &NodeSnapshot, cfg: &hsw_node::NodeConfig, k: usize| {
+            let seed = mix_seed(base, k as u64);
+            let mut node = Node::new(cfg.clone().with_seed(seed));
+            node.restore(snap);
+            let r = point(&mut node, &points[k], seed);
+            self.sim_ns.fetch_add(node.now_ns(), Ordering::Relaxed);
+            (k, r)
+        };
+        if self.warm_start {
+            if indices.is_empty() {
+                return Vec::new();
+            }
+            self.reuses
+                .fetch_add(indices.len() as u64, Ordering::Relaxed);
+            let (snap, cfg) = warm();
+            indices
+                .par_iter()
+                .map(|&k| run_one(&snap, &cfg, k))
+                .collect()
+        } else {
+            indices
+                .par_iter()
+                .map(|&k| {
+                    let (snap, cfg) = warm();
+                    run_one(&snap, &cfg, k)
+                })
+                .collect()
+        }
+    }
+
+    /// Fleet surrogate sweep: answer every manufactured member from the
+    /// closed form, then re-run a deterministic [`SPOTCHECK_K`]-member
+    /// sample through the full simulator and attach those answers.
+    ///
+    /// `warmup`/`member` are exactly [`RunCtx::sweep_fleet`]'s callbacks;
+    /// `surrogate` answers member `(variation, id, seed)` from the closed
+    /// form (the variation is the same `ChipVariation::sample` draw the
+    /// simulator path applies, so a chip's analytic identity is its
+    /// simulated identity). Spot-checked members run under their original
+    /// node seeds `node_seed(base, id)` and the shared warm image — the
+    /// identical fork construction as `sweep_fleet` — so each checked
+    /// answer is byte-identical to member `id` of a full-fidelity fleet at
+    /// any `--jobs`/pool width.
+    pub fn sweep_fleet_surrogate<R, W, F, S>(
+        &self,
+        fleet_size: usize,
+        model: &VariationModel,
+        warmup: W,
+        member: F,
+        surrogate: S,
+    ) -> Vec<Surrogate<R>>
+    where
+        R: Send,
+        W: Fn(SessionBuilder) -> Session + Send + Sync,
+        F: Fn(&mut Node, &ChipVariation, usize, u64) -> R + Send + Sync,
+        S: Fn(&ChipVariation, usize, u64) -> R + Send + Sync,
+    {
+        let base = self.seed;
+        self.points.fetch_add(fleet_size as u64, Ordering::Relaxed);
+        self.surrogate_hits
+            .fetch_add(fleet_size as u64, Ordering::Relaxed);
+        let checked = spotcheck_ids(base, fleet_size, SPOTCHECK_K);
+        self.spot_checks
+            .fetch_add(checked.len() as u64, Ordering::Relaxed);
+        // The rayon shim parallelizes slices, not ranges.
+        let ids: Vec<usize> = (0..fleet_size).collect();
+        let mut out: Vec<Surrogate<R>> = ids
+            .par_iter()
+            .map(|&id| {
+                let seed = node_seed(base, id as u64);
+                let var = ChipVariation::sample(model, seed);
+                Surrogate {
+                    value: surrogate(&var, id, seed),
+                    checked: None,
+                }
+            })
+            .collect();
+        if checked.is_empty() {
+            return out;
+        }
+        let warm = || {
+            let builder = self.platform().session().seed(warmup_seed(base));
+            let node = warmup(builder).into_node();
+            (node.snapshot(), node.config().clone())
+        };
+        let run_one = |snap: &NodeSnapshot, cfg: &hsw_node::NodeConfig, id: usize| {
+            let seed = node_seed(base, id as u64);
+            let var = ChipVariation::sample(model, seed);
+            let mut node = Node::new(cfg.clone().with_seed(seed).with_spec(var.apply(&cfg.spec)));
+            node.restore(snap);
+            let r = member(&mut node, &var, id, seed);
+            self.sim_ns.fetch_add(node.now_ns(), Ordering::Relaxed);
+            (id, r)
+        };
+        let full: Vec<(usize, R)> = if self.warm_start {
+            self.reuses
+                .fetch_add(checked.len() as u64, Ordering::Relaxed);
+            let (snap, cfg) = warm();
+            checked
+                .par_iter()
+                .map(|&id| run_one(&snap, &cfg, id))
+                .collect()
+        } else {
+            checked
+                .par_iter()
+                .map(|&id| {
+                    let (snap, cfg) = warm();
+                    run_one(&snap, &cfg, id)
+                })
+                .collect()
+        };
+        for (id, r) in full {
+            out[id].checked = Some(r);
+        }
+        out
     }
 
     /// Fleet sweep: warm one *golden* node, then fork it into `fleet_size`
@@ -615,6 +881,13 @@ pub trait SurveyExperiment: Send + Sync {
     fn seeded(&self) -> bool {
         true
     }
+    /// Whether this experiment can run under `--fidelity analytic`: its
+    /// sweeps answer from the closed-form surrogate with simulator spot
+    /// checks. Experiments opt in; the runner rejects an analytic survey
+    /// that selects any experiment still at the default.
+    fn supports_surrogate(&self) -> bool {
+        false
+    }
     fn run(&self, ctx: &RunCtx) -> ExperimentResult;
 }
 
@@ -669,6 +942,8 @@ pub fn registry() -> Vec<Box<dyn SurveyExperiment>> {
         Box::new(experiments::sku_extrapolation::Experiment),
         Box::new(experiments::fleet_cap_spread::Experiment),
         Box::new(experiments::fleet_straggler::Experiment),
+        Box::new(experiments::analytic_accuracy::Experiment),
+        Box::new(experiments::fleet_analytic_scale::Experiment),
     ]
 }
 
@@ -680,6 +955,8 @@ pub fn registry_for(platform: PlatformKind) -> Vec<Box<dyn SurveyExperiment>> {
         PlatformKind::SkylakeSp => vec![
             Box::new(experiments::skx_license_table::Experiment),
             Box::new(experiments::skx_ufs_mesh::Experiment),
+            Box::new(experiments::analytic_accuracy::Experiment),
+            Box::new(experiments::fleet_analytic_scale::Experiment),
         ],
     }
 }
@@ -747,6 +1024,13 @@ pub struct SurveyRun {
     /// snapshot, parallel to `results`. Zero under `--warm-start off`.
     /// Like `sweep_points`: scoreboard only, never in the JSON document.
     pub snapshot_reuses: Vec<u64>,
+    /// Sweep points each experiment answered from the closed-form
+    /// surrogate, parallel to `results`. Zero outside `--fidelity
+    /// analytic`. Scoreboard only, never in the JSON document.
+    pub surrogate_hits: Vec<u64>,
+    /// Surrogate points each experiment re-ran through the full simulator
+    /// as spot checks, parallel to `results`. Scoreboard only.
+    pub spot_checks: Vec<u64>,
 }
 
 /// Run the survey: fan the selected experiments across `jobs` worker
@@ -772,10 +1056,31 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
     if selected.is_empty() {
         return Err("no experiments selected".to_string());
     }
+    if cfg.fidelity.is_analytic() {
+        let refusing: Vec<&str> = selected
+            .iter()
+            .filter(|e| !e.supports_surrogate())
+            .map(|e| e.id())
+            .collect();
+        if !refusing.is_empty() {
+            let capable: Vec<&str> = registry_for(cfg.platform)
+                .iter()
+                .filter(|e| e.supports_surrogate())
+                .map(|e| e.id())
+                .collect();
+            return Err(format!(
+                "--fidelity analytic: no surrogate support in {}; select \
+                 surrogate-capable experiments with --only (on this \
+                 platform: {})",
+                refusing.join(", "),
+                capable.join(", ")
+            ));
+        }
+    }
 
     /// One worker's slot: (result, wall seconds, simulated seconds, points,
-    /// snapshot reuses).
-    type Slot = (ExperimentResult, f64, f64, u64, u64);
+    /// snapshot reuses, surrogate hits, spot checks).
+    type Slot = (ExperimentResult, f64, f64, u64, u64, u64, u64);
 
     let jobs = cfg.jobs.clamp(1, selected.len());
     let next = AtomicUsize::new(0);
@@ -807,6 +1112,8 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
                     ctx.sim_time_s(),
                     ctx.sweep_points(),
                     ctx.snapshot_reuses(),
+                    ctx.surrogate_hits(),
+                    ctx.spot_checks(),
                 ));
             });
         }
@@ -817,13 +1124,17 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
     let mut sim_times_s = Vec::with_capacity(selected.len());
     let mut sweep_points = Vec::with_capacity(selected.len());
     let mut snapshot_reuses = Vec::with_capacity(selected.len());
+    let mut surrogate_hits = Vec::with_capacity(selected.len());
+    let mut spot_checks = Vec::with_capacity(selected.len());
     for slot in slots.into_inner().unwrap() {
-        let (r, wall, sim, pts, reuses) = slot.expect("worker left a slot unfilled");
+        let (r, wall, sim, pts, reuses, sur, chk) = slot.expect("worker left a slot unfilled");
         results.push(r);
         timings_s.push(wall);
         sim_times_s.push(sim);
         sweep_points.push(pts);
         snapshot_reuses.push(reuses);
+        surrogate_hits.push(sur);
+        spot_checks.push(chk);
     }
     Ok(SurveyRun {
         fidelity: cfg.fidelity,
@@ -835,6 +1146,8 @@ pub fn run_survey(cfg: &SurveyConfig) -> Result<SurveyRun, String> {
         sim_times_s,
         sweep_points,
         snapshot_reuses,
+        surrogate_hits,
+        spot_checks,
     })
 }
 
@@ -940,17 +1253,21 @@ impl SurveyRun {
                 "status",
                 "pts",
                 "reuse",
+                "sur",
+                "chk",
                 "wall s",
                 "sim s",
             ],
         );
-        for ((((r, wall_s), sim_s), pts), reuse) in self
+        for ((((((r, wall_s), sim_s), pts), reuse), sur), chk) in self
             .results
             .iter()
             .zip(&self.timings_s)
             .zip(&self.sim_times_s)
             .zip(&self.sweep_points)
             .zip(&self.snapshot_reuses)
+            .zip(&self.surrogate_hits)
+            .zip(&self.spot_checks)
         {
             let passed = r.checks.iter().filter(|c| c.passed).count();
             t.row(vec![
@@ -960,6 +1277,8 @@ impl SurveyRun {
                 crate::report::pass_fail(r.checks_passed()).to_string(),
                 pts.to_string(),
                 reuse.to_string(),
+                sur.to_string(),
+                chk.to_string(),
                 format!("{wall_s:.2}"),
                 format!("{sim_s:.2}"),
             ]);
@@ -1009,17 +1328,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registries_hold_20_unique_ids_across_platforms() {
+    fn registries_hold_22_unique_ids_across_platforms() {
         let mut ids: Vec<&str> = Vec::new();
         for kind in PlatformKind::ALL {
             ids.extend(registry_for(kind).iter().map(|e| e.id()));
         }
-        assert_eq!(ids.len(), 20, "18 Haswell + 2 Skylake-SP");
-        assert_eq!(registry().len(), 18, "the paper set stays intact");
+        assert_eq!(
+            ids.len(),
+            24,
+            "20 Haswell + 4 Skylake-SP (the two analytic experiments \
+             register on both platforms)"
+        );
+        assert_eq!(registry().len(), 20, "the paper set plus extensions");
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), 20, "duplicate ids: {ids:?}");
+        assert_eq!(dedup.len(), 22, "duplicate ids: {ids:?}");
     }
 
     /// The collision the node-id sub-base exists to prevent: in a single

@@ -71,6 +71,25 @@ impl DutyCycle {
             }
         }
     }
+
+    /// Time-averaged intensity factor over one full cycle — the duty factor
+    /// a steady-state (analytic) model should assume. For `Constant` this is
+    /// exact; for the periodic shapes it is the long-run mean, which only
+    /// matches a finite measurement window when the window covers whole
+    /// periods (the surrogate tier's documented duty-transient error).
+    pub fn mean_factor(&self) -> f64 {
+        match self {
+            DutyCycle::Constant => 1.0,
+            DutyCycle::Sinus { min, max, .. } => min + (max - min) * 0.5,
+            DutyCycle::Phases(phases) => {
+                let total: f64 = phases.iter().map(|(d, _)| d).sum();
+                if total <= 0.0 {
+                    return 1.0;
+                }
+                phases.iter().map(|(d, f)| d * f).sum::<f64>() / total
+            }
+        }
+    }
 }
 
 /// The workloads used across the paper's experiments.
@@ -432,6 +451,34 @@ mod tests {
         assert!(quarter > 0.9, "peak {quarter}");
         assert!(three_quarter < 0.3, "trough {three_quarter}");
         assert!((d.factor_at(0.25) - d.factor_at(1.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_factor_matches_the_time_average() {
+        // Closed forms against a fine numerical average over whole periods.
+        for d in [
+            DutyCycle::Constant,
+            WorkloadProfile::sinus().duty,
+            WorkloadProfile::linpack().duty,
+            WorkloadProfile::mprime().duty,
+        ] {
+            let period = match &d {
+                DutyCycle::Constant => 1.0,
+                DutyCycle::Sinus { period_s, .. } => *period_s,
+                DutyCycle::Phases(p) => p.iter().map(|(s, _)| s).sum(),
+            };
+            let steps = 100_000;
+            let num: f64 = (0..steps)
+                .map(|i| d.factor_at((i as f64 + 0.5) / steps as f64 * period))
+                .sum::<f64>()
+                / steps as f64;
+            assert!(
+                (d.mean_factor() - num).abs() < 1e-3,
+                "{d:?}: closed {} vs numeric {num}",
+                d.mean_factor()
+            );
+        }
+        assert_eq!(DutyCycle::Phases(vec![]).mean_factor(), 1.0);
     }
 
     #[test]

@@ -27,7 +27,8 @@ const RULES_REV: u32 = 1;
 /// `bench` measures wall time by design, and `shims/` vendors external
 /// API surfaces — all exempt from D1/D2, but S1 still applies everywhere.
 pub const RESULT_CRATES: &[&str] = &[
-    "core", "cstates", "exec", "fleet", "hwspec", "memhier", "msr", "node", "pcu", "power",
+    "analytic", "core", "cstates", "exec", "fleet", "hwspec", "memhier", "msr", "node", "pcu",
+    "power",
 ];
 
 /// Directories whose `.rs` files are scanned, relative to the root.
@@ -535,6 +536,7 @@ mod tests {
         assert!(scope_of("crates/msr/src/gate.rs").result_crate);
         assert!(scope_of("crates/core/src/survey.rs").result_crate);
         assert!(scope_of("crates/fleet/src/variation.rs").result_crate);
+        assert!(scope_of("crates/analytic/src/model.rs").result_crate);
         assert!(!scope_of("crates/bench/src/lib.rs").result_crate);
         assert!(!scope_of("crates/tools/src/stress.rs").result_crate);
         assert!(!scope_of("shims/rayon/src/pool.rs").result_crate);

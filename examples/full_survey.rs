@@ -111,6 +111,14 @@ fn main() {
         "Skylake-SP — mesh frequency scaling (arXiv:1905.12468)",
         experiments::skx_ufs_mesh::run(fidelity).to_string(),
     );
+    emit(
+        "Analytic — surrogate accuracy vs the full simulator (arXiv:1803.01618)",
+        experiments::analytic_accuracy::run(fidelity).to_string(),
+    );
+    emit(
+        "Analytic — million-node cap-spread sweep with simulator spot checks",
+        experiments::fleet_analytic_scale::run(fidelity).to_string(),
+    );
 
     if let Some(path) = write_md {
         std::fs::write(&path, md).expect("write markdown");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! survey [--list] [--only <id>[,<id>...]] [--seed <u64>] [--jobs <n>]
-//!        [--fidelity quick|paper] [--engine fixed|event]
+//!        [--fidelity quick|paper|analytic] [--engine fixed|event]
 //!        [--warm-start on|off] [--fleet-size <n>]
 //!        [--platform haswell|skylake-sp] [--out <path>]
 //! ```
@@ -30,7 +30,10 @@ options:
   --only <ids>        run only these comma-separated ids (repeatable)
   --seed <u64>        root RNG seed (default 42)
   --jobs <n>          worker threads (default: available parallelism)
-  --fidelity <f>      quick | paper (default quick)
+  --fidelity <f>      quick | paper | analytic (default quick); `analytic`
+                      answers sweep points from the hsw-analytic closed form
+                      and spot-checks a deterministic sample on the full
+                      simulator (surrogate-capable experiments only)
   --engine <e>        fixed | event (default event; both are bit-identical,
                       `fixed` is the validation escape hatch)
   --warm-start <w>    on | off (default on): fork sweep points from a shared
@@ -38,7 +41,7 @@ options:
                       both settings are bit-identical, `off` is the
                       validation escape hatch
   --fleet-size <n>    nodes per fleet experiment (default: fidelity preset,
-                      32 quick / 256 paper)
+                      32 quick / 256 paper / 65536 analytic)
   --platform <p>      haswell | skylake-sp (default haswell): which surveyed
                       machine to model; selects the experiment registry
   --out <path>        output path (default survey.json, `-` for stdout)

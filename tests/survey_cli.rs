@@ -117,6 +117,24 @@ fn haswell_rejects_skx_only_ids() {
 }
 
 #[test]
+fn analytic_fidelity_rejects_experiments_without_surrogate_support() {
+    // `--fidelity analytic` only answers experiments that opted into the
+    // surrogate tier; anything else must fail fast with the capable list.
+    let (code, err) = survey(&["--fidelity", "analytic", "--only", "table3,table4"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("no surrogate support"), "{err}");
+    assert!(err.contains("table3"), "{err}");
+    assert!(err.contains("analytic_accuracy"), "{err}");
+}
+
+#[test]
+fn unknown_fidelity_names_the_analytic_tier() {
+    let (code, err) = survey(&["--fidelity", "exact"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("quick|paper|analytic"), "{err}");
+}
+
+#[test]
 fn list_exits_zero_and_names_the_fleet_experiments() {
     let out = Command::new(env!("CARGO_BIN_EXE_survey"))
         .arg("--list")

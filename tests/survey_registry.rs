@@ -6,13 +6,13 @@ use haswell_survey_repro::survey::Fidelity;
 use hsw_node::EngineMode;
 
 #[test]
-fn registry_covers_all_18_experiments_with_unique_ids() {
+fn registry_covers_all_20_experiments_with_unique_ids() {
     let reg = registry();
-    assert_eq!(reg.len(), 18);
+    assert_eq!(reg.len(), 20);
     let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 18);
+    assert_eq!(ids.len(), 20);
     for required in [
         "fig1",
         "table1",
@@ -32,6 +32,8 @@ fn registry_covers_all_18_experiments_with_unique_ids() {
         "sku_extrapolation",
         "fleet_cap_spread",
         "fleet_straggler",
+        "analytic_accuracy",
+        "fleet_analytic_scale",
     ] {
         assert!(ids.contains(&required), "missing {required}");
     }
